@@ -1,0 +1,98 @@
+// E10 — Appendix A: the self-join frontier. ϕ2 is maintained by the
+// special-case engine with constant update time and constant delay
+// (Lemma A.2), while ϕ1 — its subquery! — only has baselines whose
+// update cost grows (Lemma A.1 makes it OMv-hard).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/phi2.h"
+#include "util/rng.h"
+
+namespace dyncq::bench {
+namespace {
+
+/// Loop-heavy random graph stream: n vertices, ~4n edges, loops on ~n/4.
+UpdateStream GraphStream(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  UpdateStream s;
+  for (std::size_t i = 1; i <= n / 4; ++i) {
+    Value v = rng.Range(1, n);
+    s.push_back(UpdateCmd::Insert(0, Tuple{v, v}));
+  }
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    s.push_back(
+        UpdateCmd::Insert(0, Tuple{rng.Range(1, n), rng.Range(1, n)}));
+  }
+  return s;
+}
+
+void Run() {
+  Banner("E10", "self-joins: phi2 tractable, phi1 hard (Appendix A)",
+         "phi2: constant update + delay via Lemma A.2; phi1: update cost "
+         "grows under delta-IVM (Lemma A.1: OMv-hard)");
+
+  TablePrinter t({"n", "phi2 ns/update", "phi2 avg ns/tuple",
+                  "phi2 max ns/tuple", "phi1 ivm ns/update"});
+  Query phi1 = MustParse("Q(x, y) :- E(x, x), E(x, y), E(y, y).");
+
+  for (std::size_t n : {1000u, 4000u, 16000u, 64000u}) {
+    // phi2 special engine.
+    core::Phi2Engine phi2;
+    for (const UpdateCmd& c : GraphStream(n, n)) phi2.Apply(c);
+    Rng rng(n ^ 0xfeed);
+    constexpr int kUpdates = 20000;
+    Timer ut;
+    for (int i = 0; i < kUpdates; ++i) {
+      Tuple tup{rng.Range(1, n), rng.Range(1, n)};
+      if (rng.Chance(0.5)) {
+        phi2.Apply(UpdateCmd::Insert(0, tup));
+      } else {
+        phi2.Apply(UpdateCmd::Delete(0, tup));
+      }
+    }
+    double phi2_update_ns = ut.ElapsedNs() / kUpdates;
+
+    // phi2 enumeration delay over a bounded prefix.
+    Samples delays;
+    {
+      auto en = phi2.NewEnumerator();
+      Tuple tup;
+      for (int i = 0; i < 50000; ++i) {
+        Timer per;
+        if (!en->Next(&tup)) break;
+        delays.Add(per.ElapsedNs());
+      }
+    }
+
+    // phi1 through delta-IVM on the adversarial shape from Lemma A.1:
+    // vertex 1 is a hub with Θ(n) looped neighbours, so toggling its loop
+    // changes Θ(n) result tuples — the delta join cannot be cheap.
+    baseline::DeltaIvmEngine ivm(phi1);
+    for (std::size_t v = 2; v <= n / 2; ++v) {
+      ivm.Apply(UpdateCmd::Insert(0, Tuple{v, v}));            // loops
+      ivm.Apply(UpdateCmd::Insert(0, Tuple{1, v}));            // hub edges
+    }
+    int ivm_updates = 100;
+    Timer it;
+    for (int i = 0; i < ivm_updates; ++i) {
+      Tuple loop{1, 1};
+      ivm.Apply(i % 2 == 0 ? UpdateCmd::Insert(0, loop)
+                           : UpdateCmd::Delete(0, loop));
+    }
+    double ivm_ns = it.ElapsedNs() / ivm_updates;
+
+    t.AddRow({std::to_string(n), FormatDouble(phi2_update_ns, 1),
+              delays.size() > 0 ? FormatDouble(delays.Mean(), 1) : "-",
+              delays.size() > 0 ? FormatDouble(delays.Max(), 1) : "-",
+              FormatDouble(ivm_ns, 1)});
+  }
+  t.Print();
+  std::cout << "\nExpected: phi2 columns flat in n (Lemma A.2); phi1 "
+               "delta-IVM updates grow (loop toggles touch Θ(deg) "
+               "results).\n";
+}
+
+}  // namespace
+}  // namespace dyncq::bench
+
+int main() { dyncq::bench::Run(); }

@@ -1,0 +1,55 @@
+// Shared helpers for the experiment binaries (E1..E11).
+//
+// Each binary reproduces one paper artifact or theorem-shaped experiment
+// (see DESIGN.md §3) and prints a self-contained table. Binaries take no
+// arguments and are sized to finish in seconds.
+#ifndef DYNCQ_BENCH_BENCH_UTIL_H_
+#define DYNCQ_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "baseline/delta_ivm.h"
+#include "baseline/recompute.h"
+#include "core/engine.h"
+#include "cq/parser.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/u128.h"
+
+namespace dyncq::bench {
+
+inline void Banner(const std::string& id, const std::string& title,
+                   const std::string& claim) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+  std::cout << "paper claim: " << claim << "\n\n";
+}
+
+inline Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  DYNCQ_CHECK_MSG(q.ok(), q.error());
+  return q.value();
+}
+
+inline Query MustParse(const std::string& text,
+                       std::shared_ptr<const Schema> schema) {
+  auto q = ParseQuery(text, std::move(schema));
+  DYNCQ_CHECK_MSG(q.ok(), q.error());
+  return q.value();
+}
+
+inline std::unique_ptr<core::Engine> MustCreateEngine(const Query& q) {
+  auto e = core::Engine::Create(q);
+  DYNCQ_CHECK_MSG(e.ok(), e.error());
+  return std::move(e.value());
+}
+
+/// ns per operation, formatted.
+inline std::string NsPerOp(double total_ns, std::size_t ops) {
+  return FormatDouble(total_ns / static_cast<double>(ops), 1);
+}
+
+}  // namespace dyncq::bench
+
+#endif  // DYNCQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// Boolean alerting under updates: the telemetry scenario's Alert query is
+// exactly the paper's ϕ'_{S-E-T} — provably not maintainable in O(1)
+// under OMv — while the LiveCritical view is q-hierarchical and answers
+// in constant time. This example keeps both live side by side and shows
+// the latency gap growing with the reading rate.
+//
+//   $ ./telemetry_alerts
+#include <iostream>
+
+#include "baseline/delta_ivm.h"
+#include "core/engine.h"
+#include "cq/dichotomy.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/u128.h"
+#include "workload/scenarios.h"
+#include "workload/stream_gen.h"
+
+using namespace dyncq;
+
+int main() {
+  workload::Scenario s = workload::TelemetryScenario(
+      /*sensors=*/800, /*values=*/800, /*readings=*/4000, /*seed=*/3);
+  const Query& alert = s.queries[0];         // ϕ'_{S-E-T} shape, hard
+  const Query& live_critical = s.queries[1];  // q-hierarchical
+
+  std::cout << "Alert query dichotomy report:\n"
+            << AnalyzeQuery(alert).summary << "\n\n";
+  std::cout << "LiveCritical query dichotomy report:\n"
+            << AnalyzeQuery(live_critical).summary << "\n\n";
+
+  // Alert is not q-hierarchical: maintain it with delta-IVM (answer stays
+  // O(1), but updates pay the delta join — the cost the paper proves
+  // unavoidable in general).
+  baseline::DeltaIvmEngine alert_engine(alert);
+  auto live_or = core::Engine::Create(live_critical);
+  if (!live_or.ok()) {
+    std::cerr << live_or.error() << "\n";
+    return 1;
+  }
+  auto& live_engine = *live_or.value();
+
+  for (const UpdateCmd& cmd : s.initial) {
+    alert_engine.Apply(cmd);
+    live_engine.Apply(cmd);
+  }
+  std::cout << "initial: alert=" << (alert_engine.Answer() ? "YES" : "no")
+            << ", live critical sensors="
+            << U128ToString(live_engine.Count()) << "\n\n";
+
+  // Stream readings; after each batch, check the alert and count.
+  workload::StreamOptions opts;
+  opts.seed = 1;
+  opts.domain_size = 1600;
+  opts.insert_ratio = 0.6;
+  workload::StreamGenerator gen(
+      std::const_pointer_cast<const Schema>(s.schema), opts);
+
+  OnlineStats alert_ns, live_ns;
+  int alerts_fired = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      UpdateCmd cmd = gen.Next(static_cast<RelId>(i % 3));
+      Timer t1;
+      alert_engine.Apply(cmd);
+      alert_ns.Add(t1.ElapsedNs());
+      Timer t2;
+      live_engine.Apply(cmd);
+      live_ns.Add(t2.ElapsedNs());
+    }
+    if (alert_engine.Answer()) ++alerts_fired;
+  }
+
+  std::cout << "after 10000 updates in 200 batches:\n";
+  std::cout << "  batches with alert condition: " << alerts_fired
+            << " / 200\n";
+  std::cout << "  alert (delta-IVM) update: mean "
+            << FormatDouble(alert_ns.mean(), 0) << " ns, max "
+            << FormatDouble(alert_ns.max(), 0) << " ns\n";
+  std::cout << "  live  (dyncq)     update: mean "
+            << FormatDouble(live_ns.mean(), 0) << " ns, max "
+            << FormatDouble(live_ns.max(), 0) << " ns\n";
+  std::cout << "\nboth engines answer in O(1); the asymmetry is in the "
+               "update cost, exactly as Theorems 3.2 / 3.4 predict.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baseline/delta_ivm.h"
+
+#include "util/check.h"
+
+namespace dyncq::baseline {
+
+namespace {
+
+class MapEnumerator final : public Enumerator {
+ public:
+  using Map = OpenHashMap<Tuple, std::uint64_t, TupleHash>;
+
+  MapEnumerator(const Map* map, const std::uint64_t* epoch)
+      : map_(map), epoch_(epoch), at_create_(*epoch), it_(map->begin()) {}
+
+  bool Next(Tuple* out) override {
+    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
+                    "enumerator used after an update");
+    if (it_ == map_->end()) return false;
+    *out = it_->first;
+    ++it_;
+    return true;
+  }
+
+  void Reset() override { it_ = map_->begin(); }
+
+ private:
+  const Map* map_;
+  const std::uint64_t* epoch_;
+  std::uint64_t at_create_;
+  Map::const_iterator it_;
+};
+
+}  // namespace
+
+DeltaIvmEngine::DeltaIvmEngine(const Query& q)
+    : query_(q), db_(query_.schema()) {}
+
+DeltaIvmEngine::DeltaIvmEngine(const Query& q, const Database& initial)
+    : DeltaIvmEngine(q) {
+  for (RelId r = 0; r < initial.schema().NumRelations(); ++r) {
+    for (const Tuple& t : initial.relation(r)) {
+      Apply(UpdateCmd::Insert(r, t));
+    }
+  }
+}
+
+std::uint64_t DeltaIvmEngine::Multiplicity(const Tuple& t) const {
+  const std::uint64_t* m = result_.Find(t);
+  return m != nullptr ? *m : 0;
+}
+
+bool DeltaIvmEngine::Apply(const UpdateCmd& cmd) {
+  if (cmd.kind == UpdateKind::kInsert) {
+    if (!db_.Insert(cmd.rel, cmd.tuple)) return false;
+    ++epoch_;
+    index_store_.OnInsert(cmd.rel, cmd.tuple);
+    ApplyDelta(cmd, /*insert=*/true);
+  } else {
+    if (!db_.relation(cmd.rel).Contains(cmd.tuple)) return false;
+    ++epoch_;
+    // Deltas for deletion are evaluated against the pre-delete database.
+    ApplyDelta(cmd, /*insert=*/false);
+    db_.Delete(cmd.rel, cmd.tuple);
+    index_store_.OnDelete(cmd.rel, cmd.tuple);
+  }
+  return true;
+}
+
+void DeltaIvmEngine::ApplyDelta(const UpdateCmd& cmd, bool insert) {
+  // Occurrences of the updated relation, in atom order.
+  std::vector<std::size_t> occurrences;
+  for (std::size_t ai = 0; ai < query_.NumAtoms(); ++ai) {
+    if (query_.atoms()[ai].rel == cmd.rel) occurrences.push_back(ai);
+  }
+
+  auto on_insert_tuple = [&](const Tuple& head) {
+    std::uint64_t& m = result_.FindOrInsert(head);
+    ++m;
+  };
+  auto on_delete_tuple = [&](const Tuple& head) {
+    std::uint64_t* m = result_.Find(head);
+    DYNCQ_CHECK_MSG(m != nullptr && *m > 0,
+                    "delta removed a tuple that was never derived");
+    if (--*m == 0) result_.Erase(head);
+  };
+
+  for (std::size_t k = 0; k < occurrences.size(); ++k) {
+    Views views(query_.NumAtoms());
+    for (std::size_t j = 0; j < occurrences.size(); ++j) {
+      OccurrenceView& v = views[occurrences[j]];
+      if (j < k) {
+        // Earlier occurrences: post-state for inserts (full, includes t),
+        // post-state for deletes (relation minus t).
+        v.mode = insert ? ViewMode::kFull : ViewMode::kMinusTuple;
+        v.tuple = cmd.tuple;
+      } else if (j == k) {
+        v.mode = ViewMode::kExactTuple;
+        v.tuple = cmd.tuple;
+      } else {
+        // Later occurrences: pre-state for inserts (relation minus t,
+        // since db already contains t), pre-state for deletes (full).
+        v.mode = insert ? ViewMode::kMinusTuple : ViewMode::kFull;
+        v.tuple = cmd.tuple;
+      }
+    }
+    if (insert) {
+      EnumerateValuations(db_, query_, views, on_insert_tuple,
+                          &index_store_);
+    } else {
+      EnumerateValuations(db_, query_, views, on_delete_tuple,
+                          &index_store_);
+    }
+  }
+}
+
+std::unique_ptr<Enumerator> DeltaIvmEngine::NewEnumerator() {
+  return std::make_unique<MapEnumerator>(&result_, &epoch_);
+}
+
+}  // namespace dyncq::baseline

@@ -1,0 +1,300 @@
+#include "baseline/evaluator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace dyncq::baseline {
+
+Tuple PersistentIndexStore::Project(const Tuple& t,
+                                    const std::vector<int>& positions) {
+  Tuple key;
+  for (int p : positions) key.push_back(t[static_cast<std::size_t>(p)]);
+  return key;
+}
+
+const PersistentIndexStore::Index& PersistentIndexStore::Ensure(
+    RelId rel, const std::vector<int>& positions) {
+  if (indexes_.size() <= rel) indexes_.resize(rel + 1);
+  for (const auto& idx : indexes_[rel]) {
+    if (idx->positions == positions) return *idx;
+  }
+  auto idx = std::make_unique<Index>();
+  idx->positions = positions;
+  for (const Tuple& t : db_->relation(rel)) {
+    idx->buckets.FindOrInsert(Project(t, positions)).push_back(t);
+  }
+  indexes_[rel].push_back(std::move(idx));
+  return *indexes_[rel].back();
+}
+
+void PersistentIndexStore::OnInsert(RelId rel, const Tuple& t) {
+  if (indexes_.size() <= rel) return;
+  for (auto& idx : indexes_[rel]) {
+    idx->buckets.FindOrInsert(Project(t, idx->positions)).push_back(t);
+  }
+}
+
+void PersistentIndexStore::OnDelete(RelId rel, const Tuple& t) {
+  if (indexes_.size() <= rel) return;
+  for (auto& idx : indexes_[rel]) {
+    Tuple key = Project(t, idx->positions);
+    std::vector<Tuple>* bucket = idx->buckets.Find(key);
+    DYNCQ_DCHECK(bucket != nullptr);
+    auto it = std::find(bucket->begin(), bucket->end(), t);
+    DYNCQ_DCHECK(it != bucket->end());
+    // Swap-remove keeps deletion O(bucket scan) without shifting.
+    *it = bucket->back();
+    bucket->pop_back();
+    if (bucket->empty()) idx->buckets.Erase(key);
+  }
+}
+
+namespace {
+
+struct PlanStep {
+  int atom = -1;
+  bool all_bound = false;          // membership check only
+  std::vector<int> key_positions;  // positions of pre-bound variables
+};
+
+/// Transient per-call index (used when no PersistentIndexStore is given).
+struct TransientIndex {
+  bool built = false;
+  OpenHashMap<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+};
+
+class Executor {
+ public:
+  Executor(const Database& db, const Query& q, const Views& views,
+           const std::function<void(const Tuple&)>& cb,
+           PersistentIndexStore* store)
+      : db_(db), q_(q), views_(views), cb_(cb), store_(store) {
+    DYNCQ_CHECK_MSG(views_.empty() || views_.size() == q.NumAtoms(),
+                    "views must match the number of atoms");
+    BuildPlan();
+    binding_.assign(q.NumVars(), 0);
+    bound_.assign(q.NumVars(), false);
+    transient_.resize(q.NumAtoms());
+  }
+
+  void Run() {
+    head_.clear();
+    Recurse(0);
+  }
+
+ private:
+  ViewMode ModeOf(std::size_t ai) const {
+    return views_.empty() ? ViewMode::kFull : views_[ai].mode;
+  }
+
+  void BuildPlan() {
+    const std::size_t n = q_.NumAtoms();
+    std::vector<bool> used(n, false);
+    VarMask bound = 0;
+    for (std::size_t step = 0; step < n; ++step) {
+      // Greedy: prefer exact-tuple views, then the atom with the most
+      // bound variables; ties broken by atom index.
+      int best = -1;
+      int best_score = -1;
+      for (std::size_t ai = 0; ai < n; ++ai) {
+        if (used[ai]) continue;
+        int score = 0;
+        if (ModeOf(ai) == ViewMode::kExactTuple) score += 1000;
+        score += 10 * std::popcount(q_.atoms()[ai].var_mask & bound);
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<int>(ai);
+        }
+      }
+      DYNCQ_DCHECK(best >= 0);
+      used[static_cast<std::size_t>(best)] = true;
+
+      PlanStep ps;
+      ps.atom = best;
+      const Atom& atom = q_.atoms()[static_cast<std::size_t>(best)];
+      ps.all_bound = (atom.var_mask & ~bound) == 0;
+      // One key position per distinct already-bound variable.
+      VarMask seen = 0;
+      for (std::size_t p = 0; p < atom.args.size(); ++p) {
+        const Term& t = atom.args[p];
+        if (t.IsVar() && (bound & VarBit(t.var)) != 0 &&
+            (seen & VarBit(t.var)) == 0) {
+          seen |= VarBit(t.var);
+          ps.key_positions.push_back(static_cast<int>(p));
+        }
+      }
+      bound |= atom.var_mask;
+      plan_.push_back(std::move(ps));
+    }
+  }
+
+  /// Verifies constants, repeated variables, and bound-variable agreement
+  /// for a candidate tuple, then binds the atom's unbound variables.
+  bool MatchAndBind(const Atom& atom, const Tuple& t,
+                    std::vector<VarId>* newly_bound) {
+    for (std::size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& term = atom.args[p];
+      if (term.IsConst()) {
+        if (t[p] != term.constant) return false;
+      } else if (bound_[term.var]) {
+        if (t[p] != binding_[term.var]) return false;
+      } else {
+        bound_[term.var] = true;
+        binding_[term.var] = t[p];
+        newly_bound->push_back(term.var);
+      }
+    }
+    return true;
+  }
+
+  void Unbind(const std::vector<VarId>& vars) {
+    for (VarId v : vars) bound_[v] = false;
+  }
+
+  bool TupleVisible(std::size_t ai, const Tuple& t) const {
+    if (views_.empty()) return true;
+    const OccurrenceView& v = views_[ai];
+    switch (v.mode) {
+      case ViewMode::kFull:
+        return true;
+      case ViewMode::kMinusTuple:
+        return !(t == v.tuple);
+      case ViewMode::kExactTuple:
+        return t == v.tuple;
+    }
+    return true;
+  }
+
+  const TransientIndex& TransientFor(const PlanStep& ps) {
+    auto ai = static_cast<std::size_t>(ps.atom);
+    TransientIndex& idx = transient_[ai];
+    if (!idx.built) {
+      idx.built = true;
+      const Relation& rel = db_.relation(q_.atoms()[ai].rel);
+      for (const Tuple& t : rel) {
+        Tuple key;
+        for (int p : ps.key_positions) {
+          key.push_back(t[static_cast<std::size_t>(p)]);
+        }
+        idx.buckets.FindOrInsert(key).push_back(&t);
+      }
+    }
+    return idx;
+  }
+
+  template <typename BucketT>
+  void IterateBucket(std::size_t step, const PlanStep& ps,
+                     const Atom& atom, const BucketT* bucket) {
+    if (bucket == nullptr) return;
+    std::vector<VarId> newly_bound;
+    for (const auto& entry : *bucket) {
+      const Tuple& t = Deref(entry);
+      if (!TupleVisible(static_cast<std::size_t>(ps.atom), t)) continue;
+      newly_bound.clear();
+      if (MatchAndBind(atom, t, &newly_bound)) {
+        Recurse(step + 1);
+      }
+      Unbind(newly_bound);
+    }
+  }
+
+  static const Tuple& Deref(const Tuple& t) { return t; }
+  static const Tuple& Deref(const Tuple* t) { return *t; }
+
+  void Recurse(std::size_t step) {
+    if (step == plan_.size()) {
+      head_.clear();
+      for (VarId v : q_.head()) {
+        DYNCQ_DCHECK(bound_[v]);
+        head_.push_back(binding_[v]);
+      }
+      cb_(head_);
+      return;
+    }
+    const PlanStep& ps = plan_[step];
+    auto ai = static_cast<std::size_t>(ps.atom);
+    const Atom& atom = q_.atoms()[ai];
+
+    // Exact-tuple occurrences: a single candidate, no index needed.
+    if (ModeOf(ai) == ViewMode::kExactTuple) {
+      std::vector<VarId> newly_bound;
+      if (MatchAndBind(atom, views_[ai].tuple, &newly_bound)) {
+        Recurse(step + 1);
+      }
+      Unbind(newly_bound);
+      return;
+    }
+
+    if (ps.all_bound) {
+      // Build the concrete tuple and probe the relation directly.
+      Tuple t;
+      for (const Term& term : atom.args) {
+        t.push_back(term.IsConst() ? term.constant : binding_[term.var]);
+      }
+      if (!TupleVisible(ai, t)) return;
+      if (db_.relation(atom.rel).Contains(t)) Recurse(step + 1);
+      return;
+    }
+
+    // Probe key: bound variables projected to their first positions.
+    Tuple key;
+    for (int p : ps.key_positions) {
+      const Term& term = atom.args[static_cast<std::size_t>(p)];
+      key.push_back(term.IsConst() ? term.constant : binding_[term.var]);
+    }
+
+    if (store_ != nullptr) {
+      const auto& idx = store_->Ensure(atom.rel, ps.key_positions);
+      IterateBucket(step, ps, atom, idx.buckets.Find(key));
+    } else {
+      const TransientIndex& idx = TransientFor(ps);
+      IterateBucket(step, ps, atom, idx.buckets.Find(key));
+    }
+  }
+
+  const Database& db_;
+  const Query& q_;
+  const Views& views_;
+  const std::function<void(const Tuple&)>& cb_;
+  PersistentIndexStore* store_;
+
+  std::vector<PlanStep> plan_;
+  std::vector<TransientIndex> transient_;
+  std::vector<Value> binding_;
+  std::vector<bool> bound_;
+  Tuple head_;
+};
+
+}  // namespace
+
+void EnumerateValuations(const Database& db, const Query& q,
+                         const Views& views,
+                         const std::function<void(const Tuple&)>& cb,
+                         PersistentIndexStore* store) {
+  Executor(db, q, views, cb, store).Run();
+}
+
+std::vector<Tuple> Evaluate(const Database& db, const Query& q) {
+  OpenHashSet<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  EnumerateValuations(db, q, {}, [&](const Tuple& t) {
+    if (seen.Insert(t)) out.push_back(t);
+  });
+  return out;
+}
+
+Weight CountDistinct(const Database& db, const Query& q) {
+  OpenHashSet<Tuple, TupleHash> seen;
+  EnumerateValuations(db, q, {}, [&](const Tuple& t) { seen.Insert(t); });
+  return seen.size();
+}
+
+bool AnswerBoolean(const Database& db, const Query& q) {
+  bool found = false;
+  EnumerateValuations(db, q, {}, [&](const Tuple&) { found = true; });
+  return found;
+}
+
+}  // namespace dyncq::baseline

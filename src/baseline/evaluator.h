@@ -1,0 +1,91 @@
+// Generic (static) conjunctive query evaluation by backtracking join.
+//
+// This is the oracle the tests compare every dynamic engine against, and
+// the inner loop of the recompute / delta-IVM baselines. It supports
+// self-joins, repeated variables, constants, and quantified variables.
+//
+// For incremental view maintenance, each atom occurrence can be given a
+// view of its relation: the full relation, the relation minus one tuple,
+// or exactly one tuple. This is what the classical higher-order delta
+// rule Q(R ∪ t) − Q(R) = Σ_i Q(..., R∪t, t_i, R, ...) needs.
+#ifndef DYNCQ_BASELINE_EVALUATOR_H_
+#define DYNCQ_BASELINE_EVALUATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cq/query.h"
+#include "storage/database.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/types.h"
+
+namespace dyncq::baseline {
+
+enum class ViewMode : std::uint8_t {
+  kFull,        // the stored relation
+  kMinusTuple,  // the stored relation without `tuple`
+  kExactTuple,  // exactly {tuple}
+};
+
+struct OccurrenceView {
+  ViewMode mode = ViewMode::kFull;
+  Tuple tuple;
+};
+
+/// Per-atom views; an empty vector means all atoms see the full relation.
+using Views = std::vector<OccurrenceView>;
+
+/// Incrementally maintained hash indexes over relations, keyed by a set
+/// of argument positions. A real IVM engine keeps these alive across
+/// updates instead of rebuilding them per delta; DeltaIvmEngine owns one
+/// store and threads it through every delta evaluation.
+class PersistentIndexStore {
+ public:
+  explicit PersistentIndexStore(const Database* db) : db_(db) {}
+
+  struct Index {
+    std::vector<int> positions;
+    OpenHashMap<Tuple, std::vector<Tuple>, TupleHash> buckets;
+  };
+
+  /// Returns the index for (rel, positions), building it from the current
+  /// relation contents on first use.
+  const Index& Ensure(RelId rel, const std::vector<int>& positions);
+
+  /// Incremental maintenance; call OnInsert after the database insert and
+  /// OnDelete after the database delete.
+  void OnInsert(RelId rel, const Tuple& t);
+  void OnDelete(RelId rel, const Tuple& t);
+
+ private:
+  static Tuple Project(const Tuple& t, const std::vector<int>& positions);
+
+  const Database* db_;
+  // Per relation: list of maintained indexes (few distinct position sets
+  // per query, so a small vector beats a map).
+  std::vector<std::vector<std::unique_ptr<Index>>> indexes_;
+};
+
+/// Calls `cb` once per valuation β: vars(ϕ) → dom with (D,β) |= all atoms
+/// (bag semantics over homomorphisms), passing the projected head tuple.
+/// If `store` is non-null its indexes are used (and extended lazily);
+/// otherwise transient indexes are built for this call.
+void EnumerateValuations(const Database& db, const Query& q,
+                         const Views& views,
+                         const std::function<void(const Tuple&)>& cb,
+                         PersistentIndexStore* store = nullptr);
+
+/// Distinct result tuples ϕ(D) (set semantics), in unspecified order.
+std::vector<Tuple> Evaluate(const Database& db, const Query& q);
+
+/// |ϕ(D)|.
+Weight CountDistinct(const Database& db, const Query& q);
+
+/// ϕ(D) ≠ ∅ (early-exits on the first valuation).
+bool AnswerBoolean(const Database& db, const Query& q);
+
+}  // namespace dyncq::baseline
+
+#endif  // DYNCQ_BASELINE_EVALUATOR_H_

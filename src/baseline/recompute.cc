@@ -1,0 +1,75 @@
+#include "baseline/recompute.h"
+
+#include "baseline/evaluator.h"
+#include "util/check.h"
+
+namespace dyncq::baseline {
+
+namespace {
+
+/// Enumerates a materialized vector; epoch-guarded against updates.
+class VectorEnumerator final : public Enumerator {
+ public:
+  VectorEnumerator(const std::vector<Tuple>* data,
+                   const std::uint64_t* epoch)
+      : data_(data), epoch_(epoch), at_create_(*epoch) {}
+
+  bool Next(Tuple* out) override {
+    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
+                    "enumerator used after an update");
+    if (pos_ >= data_->size()) return false;
+    *out = (*data_)[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+ private:
+  const std::vector<Tuple>* data_;
+  const std::uint64_t* epoch_;
+  std::uint64_t at_create_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RecomputeEngine::RecomputeEngine(const Query& q)
+    : query_(q), db_(query_.schema()) {}
+
+RecomputeEngine::RecomputeEngine(const Query& q, const Database& initial)
+    : RecomputeEngine(q) {
+  for (RelId r = 0; r < initial.schema().NumRelations(); ++r) {
+    for (const Tuple& t : initial.relation(r)) db_.Insert(r, t);
+  }
+}
+
+bool RecomputeEngine::Apply(const UpdateCmd& cmd) {
+  if (!db_.Apply(cmd)) return false;
+  dirty_ = true;
+  ++epoch_;
+  return true;
+}
+
+void RecomputeEngine::EnsureFresh() {
+  if (dirty_) {
+    cache_ = Evaluate(db_, query_);
+    dirty_ = false;
+  }
+}
+
+Weight RecomputeEngine::Count() {
+  EnsureFresh();
+  return cache_.size();
+}
+
+bool RecomputeEngine::Answer() {
+  EnsureFresh();
+  return !cache_.empty();
+}
+
+std::unique_ptr<Enumerator> RecomputeEngine::NewEnumerator() {
+  EnsureFresh();
+  return std::make_unique<VectorEnumerator>(&cache_, &epoch_);
+}
+
+}  // namespace dyncq::baseline

@@ -1,0 +1,316 @@
+#include "core/component_engine.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/u128.h"
+
+namespace dyncq::core {
+
+namespace {
+
+std::vector<std::size_t> ChildrenCounts(const QTree& tree) {
+  std::vector<std::size_t> out(tree.NumNodes());
+  for (std::size_t n = 0; n < tree.NumNodes(); ++n) {
+    out[n] = tree.node(static_cast<int>(n)).children.size();
+  }
+  return out;
+}
+
+std::vector<std::size_t> TrackedCounts(const QTree& tree) {
+  std::vector<std::size_t> out(tree.NumNodes());
+  for (std::size_t n = 0; n < tree.NumNodes(); ++n) {
+    out[n] = tree.node(static_cast<int>(n)).tracked_atoms.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+ComponentEngine::ComponentEngine(Query query, QTree tree)
+    : query_(std::move(query)),
+      tree_(std::move(tree)),
+      pool_(ChildrenCounts(tree_), TrackedCounts(tree_)),
+      index_(tree_.NumNodes()) {
+  // Node metadata.
+  node_meta_.resize(tree_.NumNodes());
+  for (std::size_t n = 0; n < tree_.NumNodes(); ++n) {
+    const QTreeNode& tn = tree_.node(static_cast<int>(n));
+    NodeMeta& nm = node_meta_[n];
+    nm.num_children = static_cast<int>(tn.children.size());
+    nm.num_tracked = static_cast<int>(tn.tracked_atoms.size());
+    nm.is_free = tn.is_free;
+    nm.slot_in_parent = tn.slot_in_parent;
+    for (int ai : tn.rep_atoms) {
+      auto it = std::find(tn.tracked_atoms.begin(), tn.tracked_atoms.end(),
+                          ai);
+      DYNCQ_CHECK(it != tn.tracked_atoms.end());
+      nm.rep_slots.push_back(
+          static_cast<int>(it - tn.tracked_atoms.begin()));
+    }
+    for (std::size_t c = 0; c < tn.children.size(); ++c) {
+      if (tree_.node(tn.children[c]).is_free) {
+        nm.free_child_slots.push_back(static_cast<int>(c));
+      }
+    }
+  }
+
+  // Atom metadata.
+  atoms_of_rel_.resize(query_.schema().NumRelations());
+  atom_meta_.resize(query_.NumAtoms());
+  for (std::size_t ai = 0; ai < query_.NumAtoms(); ++ai) {
+    const Atom& atom = query_.atoms()[ai];
+    AtomMeta& am = atom_meta_[ai];
+    am.rel = atom.rel;
+    atoms_of_rel_[atom.rel].push_back(static_cast<int>(ai));
+
+    std::vector<int> path = tree_.AtomPathNodes(static_cast<int>(ai));
+    am.d = static_cast<int>(path.size());
+    am.level_node = path;
+    for (int n : path) {
+      const QTreeNode& tn = tree_.node(n);
+      VarId v = tn.var;
+      // Slot of this atom within the node's tracked list.
+      auto slot_it = std::find(tn.tracked_atoms.begin(),
+                               tn.tracked_atoms.end(), static_cast<int>(ai));
+      DYNCQ_CHECK(slot_it != tn.tracked_atoms.end());
+      am.level_slot.push_back(
+          static_cast<int>(slot_it - tn.tracked_atoms.begin()));
+      // First argument position carrying this level's variable.
+      int pos = -1;
+      for (std::size_t p = 0; p < atom.args.size(); ++p) {
+        if (atom.args[p].IsVar() && atom.args[p].var == v) {
+          pos = static_cast<int>(p);
+          break;
+        }
+      }
+      DYNCQ_CHECK_MSG(pos >= 0, "path variable missing from atom");
+      am.read_pos.push_back(pos);
+    }
+
+    // Consistency checks: repeated variables and constants (§6.4: only
+    // atoms with z_s = z_t ⇒ b_s = b_t participate; constants are the
+    // engine's selection extension).
+    std::vector<int> first_pos_of_var(query_.NumVars(), -1);
+    for (std::size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      if (t.IsConst()) {
+        am.const_checks.emplace_back(static_cast<int>(p), t.constant);
+      } else if (first_pos_of_var[t.var] == -1) {
+        first_pos_of_var[t.var] = static_cast<int>(p);
+      } else {
+        am.eq_checks.emplace_back(first_pos_of_var[t.var],
+                                  static_cast<int>(p));
+      }
+    }
+  }
+
+  // Enumeration metadata: preorder over the free prefix subtree T'.
+  if (!query_.head().empty()) {
+    std::vector<int> stack = {tree_.root()};
+    std::vector<int> pos_of_node(tree_.NumNodes(), -1);
+    while (!stack.empty()) {
+      int n = stack.back();
+      stack.pop_back();
+      const QTreeNode& tn = tree_.node(n);
+      if (!tn.is_free) continue;
+      pos_of_node[static_cast<std::size_t>(n)] =
+          static_cast<int>(enum_meta_.nodes.size());
+      enum_meta_.nodes.push_back(n);
+      enum_meta_.parent_pos.push_back(
+          tn.parent >= 0 ? pos_of_node[static_cast<std::size_t>(tn.parent)]
+                         : -1);
+      enum_meta_.slot_in_parent.push_back(tn.slot_in_parent);
+      for (auto it = tn.children.rbegin(); it != tn.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+    for (VarId v : query_.head()) {
+      int n = tree_.NodeOfVar(v);
+      DYNCQ_CHECK(pos_of_node[static_cast<std::size_t>(n)] >= 0);
+      enum_meta_.head_doc_pos.push_back(
+          pos_of_node[static_cast<std::size_t>(n)]);
+    }
+  }
+}
+
+void ComponentEngine::ApplyDelta(RelId rel, const Tuple& t, bool insert) {
+  DYNCQ_DCHECK(rel < atoms_of_rel_.size());
+  for (int ai : atoms_of_rel_[rel]) {
+    ApplyAtomDelta(atom_meta_[static_cast<std::size_t>(ai)], t, insert);
+  }
+}
+
+void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
+                                     bool insert) {
+  // §6.4: the update only concerns atoms whose repeated-variable /
+  // constant pattern is consistent with the tuple.
+  for (const auto& [p1, p2] : am.eq_checks) {
+    if (t[static_cast<std::size_t>(p1)] != t[static_cast<std::size_t>(p2)]) {
+      return;
+    }
+  }
+  for (const auto& [p, c] : am.const_checks) {
+    if (t[static_cast<std::size_t>(p)] != c) return;
+  }
+
+  // Top-down: locate (and on insert, create) the path items
+  // i_j = [v_j, a_1..a_{j-1}, a_j].
+  SmallVector<Item*, 8> chain;
+  PathKey key;
+  Item* parent = nullptr;
+  for (int j = 0; j < am.d; ++j) {
+    int node = am.level_node[static_cast<std::size_t>(j)];
+    key.push_back(t[static_cast<std::size_t>(
+        am.read_pos[static_cast<std::size_t>(j)])]);
+    Item* it = nullptr;
+    if (insert) {
+      auto [slot, _] = index_[static_cast<std::size_t>(node)].Insert(
+          key, nullptr);
+      if (*slot == nullptr) {
+        Item* fresh = pool_.Alloc(static_cast<std::uint32_t>(node));
+        fresh->value = key.back();
+        fresh->parent = parent;
+        *slot = fresh;
+      }
+      it = *slot;
+    } else {
+      Item** found = index_[static_cast<std::size_t>(node)].Find(key);
+      DYNCQ_CHECK_MSG(found != nullptr && *found != nullptr,
+                      "delete walk hit a missing item");
+      it = *found;
+    }
+    chain.push_back(it);
+    parent = it;
+  }
+
+  // Bottom-up: steps 1-5 (+2a/4a) of §6.4 for j = d .. 1.
+  for (int j = am.d - 1; j >= 0; --j) {
+    Item* it = chain[static_cast<std::size_t>(j)];
+    const NodeMeta& nm =
+        node_meta_[static_cast<std::size_t>(
+            am.level_node[static_cast<std::size_t>(j)])];
+
+    // Step 1: adjust C^{i_j}_ψ.
+    std::uint64_t& count =
+        it->atom_counts[am.level_slot[static_cast<std::size_t>(j)]];
+    if (insert) {
+      ++count;
+    } else {
+      DYNCQ_DCHECK(count > 0);
+      --count;
+    }
+
+    // Step 2 (+2a): recompute C^{i_j} and C̃^{i_j} via Lemmas 6.3/6.4.
+    Weight old_c = it->weight;
+    Weight old_ct = it->weight_free;
+    RecomputeWeights(it, nm);
+
+    // Steps 3 & 4 (+4a): fix list membership and the parent sums.
+    ChildSlot& pslot =
+        j > 0 ? chain[static_cast<std::size_t>(j - 1)]
+                    ->child_slots[nm.slot_in_parent]
+              : root_slot_;
+    if (old_c == 0 && it->weight > 0) {
+      ListPushBack(pslot, it);
+    } else if (old_c > 0 && it->weight == 0) {
+      ListRemove(pslot, it);
+    }
+    pslot.sum += it->weight - old_c;  // unsigned wrap-around is exact here
+    if (nm.is_free) pslot.sum_free += it->weight_free - old_ct;
+
+    // Step 5: delete the item once no atom is supported by it.
+    if (!insert) {
+      bool all_zero = true;
+      for (int s = 0; s < nm.num_tracked; ++s) {
+        if (it->atom_counts[s] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        DYNCQ_DCHECK(!it->in_list && it->weight == 0);
+        PathKey prefix(key.begin(), key.begin() + j + 1);
+        bool erased = index_[static_cast<std::size_t>(
+                                 am.level_node[static_cast<std::size_t>(j)])]
+                          .Erase(prefix);
+        DYNCQ_CHECK(erased);
+        pool_.Free(it);
+      }
+    }
+  }
+}
+
+void ComponentEngine::RecomputeWeights(Item* it, const NodeMeta& nm) const {
+  Weight c = 1;
+  for (int s : nm.rep_slots) c *= it->atom_counts[s];
+  for (int u = 0; u < nm.num_children; ++u) c *= it->child_slots[u].sum;
+  it->weight = c;
+  if (nm.is_free) {
+    if (c == 0) {
+      it->weight_free = 0;
+    } else {
+      Weight ct = 1;
+      for (int u : nm.free_child_slots) ct *= it->child_slots[u].sum_free;
+      it->weight_free = ct;
+    }
+  }
+}
+
+void ComponentEngine::Dump(std::ostream& os) const {
+  os << "component " << query_.ToString() << "\n";
+  os << "Cstart = " << U128ToString(root_slot_.sum);
+  if (!query_.head().empty()) {
+    os << "  C~start = " << U128ToString(root_slot_.sum_free);
+  }
+  os << "\n";
+  for (const Item* it = root_slot_.head; it != nullptr; it = it->next) {
+    DumpItem(os, it, 1);
+  }
+}
+
+void ComponentEngine::DumpItem(std::ostream& os, const Item* it,
+                               int indent) const {
+  const QTreeNode& tn = tree_.node(static_cast<int>(it->node));
+  const NodeMeta& nm = node_meta_[it->node];
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+  os << "[" << query_.VarName(tn.var) << " = " << it->value
+     << "]  C = " << U128ToString(it->weight);
+  if (nm.is_free) os << "  C~ = " << U128ToString(it->weight_free);
+  os << "\n";
+  for (int u = 0; u < nm.num_children; ++u) {
+    for (const Item* c = it->child_slots[u].head; c != nullptr;
+         c = c->next) {
+      DumpItem(os, c, indent + 1);
+    }
+  }
+}
+
+Weight ComponentEngine::RecountWeightSlow(const Item* it) const {
+  const NodeMeta& nm = node_meta_[it->node];
+  Weight c = 1;
+  for (int s : nm.rep_slots) c *= it->atom_counts[s];
+  for (int u = 0; u < nm.num_children; ++u) {
+    Weight sum = 0;
+    for (const Item* ch = it->child_slots[u].head; ch != nullptr;
+         ch = ch->next) {
+      sum += RecountWeightSlow(ch);
+    }
+    c *= sum;
+  }
+  return c;
+}
+
+void ComponentEngine::CheckInvariants() const {
+  Weight start = 0;
+  for (const Item* it = root_slot_.head; it != nullptr; it = it->next) {
+    Weight w = RecountWeightSlow(it);
+    DYNCQ_CHECK_MSG(w == it->weight, "stored weight diverged");
+    DYNCQ_CHECK_MSG(w > 0, "unfit item found in a fit list");
+    start += w;
+  }
+  DYNCQ_CHECK_MSG(start == root_slot_.sum, "Cstart diverged");
+}
+
+}  // namespace dyncq::core

@@ -1,0 +1,117 @@
+// Dynamic q-tree data structure for one connected q-hierarchical CQ
+// (paper §6.2 data structure, §6.4 update procedure, §6.5 counting).
+//
+// The top-level core::Engine splits a query into connected components and
+// owns one ComponentEngine per component; ϕ(D) is the cross product of
+// the component results (paper §6, opening remarks).
+#ifndef DYNCQ_CORE_COMPONENT_ENGINE_H_
+#define DYNCQ_CORE_COMPONENT_ENGINE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "core/item_pool.h"
+#include "cq/qtree.h"
+#include "cq/query.h"
+#include "storage/tuple.h"
+#include "util/open_hash_map.h"
+#include "util/small_vector.h"
+
+namespace dyncq::core {
+
+class ComponentEngine {
+ public:
+  /// `query` must be connected and q-hierarchical; `tree` its q-tree.
+  ComponentEngine(Query query, QTree tree);
+
+  ComponentEngine(const ComponentEngine&) = delete;
+  ComponentEngine& operator=(const ComponentEngine&) = delete;
+
+  const Query& query() const { return query_; }
+  const QTree& tree() const { return tree_; }
+
+  /// Applies a base-table change that has already passed set-semantics
+  /// deduplication (the tuple was truly added / removed).
+  void OnInsert(RelId rel, const Tuple& t) { ApplyDelta(rel, t, true); }
+  void OnDelete(RelId rel, const Tuple& t) { ApplyDelta(rel, t, false); }
+
+  /// Cstart: Σ over fit root items of C^i (eq. 11).
+  Weight CStart() const { return root_slot_.sum; }
+  /// C̃start: Σ over fit root items of C̃^i (§6.5).
+  Weight CTildeStart() const { return root_slot_.sum_free; }
+
+  /// |ϕ(D)| for this component: C̃start for non-Boolean components,
+  /// 1/0 for Boolean ones.
+  Weight Count() const {
+    if (!query_.head().empty()) return root_slot_.sum_free;
+    return root_slot_.sum > 0 ? Weight{1} : Weight{0};
+  }
+
+  bool Answer() const { return root_slot_.sum > 0; }
+
+  const ChildSlot& root_slot() const { return root_slot_; }
+
+  /// Document-order traversal metadata for Algorithm 1 over the subtree
+  /// T' induced by the free variables.
+  struct EnumMeta {
+    std::vector<int> nodes;           // q-tree node per doc position
+    std::vector<int> parent_pos;      // doc position of parent (-1 = root)
+    std::vector<int> slot_in_parent;  // child-slot index within parent item
+    std::vector<int> head_doc_pos;    // head position -> doc position
+  };
+  const EnumMeta& enum_meta() const { return enum_meta_; }
+
+  /// Number of items currently stored (linear in ||D|| by §6.2).
+  std::size_t NumItems() const { return pool_.live_items(); }
+
+  /// Figure 3-style dump of the whole structure (weights, lists).
+  void Dump(std::ostream& os) const;
+
+  /// Internal invariant check (test hook): recomputes every weight from
+  /// scratch and compares; verifies list membership iff fit.
+  void CheckInvariants() const;
+
+ private:
+  struct NodeMeta {
+    std::vector<int> rep_slots;        // atom_counts slots of rep atoms
+    std::vector<int> free_child_slots; // child slots with free child node
+    int num_children = 0;
+    int num_tracked = 0;
+    bool is_free = false;
+    int slot_in_parent = -1;
+  };
+
+  struct AtomMeta {
+    RelId rel = kInvalidRel;
+    int d = 0;                       // path length
+    std::vector<int> level_node;     // q-tree node per level
+    std::vector<int> level_slot;     // atom_counts slot per level
+    std::vector<int> read_pos;       // arg position giving the level value
+    std::vector<std::pair<int, int>> eq_checks;       // args equal pairs
+    std::vector<std::pair<int, Value>> const_checks;  // constant args
+  };
+
+  using PathKey = SmallVector<Value, 4>;
+
+  void ApplyDelta(RelId rel, const Tuple& t, bool insert);
+  void ApplyAtomDelta(const AtomMeta& am, const Tuple& t, bool insert);
+  void RecomputeWeights(Item* it, const NodeMeta& nm) const;
+  void DumpItem(std::ostream& os, const Item* it, int indent) const;
+  Weight RecountWeightSlow(const Item* it) const;
+
+  Query query_;
+  QTree tree_;
+  std::vector<NodeMeta> node_meta_;
+  std::vector<AtomMeta> atom_meta_;
+  std::vector<std::vector<int>> atoms_of_rel_;  // global RelId -> atom idxs
+  EnumMeta enum_meta_;
+  ItemPool pool_;
+  std::vector<OpenHashMap<PathKey, Item*, WordVecHash>> index_;  // per node
+  ChildSlot root_slot_;
+};
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_COMPONENT_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/enumerator.h"
+#include "cq/qtree.h"
+#include "util/check.h"
+
+namespace dyncq::core {
+
+Engine::Engine(Query q) : query_(std::move(q)), db_(query_.schema()) {}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
+  if (!IsQHierarchical(q)) {
+    return Result<std::unique_ptr<Engine>>::Error(
+        "query is not q-hierarchical: " + q.ToString());
+  }
+  auto engine = std::unique_ptr<Engine>(new Engine(q));
+
+  ComponentSplit split = SplitConnectedComponents(engine->query_);
+  engine->head_map_ = std::move(split.head_map);
+  engine->comps_of_rel_.resize(engine->query_.schema().NumRelations());
+  for (std::size_t c = 0; c < split.components.size(); ++c) {
+    Query& comp = split.components[c];
+    auto tree = QTree::Build(comp);
+    if (!tree.ok()) {
+      return Result<std::unique_ptr<Engine>>::Error(tree.error());
+    }
+    for (const Atom& a : comp.atoms()) {
+      auto& lst = engine->comps_of_rel_[a.rel];
+      if (std::find(lst.begin(), lst.end(), static_cast<int>(c)) ==
+          lst.end()) {
+        lst.push_back(static_cast<int>(c));
+      }
+    }
+    engine->components_.push_back(std::make_unique<ComponentEngine>(
+        std::move(comp), std::move(tree.value())));
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Query& q,
+                                               const Database& initial) {
+  auto engine = Create(q);
+  if (!engine.ok()) return engine;
+  for (RelId r = 0; r < initial.schema().NumRelations(); ++r) {
+    for (const Tuple& t : initial.relation(r)) {
+      (*engine)->Apply(UpdateCmd::Insert(r, t));
+    }
+  }
+  return engine;
+}
+
+bool Engine::Apply(const UpdateCmd& cmd) {
+  if (!db_.Apply(cmd)) return false;  // no-op update
+  ++epoch_;
+  for (int c : comps_of_rel_[cmd.rel]) {
+    if (cmd.kind == UpdateKind::kInsert) {
+      components_[static_cast<std::size_t>(c)]->OnInsert(cmd.rel, cmd.tuple);
+    } else {
+      components_[static_cast<std::size_t>(c)]->OnDelete(cmd.rel, cmd.tuple);
+    }
+  }
+  return true;
+}
+
+Weight Engine::Count() {
+  Weight total = 1;
+  for (const auto& c : components_) total *= c->Count();
+  return total;
+}
+
+bool Engine::Answer() {
+  for (const auto& c : components_) {
+    if (!c->Answer()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Enumerator> Engine::NewEnumerator() {
+  EpochGuard guard{&epoch_, epoch_};
+  if (components_.size() == 1 && !components_[0]->query().head().empty()) {
+    // Single non-Boolean component: its head order is the query's.
+    return std::make_unique<ComponentEnumerator>(components_[0].get(),
+                                                 guard);
+  }
+  std::vector<std::unique_ptr<Enumerator>> subs;
+  subs.reserve(components_.size());
+  for (const auto& c : components_) {
+    if (c->query().head().empty()) {
+      subs.push_back(
+          std::make_unique<BooleanGateEnumerator>(c->Answer(), guard));
+    } else {
+      subs.push_back(std::make_unique<ComponentEnumerator>(c.get(), guard));
+    }
+  }
+  return std::make_unique<ProductEnumerator>(std::move(subs), head_map_);
+}
+
+std::size_t Engine::NumItems() const {
+  std::size_t n = 0;
+  for (const auto& c : components_) n += c->NumItems();
+  return n;
+}
+
+void Engine::DumpStructure(std::ostream& os) const {
+  for (const auto& c : components_) c->Dump(os);
+}
+
+}  // namespace dyncq::core

@@ -1,0 +1,77 @@
+// The common interface for dynamic query evaluation algorithms
+// (paper §2, "Dynamic Algorithms for Query Evaluation").
+//
+// Implemented by the q-tree engine (core::Engine, Theorem 3.2), the
+// baselines (baseline::RecomputeEngine, baseline::DeltaIvmEngine), and the
+// Appendix A special-case engine (core::Phi2Engine). The §5 reductions
+// and the benchmark harness are written against this interface so any
+// algorithm can be swapped in.
+#ifndef DYNCQ_CORE_ENGINE_IFACE_H_
+#define DYNCQ_CORE_ENGINE_IFACE_H_
+
+#include <memory>
+#include <string>
+
+#include "cq/query.h"
+#include "storage/database.h"
+#include "storage/update.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+/// Cursor over the current query result, one tuple per Next() call
+/// (the paper's `enumerate` routine; returning false is the EOE message).
+///
+/// Enumerators are invalidated by updates: the paper's model restarts
+/// enumeration after each update, and implementations check this.
+class Enumerator {
+ public:
+  virtual ~Enumerator() = default;
+
+  /// Writes the next result tuple into `*out` and returns true, or
+  /// returns false at end of enumeration. Tuples are emitted without
+  /// repetition.
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Restarts the enumeration from the beginning.
+  virtual void Reset() = 0;
+};
+
+class DynamicQueryEngine {
+ public:
+  virtual ~DynamicQueryEngine() = default;
+
+  virtual const Query& query() const = 0;
+  virtual const Database& db() const = 0;
+
+  /// Applies a single-tuple insert/delete (the paper's `update` routine).
+  /// Returns true iff the database changed (no-op updates are absorbed).
+  virtual bool Apply(const UpdateCmd& cmd) = 0;
+
+  /// |ϕ(D)| (the paper's `count` routine).
+  virtual Weight Count() = 0;
+
+  /// Whether ϕ(D) is non-empty (the paper's `answer` routine).
+  virtual bool Answer() = 0;
+
+  /// Fresh enumeration of ϕ(D) (the paper's `enumerate` routine).
+  virtual std::unique_ptr<Enumerator> NewEnumerator() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Convenience: applies every command in the stream.
+  std::size_t ApplyAll(const UpdateStream& stream) {
+    std::size_t effective = 0;
+    for (const UpdateCmd& cmd : stream) {
+      if (Apply(cmd)) ++effective;
+    }
+    return effective;
+  }
+};
+
+/// Drains a fresh enumerator into a vector (testing/benchmark helper).
+std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CORE_ENGINE_IFACE_H_

@@ -1,0 +1,158 @@
+#include "core/enumerator.h"
+
+#include "util/check.h"
+
+namespace dyncq {
+
+std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine) {
+  std::vector<Tuple> out;
+  auto e = engine.NewEnumerator();
+  Tuple t;
+  while (e->Next(&t)) out.push_back(t);
+  return out;
+}
+
+}  // namespace dyncq
+
+namespace dyncq::core {
+
+void EpochGuard::Check() const {
+  if (current != nullptr) {
+    DYNCQ_CHECK_MSG(*current == at_create,
+                    "enumerator used after an update; create a fresh one");
+  }
+}
+
+ComponentEnumerator::ComponentEnumerator(const ComponentEngine* ce,
+                                         EpochGuard guard)
+    : ce_(ce), guard_(guard) {
+  DYNCQ_CHECK_MSG(!ce->query().head().empty(),
+                  "ComponentEnumerator requires free variables");
+  items_.resize(ce->enum_meta().nodes.size(), nullptr);
+}
+
+Item* ComponentEnumerator::FirstOf(std::size_t pos) const {
+  const auto& meta = ce_->enum_meta();
+  int ppos = meta.parent_pos[pos];
+  DYNCQ_DCHECK(ppos >= 0);
+  Item* parent = items_[static_cast<std::size_t>(ppos)];
+  const ChildSlot& slot =
+      parent->child_slots[meta.slot_in_parent[pos]];
+  DYNCQ_DCHECK(slot.head != nullptr);  // fit parents have non-empty lists
+  return slot.head;
+}
+
+void ComponentEnumerator::Emit(Tuple* out) const {
+  const auto& meta = ce_->enum_meta();
+  out->clear();
+  for (int pos : meta.head_doc_pos) {
+    out->push_back(items_[static_cast<std::size_t>(pos)]->value);
+  }
+}
+
+bool ComponentEnumerator::Next(Tuple* out) {
+  guard_.Check();
+  if (done_) return false;
+
+  if (!started_) {
+    started_ = true;
+    Item* root = ce_->root_slot().head;
+    if (root == nullptr) {
+      done_ = true;
+      return false;  // EOE
+    }
+    items_[0] = root;
+    for (std::size_t mu = 1; mu < items_.size(); ++mu) {
+      items_[mu] = FirstOf(mu);
+    }
+    Emit(out);
+    return true;
+  }
+
+  // Algorithm 1: advance the deepest (in document order) item that is not
+  // last in its list; reset everything after it to list heads.
+  std::size_t j = items_.size();
+  while (j > 0) {
+    if (items_[j - 1]->next != nullptr) break;
+    --j;
+  }
+  if (j == 0) {
+    done_ = true;
+    return false;  // EOE
+  }
+  items_[j - 1] = items_[j - 1]->next;
+  for (std::size_t mu = j; mu < items_.size(); ++mu) {
+    items_[mu] = FirstOf(mu);
+  }
+  Emit(out);
+  return true;
+}
+
+void ComponentEnumerator::Reset() {
+  guard_.Check();
+  started_ = false;
+  done_ = false;
+}
+
+bool BooleanGateEnumerator::Next(Tuple* out) {
+  guard_.Check();
+  if (emitted_ || !nonempty_) return false;
+  emitted_ = true;
+  out->clear();
+  return true;
+}
+
+ProductEnumerator::ProductEnumerator(
+    std::vector<std::unique_ptr<Enumerator>> subs,
+    std::vector<std::pair<int, int>> head_map)
+    : subs_(std::move(subs)), head_map_(std::move(head_map)) {
+  current_.resize(subs_.size());
+}
+
+void ProductEnumerator::Emit(Tuple* out) const {
+  out->clear();
+  for (const auto& [comp, pos] : head_map_) {
+    out->push_back(current_[static_cast<std::size_t>(comp)]
+                           [static_cast<std::size_t>(pos)]);
+  }
+}
+
+bool ProductEnumerator::Next(Tuple* out) {
+  if (done_) return false;
+
+  if (!started_) {
+    started_ = true;
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      if (!subs_[i]->Next(&current_[i])) {
+        done_ = true;  // some component is empty -> empty product
+        return false;
+      }
+    }
+    Emit(out);
+    return true;
+  }
+
+  // Odometer advance from the last component.
+  std::size_t i = subs_.size();
+  while (i > 0) {
+    if (subs_[i - 1]->Next(&current_[i - 1])) break;
+    subs_[i - 1]->Reset();
+    bool ok = subs_[i - 1]->Next(&current_[i - 1]);
+    DYNCQ_CHECK_MSG(ok, "component became empty mid-enumeration");
+    --i;
+  }
+  if (i == 0) {
+    done_ = true;
+    return false;
+  }
+  Emit(out);
+  return true;
+}
+
+void ProductEnumerator::Reset() {
+  for (auto& s : subs_) s->Reset();
+  started_ = false;
+  done_ = false;
+}
+
+}  // namespace dyncq::core

@@ -1,0 +1,84 @@
+// Constant-delay enumeration (paper §6.3, Algorithm 1) plus the product
+// enumerator for non-connected queries.
+#ifndef DYNCQ_CORE_ENUMERATOR_H_
+#define DYNCQ_CORE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/component_engine.h"
+#include "core/engine_iface.h"
+
+namespace dyncq::core {
+
+/// Checks that the engine has not been updated since the enumerator was
+/// created (the paper restarts enumeration after every update; a stale
+/// cursor would walk freed items).
+struct EpochGuard {
+  const std::uint64_t* current = nullptr;  // nullptr disables the check
+  std::uint64_t at_create = 0;
+
+  void Check() const;
+};
+
+/// Algorithm 1 over one connected component with free variables: walks
+/// the free-prefix subtree in document order; O(k) work per tuple.
+class ComponentEnumerator final : public Enumerator {
+ public:
+  ComponentEnumerator(const ComponentEngine* ce, EpochGuard guard);
+
+  bool Next(Tuple* out) override;
+  void Reset() override;
+
+ private:
+  Item* FirstOf(std::size_t pos) const;
+  void Emit(Tuple* out) const;
+
+  const ComponentEngine* ce_;
+  EpochGuard guard_;
+  std::vector<Item*> items_;  // current item per document position
+  bool started_ = false;
+  bool done_ = false;
+};
+
+/// Emits the empty tuple once iff `nonempty` (Boolean components act as
+/// gates inside product enumerations).
+class BooleanGateEnumerator final : public Enumerator {
+ public:
+  BooleanGateEnumerator(bool nonempty, EpochGuard guard)
+      : nonempty_(nonempty), guard_(guard) {}
+
+  bool Next(Tuple* out) override;
+  void Reset() override { emitted_ = false; }
+
+ private:
+  bool nonempty_;
+  EpochGuard guard_;
+  bool emitted_ = false;
+};
+
+/// Cross product of component enumerations (paper §6: nested loop through
+/// the component enumerate routines). `head_map[g]` gives, for global
+/// head position g, the component index and its head position there.
+class ProductEnumerator final : public Enumerator {
+ public:
+  ProductEnumerator(std::vector<std::unique_ptr<Enumerator>> subs,
+                    std::vector<std::pair<int, int>> head_map);
+
+  bool Next(Tuple* out) override;
+  void Reset() override;
+
+ private:
+  void Emit(Tuple* out) const;
+
+  std::vector<std::unique_ptr<Enumerator>> subs_;
+  std::vector<std::pair<int, int>> head_map_;
+  std::vector<Tuple> current_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_ENUMERATOR_H_

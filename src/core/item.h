@@ -1,0 +1,84 @@
+// Items: the nodes of the paper's dynamic data structure (§6.2).
+//
+// An item i = [v, α, a] is identified by a q-tree node v and the values
+// (α, a) assigned along the root path. It stores:
+//  * per tracked atom ψ ∈ atoms(v): the count C^i_ψ of expansions of
+//    (α a/v) to vars(ψ) satisfied by the database (§6.4) — an item exists
+//    iff some C^i_ψ > 0;
+//  * the weight C^i (Lemma 6.3) and projected weight C̃^i (Lemma 6.4);
+//  * per child u of v: the doubly linked fit-list L^i_u of child items
+//    with running sums C^i_u and C̃^i_u (eq. 11);
+//  * intrusive prev/next links for its own membership in the parent's
+//    fit-list (an item is in the list iff it is "fit", i.e. C^i > 0).
+//
+// Items are allocated as a single block: the Item header followed by the
+// ChildSlot array and the atom-count array (sizes fixed per q-tree node).
+#ifndef DYNCQ_CORE_ITEM_H_
+#define DYNCQ_CORE_ITEM_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace dyncq::core {
+
+struct Item;
+
+/// Per-child fit-list head/tail plus running sums over list members.
+struct ChildSlot {
+  Item* head = nullptr;
+  Item* tail = nullptr;
+  Weight sum = 0;       // C^i_u  = Σ_{i' ∈ L^i_u} C^{i'}
+  Weight sum_free = 0;  // C̃^i_u = Σ_{i' ∈ L^i_u} C̃^{i'}
+};
+
+struct Item {
+  Item* parent = nullptr;  // parent item ([v,α,a] -> [v',α',a'] one level up)
+  Item* prev = nullptr;    // intrusive links within the parent's fit-list
+  Item* next = nullptr;
+  bool in_list = false;
+
+  std::uint32_t node = 0;  // q-tree node index
+  Value value = 0;         // own constant a
+
+  Weight weight = 0;       // C^i   (Lemma 6.3); fit iff weight > 0
+  Weight weight_free = 0;  // C̃^i  (Lemma 6.4); only used for free nodes
+
+  // Trailing arrays, placed by the ItemPool:
+  ChildSlot* child_slots = nullptr;   // one per child of `node`
+  std::uint64_t* atom_counts = nullptr;  // one per tracked atom of `node`
+};
+
+/// Appends `it` to the tail of `slot`'s list (paper Figure 3 list order:
+/// items appear in the order they became fit).
+inline void ListPushBack(ChildSlot& slot, Item* it) {
+  it->prev = slot.tail;
+  it->next = nullptr;
+  if (slot.tail != nullptr) {
+    slot.tail->next = it;
+  } else {
+    slot.head = it;
+  }
+  slot.tail = it;
+  it->in_list = true;
+}
+
+/// Unlinks `it` from `slot`'s list.
+inline void ListRemove(ChildSlot& slot, Item* it) {
+  if (it->prev != nullptr) {
+    it->prev->next = it->next;
+  } else {
+    slot.head = it->next;
+  }
+  if (it->next != nullptr) {
+    it->next->prev = it->prev;
+  } else {
+    slot.tail = it->prev;
+  }
+  it->prev = it->next = nullptr;
+  it->in_list = false;
+}
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_ITEM_H_

@@ -1,0 +1,79 @@
+#include "core/item_pool.h"
+
+#include <cstring>
+#include <new>
+
+#include "util/check.h"
+
+namespace dyncq::core {
+
+namespace {
+
+std::size_t AlignUp(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+ItemPool::ItemPool(std::vector<std::size_t> num_children,
+                   std::vector<std::size_t> num_atoms)
+    : num_children_(std::move(num_children)),
+      num_atoms_(std::move(num_atoms)) {
+  DYNCQ_CHECK(num_children_.size() == num_atoms_.size());
+  block_size_.resize(num_children_.size());
+  free_lists_.assign(num_children_.size(), nullptr);
+  for (std::size_t n = 0; n < num_children_.size(); ++n) {
+    std::size_t sz = AlignUp(sizeof(Item), alignof(ChildSlot));
+    sz += num_children_[n] * sizeof(ChildSlot);
+    sz = AlignUp(sz, alignof(std::uint64_t));
+    sz += num_atoms_[n] * sizeof(std::uint64_t);
+    block_size_[n] = AlignUp(sz, alignof(Item));
+  }
+}
+
+ItemPool::~ItemPool() {
+  for (void* c : chunks_) ::operator delete(c);
+}
+
+Item* ItemPool::Alloc(std::uint32_t n) {
+  DYNCQ_DCHECK(n < block_size_.size());
+  if (free_lists_[n] == nullptr) {
+    // Carve a new chunk into blocks for this node.
+    std::size_t bs = block_size_[n];
+    static_assert(alignof(Item) <= alignof(std::max_align_t),
+                  "pool relies on default-aligned operator new");
+    char* mem = static_cast<char*>(::operator new(bs * kItemsPerChunk));
+    for (std::size_t i = 0; i < kItemsPerChunk; ++i) {
+      auto* fn = reinterpret_cast<FreeNode*>(mem + i * bs);
+      fn->next = free_lists_[n];
+      free_lists_[n] = fn;
+    }
+    chunks_.push_back(mem);
+  }
+  FreeNode* fn = free_lists_[n];
+  free_lists_[n] = fn->next;
+
+  char* base = reinterpret_cast<char*>(fn);
+  std::memset(base, 0, block_size_[n]);
+  Item* it = new (base) Item();
+  it->node = n;
+  std::size_t off = AlignUp(sizeof(Item), alignof(ChildSlot));
+  it->child_slots = reinterpret_cast<ChildSlot*>(base + off);
+  off = AlignUp(off + num_children_[n] * sizeof(ChildSlot),
+                alignof(std::uint64_t));
+  it->atom_counts = reinterpret_cast<std::uint64_t*>(base + off);
+  ++live_;
+  return it;
+}
+
+void ItemPool::Free(Item* it) {
+  std::uint32_t n = it->node;
+  it->~Item();
+  auto* fn = reinterpret_cast<FreeNode*>(it);
+  fn->next = free_lists_[n];
+  free_lists_[n] = fn;
+  DYNCQ_DCHECK(live_ > 0);
+  --live_;
+}
+
+}  // namespace dyncq::core

@@ -1,0 +1,52 @@
+// Per-node pooled allocation for items.
+//
+// All items of a q-tree node have the same block size (header + child
+// slots + atom counts), so a simple free-list pool per node gives O(1)
+// allocation with no per-item malloc churn on the update hot path.
+#ifndef DYNCQ_CORE_ITEM_POOL_H_
+#define DYNCQ_CORE_ITEM_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/item.h"
+
+namespace dyncq::core {
+
+class ItemPool {
+ public:
+  /// `num_children[n]` and `num_atoms[n]` give the array sizes for items
+  /// of q-tree node n.
+  ItemPool(std::vector<std::size_t> num_children,
+           std::vector<std::size_t> num_atoms);
+  ~ItemPool();
+
+  ItemPool(const ItemPool&) = delete;
+  ItemPool& operator=(const ItemPool&) = delete;
+
+  /// Allocates a zero-initialized item for node `n`.
+  Item* Alloc(std::uint32_t n);
+
+  /// Returns an item to its node's free list.
+  void Free(Item* it);
+
+  std::size_t live_items() const { return live_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  std::vector<std::size_t> num_children_;
+  std::vector<std::size_t> num_atoms_;
+  std::vector<std::size_t> block_size_;
+  std::vector<FreeNode*> free_lists_;   // per node
+  std::vector<void*> chunks_;           // owned raw memory
+  std::size_t live_ = 0;
+
+  static constexpr std::size_t kItemsPerChunk = 64;
+};
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_ITEM_POOL_H_

@@ -1,0 +1,202 @@
+#include "core/phi2.h"
+
+#include <deque>
+
+#include "cq/parser.h"
+#include "util/check.h"
+
+namespace dyncq::core {
+
+bool Phi2Engine::LinkedTupleSet::Insert(const Tuple& t) {
+  if (index_.Contains(t)) return false;
+  int slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[static_cast<std::size_t>(slot)];
+  n.tuple = t;
+  n.prev = tail_;
+  n.next = -1;
+  if (tail_ >= 0) {
+    nodes_[static_cast<std::size_t>(tail_)].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  index_.Insert(t, slot);
+  ++size_;
+  return true;
+}
+
+bool Phi2Engine::LinkedTupleSet::Erase(const Tuple& t) {
+  int* slot = index_.Find(t);
+  if (slot == nullptr) return false;
+  Node& n = nodes_[static_cast<std::size_t>(*slot)];
+  if (n.prev >= 0) {
+    nodes_[static_cast<std::size_t>(n.prev)].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next >= 0) {
+    nodes_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  free_.push_back(*slot);
+  index_.Erase(t);
+  --size_;
+  return true;
+}
+
+namespace {
+
+Query MakePhi2Query() {
+  auto q = ParseQuery(
+      "Phi2(x, y, z1, z2) :- E(x, x), E(x, y), E(y, y), E(z1, z2).");
+  DYNCQ_CHECK(q.ok());
+  return q.value();
+}
+
+}  // namespace
+
+Phi2Engine::Phi2Engine()
+    : query_(MakePhi2Query()), db_(query_.schema()) {}
+
+bool Phi2Engine::Apply(const UpdateCmd& cmd) {
+  DYNCQ_CHECK_MSG(cmd.rel == edge_rel(), "Phi2Engine has one relation E");
+  if (!db_.Apply(cmd)) return false;
+  ++epoch_;
+  if (cmd.kind == UpdateKind::kInsert) {
+    edge_order_.Insert(cmd.tuple);
+    if (cmd.tuple[0] == cmd.tuple[1]) {
+      loop_order_.Insert(Tuple{cmd.tuple[0]});
+    }
+  } else {
+    edge_order_.Erase(cmd.tuple);
+    if (cmd.tuple[0] == cmd.tuple[1]) {
+      loop_order_.Erase(Tuple{cmd.tuple[0]});
+    }
+  }
+  return true;
+}
+
+Weight Phi2Engine::Count() {
+  // |ϕ1(D)|: pairs (c,d) with (c,c),(c,d),(d,d) ∈ E.
+  Weight phi1 = 0;
+  for (int e = edge_order_.head(); e >= 0; e = edge_order_.NextOf(e)) {
+    const Tuple& t = edge_order_.At(e);
+    if (loop_order_.Contains(Tuple{t[0]}) &&
+        loop_order_.Contains(Tuple{t[1]})) {
+      ++phi1;
+    }
+  }
+  return phi1 * static_cast<Weight>(edge_order_.Size());
+}
+
+namespace {
+
+/// Lemma A.2 enumerator. Phase 1 emits (c0,c0) × E while a scan cursor
+/// builds the remaining ϕ1 pairs at >= 1 scan step per output (the scan
+/// has |E| steps and phase 1 has |E| outputs, so it always finishes in
+/// time). Phase 2 emits pairs(ϕ1 \ {(c0,c0)}) × E.
+class Phi2Enumerator final : public Enumerator {
+ public:
+  Phi2Enumerator(const Phi2Engine* engine,
+                 const Phi2Engine::LinkedTupleSet* edges,
+                 const Phi2Engine::LinkedTupleSet* loops,
+                 const std::uint64_t* epoch)
+      : edges_(edges), loops_(loops), epoch_(epoch), at_create_(*epoch) {
+    (void)engine;
+    Reset();
+  }
+
+  bool Next(Tuple* out) override {
+    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
+                    "enumerator used after an update");
+    if (c0_ == 0) return false;  // no loop -> empty result
+
+    if (phase1_edge_ >= 0) {
+      // Budgeted preprocessing: two scan steps per emitted tuple.
+      for (int step = 0; step < 2 && scan_ >= 0; ++step) {
+        const Tuple& e = edges_->At(scan_);
+        if (!(e[0] == c0_ && e[1] == c0_) &&
+            loops_->Contains(Tuple{e[0]}) && loops_->Contains(Tuple{e[1]})) {
+          pairs_.push_back(e);
+        }
+        scan_ = edges_->NextOf(scan_);
+      }
+      const Tuple& e = edges_->At(phase1_edge_);
+      out->clear();
+      out->push_back(c0_);
+      out->push_back(c0_);
+      out->push_back(e[0]);
+      out->push_back(e[1]);
+      phase1_edge_ = edges_->NextOf(phase1_edge_);
+      if (phase1_edge_ < 0) {
+        DYNCQ_CHECK_MSG(scan_ < 0, "phase-1 budget did not cover the scan");
+        pair_idx_ = 0;
+        phase2_edge_ = edges_->head();
+      }
+      return true;
+    }
+
+    // Phase 2: pairs_ × E.
+    if (pair_idx_ >= pairs_.size()) return false;
+    const Tuple& p = pairs_[pair_idx_];
+    const Tuple& e = edges_->At(phase2_edge_);
+    out->clear();
+    out->push_back(p[0]);
+    out->push_back(p[1]);
+    out->push_back(e[0]);
+    out->push_back(e[1]);
+    phase2_edge_ = edges_->NextOf(phase2_edge_);
+    if (phase2_edge_ < 0) {
+      ++pair_idx_;
+      phase2_edge_ = edges_->head();
+    }
+    return true;
+  }
+
+  void Reset() override {
+    pairs_.clear();
+    pair_idx_ = 0;
+    scan_ = -1;
+    phase1_edge_ = -1;
+    phase2_edge_ = -1;
+    c0_ = 0;
+    if (loops_->Size() > 0) {
+      c0_ = loops_->At(loops_->head())[0];
+      phase1_edge_ = edges_->head();
+      scan_ = edges_->head();
+      DYNCQ_DCHECK(phase1_edge_ >= 0);  // the loop itself is an edge
+    }
+  }
+
+ private:
+  const Phi2Engine::LinkedTupleSet* edges_;
+  const Phi2Engine::LinkedTupleSet* loops_;
+  const std::uint64_t* epoch_;
+  std::uint64_t at_create_;
+
+  Value c0_ = 0;
+  int phase1_edge_ = -1;  // cursor over E during phase 1 (-1 once done)
+  int scan_ = -1;         // preprocessing cursor over E
+  // ϕ1(D) minus {(c0,c0)}; a deque avoids reallocation spikes inside a
+  // timed Next() call (keeps the delay bound honest).
+  std::deque<Tuple> pairs_;
+  std::size_t pair_idx_ = 0;
+  int phase2_edge_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Enumerator> Phi2Engine::NewEnumerator() {
+  return std::make_unique<Phi2Enumerator>(this, &edge_order_, &loop_order_,
+                                          &epoch_);
+}
+
+}  // namespace dyncq::core

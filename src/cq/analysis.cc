@@ -1,0 +1,241 @@
+#include "cq/analysis.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dyncq {
+
+std::vector<std::uint64_t> AtomsOfVars(const Query& q) {
+  DYNCQ_CHECK_MSG(q.NumAtoms() <= 64, "queries are limited to 64 atoms");
+  std::vector<std::uint64_t> atoms_of(q.NumVars(), 0);
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    VarMask m = q.atoms()[ai].var_mask;
+    for (VarId v = 0; v < q.NumVars(); ++v) {
+      if (m & VarBit(v)) atoms_of[v] |= (std::uint64_t{1} << ai);
+    }
+  }
+  return atoms_of;
+}
+
+std::optional<HierarchyViolation> FindHierarchyViolation(const Query& q) {
+  auto atoms_of = AtomsOfVars(q);
+  for (VarId x = 0; x < q.NumVars(); ++x) {
+    for (VarId y = 0; y < q.NumVars(); ++y) {
+      if (x == y) continue;
+      std::uint64_t ax = atoms_of[x], ay = atoms_of[y];
+      std::uint64_t both = ax & ay;
+      std::uint64_t only_x = ax & ~ay;
+      std::uint64_t only_y = ay & ~ax;
+      if (both != 0 && only_x != 0 && only_y != 0) {
+        HierarchyViolation w;
+        w.x = x;
+        w.y = y;
+        w.atom_x = std::countr_zero(only_x);
+        w.atom_xy = std::countr_zero(both);
+        w.atom_y = std::countr_zero(only_y);
+        return w;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FreeViolation> FindFreeViolation(const Query& q) {
+  auto atoms_of = AtomsOfVars(q);
+  for (VarId x = 0; x < q.NumVars(); ++x) {
+    if (!q.IsFree(x)) continue;
+    for (VarId y = 0; y < q.NumVars(); ++y) {
+      if (x == y || q.IsFree(y)) continue;
+      std::uint64_t ax = atoms_of[x], ay = atoms_of[y];
+      // atoms(x) ⊊ atoms(y), x free, y quantified.
+      if ((ax & ~ay) == 0 && (ay & ~ax) != 0 && ax != 0) {
+        FreeViolation w;
+        w.x = x;
+        w.y = y;
+        w.atom_xy = std::countr_zero(ax & ay);
+        w.atom_y = std::countr_zero(ay & ~ax);
+        return w;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsHierarchical(const Query& q) {
+  return !FindHierarchyViolation(q).has_value();
+}
+
+bool IsQHierarchical(const Query& q) {
+  return IsHierarchical(q) && !FindFreeViolation(q).has_value();
+}
+
+ComponentSplit SplitConnectedComponents(const Query& q) {
+  // Union-find over variables, joined through atoms.
+  std::vector<int> parent(q.NumVars());
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = static_cast<int>(i);
+  }
+  std::function<int(int)> find = [&](int a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+  for (const Atom& atom : q.atoms()) {
+    std::vector<VarId> vars = atom.Vars();
+    for (std::size_t i = 1; i < vars.size(); ++i) {
+      unite(static_cast<int>(vars[0]), static_cast<int>(vars[i]));
+    }
+  }
+
+  // Component ids in order of first atom appearance.
+  std::vector<int> comp_of_root(q.NumVars(), -1);
+  int num_components = 0;
+  std::vector<std::vector<int>> comp_atoms;
+  std::vector<int> atom_comp(q.NumAtoms());
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    VarId first_var = q.atoms()[ai].Vars()[0];
+    int root = find(static_cast<int>(first_var));
+    if (comp_of_root[root] == -1) {
+      comp_of_root[root] = num_components++;
+      comp_atoms.emplace_back();
+    }
+    atom_comp[ai] = comp_of_root[root];
+    comp_atoms[static_cast<std::size_t>(comp_of_root[root])].push_back(
+        static_cast<int>(ai));
+  }
+
+  ComponentSplit split;
+  // Head positions per component, in original order.
+  std::vector<std::vector<VarId>> comp_heads(
+      static_cast<std::size_t>(num_components));
+  split.head_map.resize(q.head().size());
+  for (std::size_t hi = 0; hi < q.head().size(); ++hi) {
+    VarId v = q.head()[hi];
+    int c = comp_of_root[find(static_cast<int>(v))];
+    DYNCQ_CHECK(c >= 0);
+    split.head_map[hi] = {c, static_cast<int>(comp_heads[c].size())};
+    comp_heads[static_cast<std::size_t>(c)].push_back(v);
+  }
+
+  for (int c = 0; c < num_components; ++c) {
+    // RestrictToAtoms needs the head of the restricted query to be the
+    // component's head: build a temporary query with that head first.
+    Query tmp = q;
+    // Rebuild with per-component head via RestrictToAtoms on a copy whose
+    // head was narrowed. Query is immutable, so go through the builder.
+    QueryBuilder b(q.schema_ptr());
+    b.SetName(q.name() + "_c" + std::to_string(c));
+    std::vector<VarId> remap(q.NumVars(), kInvalidVar);
+    for (int ai : comp_atoms[static_cast<std::size_t>(c)]) {
+      const Atom& src = q.atoms()[static_cast<std::size_t>(ai)];
+      std::vector<Term> args;
+      for (const Term& t : src.args) {
+        if (t.IsVar()) {
+          if (remap[t.var] == kInvalidVar) {
+            remap[t.var] = b.Var(q.VarName(t.var));
+          }
+          args.push_back(Term::Var(remap[t.var]));
+        } else {
+          args.push_back(t);
+        }
+      }
+      b.AddAtom(src.rel, std::move(args));
+    }
+    std::vector<VarId> head;
+    for (VarId v : comp_heads[static_cast<std::size_t>(c)]) {
+      DYNCQ_CHECK(remap[v] != kInvalidVar);
+      head.push_back(remap[v]);
+    }
+    b.SetHead(head);
+    Result<Query> built = b.Build();
+    DYNCQ_CHECK_MSG(built.ok(), "component split failed: " + built.error());
+    split.components.push_back(std::move(built.value()));
+  }
+  return split;
+}
+
+bool IsConnected(const Query& q) {
+  return SplitConnectedComponents(q).components.size() <= 1;
+}
+
+namespace {
+
+/// GYO reduction over a list of hyperedges (variable masks). Returns true
+/// iff the hypergraph is alpha-acyclic.
+bool GyoAcyclic(std::vector<VarMask> edges) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: remove a hyperedge contained in another.
+    for (std::size_t i = 0; i < edges.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        if ((edges[i] & ~edges[j]) == 0) {  // edges[i] ⊆ edges[j]
+          edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) continue;
+    // Rule 2: remove a vertex occurring in exactly one hyperedge.
+    VarMask all = 0, multi = 0;
+    for (VarMask e : edges) {
+      multi |= (all & e);
+      all |= e;
+    }
+    VarMask lonely = all & ~multi;
+    if (lonely != 0) {
+      for (VarMask& e : edges) {
+        VarMask ne = e & ~lonely;
+        if (ne != e) {
+          e = ne;
+          changed = true;
+        }
+      }
+      // Drop empty edges.
+      edges.erase(std::remove(edges.begin(), edges.end(), VarMask{0}),
+                  edges.end());
+    }
+  }
+  return edges.empty();
+}
+
+}  // namespace
+
+bool IsAcyclic(const Query& q) {
+  std::vector<VarMask> edges;
+  edges.reserve(q.NumAtoms());
+  for (const Atom& a : q.atoms()) edges.push_back(a.var_mask);
+  return GyoAcyclic(std::move(edges));
+}
+
+bool IsFreeConnex(const Query& q) {
+  if (!IsAcyclic(q)) return false;
+  std::vector<VarMask> edges;
+  edges.reserve(q.NumAtoms() + 1);
+  for (const Atom& a : q.atoms()) edges.push_back(a.var_mask);
+  if (q.free_mask() != 0) edges.push_back(q.free_mask());
+  return GyoAcyclic(std::move(edges));
+}
+
+std::string DescribeStructure(const Query& q) {
+  std::vector<std::string> parts;
+  parts.push_back(q.IsSelfJoinFree() ? "self-join free" : "has self-joins");
+  parts.push_back(IsHierarchical(q) ? "hierarchical" : "non-hierarchical");
+  parts.push_back(IsQHierarchical(q) ? "q-hierarchical"
+                                     : "non-q-hierarchical");
+  parts.push_back(IsAcyclic(q) ? "acyclic" : "cyclic");
+  parts.push_back(IsFreeConnex(q) ? "free-connex" : "non-free-connex");
+  return Join(parts, ", ");
+}
+
+}  // namespace dyncq

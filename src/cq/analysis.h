@@ -1,0 +1,82 @@
+// Structural analysis of conjunctive queries: the (q-)hierarchical
+// property (Definition 3.1) with explicit violation witnesses, connected
+// components, and classical acyclicity / free-connex tests for context.
+#ifndef DYNCQ_CQ_ANALYSIS_H_
+#define DYNCQ_CQ_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace dyncq {
+
+/// atoms(x) for every variable, as bitmasks over atom indices.
+/// Queries are limited to 64 atoms for this representation.
+std::vector<std::uint64_t> AtomsOfVars(const Query& q);
+
+/// Witness that condition (i) of Definition 3.1 fails: variables x, y and
+/// atoms ψx ∈ atoms(x)\atoms(y), ψxy ∈ atoms(x)∩atoms(y),
+/// ψy ∈ atoms(y)\atoms(x). This is exactly the gadget the OuMv reduction
+/// of Theorem 3.4 needs.
+struct HierarchyViolation {
+  VarId x = kInvalidVar;
+  VarId y = kInvalidVar;
+  int atom_x = -1;
+  int atom_xy = -1;
+  int atom_y = -1;
+};
+
+/// Witness that condition (ii) fails: a free variable x and a quantified
+/// variable y with atoms(x) ⊊ atoms(y), plus atoms ψxy ∋ x,y and
+/// ψy ∋ y, ∌ x. This is the gadget for the OMv-enumeration (Thm 3.3) and
+/// OV-counting (Thm 3.5) reductions.
+struct FreeViolation {
+  VarId x = kInvalidVar;  // free
+  VarId y = kInvalidVar;  // quantified
+  int atom_xy = -1;
+  int atom_y = -1;
+};
+
+/// Returns a condition-(i) violation if one exists.
+std::optional<HierarchyViolation> FindHierarchyViolation(const Query& q);
+
+/// Returns a condition-(ii) violation if one exists.
+std::optional<FreeViolation> FindFreeViolation(const Query& q);
+
+/// Condition (i) for all variable pairs (Dalvi–Suciu / Koutris–Suciu
+/// hierarchical property on the quantifier-free part).
+bool IsHierarchical(const Query& q);
+
+/// Definition 3.1: conditions (i) and (ii).
+bool IsQHierarchical(const Query& q);
+
+/// Splitting a query into connected components (paper §4). Component
+/// queries share the original schema; their heads keep the original
+/// relative order of free variables.
+struct ComponentSplit {
+  std::vector<Query> components;
+  /// For each original head position: (component index, head position
+  /// within that component). Used to reassemble output tuples.
+  std::vector<std::pair<int, int>> head_map;
+};
+
+ComponentSplit SplitConnectedComponents(const Query& q);
+
+/// True if the query's variable-sharing graph is connected.
+bool IsConnected(const Query& q);
+
+/// GYO reduction: true iff the query's hypergraph is alpha-acyclic.
+bool IsAcyclic(const Query& q);
+
+/// Bagan–Durand–Grandjean free-connex property: acyclic, and still
+/// acyclic after adding a virtual atom over exactly the free variables.
+bool IsFreeConnex(const Query& q);
+
+/// Human-readable structural summary (used by the examples).
+std::string DescribeStructure(const Query& q);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_ANALYSIS_H_

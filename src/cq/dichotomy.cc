@@ -1,0 +1,73 @@
+#include "cq/dichotomy.h"
+
+#include "cq/analysis.h"
+#include "cq/homomorphism.h"
+#include "util/str.h"
+
+namespace dyncq {
+
+std::string ToString(Tractability t) {
+  switch (t) {
+    case Tractability::kTractable:
+      return "tractable (Thm 3.2)";
+    case Tractability::kHardOMv:
+      return "hard under OMv";
+    case Tractability::kHardOMvOV:
+      return "hard under OMv+OV";
+    case Tractability::kOpen:
+      return "open (self-joins)";
+  }
+  return "?";
+}
+
+DichotomyReport AnalyzeQuery(const Query& q) {
+  DichotomyReport r;
+  r.self_join_free = q.IsSelfJoinFree();
+  r.hierarchical = IsHierarchical(q);
+  r.q_hierarchical = IsQHierarchical(q);
+  r.acyclic = IsAcyclic(q);
+  r.free_connex = IsFreeConnex(q);
+
+  Query core = ComputeCore(q);
+  r.core_q_hierarchical = IsQHierarchical(core);
+  Query bool_core = ComputeCore(q.BooleanClosure());
+  r.boolean_core_q_hierarchical = IsQHierarchical(bool_core);
+
+  // Boolean answering (emptiness of the result): Theorem 1.2 on ∃x̄ ϕ.
+  r.boolean_answering = r.boolean_core_q_hierarchical
+                            ? Tractability::kTractable
+                            : Tractability::kHardOMv;
+
+  // Counting: Theorem 1.3. The upper bound evaluates the core (which is
+  // equivalent to ϕ on every database).
+  r.counting = r.core_q_hierarchical ? Tractability::kTractable
+                                     : Tractability::kHardOMvOV;
+
+  // Enumeration: Theorem 1.1 (complete only for self-join-free queries).
+  if (r.q_hierarchical || (r.self_join_free && r.core_q_hierarchical)) {
+    // Self-join-free queries are their own cores, so the second disjunct
+    // only adds robustness.
+    r.enumeration = Tractability::kTractable;
+  } else if (r.core_q_hierarchical) {
+    // The core can be enumerated via Theorem 3.2.
+    r.enumeration = Tractability::kTractable;
+  } else if (r.self_join_free) {
+    r.enumeration = Tractability::kHardOMv;
+  } else {
+    r.enumeration = Tractability::kOpen;
+  }
+
+  r.summary = StrCat(
+      q.ToString(), "\n  structure: ", DescribeStructure(q),
+      "\n  core: ", core.ToString(),
+      r.core_q_hierarchical ? "  [q-hierarchical]" : "  [not q-hierarchical]",
+      "\n  Boolean core: ", bool_core.ToString(),
+      r.boolean_core_q_hierarchical ? "  [q-hierarchical]"
+                                    : "  [not q-hierarchical]",
+      "\n  enumeration under updates: ", ToString(r.enumeration),
+      "\n  counting under updates:    ", ToString(r.counting),
+      "\n  Boolean answer under updates: ", ToString(r.boolean_answering));
+  return r;
+}
+
+}  // namespace dyncq

@@ -1,0 +1,58 @@
+// The paper's dichotomies (Theorems 1.1, 1.2, 1.3) as a query classifier.
+#ifndef DYNCQ_CQ_DICHOTOMY_H_
+#define DYNCQ_CQ_DICHOTOMY_H_
+
+#include <string>
+
+#include "cq/query.h"
+
+namespace dyncq {
+
+enum class Tractability {
+  /// Maintainable with linear preprocessing, constant update time, and
+  /// constant delay / O(1) answer (Theorem 3.2).
+  kTractable,
+  /// Conditionally hard under the OMv conjecture (Theorems 3.3 / 3.4).
+  kHardOMv,
+  /// Conditionally hard under OMv + OV (Theorem 3.5).
+  kHardOMvOV,
+  /// Not classified by the paper (enumeration with self-joins, §7).
+  kOpen,
+};
+
+std::string ToString(Tractability t);
+
+struct DichotomyReport {
+  // Structure.
+  bool self_join_free = false;
+  bool hierarchical = false;
+  bool q_hierarchical = false;
+  bool acyclic = false;
+  bool free_connex = false;
+  /// Core of ϕ itself (free variables fixed) is q-hierarchical.
+  bool core_q_hierarchical = false;
+  /// Core of the Boolean closure ∃x̄ ϕ is q-hierarchical.
+  bool boolean_core_q_hierarchical = false;
+
+  // Task verdicts under updates.
+  Tractability enumeration = Tractability::kOpen;
+  Tractability counting = Tractability::kOpen;
+  Tractability boolean_answering = Tractability::kOpen;
+
+  /// Multi-line human-readable report.
+  std::string summary;
+};
+
+/// Classifies `q` according to the paper's dichotomies:
+///  * answering the Boolean closure: tractable iff its core is
+///    q-hierarchical (Theorem 1.2);
+///  * counting |ϕ(D)|: tractable iff core(ϕ) is q-hierarchical
+///    (Theorem 1.3; the upper bound runs Theorem 3.2 on the core);
+///  * enumeration: tractable if ϕ is q-hierarchical; hard if not and ϕ is
+///    self-join free (Theorem 1.1); open otherwise (§7: ϕ1 is hard while
+///    ϕ2 is tractable, both non-q-hierarchical with self-joins).
+DichotomyReport AnalyzeQuery(const Query& q);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_DICHOTOMY_H_

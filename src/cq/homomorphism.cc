@@ -1,0 +1,186 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+namespace {
+
+struct HomSearch {
+  const Query& from;
+  const std::vector<int>& from_atoms;
+  const Query& to;
+  const std::vector<int>& to_atoms;
+
+  // assigned[v]: target term for from-variable v; kind==kVar with
+  // var==kInvalidVar encodes "unassigned".
+  std::vector<Term> assigned;
+
+  bool Assigned(VarId v) const {
+    return !(assigned[v].IsVar() && assigned[v].var == kInvalidVar);
+  }
+
+  /// Relation identity across possibly distinct schemas: same schema
+  /// object compares ids; otherwise names and arities must agree.
+  bool SameRelation(const Atom& fa, const Atom& ta) const {
+    if (&from.schema() == &to.schema()) return fa.rel == ta.rel;
+    return from.schema().name(fa.rel) == to.schema().name(ta.rel) &&
+           fa.args.size() == ta.args.size();
+  }
+
+  bool Solve(std::size_t pos) {
+    if (pos == from_atoms.size()) return true;
+    const Atom& fa =
+        from.atoms()[static_cast<std::size_t>(from_atoms[pos])];
+    for (int tai : to_atoms) {
+      const Atom& ta = to.atoms()[static_cast<std::size_t>(tai)];
+      if (!SameRelation(fa, ta)) continue;
+      DYNCQ_DCHECK(ta.args.size() == fa.args.size());
+      // Try to unify fa -> ta, recording bindings for backtracking.
+      std::vector<VarId> trail;
+      bool ok = true;
+      for (std::size_t i = 0; i < fa.args.size() && ok; ++i) {
+        const Term& f = fa.args[i];
+        const Term& t = ta.args[i];
+        if (f.IsConst()) {
+          ok = (t.IsConst() && t.constant == f.constant);
+        } else if (Assigned(f.var)) {
+          ok = (assigned[f.var] == t);
+        } else {
+          assigned[f.var] = t;
+          trail.push_back(f.var);
+        }
+      }
+      if (ok && Solve(pos + 1)) return true;
+      for (VarId v : trail) assigned[v] = Term::Var(kInvalidVar);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<VarMap> FindHomomorphismSub(
+    const Query& from, const std::vector<int>& from_atoms, const Query& to,
+    const std::vector<int>& to_atoms,
+    const std::vector<std::pair<VarId, Term>>& fixed) {
+  HomSearch s{from, from_atoms, to, to_atoms, {}};
+  s.assigned.assign(from.NumVars(), Term::Var(kInvalidVar));
+  for (const auto& [v, t] : fixed) {
+    DYNCQ_CHECK(v < from.NumVars());
+    if (s.Assigned(v) && !(s.assigned[v] == t)) return std::nullopt;
+    s.assigned[v] = t;
+  }
+  if (!s.Solve(0)) return std::nullopt;
+  return s.assigned;
+}
+
+std::optional<VarMap> FindHomomorphism(const Query& from, const Query& to) {
+  DYNCQ_CHECK_MSG(from.Arity() == to.Arity(),
+                  "homomorphism requires equal arities");
+  std::vector<int> fa(from.NumAtoms());
+  std::iota(fa.begin(), fa.end(), 0);
+  std::vector<int> ta(to.NumAtoms());
+  std::iota(ta.begin(), ta.end(), 0);
+  std::vector<std::pair<VarId, Term>> fixed;
+  for (std::size_t i = 0; i < from.head().size(); ++i) {
+    fixed.emplace_back(from.head()[i], Term::Var(to.head()[i]));
+  }
+  return FindHomomorphismSub(from, fa, to, ta, fixed);
+}
+
+bool AreHomEquivalent(const Query& a, const Query& b) {
+  return FindHomomorphism(a, b).has_value() &&
+         FindHomomorphism(b, a).has_value();
+}
+
+namespace {
+
+/// Returns the atom indices of the image of `atoms` under `h` (each image
+/// atom located among `candidates`).
+std::vector<int> ImageAtoms(const Query& q, const std::vector<int>& atoms,
+                            const VarMap& h,
+                            const std::vector<int>& candidates) {
+  std::vector<int> image;
+  for (int ai : atoms) {
+    const Atom& a = q.atoms()[static_cast<std::size_t>(ai)];
+    // Build the mapped argument list.
+    SmallVector<Term, 4> mapped;
+    for (const Term& t : a.args) {
+      mapped.push_back(t.IsVar() ? h[t.var] : t);
+    }
+    int found = -1;
+    for (int ci : candidates) {
+      const Atom& c = q.atoms()[static_cast<std::size_t>(ci)];
+      if (c.rel != a.rel) continue;
+      bool eq = true;
+      for (std::size_t i = 0; i < mapped.size() && eq; ++i) {
+        eq = (c.args[i] == mapped[i]);
+      }
+      if (eq) {
+        found = ci;
+        break;
+      }
+    }
+    DYNCQ_CHECK_MSG(found >= 0, "homomorphism image atom missing");
+    if (std::find(image.begin(), image.end(), found) == image.end()) {
+      image.push_back(found);
+    }
+  }
+  std::sort(image.begin(), image.end());
+  return image;
+}
+
+}  // namespace
+
+Query ComputeCore(const Query& q) {
+  std::vector<int> current(q.NumAtoms());
+  std::iota(current.begin(), current.end(), 0);
+
+  std::vector<std::pair<VarId, Term>> fixed;
+  for (VarId v : q.head()) fixed.emplace_back(v, Term::Var(v));
+
+  bool progress = true;
+  while (progress && current.size() > 1) {
+    progress = false;
+    for (std::size_t drop = 0; drop < current.size(); ++drop) {
+      std::vector<int> target = current;
+      target.erase(target.begin() + static_cast<std::ptrdiff_t>(drop));
+      auto h = FindHomomorphismSub(q, current, q, target, fixed);
+      if (h.has_value()) {
+        current = ImageAtoms(q, current, *h, target);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return q.RestrictToAtoms(current);
+}
+
+std::vector<std::vector<int>> EndomorphismPermutations(const Query& q) {
+  const std::size_t k = q.Arity();
+  DYNCQ_CHECK_MSG(k <= 8, "EndomorphismPermutations requires arity <= 8");
+  std::vector<int> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> fa(q.NumAtoms());
+  std::iota(fa.begin(), fa.end(), 0);
+
+  std::vector<std::vector<int>> result;
+  do {
+    std::vector<std::pair<VarId, Term>> fixed;
+    for (std::size_t i = 0; i < k; ++i) {
+      fixed.emplace_back(q.head()[i],
+                         Term::Var(q.head()[static_cast<std::size_t>(
+                             perm[i])]));
+    }
+    if (FindHomomorphismSub(q, fa, q, fa, fixed).has_value()) {
+      result.push_back(perm);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+}  // namespace dyncq

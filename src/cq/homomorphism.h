@@ -1,0 +1,47 @@
+// Homomorphisms between conjunctive queries, homomorphic cores, and the
+// endomorphism permutation set Π of Lemma 5.8.
+//
+// A homomorphism h from ϕ(x1..xk) to ϕ'(y1..yk) maps vars(ϕ) to terms of
+// ϕ' with h(xi) = yi, such that every atom R(u1..ur) of ϕ maps onto an
+// atom R(h(u1)..h(ur)) of ϕ'. Constants map to themselves. The
+// homomorphic core is the minimal retract; by Chandra–Merlin it is unique
+// up to isomorphism and equivalent to ϕ on every database.
+#ifndef DYNCQ_CQ_HOMOMORPHISM_H_
+#define DYNCQ_CQ_HOMOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace dyncq {
+
+/// h(v) for every variable of `from` (target term in `to`).
+using VarMap = std::vector<Term>;
+
+/// Searches for a homomorphism from the subquery of `from` induced by
+/// `from_atoms` into the subquery of `to` induced by `to_atoms`, subject
+/// to pre-fixed assignments. Exponential in query size (data-independent).
+std::optional<VarMap> FindHomomorphismSub(
+    const Query& from, const std::vector<int>& from_atoms, const Query& to,
+    const std::vector<int>& to_atoms,
+    const std::vector<std::pair<VarId, Term>>& fixed);
+
+/// Full-query convenience overload; fixes head positions pointwise
+/// (h(from.head[i]) = to.head[i]) as the k-ary definition requires.
+std::optional<VarMap> FindHomomorphism(const Query& from, const Query& to);
+
+/// True if ϕ and ϕ' are homomorphically equivalent (same arity assumed).
+bool AreHomEquivalent(const Query& a, const Query& b);
+
+/// Computes the homomorphic core of `q` with free variables fixed
+/// pointwise. The result is a subquery of `q` (unused variables dropped).
+Query ComputeCore(const Query& q);
+
+/// Permutations π of head positions such that x_i ↦ x_{π(i)} extends to an
+/// endomorphism of `q` (the set Π in Lemma 5.8). Requires arity <= 8.
+std::vector<std::vector<int>> EndomorphismPermutations(const Query& q);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_HOMOMORPHISM_H_

@@ -1,0 +1,261 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/str.h"
+
+namespace dyncq {
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kLParen, kRParen, kComma, kTurnstile,
+                    kPeriod, kEnd };
+  Kind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < s_.size()) {
+      char c = s_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '#') {  // comment to end of line
+        while (i < s_.size() && s_[i] != '\n') ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i;
+        while (i < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[i])) ||
+                s_[i] == '_' || s_[i] == '\'')) {
+          ++i;
+        }
+        out.push_back({Token::Kind::kIdent,
+                       std::string(s_.substr(start, i - start)), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t start = i;
+        while (i < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[i]))) {
+          ++i;
+        }
+        out.push_back({Token::Kind::kNumber,
+                       std::string(s_.substr(start, i - start)), start});
+        continue;
+      }
+      if (c == '(') {
+        out.push_back({Token::Kind::kLParen, "(", i++});
+        continue;
+      }
+      if (c == ')') {
+        out.push_back({Token::Kind::kRParen, ")", i++});
+        continue;
+      }
+      if (c == ',') {
+        out.push_back({Token::Kind::kComma, ",", i++});
+        continue;
+      }
+      if (c == '.') {
+        out.push_back({Token::Kind::kPeriod, ".", i++});
+        continue;
+      }
+      if (c == ':' && i + 1 < s_.size() && s_[i + 1] == '-') {
+        out.push_back({Token::Kind::kTurnstile, ":-", i});
+        i += 2;
+        continue;
+      }
+      return Result<std::vector<Token>>::Error(
+          StrCat("unexpected character '", std::string(1, c),
+                 "' at offset ", i));
+    }
+    out.push_back({Token::Kind::kEnd, "", s_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view s_;
+};
+
+struct RawAtom {
+  std::string rel;
+  // Each arg is either a variable name (non-empty `var`) or a constant.
+  struct Arg {
+    std::string var;
+    Value constant = 0;
+    bool is_const = false;
+  };
+  std::vector<Arg> args;
+};
+
+struct RawRule {
+  std::string name;
+  std::vector<std::string> head_vars;
+  std::vector<RawAtom> atoms;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<RawRule> Parse() {
+    RawRule rule;
+    // Head: Name ( vars ) :-
+    if (!At(Token::Kind::kIdent)) return Err("expected query name");
+    rule.name = Cur().text;
+    Advance();
+    if (!Eat(Token::Kind::kLParen)) return Err("expected '(' after name");
+    if (!At(Token::Kind::kRParen)) {
+      while (true) {
+        if (!At(Token::Kind::kIdent)) {
+          return Err("expected variable in head");
+        }
+        if (!IsVariableName(Cur().text)) {
+          return Err("head entries must be variables (lowercase): '" +
+                     Cur().text + "'");
+        }
+        rule.head_vars.push_back(Cur().text);
+        Advance();
+        if (Eat(Token::Kind::kComma)) continue;
+        break;
+      }
+    }
+    if (!Eat(Token::Kind::kRParen)) return Err("expected ')' after head");
+    if (!Eat(Token::Kind::kTurnstile)) return Err("expected ':-'");
+
+    // Body: Atom, Atom, ...
+    while (true) {
+      RawAtom atom;
+      if (!At(Token::Kind::kIdent)) return Err("expected relation name");
+      if (IsVariableName(Cur().text)) {
+        return Err("relation names must start uppercase: '" + Cur().text +
+                   "'");
+      }
+      atom.rel = Cur().text;
+      Advance();
+      if (!Eat(Token::Kind::kLParen)) {
+        return Err("expected '(' after relation name");
+      }
+      if (!At(Token::Kind::kRParen)) {
+        while (true) {
+          RawAtom::Arg arg;
+          if (At(Token::Kind::kIdent)) {
+            if (!IsVariableName(Cur().text)) {
+              return Err("atom arguments must be variables or integers: '" +
+                         Cur().text + "'");
+            }
+            arg.var = Cur().text;
+            Advance();
+          } else if (At(Token::Kind::kNumber)) {
+            arg.is_const = true;
+            arg.constant = std::stoull(Cur().text);
+            if (arg.constant == 0) {
+              return Err("constants must be >= 1 (0 is reserved)");
+            }
+            Advance();
+          } else {
+            return Err("expected variable or constant");
+          }
+          atom.args.push_back(std::move(arg));
+          if (Eat(Token::Kind::kComma)) continue;
+          break;
+        }
+      }
+      if (!Eat(Token::Kind::kRParen)) return Err("expected ')' after atom");
+      rule.atoms.push_back(std::move(atom));
+      if (Eat(Token::Kind::kComma)) continue;
+      break;
+    }
+    Eat(Token::Kind::kPeriod);  // optional
+    if (!At(Token::Kind::kEnd)) return Err("trailing input after query");
+    return rule;
+  }
+
+ private:
+  static bool IsVariableName(const std::string& s) {
+    return !s.empty() &&
+           (std::islower(static_cast<unsigned char>(s[0])) || s[0] == '_');
+  }
+
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(Token::Kind k) const { return Cur().kind == k; }
+  void Advance() { ++pos_; }
+  bool Eat(Token::Kind k) {
+    if (At(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Result<RawRule> Err(const std::string& msg) const {
+    return Result<RawRule>::Error(
+        StrCat("parse error at offset ", Cur().pos, ": ", msg));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+Result<Query> BuildFromRule(const RawRule& rule,
+                            std::shared_ptr<const Schema> schema) {
+  QueryBuilder b(std::move(schema));
+  b.SetName(rule.name);
+  for (const RawAtom& atom : rule.atoms) {
+    std::vector<Term> args;
+    args.reserve(atom.args.size());
+    for (const RawAtom::Arg& a : atom.args) {
+      args.push_back(a.is_const ? Term::Const(a.constant)
+                                : Term::Var(b.Var(a.var)));
+    }
+    b.AddAtom(atom.rel, std::move(args));
+  }
+  b.SetHeadNames(rule.head_vars);
+  return b.Build();
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto toks = Lexer(text).Tokenize();
+  if (!toks.ok()) return Result<Query>::Error(toks.error());
+  auto rule = Parser(std::move(toks.value())).Parse();
+  if (!rule.ok()) return Result<Query>::Error(rule.error());
+
+  // Infer the schema from first occurrences.
+  auto schema = std::make_shared<Schema>();
+  for (const RawAtom& atom : rule->atoms) {
+    RelId id = schema->FindRelation(atom.rel);
+    if (id == kInvalidRel) {
+      auto added = schema->AddRelation(atom.rel, atom.args.size());
+      if (!added.ok()) return Result<Query>::Error(added.error());
+    } else if (schema->arity(id) != atom.args.size()) {
+      return Result<Query>::Error(
+          StrCat("relation ", atom.rel, " used with arities ",
+                 schema->arity(id), " and ", atom.args.size()));
+    }
+  }
+  return BuildFromRule(*rule, std::move(schema));
+}
+
+Result<Query> ParseQuery(std::string_view text,
+                         std::shared_ptr<const Schema> schema) {
+  auto toks = Lexer(text).Tokenize();
+  if (!toks.ok()) return Result<Query>::Error(toks.error());
+  auto rule = Parser(std::move(toks.value())).Parse();
+  if (!rule.ok()) return Result<Query>::Error(rule.error());
+  return BuildFromRule(*rule, std::move(schema));
+}
+
+}  // namespace dyncq

@@ -1,0 +1,36 @@
+// Datalog-style text parser for conjunctive queries.
+//
+// Syntax (one rule per call):
+//
+//   Q(x, y) :- R(x, y), S(y, z), T(y, 42).
+//
+// * The head lists the free variables (empty head = Boolean query).
+// * Identifiers starting with a lowercase letter are variables; trailing
+//   primes are allowed (y'). Identifiers starting with an uppercase letter
+//   are relation symbols. Unsigned integer literals are constants.
+// * The trailing period is optional.
+//
+// Without an explicit schema, relation arities are inferred from first
+// occurrence (inconsistent reuse is an error).
+#ifndef DYNCQ_CQ_PARSER_H_
+#define DYNCQ_CQ_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "cq/query.h"
+#include "util/result.h"
+
+namespace dyncq {
+
+/// Parses `text`, inferring a fresh schema from the atoms.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses `text` against an existing schema (relations must exist with
+/// matching arities).
+Result<Query> ParseQuery(std::string_view text,
+                         std::shared_ptr<const Schema> schema);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_PARSER_H_

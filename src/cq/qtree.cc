@@ -1,0 +1,225 @@
+#include "cq/qtree.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "cq/analysis.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dyncq {
+
+namespace {
+
+/// One recursion frame: a connected set of atoms, each with its remaining
+/// (not yet placed) variable set.
+struct Frame {
+  std::vector<int> atoms;           // atom indices
+  std::vector<VarMask> remaining;   // remaining vars per atom (parallel)
+  int parent_node;                  // -1 for the root call
+};
+
+}  // namespace
+
+Result<QTree> QTree::Build(const Query& q) {
+  if (!IsConnected(q)) {
+    return Result<QTree>::Error("QTree::Build requires a connected query");
+  }
+  if (!IsQHierarchical(q)) {
+    return Result<QTree>::Error("query is not q-hierarchical: " +
+                                q.ToString());
+  }
+
+  QTree tree;
+  tree.node_of_var_.assign(q.NumVars(), -1);
+  tree.rep_node_of_atom_.assign(q.NumAtoms(), -1);
+
+  // Explicit stack so that children are visited in document order: we push
+  // components in reverse so the smallest-atom component pops first.
+  std::vector<Frame> stack;
+  {
+    Frame root;
+    root.parent_node = -1;
+    for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+      root.atoms.push_back(static_cast<int>(ai));
+      root.remaining.push_back(q.atoms()[ai].var_mask);
+    }
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    DYNCQ_DCHECK(!f.atoms.empty());
+
+    // Claim 4.3: pick a variable contained in every remaining atom,
+    // preferring free variables; tie-break on the smallest id.
+    VarMask inter = ~VarMask{0};
+    VarMask vars_here = 0;
+    for (VarMask m : f.remaining) {
+      inter &= m;
+      vars_here |= m;
+    }
+    DYNCQ_CHECK_MSG(inter != 0,
+                    "q-tree construction found no common variable in a "
+                    "q-hierarchical query (internal error)");
+    VarMask free_inter = inter & q.free_mask();
+    VarMask free_here = vars_here & q.free_mask();
+    // If the remaining subquery still has free variables, Claim 4.3
+    // guarantees the intersection contains one.
+    DYNCQ_CHECK_MSG(free_here == 0 || free_inter != 0,
+                    "free variable missing from common set (internal error)");
+    VarMask pick_from = free_inter != 0 ? free_inter : inter;
+    VarId x = static_cast<VarId>(std::countr_zero(pick_from));
+
+    // Create the node.
+    int node_idx = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+    QTreeNode& node = tree.nodes_.back();
+    node.var = x;
+    node.parent = f.parent_node;
+    node.is_free = q.IsFree(x);
+    if (f.parent_node >= 0) {
+      QTreeNode& par = tree.nodes_[static_cast<std::size_t>(f.parent_node)];
+      node.slot_in_parent = static_cast<int>(par.children.size());
+      par.children.push_back(node_idx);
+      node.depth = par.depth + 1;
+      node.path_vars = par.path_vars;
+    }
+    node.path_vars.push_back(x);
+    tree.node_of_var_[x] = node_idx;
+
+    // Remove x from every atom; atoms that become empty are represented
+    // at this node.
+    std::vector<int> live_atoms;
+    std::vector<VarMask> live_remaining;
+    for (std::size_t i = 0; i < f.atoms.size(); ++i) {
+      DYNCQ_DCHECK((f.remaining[i] & VarBit(x)) != 0);
+      VarMask m = f.remaining[i] & ~VarBit(x);
+      if (m == 0) {
+        node.rep_atoms.push_back(f.atoms[i]);
+        tree.rep_node_of_atom_[static_cast<std::size_t>(f.atoms[i])] =
+            node_idx;
+      } else {
+        live_atoms.push_back(f.atoms[i]);
+        live_remaining.push_back(m);
+      }
+    }
+
+    // Partition the surviving atoms into connected components (over the
+    // remaining variables) and recurse. Components are ordered by their
+    // smallest atom index (document order); push in reverse for the stack.
+    std::vector<int> comp_of(live_atoms.size(), -1);
+    std::vector<Frame> comps;
+    for (std::size_t i = 0; i < live_atoms.size(); ++i) {
+      if (comp_of[i] != -1) continue;
+      // BFS over atoms sharing variables.
+      Frame comp;
+      comp.parent_node = node_idx;
+      std::vector<std::size_t> queue = {i};
+      comp_of[i] = static_cast<int>(comps.size());
+      VarMask comp_vars = live_remaining[i];
+      while (!queue.empty()) {
+        std::size_t cur = queue.back();
+        queue.pop_back();
+        comp.atoms.push_back(live_atoms[cur]);
+        comp.remaining.push_back(live_remaining[cur]);
+        for (std::size_t j = 0; j < live_atoms.size(); ++j) {
+          if (comp_of[j] == -1 && (live_remaining[j] & comp_vars) != 0) {
+            comp_of[j] = comp_of[i];
+            comp_vars |= live_remaining[j];
+            queue.push_back(j);
+            // Re-scan: absorbing j may connect earlier atoms.
+            j = static_cast<std::size_t>(-1);
+          }
+        }
+      }
+      comps.push_back(std::move(comp));
+    }
+    for (auto it = comps.rbegin(); it != comps.rend(); ++it) {
+      stack.push_back(std::move(*it));
+    }
+  }
+
+  // Post-pass: tracked atoms = atoms represented in the node's subtree.
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    int n = tree.rep_node_of_atom_[ai];
+    DYNCQ_CHECK_MSG(n >= 0, "atom not represented (internal error)");
+    while (n >= 0) {
+      tree.nodes_[static_cast<std::size_t>(n)].tracked_atoms.push_back(
+          static_cast<int>(ai));
+      n = tree.nodes_[static_cast<std::size_t>(n)].parent;
+    }
+  }
+  // Keep tracked atom lists sorted for deterministic slot layouts.
+  for (QTreeNode& node : tree.nodes_) {
+    std::sort(node.tracked_atoms.begin(), node.tracked_atoms.end());
+  }
+
+  // Validation (Definition 4.1): every atom's variable set must be a
+  // root path, and free variables a connected prefix containing the root.
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    const QTreeNode& rep =
+        tree.nodes_[static_cast<std::size_t>(tree.rep_node_of_atom_[ai])];
+    VarMask path_mask = 0;
+    for (VarId v : rep.path_vars) path_mask |= VarBit(v);
+    DYNCQ_CHECK_MSG(path_mask == q.atoms()[ai].var_mask,
+                    "atom variables do not form a root path");
+  }
+  for (const QTreeNode& node : tree.nodes_) {
+    if (node.is_free && node.parent >= 0) {
+      DYNCQ_CHECK_MSG(
+          tree.nodes_[static_cast<std::size_t>(node.parent)].is_free,
+          "free variables not connected towards the root");
+    }
+  }
+  if (q.free_mask() != 0) {
+    DYNCQ_CHECK_MSG(tree.nodes_[0].is_free, "root must be free");
+  }
+  return tree;
+}
+
+std::vector<int> QTree::AtomPathNodes(int ai) const {
+  std::vector<int> path;
+  int n = RepNodeOfAtom(ai);
+  while (n >= 0) {
+    path.push_back(n);
+    n = nodes_[static_cast<std::size_t>(n)].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string QTree::ToString(const Query& q) const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const QTreeNode& n = nodes_[i];
+    out.append(static_cast<std::size_t>(n.depth) * 2, ' ');
+    out += q.VarName(n.var);
+    if (n.is_free) out += "*";
+    if (!n.rep_atoms.empty()) {
+      out += "  rep:";
+      for (int ai : n.rep_atoms) {
+        out += " " + q.schema().name(q.atoms()[static_cast<std::size_t>(ai)].rel);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string QTree::ToDot(const Query& q) const {
+  std::string out = "digraph qtree {\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const QTreeNode& n = nodes_[i];
+    out += StrCat("  n", i, " [label=\"", q.VarName(n.var),
+                  n.is_free ? " (free)" : "", "\"];\n");
+    if (n.parent >= 0) {
+      out += StrCat("  n", n.parent, " -> n", i, ";\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dyncq

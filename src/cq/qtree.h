@@ -1,0 +1,72 @@
+// q-trees (paper §4, Definition 4.1 and Lemma 4.2).
+//
+// A q-tree for a connected CQ is a rooted tree on its variables where
+// (1) every atom's variable set is a root-path, and (2) the free variables
+// form a connected prefix containing the root. A connected CQ has a q-tree
+// iff it is q-hierarchical; the constructive proof of Lemma 4.2 (via
+// Claim 4.3) is implemented here and doubles as an independent
+// q-hierarchicality check.
+//
+// Nodes are stored in document order (preorder), which is exactly the
+// order Algorithm 1 enumerates in; component recursion follows the
+// smallest contained atom index, which reproduces the paper's Figure 2
+// tree and Table 1 enumeration order for Example 6.1.
+#ifndef DYNCQ_CQ_QTREE_H_
+#define DYNCQ_CQ_QTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "util/result.h"
+
+namespace dyncq {
+
+struct QTreeNode {
+  VarId var = kInvalidVar;
+  int parent = -1;                 // node index; -1 for the root
+  int slot_in_parent = -1;         // index within parent's children
+  std::vector<int> children;       // node indices, document order
+  std::vector<int> rep_atoms;      // atoms ψ with vars(ψ) == path[this]
+  std::vector<int> tracked_atoms;  // atoms(var): atoms rep'd in the subtree
+  std::vector<VarId> path_vars;    // variables on the root path, root first
+  int depth = 0;                   // root = 0; |path[this]| = depth + 1
+  bool is_free = false;
+};
+
+class QTree {
+ public:
+  /// Builds a q-tree for a connected query; fails iff the query is not
+  /// q-hierarchical (Lemma 4.2).
+  static Result<QTree> Build(const Query& connected_query);
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  const QTreeNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  int root() const { return 0; }
+
+  /// Node index for a variable.
+  int NodeOfVar(VarId v) const { return node_of_var_[v]; }
+
+  /// Node at which atom `ai` is represented (vars(atom) == path[node]).
+  int RepNodeOfAtom(int ai) const {
+    return rep_node_of_atom_[static_cast<std::size_t>(ai)];
+  }
+
+  /// Path of node indices from the root to atom ai's rep node.
+  std::vector<int> AtomPathNodes(int ai) const;
+
+  /// ASCII rendering (one node per line, indentation by depth).
+  std::string ToString(const Query& q) const;
+
+  /// Graphviz rendering.
+  std::string ToDot(const Query& q) const;
+
+ private:
+  std::vector<QTreeNode> nodes_;
+  std::vector<int> node_of_var_;
+  std::vector<int> rep_node_of_atom_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_QTREE_H_

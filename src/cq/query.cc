@@ -1,0 +1,234 @@
+#include "cq/query.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dyncq {
+
+std::vector<VarId> Atom::Vars() const {
+  std::vector<VarId> out;
+  for (const Term& t : args) {
+    if (t.IsVar() &&
+        std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  }
+  return out;
+}
+
+bool Query::HasConstants() const {
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.IsConst()) return true;
+    }
+  }
+  return false;
+}
+
+bool Query::HasSelfJoin() const {
+  std::vector<int> seen(schema_->NumRelations(), 0);
+  for (const Atom& a : atoms_) {
+    if (++seen[a.rel] > 1) return true;
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  std::string out = name_ + "(";
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += var_names_[head_[i]];
+  }
+  out += ") :- ";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_->name(atoms_[i].rel) + "(";
+    for (std::size_t j = 0; j < atoms_[i].args.size(); ++j) {
+      if (j > 0) out += ", ";
+      const Term& t = atoms_[i].args[j];
+      out += t.IsVar() ? var_names_[t.var] : std::to_string(t.constant);
+    }
+    out += ")";
+  }
+  out += ".";
+  return out;
+}
+
+Query Query::BooleanClosure() const {
+  Query q = *this;
+  q.head_.clear();
+  q.free_mask_ = 0;
+  return q;
+}
+
+Query Query::RestrictToAtoms(const std::vector<int>& atom_indices) const {
+  Query q;
+  q.schema_ = schema_;
+  q.name_ = name_;
+
+  // Determine the surviving variables (head variables always survive).
+  VarMask used = free_mask_;
+  for (int ai : atom_indices) {
+    used |= atoms_[static_cast<std::size_t>(ai)].var_mask;
+  }
+
+  std::vector<VarId> remap(NumVars(), kInvalidVar);
+  for (VarId v = 0; v < NumVars(); ++v) {
+    if (used & VarBit(v)) {
+      remap[v] = static_cast<VarId>(q.var_names_.size());
+      q.var_names_.push_back(var_names_[v]);
+    }
+  }
+
+  for (int ai : atom_indices) {
+    const Atom& src = atoms_[static_cast<std::size_t>(ai)];
+    Atom a;
+    a.rel = src.rel;
+    for (const Term& t : src.args) {
+      if (t.IsVar()) {
+        VarId nv = remap[t.var];
+        DYNCQ_DCHECK(nv != kInvalidVar);
+        a.args.push_back(Term::Var(nv));
+        a.var_mask |= VarBit(nv);
+      } else {
+        a.args.push_back(t);
+      }
+    }
+    q.all_mask_ |= a.var_mask;
+    q.atoms_.push_back(std::move(a));
+  }
+
+  for (VarId v : head_) {
+    VarId nv = remap[v];
+    DYNCQ_CHECK_MSG(nv != kInvalidVar, "head variable lost in restriction");
+    q.head_.push_back(nv);
+    q.free_mask_ |= VarBit(nv);
+    q.all_mask_ |= VarBit(nv);
+  }
+  return q;
+}
+
+QueryBuilder::QueryBuilder(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  DYNCQ_CHECK_MSG(schema_ != nullptr, "QueryBuilder needs a schema");
+  q_.schema_ = schema_;
+}
+
+VarId QueryBuilder::Var(const std::string& name) {
+  for (std::size_t i = 0; i < q_.var_names_.size(); ++i) {
+    if (q_.var_names_[i] == name) return static_cast<VarId>(i);
+  }
+  if (q_.var_names_.size() >= 64) {
+    Fail("queries are limited to 64 variables");
+    return 0;
+  }
+  q_.var_names_.push_back(name);
+  return static_cast<VarId>(q_.var_names_.size() - 1);
+}
+
+QueryBuilder& QueryBuilder::AddAtom(const std::string& rel_name,
+                                    std::vector<Term> args) {
+  RelId rel = schema_->FindRelation(rel_name);
+  if (rel == kInvalidRel) {
+    Fail("unknown relation '" + rel_name + "'");
+    return *this;
+  }
+  return AddAtom(rel, std::move(args));
+}
+
+QueryBuilder& QueryBuilder::AddAtom(RelId rel, std::vector<Term> args) {
+  if (rel >= schema_->NumRelations()) {
+    Fail("invalid relation id");
+    return *this;
+  }
+  if (args.size() != schema_->arity(rel)) {
+    Fail(StrCat("arity mismatch for ", schema_->name(rel), ": expected ",
+                schema_->arity(rel), ", got ", args.size()));
+    return *this;
+  }
+  Atom a;
+  a.rel = rel;
+  for (const Term& t : args) {
+    if (t.IsVar()) {
+      if (t.var >= q_.var_names_.size()) {
+        Fail("atom references an undeclared variable id");
+        return *this;
+      }
+      a.var_mask |= VarBit(t.var);
+    }
+    a.args.push_back(t);
+  }
+  if (a.var_mask == 0) {
+    Fail(StrCat("atom over ", schema_->name(rel),
+                " has no variables (unsupported)"));
+    return *this;
+  }
+  q_.all_mask_ |= a.var_mask;
+  q_.atoms_.push_back(std::move(a));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddAtomVars(
+    const std::string& rel_name, const std::vector<std::string>& var_names) {
+  std::vector<Term> args;
+  args.reserve(var_names.size());
+  for (const std::string& n : var_names) args.push_back(Term::Var(Var(n)));
+  return AddAtom(rel_name, std::move(args));
+}
+
+QueryBuilder& QueryBuilder::SetHead(const std::vector<VarId>& head) {
+  q_.head_ = head;
+  head_set_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SetHeadNames(
+    const std::vector<std::string>& names) {
+  std::vector<VarId> head;
+  head.reserve(names.size());
+  for (const std::string& n : names) head.push_back(Var(n));
+  return SetHead(head);
+}
+
+QueryBuilder& QueryBuilder::SetName(const std::string& name) {
+  q_.name_ = name;
+  return *this;
+}
+
+void QueryBuilder::Fail(const std::string& msg) { errors_.push_back(msg); }
+
+Result<Query> QueryBuilder::Build() {
+  if (q_.atoms_.empty()) Fail("query has no atoms");
+  q_.free_mask_ = 0;
+  for (VarId v : q_.head_) {
+    if (v >= q_.var_names_.size()) {
+      Fail("head references an undeclared variable id");
+      break;
+    }
+    if (q_.free_mask_ & VarBit(v)) {
+      Fail("head variables must be pairwise distinct");
+      break;
+    }
+    if (!(q_.all_mask_ & VarBit(v))) {
+      Fail("head variable '" + q_.var_names_[v] +
+           "' does not occur in any atom");
+      break;
+    }
+    q_.free_mask_ |= VarBit(v);
+  }
+  // Every declared variable must occur in an atom (otherwise it is
+  // unconstrained and the query result would be infinite).
+  for (VarId v = 0; v < q_.var_names_.size(); ++v) {
+    if (!(q_.all_mask_ & VarBit(v))) {
+      Fail("variable '" + q_.var_names_[v] + "' does not occur in any atom");
+    }
+  }
+  if (!errors_.empty()) {
+    return Result<Query>::Error(Join(errors_, "; "));
+  }
+  return q_;
+}
+
+}  // namespace dyncq

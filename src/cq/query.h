@@ -1,0 +1,150 @@
+// Conjunctive query AST (paper §2, Queries).
+//
+// A query is a set of atoms over variables (and, as an engine-supported
+// extension, constants) together with an ordered tuple of free variables.
+// Queries are immutable once built; all analyses are pure functions.
+#ifndef DYNCQ_CQ_QUERY_H_
+#define DYNCQ_CQ_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cq/schema.h"
+#include "util/result.h"
+#include "util/small_vector.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+/// Set of variables as a bitmask. Queries are limited to 64 variables,
+/// which keeps the (query-size-only) combinatorial analyses cheap.
+using VarMask = std::uint64_t;
+
+inline VarMask VarBit(VarId v) { return VarMask{1} << v; }
+
+/// An atom argument: a variable or a constant.
+struct Term {
+  enum class Kind : std::uint8_t { kVar, kConst };
+
+  static Term Var(VarId v) { return Term{Kind::kVar, v, 0}; }
+  static Term Const(Value c) { return Term{Kind::kConst, kInvalidVar, c}; }
+
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool IsConst() const { return kind == Kind::kConst; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return false;
+    return a.IsVar() ? a.var == b.var : a.constant == b.constant;
+  }
+
+  Kind kind = Kind::kVar;
+  VarId var = kInvalidVar;
+  Value constant = 0;
+};
+
+/// An atomic query R(t1, ..., tr).
+struct Atom {
+  RelId rel = kInvalidRel;
+  SmallVector<Term, 4> args;
+  VarMask var_mask = 0;  // cached set of variables occurring in args
+
+  /// Distinct variables in first-occurrence order.
+  std::vector<VarId> Vars() const;
+};
+
+class QueryBuilder;
+
+class Query {
+ public:
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+  const Schema& schema() const { return *schema_; }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t NumAtoms() const { return atoms_.size(); }
+
+  std::size_t NumVars() const { return var_names_.size(); }
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  /// Free variables in head (output) order; pairwise distinct.
+  const std::vector<VarId>& head() const { return head_; }
+  std::size_t Arity() const { return head_.size(); }
+  bool IsFree(VarId v) const { return (free_mask_ & VarBit(v)) != 0; }
+  VarMask free_mask() const { return free_mask_; }
+  VarMask all_vars_mask() const { return all_mask_; }
+
+  bool IsBoolean() const { return head_.empty(); }
+  bool IsQuantifierFree() const { return free_mask_ == all_mask_; }
+  bool HasConstants() const;
+  bool HasSelfJoin() const;
+  bool IsSelfJoinFree() const { return !HasSelfJoin(); }
+
+  /// Datalog-style rendering, e.g. "Q(x, y) :- R(x, y), S(y, 5).".
+  std::string ToString() const;
+
+  /// The Boolean closure ∃x1...∃xk ϕ (same atoms, empty head).
+  Query BooleanClosure() const;
+
+  /// A copy restricted to the given atom indices, with unused variables
+  /// dropped and renumbered. The head is unchanged (all head variables
+  /// must still occur). Used by core computation.
+  Query RestrictToAtoms(const std::vector<int>& atom_indices) const;
+
+ private:
+  friend class QueryBuilder;
+  Query() = default;
+
+  std::shared_ptr<const Schema> schema_;
+  std::string name_ = "Q";
+  std::vector<std::string> var_names_;
+  std::vector<Atom> atoms_;
+  std::vector<VarId> head_;
+  VarMask free_mask_ = 0;
+  VarMask all_mask_ = 0;
+};
+
+/// Incremental query construction with validation.
+///
+///   QueryBuilder b(schema);
+///   VarId x = b.Var("x"), y = b.Var("y");
+///   b.AddAtom("R", {Term::Var(x), Term::Var(y)});
+///   b.SetHead({x});
+///   Result<Query> q = b.Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::shared_ptr<const Schema> schema);
+
+  /// Returns the id for variable `name`, creating it if new.
+  VarId Var(const std::string& name);
+
+  /// Adds an atom. Fails (recorded, reported by Build) on unknown
+  /// relation, arity mismatch, or an atom without variables.
+  QueryBuilder& AddAtom(const std::string& rel_name,
+                        std::vector<Term> args);
+  QueryBuilder& AddAtom(RelId rel, std::vector<Term> args);
+
+  /// Convenience: args given as variable names.
+  QueryBuilder& AddAtomVars(const std::string& rel_name,
+                            const std::vector<std::string>& var_names);
+
+  QueryBuilder& SetHead(const std::vector<VarId>& head);
+  QueryBuilder& SetHeadNames(const std::vector<std::string>& names);
+  QueryBuilder& SetName(const std::string& name);
+
+  Result<Query> Build();
+
+ private:
+  void Fail(const std::string& msg);
+
+  std::shared_ptr<const Schema> schema_;
+  Query q_;
+  std::vector<std::string> errors_;
+  bool head_set_ = false;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_QUERY_H_

@@ -1,0 +1,42 @@
+#include "cq/schema.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dyncq {
+
+Result<RelId> Schema::AddRelation(const std::string& name,
+                                  std::size_t arity) {
+  if (arity == 0) {
+    return Result<RelId>::Error("relation '" + name +
+                                "' must have arity >= 1");
+  }
+  if (FindRelation(name) != kInvalidRel) {
+    return Result<RelId>::Error("duplicate relation '" + name + "'");
+  }
+  relations_.push_back(RelationSchema{name, arity});
+  return static_cast<RelId>(relations_.size() - 1);
+}
+
+RelId Schema::FindRelation(const std::string& name) const {
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<RelId>(i);
+  }
+  return kInvalidRel;
+}
+
+const RelationSchema& Schema::relation(RelId id) const {
+  DYNCQ_CHECK_MSG(id < relations_.size(), "invalid relation id");
+  return relations_[id];
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(relations_[i].name, "/", relations_[i].arity);
+  }
+  return out;
+}
+
+}  // namespace dyncq

@@ -1,0 +1,45 @@
+// Relational schemas: named relation symbols with fixed arities.
+#ifndef DYNCQ_CQ_SCHEMA_H_
+#define DYNCQ_CQ_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+struct RelationSchema {
+  std::string name;
+  std::size_t arity = 0;
+};
+
+/// An ordered set of relation symbols. RelIds are dense indices into the
+/// declaration order.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol; fails if the name already exists or arity is 0.
+  Result<RelId> AddRelation(const std::string& name, std::size_t arity);
+
+  /// Returns the id for `name`, or kInvalidRel.
+  RelId FindRelation(const std::string& name) const;
+
+  std::size_t NumRelations() const { return relations_.size(); }
+  const RelationSchema& relation(RelId id) const;
+  std::size_t arity(RelId id) const { return relation(id).arity; }
+  const std::string& name(RelId id) const { return relation(id).name; }
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_SCHEMA_H_

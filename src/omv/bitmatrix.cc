@@ -1,0 +1,84 @@
+#include "omv/bitmatrix.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace dyncq::omv {
+
+bool BitVector::Dot(const BitVector& o) const {
+  DYNCQ_DCHECK(n_ == o.n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & o.words_[w]) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::PopCount() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+BitVector BitVector::Random(std::size_t n, double density, Rng& rng) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Chance(density)) v.Set(i, true);
+  }
+  return v;
+}
+
+BitVector BitMatrix::Multiply(const BitVector& v) const {
+  DYNCQ_CHECK(v.size() == cols_);
+  BitVector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::uint64_t* row = &words_[i * row_words_];
+    bool hit = false;
+    for (std::size_t w = 0; w < row_words_; ++w) {
+      if (row[w] & v.words()[w]) {
+        hit = true;
+        break;
+      }
+    }
+    out.Set(i, hit);
+  }
+  return out;
+}
+
+BitVector BitMatrix::MultiplyNaive(const BitVector& v) const {
+  DYNCQ_CHECK(v.size() == cols_);
+  BitVector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    bool hit = false;
+    for (std::size_t j = 0; j < cols_ && !hit; ++j) {
+      hit = Get(i, j) && v.Get(j);
+    }
+    out.Set(i, hit);
+  }
+  return out;
+}
+
+bool BitMatrix::BilinearForm(const BitVector& u, const BitVector& v) const {
+  DYNCQ_CHECK(u.size() == rows_ && v.size() == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (!u.Get(i)) continue;
+    const std::uint64_t* row = &words_[i * row_words_];
+    for (std::size_t w = 0; w < row_words_; ++w) {
+      if (row[w] & v.words()[w]) return true;
+    }
+  }
+  return false;
+}
+
+BitMatrix BitMatrix::Random(std::size_t rows, std::size_t cols,
+                            double density, Rng& rng) {
+  BitMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.Chance(density)) m.Set(i, j, true);
+    }
+  }
+  return m;
+}
+
+}  // namespace dyncq::omv

@@ -1,0 +1,97 @@
+// Bit-packed Boolean vectors and matrices over the Boolean semiring
+// (multiplication = AND, addition = OR), as used by the OMv / OuMv / OV
+// problems (paper §5.1–5.2).
+#ifndef DYNCQ_OMV_BITMATRIX_H_
+#define DYNCQ_OMV_BITMATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dyncq::omv {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  std::size_t size() const { return n_; }
+
+  bool Get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(std::size_t i, bool v) {
+    if (v) {
+      words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+  }
+
+  /// Boolean dot product: true iff some position is 1 in both vectors.
+  bool Dot(const BitVector& o) const;
+
+  /// Number of set bits.
+  std::size_t PopCount() const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.n_ == b.n_ && a.words_ == b.words_;
+  }
+
+  static BitVector Random(std::size_t n, double density, Rng& rng);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), row_words_((cols + 63) / 64),
+        words_(rows * row_words_, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool Get(std::size_t i, std::size_t j) const {
+    return (words_[i * row_words_ + (j >> 6)] >> (j & 63)) & 1;
+  }
+
+  void Set(std::size_t i, std::size_t j, bool v) {
+    std::uint64_t& w = words_[i * row_words_ + (j >> 6)];
+    if (v) {
+      w |= (std::uint64_t{1} << (j & 63));
+    } else {
+      w &= ~(std::uint64_t{1} << (j & 63));
+    }
+  }
+
+  /// Word-parallel Boolean matrix-vector product (O(n^2 / w) per call).
+  BitVector Multiply(const BitVector& v) const;
+
+  /// Bit-by-bit product, deliberately O(n^2) with no word parallelism —
+  /// the "naive" reference point in the benchmarks.
+  BitVector MultiplyNaive(const BitVector& v) const;
+
+  /// u^T M v over the Boolean semiring.
+  bool BilinearForm(const BitVector& u, const BitVector& v) const;
+
+  static BitMatrix Random(std::size_t rows, std::size_t cols,
+                          double density, Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_words_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dyncq::omv
+
+#endif  // DYNCQ_OMV_BITMATRIX_H_

@@ -1,0 +1,73 @@
+#include "omv/omv.h"
+
+namespace dyncq::omv {
+
+OMvInstance OMvInstance::Random(std::size_t n, double density,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  OMvInstance inst;
+  inst.m = BitMatrix::Random(n, n, density, rng);
+  inst.vectors.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    inst.vectors.push_back(BitVector::Random(n, density, rng));
+  }
+  return inst;
+}
+
+OuMvInstance OuMvInstance::Random(std::size_t n, double density,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  OuMvInstance inst;
+  inst.m = BitMatrix::Random(n, n, density, rng);
+  inst.pairs.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    inst.pairs.emplace_back(BitVector::Random(n, density, rng),
+                            BitVector::Random(n, density, rng));
+  }
+  return inst;
+}
+
+std::vector<BitVector> SolveOMvNaive(const OMvInstance& inst) {
+  std::vector<BitVector> out;
+  out.reserve(inst.vectors.size());
+  for (const BitVector& v : inst.vectors) {
+    out.push_back(inst.m.MultiplyNaive(v));
+  }
+  return out;
+}
+
+std::vector<BitVector> SolveOMvWordParallel(const OMvInstance& inst) {
+  std::vector<BitVector> out;
+  out.reserve(inst.vectors.size());
+  for (const BitVector& v : inst.vectors) {
+    out.push_back(inst.m.Multiply(v));
+  }
+  return out;
+}
+
+std::vector<bool> SolveOuMvNaive(const OuMvInstance& inst) {
+  std::vector<bool> out;
+  out.reserve(inst.pairs.size());
+  for (const auto& [u, v] : inst.pairs) {
+    bool r = false;
+    for (std::size_t i = 0; i < u.size() && !r; ++i) {
+      if (!u.Get(i)) continue;
+      for (std::size_t j = 0; j < v.size() && !r; ++j) {
+        r = inst.m.Get(i, j) && v.Get(j);
+      }
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<bool> SolveOuMvWordParallel(const OuMvInstance& inst) {
+  std::vector<bool> out;
+  out.reserve(inst.pairs.size());
+  for (const auto& [u, v] : inst.pairs) {
+    out.push_back(inst.m.BilinearForm(u, v));
+  }
+  return out;
+}
+
+}  // namespace dyncq::omv

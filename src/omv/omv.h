@@ -1,0 +1,44 @@
+// The online matrix-vector multiplication problems (paper §5.1).
+//
+// OMv: given an n×n Boolean matrix M (preprocessing allowed), then n
+// vectors arriving one at a time, output M v^t before seeing v^{t+1}.
+// OuMv: vector pairs (u^t, v^t) arrive; output (u^t)^T M v^t each round.
+// The OMv conjecture states no O(n^{3-ε}) total-time algorithm exists;
+// OuMv is OMv-hard (Theorem 5.1 / [HKNS15] Thm 2.4).
+#ifndef DYNCQ_OMV_OMV_H_
+#define DYNCQ_OMV_OMV_H_
+
+#include <vector>
+
+#include "omv/bitmatrix.h"
+
+namespace dyncq::omv {
+
+struct OMvInstance {
+  BitMatrix m;
+  std::vector<BitVector> vectors;  // arrive online
+
+  static OMvInstance Random(std::size_t n, double density,
+                            std::uint64_t seed);
+};
+
+struct OuMvInstance {
+  BitMatrix m;
+  std::vector<std::pair<BitVector, BitVector>> pairs;  // arrive online
+
+  static OuMvInstance Random(std::size_t n, double density,
+                             std::uint64_t seed);
+};
+
+/// O(n^3) bit-by-bit solver (reference baseline).
+std::vector<BitVector> SolveOMvNaive(const OMvInstance& inst);
+
+/// O(n^3 / w) word-parallel solver — the practical upper bound.
+std::vector<BitVector> SolveOMvWordParallel(const OMvInstance& inst);
+
+std::vector<bool> SolveOuMvNaive(const OuMvInstance& inst);
+std::vector<bool> SolveOuMvWordParallel(const OuMvInstance& inst);
+
+}  // namespace dyncq::omv
+
+#endif  // DYNCQ_OMV_OMV_H_

@@ -1,0 +1,63 @@
+#include "omv/ov.h"
+
+#include <cmath>
+
+namespace dyncq::omv {
+
+namespace {
+
+std::size_t LogDim(std::size_t n) {
+  std::size_t d = 1;
+  while ((std::size_t{1} << d) < n) ++d;
+  return d;
+}
+
+}  // namespace
+
+OVInstance OVInstance::Random(std::size_t n, double density,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  OVInstance inst;
+  inst.d = LogDim(n);
+  inst.u.reserve(n);
+  inst.v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.u.push_back(BitVector::Random(inst.d, density, rng));
+    inst.v.push_back(BitVector::Random(inst.d, density, rng));
+  }
+  return inst;
+}
+
+OVInstance OVInstance::RandomWithPlantedPair(std::size_t n, double density,
+                                             std::uint64_t seed) {
+  OVInstance inst = Random(n, density, seed);
+  Rng rng(seed ^ 0xabcdef12345ULL);
+  std::size_t i = rng.Below(n), j = rng.Below(n);
+  // Make u[i] and v[j] complementary halves: orthogonal by construction.
+  for (std::size_t b = 0; b < inst.d; ++b) {
+    bool left = b < inst.d / 2;
+    inst.u[i].Set(b, left);
+    inst.v[j].Set(b, !left);
+  }
+  return inst;
+}
+
+bool SolveOVNaive(const OVInstance& inst) {
+  for (const BitVector& u : inst.u) {
+    for (const BitVector& v : inst.v) {
+      if (!u.Dot(v)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t CountNonOrthogonal(const std::vector<BitVector>& u,
+                               const BitVector& v) {
+  std::size_t c = 0;
+  for (const BitVector& ui : u) {
+    if (ui.Dot(v)) ++c;
+  }
+  return c;
+}
+
+}  // namespace dyncq::omv

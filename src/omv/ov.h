@@ -1,0 +1,39 @@
+// The orthogonal vectors problem (paper §5.2, Conjecture 5.2).
+//
+// Given sets U, V of n Boolean vectors of dimension d = ceil(log2 n),
+// decide whether some u ∈ U, v ∈ V satisfy u^T v = 0. The OV conjecture
+// (implied by SETH) rules out O(n^{2-ε}) algorithms for d = ω(log n).
+#ifndef DYNCQ_OMV_OV_H_
+#define DYNCQ_OMV_OV_H_
+
+#include <vector>
+
+#include "omv/bitmatrix.h"
+
+namespace dyncq::omv {
+
+struct OVInstance {
+  std::vector<BitVector> u;  // |U| = n vectors of dimension d
+  std::vector<BitVector> v;  // |V| = n vectors of dimension d
+  std::size_t d = 0;
+
+  /// Random instance with d = ceil(log2 n) (the conjecture's regime).
+  static OVInstance Random(std::size_t n, double density,
+                           std::uint64_t seed);
+
+  /// Instance with a planted orthogonal pair.
+  static OVInstance RandomWithPlantedPair(std::size_t n, double density,
+                                          std::uint64_t seed);
+};
+
+/// All-pairs check, O(n^2 d / w).
+bool SolveOVNaive(const OVInstance& inst);
+
+/// Number of vectors in U non-orthogonal to `v` (the quantity the
+/// counting reduction of Lemma 5.5 reads off per round).
+std::size_t CountNonOrthogonal(const std::vector<BitVector>& u,
+                               const BitVector& v);
+
+}  // namespace dyncq::omv
+
+#endif  // DYNCQ_OMV_OV_H_

@@ -1,0 +1,353 @@
+#include "omv/reductions.h"
+
+#include <algorithm>
+
+#include "cq/homomorphism.h"
+#include "util/check.h"
+
+namespace dyncq::omv {
+
+namespace {
+
+/// ι_{i,j}: maps the witness variables x ↦ a_i, y ↦ b_j, and every other
+/// variable z_s ↦ c_s (s = variable id, which is stable and distinct).
+struct Iota {
+  VarId x;
+  VarId y;
+  std::size_t i = 0;
+  std::size_t j = 0;
+
+  Value operator()(VarId v) const {
+    if (v == x) return GadgetDomain::A(i);
+    if (v == y) return GadgetDomain::B(j);
+    return GadgetDomain::C(v);
+  }
+};
+
+Tuple MakeTuple(const Atom& atom, const Iota& iota) {
+  Tuple t;
+  for (const Term& term : atom.args) {
+    t.push_back(term.IsConst() ? term.constant : iota(term.var));
+  }
+  return t;
+}
+
+void ApplyCmd(DynamicQueryEngine& e, const UpdateCmd& cmd,
+              ReductionStats* stats) {
+  e.Apply(cmd);
+  if (stats != nullptr) ++stats->updates;
+}
+
+/// Inserts the static "for all i,j" tuples of every non-witness atom.
+/// Atoms containing x get all i, atoms containing y get all j (the values
+/// of variables other than x,y are fixed constants c_s, so the tuple set
+/// collapses accordingly).
+void InsertStaticAtoms(DynamicQueryEngine& e, const Query& q, VarId x,
+                       VarId y, const std::vector<int>& witness_atoms,
+                       std::size_t n_i, std::size_t n_j,
+                       ReductionStats* stats) {
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    if (std::find(witness_atoms.begin(), witness_atoms.end(),
+                  static_cast<int>(ai)) != witness_atoms.end()) {
+      continue;
+    }
+    const Atom& atom = q.atoms()[ai];
+    bool has_x = (atom.var_mask & VarBit(x)) != 0;
+    bool has_y = (atom.var_mask & VarBit(y)) != 0;
+    std::size_t ni = has_x ? n_i : 1;
+    std::size_t nj = has_y ? n_j : 1;
+    for (std::size_t i = 0; i < ni; ++i) {
+      for (std::size_t j = 0; j < nj; ++j) {
+        ApplyCmd(e,
+                 UpdateCmd::Insert(atom.rel,
+                                   MakeTuple(atom, Iota{x, y, i, j})),
+                 stats);
+      }
+    }
+  }
+}
+
+/// Sets a u/v-encoding atom's tuples to match a target bit vector,
+/// issuing only the updates for changed bits. `use_i` selects whether the
+/// bit index drives the i (x) or j (y) coordinate.
+void SyncVectorAtom(DynamicQueryEngine& e, const Atom& atom, VarId x,
+                    VarId y, bool use_i, const BitVector& prev,
+                    const BitVector& next, ReductionStats* stats) {
+  for (std::size_t b = 0; b < next.size(); ++b) {
+    bool was = b < prev.size() && prev.Get(b);
+    bool now = next.Get(b);
+    if (was == now) continue;
+    Iota iota{x, y, use_i ? b : 0, use_i ? 0 : b};
+    Tuple t = MakeTuple(atom, iota);
+    ApplyCmd(e,
+             now ? UpdateCmd::Insert(atom.rel, t)
+                 : UpdateCmd::Delete(atom.rel, t),
+             stats);
+  }
+}
+
+}  // namespace
+
+Result<OuMvReduction> OuMvReduction::Create(const Query& q) {
+  Query core = ComputeCore(q.BooleanClosure());
+  auto w = FindHierarchyViolation(core);
+  if (!w.has_value()) {
+    return Result<OuMvReduction>::Error(
+        "the Boolean core is hierarchical; OuMv reduction (Thm 3.4) does "
+        "not apply to " +
+        q.ToString());
+  }
+  return OuMvReduction(std::move(core), *w);
+}
+
+std::vector<bool> OuMvReduction::Solve(const OuMvInstance& inst,
+                                       const EngineFactory& factory,
+                                       ReductionStats* stats) const {
+  const std::size_t n = inst.m.rows();
+  const VarId x = witness_.x, y = witness_.y;
+  const Atom& psi_x = core_.atoms()[static_cast<std::size_t>(witness_.atom_x)];
+  const Atom& psi_xy =
+      core_.atoms()[static_cast<std::size_t>(witness_.atom_xy)];
+  const Atom& psi_y = core_.atoms()[static_cast<std::size_t>(witness_.atom_y)];
+
+  std::unique_ptr<DynamicQueryEngine> engine = factory(core_);
+
+  // Preprocessing: encode M into ψ_{x,y} and fill all other non-witness
+  // atoms with their static tuples (at most n^2 + O(n) updates).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (inst.m.Get(i, j)) {
+        ApplyCmd(*engine,
+                 UpdateCmd::Insert(psi_xy.rel,
+                                   MakeTuple(psi_xy, Iota{x, y, i, j})),
+                 stats);
+      }
+    }
+  }
+  InsertStaticAtoms(*engine, core_, x, y,
+                    {witness_.atom_x, witness_.atom_xy, witness_.atom_y}, n,
+                    n, stats);
+
+  // Online phase: 2n updates + one Boolean answer per round.
+  std::vector<bool> out;
+  out.reserve(inst.pairs.size());
+  BitVector prev_u(n), prev_v(n);
+  for (const auto& [u, v] : inst.pairs) {
+    SyncVectorAtom(*engine, psi_x, x, y, /*use_i=*/true, prev_u, u, stats);
+    SyncVectorAtom(*engine, psi_y, x, y, /*use_i=*/false, prev_v, v, stats);
+    prev_u = u;
+    prev_v = v;
+    if (stats != nullptr) ++stats->query_calls;
+    out.push_back(engine->Answer());
+  }
+  return out;
+}
+
+Result<OMvEnumerationReduction> OMvEnumerationReduction::Create(
+    const Query& q) {
+  if (!q.IsSelfJoinFree()) {
+    return Result<OMvEnumerationReduction>::Error(
+        "Theorem 3.3's enumeration reduction requires a self-join-free "
+        "query");
+  }
+  if (FindHierarchyViolation(q).has_value()) {
+    return Result<OMvEnumerationReduction>::Error(
+        "query violates condition (i); use OuMvReduction instead");
+  }
+  auto w = FindFreeViolation(q);
+  if (!w.has_value()) {
+    return Result<OMvEnumerationReduction>::Error(
+        "query is q-hierarchical; no reduction applies to " + q.ToString());
+  }
+  return OMvEnumerationReduction(q, *w);
+}
+
+std::vector<BitVector> OMvEnumerationReduction::Solve(
+    const OMvInstance& inst, const EngineFactory& factory,
+    ReductionStats* stats) const {
+  const std::size_t n = inst.m.rows();
+  const VarId x = witness_.x, y = witness_.y;
+  const Atom& psi_xy = q_.atoms()[static_cast<std::size_t>(witness_.atom_xy)];
+  const Atom& psi_y = q_.atoms()[static_cast<std::size_t>(witness_.atom_y)];
+
+  std::unique_ptr<DynamicQueryEngine> engine = factory(q_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (inst.m.Get(i, j)) {
+        ApplyCmd(*engine,
+                 UpdateCmd::Insert(psi_xy.rel,
+                                   MakeTuple(psi_xy, Iota{x, y, i, j})),
+                 stats);
+      }
+    }
+  }
+  InsertStaticAtoms(*engine, q_, x, y, {witness_.atom_xy, witness_.atom_y},
+                    n, n, stats);
+
+  // Head position of x (guaranteed: x is free).
+  std::size_t x_pos = 0;
+  for (std::size_t h = 0; h < q_.head().size(); ++h) {
+    if (q_.head()[h] == x) x_pos = h;
+  }
+
+  std::vector<BitVector> out;
+  out.reserve(inst.vectors.size());
+  BitVector prev_v(n);
+  Tuple row;
+  for (const BitVector& v : inst.vectors) {
+    SyncVectorAtom(*engine, psi_y, x, y, /*use_i=*/false, prev_v, v, stats);
+    prev_v = v;
+    if (stats != nullptr) ++stats->query_calls;
+    BitVector result(n);
+    auto en = engine->NewEnumerator();
+    while (en->Next(&row)) {
+      if (stats != nullptr) ++stats->tuples_read;
+      Value val = row[x_pos];
+      DYNCQ_CHECK_MSG(GadgetDomain::IsA(val),
+                      "self-join-free reduction read a non-a_i value");
+      result.Set(GadgetDomain::AIndex(val), true);
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<OVCountingReduction> OVCountingReduction::Create(const Query& q) {
+  Query core = ComputeCore(q);
+  if (FindHierarchyViolation(core).has_value()) {
+    return Result<OVCountingReduction>::Error(
+        "core violates condition (i); use OuMvReduction (with Lemma 5.8) "
+        "instead");
+  }
+  auto w = FindFreeViolation(core);
+  if (!w.has_value()) {
+    return Result<OVCountingReduction>::Error(
+        "core is q-hierarchical; counting is tractable for " + q.ToString());
+  }
+  return OVCountingReduction(std::move(core), *w);
+}
+
+bool OVCountingReduction::Solve(const OVInstance& inst,
+                                const EngineFactory& factory,
+                                ReductionStats* stats) const {
+  const std::size_t n = inst.u.size();
+  const std::size_t d = inst.d;
+  const VarId x = witness_.x, y = witness_.y;
+  const Atom& psi_xy =
+      core_.atoms()[static_cast<std::size_t>(witness_.atom_xy)];
+  const Atom& psi_y = core_.atoms()[static_cast<std::size_t>(witness_.atom_y)];
+
+  std::unique_ptr<DynamicQueryEngine> engine = factory(core_);
+
+  // Encode U into ψ_{x,y}: (i,j) present iff the j-th bit of u^i is 1.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (inst.u[i].Get(j)) {
+        ApplyCmd(*engine,
+                 UpdateCmd::Insert(psi_xy.rel,
+                                   MakeTuple(psi_xy, Iota{x, y, i, j})),
+                 stats);
+      }
+    }
+  }
+  InsertStaticAtoms(*engine, core_, x, y,
+                    {witness_.atom_xy, witness_.atom_y}, n, d, stats);
+
+  BitVector prev_v(d);
+  for (const BitVector& v : inst.v) {
+    SyncVectorAtom(*engine, psi_y, x, y, /*use_i=*/false, prev_v, v, stats);
+    prev_v = v;
+    if (stats != nullptr) ++stats->query_calls;
+    // For a self-join-free core every homomorphism agrees with some
+    // ι_{i,j}, so |ϕ(D)| counts exactly the u^i non-orthogonal to v.
+    Weight count = engine->Count();
+    if (count < n) return true;  // some u^i is orthogonal to v
+  }
+  return false;
+}
+
+namespace {
+
+Query MakePhi1() {
+  auto schema = std::make_shared<Schema>();
+  DYNCQ_CHECK(schema->AddRelation("E", 2).ok());
+  QueryBuilder b(schema);
+  VarId x = b.Var("x"), y = b.Var("y");
+  b.AddAtom("E", {Term::Var(x), Term::Var(x)});
+  b.AddAtom("E", {Term::Var(x), Term::Var(y)});
+  b.AddAtom("E", {Term::Var(y), Term::Var(y)});
+  b.SetHead({x, y});
+  auto q = b.Build();
+  DYNCQ_CHECK(q.ok());
+  return q.value();
+}
+
+}  // namespace
+
+OuMvViaPhi1Enumeration::OuMvViaPhi1Enumeration() : phi1_(MakePhi1()) {}
+
+std::vector<bool> OuMvViaPhi1Enumeration::Solve(
+    const OuMvInstance& inst, const EngineFactory& factory,
+    ReductionStats* stats) const {
+  const std::size_t n = inst.m.rows();
+  const RelId e_rel = 0;
+  std::unique_ptr<DynamicQueryEngine> engine = factory(phi1_);
+
+  // Preprocessing: E = {(a_i, b_j) : M_ij = 1} (Lemma A.1).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (inst.m.Get(i, j)) {
+        ApplyCmd(*engine,
+                 UpdateCmd::Insert(
+                     e_rel, Tuple{GadgetDomain::A(i), GadgetDomain::B(j)}),
+                 stats);
+      }
+    }
+  }
+
+  std::vector<bool> out;
+  out.reserve(inst.pairs.size());
+  BitVector prev_u(n), prev_v(n);
+  Tuple row;
+  for (const auto& [u, v] : inst.pairs) {
+    // Loops on the a-side track u, loops on the b-side track v.
+    for (std::size_t b = 0; b < n; ++b) {
+      if ((b < prev_u.size() && prev_u.Get(b)) != u.Get(b)) {
+        Tuple loop{GadgetDomain::A(b), GadgetDomain::A(b)};
+        ApplyCmd(*engine,
+                 u.Get(b) ? UpdateCmd::Insert(e_rel, loop)
+                          : UpdateCmd::Delete(e_rel, loop),
+                 stats);
+      }
+      if ((b < prev_v.size() && prev_v.Get(b)) != v.Get(b)) {
+        Tuple loop{GadgetDomain::B(b), GadgetDomain::B(b)};
+        ApplyCmd(*engine,
+                 v.Get(b) ? UpdateCmd::Insert(e_rel, loop)
+                          : UpdateCmd::Delete(e_rel, loop),
+                 stats);
+      }
+    }
+    prev_u = u;
+    prev_v = v;
+
+    // Enumerate at most 2n+1 tuples: loops yield (a,a)/(b,b) pairs;
+    // any mixed (a_i, b_j) pair witnesses (u^t)^T M v^t = 1. There are
+    // at most 2n loop pairs, so 2n+1 reads decide the round.
+    if (stats != nullptr) ++stats->query_calls;
+    bool hit = false;
+    auto en = engine->NewEnumerator();
+    for (std::size_t reads = 0; reads < 2 * n + 1; ++reads) {
+      if (!en->Next(&row)) break;
+      if (stats != nullptr) ++stats->tuples_read;
+      if (GadgetDomain::IsA(row[0]) && !GadgetDomain::IsA(row[1])) {
+        hit = true;
+        break;
+      }
+    }
+    out.push_back(hit);
+  }
+  return out;
+}
+
+}  // namespace dyncq::omv

@@ -1,0 +1,123 @@
+#include "omv/restricted_count.h"
+
+#include <bit>
+
+#include "cq/homomorphism.h"
+#include "util/check.h"
+#include "util/u128.h"
+
+namespace dyncq::omv {
+
+RestrictedCountMaintainer::RestrictedCountMaintainer(
+    const Query& q, ClassFn class_of, const EngineFactory& factory)
+    : q_(q),
+      class_of_(std::move(class_of)),
+      k_(static_cast<int>(q.Arity())),
+      base_db_(q.schema()) {
+  DYNCQ_CHECK_MSG(k_ >= 1 && k_ <= 8,
+                  "RestrictedCountMaintainer requires arity in [1, 8]");
+  pi_size_ = EndomorphismPermutations(q_).size();
+  DYNCQ_CHECK(pi_size_ >= 1);  // identity is always an endomorphism
+  const std::size_t subsets = std::size_t{1} << k_;
+  engines_.reserve(subsets * static_cast<std::size_t>(k_ + 1));
+  for (std::size_t i = 0; i < subsets; ++i) {
+    for (int l = 0; l <= k_; ++l) {
+      engines_.push_back(factory(q_));
+    }
+  }
+}
+
+bool RestrictedCountMaintainer::Apply(const UpdateCmd& cmd) {
+  if (!base_db_.Apply(cmd)) return false;
+  ForwardDelta(cmd);
+  return true;
+}
+
+void RestrictedCountMaintainer::ForwardDelta(const UpdateCmd& cmd) {
+  const std::size_t r = cmd.tuple.size();
+  // Class of each tuple position (kNoClass if unclassified).
+  std::vector<int> pos_class(r);
+  for (std::size_t p = 0; p < r; ++p) pos_class[p] = class_of_(cmd.tuple[p]);
+
+  const std::size_t subsets = std::size_t{1} << k_;
+  for (std::size_t I = 0; I < subsets; ++I) {
+    // Positions whose element is replicated under this I.
+    std::vector<std::size_t> repl;
+    for (std::size_t p = 0; p < r; ++p) {
+      if (pos_class[p] != kNoClass &&
+          ((I >> pos_class[p]) & 1) != 0) {
+        repl.push_back(p);
+      }
+    }
+    for (int l = 0; l <= k_; ++l) {
+      DynamicQueryEngine& engine =
+          *engines_[I * static_cast<std::size_t>(k_ + 1) +
+                    static_cast<std::size_t>(l)];
+      if (!repl.empty() && l == 0) continue;  // tuple vanishes entirely
+      // Enumerate copy choices s ∈ [l]^{repl} (positions outside repl use
+      // copy 0).
+      Tuple derived;
+      derived.resize(r);
+      for (std::size_t p = 0; p < r; ++p) {
+        derived[p] = Encode(cmd.tuple[p], 0);
+      }
+      std::vector<int> choice(repl.size(), 0);
+      while (true) {
+        for (std::size_t c = 0; c < repl.size(); ++c) {
+          derived[repl[c]] = Encode(cmd.tuple[repl[c]],
+                                    static_cast<std::size_t>(choice[c]));
+        }
+        engine.Apply(UpdateCmd{cmd.kind, cmd.rel, derived});
+        // Odometer over choices.
+        std::size_t c = 0;
+        for (; c < choice.size(); ++c) {
+          if (++choice[c] < l) break;
+          choice[c] = 0;
+        }
+        if (c == choice.size()) break;
+        if (choice.empty()) break;
+      }
+    }
+  }
+}
+
+Int128 RestrictedCountMaintainer::RestrictedCount() const {
+  const std::size_t subsets = std::size_t{1} << k_;
+  auto vandermonde = VandermondeMatrix(k_);
+
+  // x_S[k]: number of result tuples all of whose positions carry elements
+  // of classes in S.
+  std::vector<Int128> full_count(subsets, 0);
+  for (std::size_t S = 0; S < subsets; ++S) {
+    std::vector<Int128> b;
+    b.reserve(static_cast<std::size_t>(k_ + 1));
+    for (int l = 0; l <= k_; ++l) {
+      Weight c = engines_[S * static_cast<std::size_t>(k_ + 1) +
+                          static_cast<std::size_t>(l)]
+                     ->Count();
+      DYNCQ_CHECK_MSG(c <= static_cast<Weight>(~static_cast<Weight>(0) >> 2),
+                      "copy count overflow");
+      b.push_back(static_cast<Int128>(c));
+    }
+    auto x = SolveIntegerSystem(vandermonde, b);
+    DYNCQ_CHECK_MSG(x.has_value(),
+                    "Vandermonde recovery failed (non-integral counts)");
+    full_count[S] = (*x)[static_cast<std::size_t>(k_)];
+  }
+
+  // Eq. (8): |R(D)| = Σ_{I ⊆ [k]} (-1)^{|I|} |R_{[k]\I, k}|.
+  Int128 r = 0;
+  for (std::size_t S = 0; S < subsets; ++S) {
+    int complement_size = k_ - std::popcount(S);
+    r += ((complement_size % 2 == 0) ? 1 : -1) * full_count[S];
+  }
+
+  // Eq. (5): |ϕ(D) ∩ (X_1 × ... × X_k)| = |R(D)| / |Π|.
+  DYNCQ_CHECK_MSG(r % static_cast<Int128>(pi_size_) == 0,
+                  "restricted count not divisible by |Pi|");
+  Int128 result = r / static_cast<Int128>(pi_size_);
+  DYNCQ_CHECK_MSG(result >= 0, "negative restricted count");
+  return result;
+}
+
+}  // namespace dyncq::omv

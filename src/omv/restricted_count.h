@@ -1,0 +1,70 @@
+// Lemma 5.8: maintaining |ϕ(D) ∩ (X_{x1} × ... × X_{xk})| under updates.
+//
+// Given pairwise disjoint domain classes X_{x1..xk} (one per head
+// position), the maintainer runs (k+1)·2^k copies of a dynamic counting
+// engine: for every I ⊆ [k] and ℓ ∈ {0..k} it maintains ϕ over the
+// copy-database D_{I,ℓ} in which every element of ⋃_{i∈I} X_{xi} is
+// replaced by ℓ copies. From the copy counts it recovers, per I, the
+// number of result tuples whose positions all carry I-class elements
+// (solving a square Vandermonde system with nodes {0..k}; the paper's
+// ℓ ∈ [k] system is underdetermined by one, hence the extra ℓ = 0 copy),
+// then applies inclusion–exclusion (eq. 8) and divides by |Π| (eq. 5).
+//
+// As in the paper, correctness of eq. (5) relies on the existence of a
+// homomorphism g : D → ϕ with g(X_{xi}) = {xi} — which the §5.4 reduction
+// databases provide by construction.
+#ifndef DYNCQ_OMV_RESTRICTED_COUNT_H_
+#define DYNCQ_OMV_RESTRICTED_COUNT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine_iface.h"
+#include "cq/query.h"
+#include "omv/reductions.h"
+#include "storage/database.h"
+#include "util/exact_linalg.h"
+
+namespace dyncq::omv {
+
+class RestrictedCountMaintainer {
+ public:
+  /// `class_of(v)` returns the head position i with v ∈ X_{x_{i+1}}, or
+  /// kNoClass. `factory` builds the underlying counting engines.
+  static constexpr int kNoClass = -1;
+  using ClassFn = std::function<int(Value)>;
+
+  RestrictedCountMaintainer(const Query& q, ClassFn class_of,
+                            const EngineFactory& factory);
+
+  /// Forwards a base update to all copy databases (2^O(k) derived
+  /// updates). Returns true iff the base database changed.
+  bool Apply(const UpdateCmd& cmd);
+
+  /// Current |ϕ(D) ∩ (X_{x1} × ... × X_{xk})|.
+  Int128 RestrictedCount() const;
+
+  std::size_t NumEngines() const { return engines_.size(); }
+  std::size_t PiSize() const { return pi_size_; }
+
+ private:
+  /// ⟨a⟩_s encoding into the numeric domain.
+  Value Encode(Value a, std::size_t s) const {
+    return a * static_cast<Value>(k_ + 1) + s;
+  }
+
+  void ForwardDelta(const UpdateCmd& cmd);
+
+  Query q_;
+  ClassFn class_of_;
+  int k_;
+  std::size_t pi_size_;
+  Database base_db_;  // set-semantics deduplication of the base updates
+  // engines_[I * (k+1) + l] maintains ϕ over D_{I,l}.
+  std::vector<std::unique_ptr<DynamicQueryEngine>> engines_;
+};
+
+}  // namespace dyncq::omv
+
+#endif  // DYNCQ_OMV_RESTRICTED_COUNT_H_

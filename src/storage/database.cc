@@ -1,0 +1,89 @@
+#include "storage/database.h"
+
+#include "util/check.h"
+
+namespace dyncq {
+
+Database::Database(const Schema& schema) : schema_(schema) {
+  relations_.reserve(schema.NumRelations());
+  for (const RelationSchema& rs : schema.relations()) {
+    relations_.emplace_back(rs.arity);
+  }
+}
+
+const Relation& Database::relation(RelId id) const {
+  DYNCQ_CHECK_MSG(id < relations_.size(), "invalid relation id");
+  return relations_[id];
+}
+
+Relation& Database::relation(RelId id) {
+  DYNCQ_CHECK_MSG(id < relations_.size(), "invalid relation id");
+  return relations_[id];
+}
+
+bool Database::Apply(const UpdateCmd& cmd) {
+  return cmd.kind == UpdateKind::kInsert ? Insert(cmd.rel, cmd.tuple)
+                                         : Delete(cmd.rel, cmd.tuple);
+}
+
+std::size_t Database::ApplyAll(const UpdateStream& stream) {
+  std::size_t effective = 0;
+  for (const UpdateCmd& cmd : stream) {
+    if (Apply(cmd)) ++effective;
+  }
+  return effective;
+}
+
+bool Database::Insert(RelId rel, const Tuple& t) {
+  if (!relation(rel).Insert(t)) return false;
+  AdomAdd(t);
+  return true;
+}
+
+bool Database::Delete(RelId rel, const Tuple& t) {
+  if (!relation(rel).Erase(t)) return false;
+  AdomRemove(t);
+  return true;
+}
+
+std::size_t Database::NumTuples() const {
+  std::size_t n = 0;
+  for (const Relation& r : relations_) n += r.size();
+  return n;
+}
+
+std::size_t Database::SizeD() const {
+  std::size_t n = schema_.NumRelations() + ActiveDomainSize();
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    n += relations_[i].arity() * relations_[i].size();
+  }
+  return n;
+}
+
+void Database::Clear() {
+  for (Relation& r : relations_) r.Clear();
+  adom_counts_.Clear();
+}
+
+void Database::AdomAdd(const Tuple& t) {
+  for (Value v : t) ++adom_counts_.FindOrInsert(v);
+}
+
+void Database::AdomRemove(const Tuple& t) {
+  for (Value v : t) {
+    std::uint64_t* c = adom_counts_.Find(v);
+    DYNCQ_DCHECK(c != nullptr && *c > 0);
+    if (--*c == 0) adom_counts_.Erase(v);
+  }
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += relations_[i].ToString(schema_.name(static_cast<RelId>(i)));
+  }
+  return out;
+}
+
+}  // namespace dyncq

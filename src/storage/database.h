@@ -1,0 +1,65 @@
+// A relational database instance over a fixed schema, with active-domain
+// tracking and single-tuple updates (paper §2).
+#ifndef DYNCQ_STORAGE_DATABASE_H_
+#define DYNCQ_STORAGE_DATABASE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/schema.h"
+#include "storage/relation.h"
+#include "storage/update.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+
+namespace dyncq {
+
+class Database {
+ public:
+  explicit Database(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+
+  const Relation& relation(RelId id) const;
+  Relation& relation(RelId id);
+
+  /// Applies an update command. Returns true iff the database changed
+  /// (insert of a present tuple / delete of an absent tuple are no-ops).
+  bool Apply(const UpdateCmd& cmd);
+
+  /// Applies a whole stream; returns the number of effective updates.
+  std::size_t ApplyAll(const UpdateStream& stream);
+
+  bool Insert(RelId rel, const Tuple& t);
+  bool Delete(RelId rel, const Tuple& t);
+
+  /// |D|: total number of stored tuples.
+  std::size_t NumTuples() const;
+
+  /// ||D||: |schema| + |adom| + sum_R ar(R)*|R^D| (paper §2, Sizes).
+  std::size_t SizeD() const;
+
+  /// n = |adom(D)|: number of distinct constants in the database.
+  std::size_t ActiveDomainSize() const { return adom_counts_.size(); }
+
+  /// True if `v` occurs somewhere in the database.
+  bool InActiveDomain(Value v) const { return adom_counts_.Contains(v); }
+
+  void Clear();
+
+  std::string ToString() const;
+
+ private:
+  void AdomAdd(const Tuple& t);
+  void AdomRemove(const Tuple& t);
+
+  const Schema& schema_;
+  std::vector<Relation> relations_;
+  // Reference counts: value -> number of tuple positions holding it.
+  OpenHashMap<Value, std::uint64_t, U64Hash> adom_counts_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_DATABASE_H_

@@ -1,0 +1,28 @@
+#include "storage/dictionary.h"
+
+#include "util/check.h"
+
+namespace dyncq {
+
+Value Dictionary::Intern(std::string_view s) {
+  std::string key(s);
+  auto [slot, inserted] = codes_.Insert(key, 0);
+  if (inserted) {
+    spellings_.push_back(key);
+    *slot = static_cast<Value>(spellings_.size());  // codes start at 1
+  }
+  return *slot;
+}
+
+Value Dictionary::Lookup(std::string_view s) const {
+  const Value* v = codes_.Find(std::string(s));
+  return v != nullptr ? *v : 0;
+}
+
+const std::string& Dictionary::Spell(Value code) const {
+  DYNCQ_CHECK_MSG(code >= 1 && code <= spellings_.size(),
+                  "invalid dictionary code");
+  return spellings_[static_cast<std::size_t>(code - 1)];
+}
+
+}  // namespace dyncq

@@ -1,0 +1,38 @@
+// String dictionary: interning between external string constants and the
+// dense numeric domain used by the engines. Used by the examples to keep
+// the library core purely numeric (paper: dom = N>=1).
+#ifndef DYNCQ_STORAGE_DICTIONARY_H_
+#define DYNCQ_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+class Dictionary {
+ public:
+  /// Returns the code for `s`, interning it if new. Codes start at 1
+  /// (0 is the reserved sentinel).
+  Value Intern(std::string_view s);
+
+  /// Returns the code for `s`, or 0 if not interned.
+  Value Lookup(std::string_view s) const;
+
+  /// Inverse mapping. Requires a valid code.
+  const std::string& Spell(Value code) const;
+
+  std::size_t size() const { return spellings_.size(); }
+
+ private:
+  OpenHashMap<std::string, Value, StringHash> codes_;
+  std::vector<std::string> spellings_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_DICTIONARY_H_

@@ -1,0 +1,97 @@
+#include "storage/io.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/str.h"
+
+namespace dyncq {
+
+void WriteDatabase(const Database& db, std::ostream& os) {
+  for (RelId r = 0; r < db.schema().NumRelations(); ++r) {
+    const std::string& name = db.schema().name(r);
+    for (const Tuple& t : db.relation(r)) {
+      os << name << TupleToString(t) << "\n";
+    }
+  }
+}
+
+void WriteUpdateStream(const UpdateStream& stream, const Schema& schema,
+                       std::ostream& os) {
+  for (const UpdateCmd& cmd : stream) {
+    os << (cmd.kind == UpdateKind::kInsert ? "+ " : "- ")
+       << schema.name(cmd.rel) << TupleToString(cmd.tuple) << "\n";
+  }
+}
+
+Result<UpdateCmd> ParseUpdateLine(std::string_view line,
+                                  const Schema& schema) {
+  std::string_view s = Trim(line);
+  UpdateKind kind = UpdateKind::kInsert;
+  if (!s.empty() && (s[0] == '+' || s[0] == '-')) {
+    kind = s[0] == '+' ? UpdateKind::kInsert : UpdateKind::kDelete;
+    s = Trim(s.substr(1));
+  }
+
+  std::size_t lparen = s.find('(');
+  if (lparen == std::string_view::npos || s.empty() || s.back() != ')') {
+    return Result<UpdateCmd>::Error(
+        "malformed update line: " + std::string(line));
+  }
+  std::string rel_name(Trim(s.substr(0, lparen)));
+  RelId rel = schema.FindRelation(rel_name);
+  if (rel == kInvalidRel) {
+    return Result<UpdateCmd>::Error("unknown relation '" + rel_name + "'");
+  }
+
+  Tuple tuple;
+  std::string_view body = s.substr(lparen + 1, s.size() - lparen - 2);
+  for (const std::string& piece : Split(body, ',')) {
+    std::string_view p = Trim(piece);
+    if (p.empty()) {
+      return Result<UpdateCmd>::Error(
+          "empty value in update line: " + std::string(line));
+    }
+    Value v = 0;
+    for (char c : p) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Result<UpdateCmd>::Error(
+            "non-numeric value '" + std::string(p) + "'");
+      }
+      v = v * 10 + static_cast<Value>(c - '0');
+    }
+    if (v == 0) {
+      return Result<UpdateCmd>::Error("values must be >= 1 (0 reserved)");
+    }
+    tuple.push_back(v);
+  }
+  if (tuple.size() != schema.arity(rel)) {
+    return Result<UpdateCmd>::Error(
+        StrCat("arity mismatch for ", rel_name, ": expected ",
+               schema.arity(rel), ", got ", tuple.size()));
+  }
+  return UpdateCmd{kind, rel, std::move(tuple)};
+}
+
+Result<UpdateStream> ReadUpdateStream(std::istream& is,
+                                      const Schema& schema) {
+  UpdateStream out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view s = Trim(line);
+    if (s.empty() || s[0] == '#') continue;
+    auto cmd = ParseUpdateLine(s, schema);
+    if (!cmd.ok()) {
+      return Result<UpdateStream>::Error(
+          StrCat("line ", line_no, ": ", cmd.error()));
+    }
+    out.push_back(std::move(cmd.value()));
+  }
+  return out;
+}
+
+}  // namespace dyncq

@@ -1,0 +1,42 @@
+// Plain-text serialization for databases and update streams.
+//
+// Format (one command per line, '#' comments, blank lines ignored):
+//
+//   + R(1, 2, 3)     insert
+//   - R(1, 2, 3)     delete
+//   R(1, 2, 3)       insert (shorthand, used by database dumps)
+//
+// Values are the engine's numeric constants; use Dictionary to map
+// external strings.
+#ifndef DYNCQ_STORAGE_IO_H_
+#define DYNCQ_STORAGE_IO_H_
+
+#include <iosfwd>
+#include <string_view>
+
+#include "cq/schema.h"
+#include "storage/database.h"
+#include "storage/update.h"
+#include "util/result.h"
+
+namespace dyncq {
+
+/// Writes every tuple of `db` as insert shorthand lines.
+void WriteDatabase(const Database& db, std::ostream& os);
+
+/// Writes an update stream (with +/- markers).
+void WriteUpdateStream(const UpdateStream& stream, const Schema& schema,
+                       std::ostream& os);
+
+/// Parses an update stream against `schema`. Unknown relations, arity
+/// mismatches, or malformed lines produce an error naming the line.
+Result<UpdateStream> ReadUpdateStream(std::istream& is,
+                                      const Schema& schema);
+
+/// Convenience: parses a single command line (no comments).
+Result<UpdateCmd> ParseUpdateLine(std::string_view line,
+                                  const Schema& schema);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_IO_H_

@@ -1,0 +1,34 @@
+#include "storage/relation.h"
+
+#include "util/check.h"
+
+namespace dyncq {
+
+bool Relation::Contains(const Tuple& t) const {
+  DYNCQ_DCHECK(t.size() == arity_);
+  return tuples_.Contains(t);
+}
+
+bool Relation::Insert(const Tuple& t) {
+  DYNCQ_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
+  return tuples_.Insert(t);
+}
+
+bool Relation::Erase(const Tuple& t) {
+  DYNCQ_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
+  return tuples_.Erase(t);
+}
+
+std::string Relation::ToString(const std::string& name) const {
+  std::string out = name + " = {";
+  bool first = true;
+  for (const Tuple& t : tuples_) {
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(t);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dyncq

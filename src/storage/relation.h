@@ -1,0 +1,50 @@
+// A relation instance: a finite set of fixed-arity tuples.
+#ifndef DYNCQ_STORAGE_RELATION_H_
+#define DYNCQ_STORAGE_RELATION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "storage/tuple.h"
+#include "util/open_hash_map.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+/// Set-semantics relation storage. Insert/Erase report whether the
+/// database actually changed, which drives the no-op detection required
+/// by every dynamic engine (inserting a present tuple or deleting an
+/// absent one must leave all data structures untouched).
+class Relation {
+ public:
+  explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Contains(const Tuple& t) const;
+
+  /// Returns true iff `t` was newly inserted.
+  bool Insert(const Tuple& t);
+
+  /// Returns true iff `t` was present.
+  bool Erase(const Tuple& t);
+
+  void Clear() { tuples_.Clear(); }
+  void Reserve(std::size_t n) { tuples_.Reserve(n); }
+
+  using const_iterator = OpenHashSet<Tuple, TupleHash>::const_iterator;
+  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator end() const { return tuples_.end(); }
+
+  std::string ToString(const std::string& name) const;
+
+ private:
+  std::size_t arity_;
+  OpenHashSet<Tuple, TupleHash> tuples_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_RELATION_H_

@@ -1,0 +1,36 @@
+// Database tuples.
+#ifndef DYNCQ_STORAGE_TUPLE_H_
+#define DYNCQ_STORAGE_TUPLE_H_
+
+#include <string>
+
+#include "util/hash.h"
+#include "util/small_vector.h"
+#include "util/str.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+/// A database tuple: a fixed-arity sequence of constants. Inline storage
+/// covers arities up to 4 without heap allocation.
+using Tuple = SmallVector<Value, 4>;
+
+struct TupleHash {
+  std::uint64_t operator()(const Tuple& t) const {
+    return HashWords(t.data(), t.size());
+  }
+};
+
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_TUPLE_H_

@@ -1,0 +1,39 @@
+// Update commands: single-tuple inserts and deletes (paper §2, Updates).
+#ifndef DYNCQ_STORAGE_UPDATE_H_
+#define DYNCQ_STORAGE_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "util/types.h"
+
+namespace dyncq {
+
+enum class UpdateKind : std::uint8_t { kInsert, kDelete };
+
+struct UpdateCmd {
+  UpdateKind kind = UpdateKind::kInsert;
+  RelId rel = kInvalidRel;
+  Tuple tuple;
+
+  static UpdateCmd Insert(RelId rel, Tuple t) {
+    return UpdateCmd{UpdateKind::kInsert, rel, std::move(t)};
+  }
+  static UpdateCmd Delete(RelId rel, Tuple t) {
+    return UpdateCmd{UpdateKind::kDelete, rel, std::move(t)};
+  }
+};
+
+/// A sequence of update commands (an update stream).
+using UpdateStream = std::vector<UpdateCmd>;
+
+inline std::string UpdateToString(const UpdateCmd& u,
+                                  const std::string& rel_name) {
+  return std::string(u.kind == UpdateKind::kInsert ? "insert " : "delete ") +
+         rel_name + TupleToString(u.tuple);
+}
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_STORAGE_UPDATE_H_

@@ -1,0 +1,190 @@
+#include "ucq/union_query.h"
+
+#include <bit>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/str.h"
+
+namespace dyncq::ucq {
+
+Result<UnionQuery> UnionQuery::Create(std::vector<Query> disjuncts) {
+  if (disjuncts.empty()) {
+    return Result<UnionQuery>::Error("a UCQ needs at least one disjunct");
+  }
+  if (disjuncts.size() > 6) {
+    return Result<UnionQuery>::Error(
+        "at most 6 disjuncts supported (2^d - 1 subset engines)");
+  }
+  const Schema* schema = &disjuncts[0].schema();
+  const std::size_t arity = disjuncts[0].Arity();
+  for (const Query& q : disjuncts) {
+    if (&q.schema() != schema) {
+      return Result<UnionQuery>::Error(
+          "all disjuncts must share one Schema object");
+    }
+    if (q.Arity() != arity) {
+      return Result<UnionQuery>::Error("disjunct arities differ");
+    }
+  }
+  return UnionQuery(std::move(disjuncts));
+}
+
+std::string UnionQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts_.size());
+  for (const Query& q : disjuncts_) parts.push_back(q.ToString());
+  return Join(parts, "  UNION  ");
+}
+
+Query ConjoinOnHead(const Query& a, const Query& b) {
+  DYNCQ_CHECK_MSG(a.Arity() == b.Arity(), "arity mismatch in conjunction");
+  QueryBuilder builder(a.schema_ptr());
+  builder.SetName(a.name() + "_and_" + b.name());
+
+  // Copy a verbatim (variable names preserved).
+  std::vector<VarId> a_map(a.NumVars());
+  for (VarId v = 0; v < a.NumVars(); ++v) {
+    a_map[v] = builder.Var(a.VarName(v));
+  }
+  for (const Atom& atom : a.atoms()) {
+    std::vector<Term> args;
+    for (const Term& t : atom.args) {
+      args.push_back(t.IsVar() ? Term::Var(a_map[t.var]) : t);
+    }
+    builder.AddAtom(atom.rel, std::move(args));
+  }
+
+  // Map b: head position i -> a's head variable i; everything else gets a
+  // fresh name (prefixed to avoid collisions with a's variables).
+  std::vector<VarId> b_map(b.NumVars(), kInvalidVar);
+  for (std::size_t i = 0; i < b.head().size(); ++i) {
+    b_map[b.head()[i]] = a_map[a.head()[i]];
+  }
+  for (VarId v = 0; v < b.NumVars(); ++v) {
+    if (b_map[v] == kInvalidVar) {
+      b_map[v] = builder.Var("r$" + b.name() + "$" + b.VarName(v));
+    }
+  }
+  for (const Atom& atom : b.atoms()) {
+    std::vector<Term> args;
+    for (const Term& t : atom.args) {
+      args.push_back(t.IsVar() ? Term::Var(b_map[t.var]) : t);
+    }
+    builder.AddAtom(atom.rel, std::move(args));
+  }
+
+  std::vector<VarId> head;
+  for (VarId v : a.head()) head.push_back(a_map[v]);
+  builder.SetHead(head);
+  Result<Query> q = builder.Build();
+  DYNCQ_CHECK_MSG(q.ok(), "conjunction build failed: " + q.error());
+  return q.value();
+}
+
+UnionEngine::UnionEngine(UnionQuery uq) : uq_(std::move(uq)) {
+  const std::size_t d = uq_.disjuncts().size();
+  const std::size_t subsets = (std::size_t{1} << d) - 1;
+  engines_.reserve(subsets);
+  for (std::size_t mask = 1; mask <= subsets; ++mask) {
+    // Conjunction of the disjuncts selected by `mask`.
+    Query conj = uq_.disjuncts()[static_cast<std::size_t>(
+        std::countr_zero(mask))];
+    for (std::size_t i = static_cast<std::size_t>(std::countr_zero(mask)) +
+                         1;
+         i < d; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        conj = ConjoinOnHead(conj, uq_.disjuncts()[i]);
+      }
+    }
+    engines_.push_back(core::CreateMaintainableEngine(conj));
+  }
+}
+
+core::EngineStrategy UnionEngine::SubsetStrategy(
+    std::size_t subset_mask) const {
+  DYNCQ_CHECK(subset_mask >= 1 && subset_mask <= engines_.size());
+  return engines_[subset_mask - 1].strategy;
+}
+
+bool UnionEngine::Apply(const UpdateCmd& cmd) {
+  bool changed = false;
+  for (auto& choice : engines_) {
+    changed = choice.engine->Apply(cmd) || changed;
+  }
+  if (changed) ++epoch_;
+  return changed;
+}
+
+Weight UnionEngine::Count() {
+  // Inclusion–exclusion over subset conjunctions. Done in signed 128-bit
+  // (intermediate sums are bounded by 2^d * max subset count).
+  __int128 total = 0;
+  for (std::size_t mask = 1; mask <= engines_.size(); ++mask) {
+    Weight c = engines_[mask - 1].engine->Count();
+    DYNCQ_CHECK_MSG(
+        c <= static_cast<Weight>(~static_cast<Weight>(0) >> 8),
+        "union count overflow");
+    int bits = std::popcount(mask);
+    total += (bits % 2 == 1) ? static_cast<__int128>(c)
+                             : -static_cast<__int128>(c);
+  }
+  DYNCQ_CHECK_MSG(total >= 0, "inclusion-exclusion went negative");
+  return static_cast<Weight>(total);
+}
+
+bool UnionEngine::Answer() {
+  const std::size_t d = uq_.disjuncts().size();
+  for (std::size_t i = 0; i < d; ++i) {
+    if (engines_[(std::size_t{1} << i) - 1].engine->Answer()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Streams disjunct enumerators in order, suppressing duplicates with a
+/// hash set of emitted tuples.
+class UnionEnumerator final : public Enumerator {
+ public:
+  explicit UnionEnumerator(std::vector<std::unique_ptr<Enumerator>> subs)
+      : subs_(std::move(subs)) {}
+
+  bool Next(Tuple* out) override {
+    while (current_ < subs_.size()) {
+      if (!subs_[current_]->Next(out)) {
+        ++current_;
+        continue;
+      }
+      if (seen_.Insert(*out)) return true;
+    }
+    return false;
+  }
+
+  void Reset() override {
+    for (auto& s : subs_) s->Reset();
+    seen_.Clear();
+    current_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Enumerator>> subs_;
+  OpenHashSet<Tuple, TupleHash> seen_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Enumerator> UnionEngine::NewEnumerator() {
+  const std::size_t d = uq_.disjuncts().size();
+  std::vector<std::unique_ptr<Enumerator>> subs;
+  subs.reserve(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    subs.push_back(
+        engines_[(std::size_t{1} << i) - 1].engine->NewEnumerator());
+  }
+  return std::make_unique<UnionEnumerator>(std::move(subs));
+}
+
+}  // namespace dyncq::ucq

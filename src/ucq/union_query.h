@@ -1,0 +1,93 @@
+// Unions of conjunctive queries (UCQs) — the extension the paper names
+// as its next step (§7: "characterising the complexity of more
+// expressive queries such as ... unions of conjunctive queries").
+//
+// This module provides the straightforward upper-bound machinery on top
+// of Theorem 3.2:
+//  * answering ⋃ϕi: OR over per-disjunct engines — O(1) when every
+//    disjunct ('s core) is q-hierarchical;
+//  * counting |⋃ϕi(D)|: inclusion–exclusion over head-unified
+//    conjunctions, |⋃| = Σ_{∅≠S} (-1)^{|S|+1} |(∧S)(D)| — O(1) per count
+//    when every conjunction's core is q-hierarchical (each ∧S runs on
+//    its own maintenance engine);
+//  * enumeration: disjunct-by-disjunct with duplicate suppression
+//    (amortized constant per produced candidate; not the constant-delay
+//    guarantee of Theorem 3.2 — a full UCQ dichotomy is future work, as
+//    in the paper).
+#ifndef DYNCQ_UCQ_UNION_QUERY_H_
+#define DYNCQ_UCQ_UNION_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/auto_engine.h"
+#include "core/engine_iface.h"
+#include "cq/query.h"
+#include "util/result.h"
+
+namespace dyncq::ucq {
+
+/// A union of CQs with identical arity over one shared schema.
+class UnionQuery {
+ public:
+  /// All disjuncts must share the same Schema object and arity; at most
+  /// 6 disjuncts (inclusion–exclusion builds 2^d - 1 engines).
+  static Result<UnionQuery> Create(std::vector<Query> disjuncts);
+
+  const std::vector<Query>& disjuncts() const { return disjuncts_; }
+  std::size_t Arity() const { return disjuncts_[0].Arity(); }
+  const Schema& schema() const { return disjuncts_[0].schema(); }
+  const std::shared_ptr<const Schema>& schema_ptr() const {
+    return disjuncts_[0].schema_ptr();
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit UnionQuery(std::vector<Query> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  std::vector<Query> disjuncts_;
+};
+
+/// Head-unified conjunction: a query equivalent to "ā ∈ a(D) and
+/// ā ∈ b(D)". b's head variables are substituted by a's; b's quantified
+/// variables are renamed apart.
+Query ConjoinOnHead(const Query& a, const Query& b);
+
+/// Dynamic maintenance of a UCQ (see the header comment for the
+/// guarantees per routine).
+class UnionEngine {
+ public:
+  explicit UnionEngine(UnionQuery uq);
+
+  const UnionQuery& query() const { return uq_; }
+
+  /// Applies the update to every underlying engine. Returns true iff the
+  /// database changed.
+  bool Apply(const UpdateCmd& cmd);
+
+  /// |⋃ϕi(D)| via inclusion–exclusion (O(2^d) engine reads).
+  Weight Count();
+
+  /// ⋃ϕi(D) ≠ ∅ (OR over disjunct engines).
+  bool Answer();
+
+  /// Enumerates the union without duplicates.
+  std::unique_ptr<Enumerator> NewEnumerator();
+
+  /// Strategy used for the subset-conjunction engine (diagnostics).
+  core::EngineStrategy SubsetStrategy(std::size_t subset_mask) const;
+
+ private:
+  UnionQuery uq_;
+  // engines_[mask - 1] maintains the conjunction of the disjuncts in
+  // `mask` (singletons included: mask with one bit = the disjunct).
+  std::vector<core::EngineChoice> engines_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dyncq::ucq
+
+#endif  // DYNCQ_UCQ_UNION_QUERY_H_

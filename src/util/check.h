@@ -1,0 +1,47 @@
+// Invariant-checking macros.
+//
+// DYNCQ_CHECK is always on and throws std::logic_error: it guards public
+// API contracts (e.g. using an enumerator after an update). DYNCQ_DCHECK
+// compiles away in NDEBUG builds and guards internal invariants.
+#ifndef DYNCQ_UTIL_CHECK_H_
+#define DYNCQ_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dyncq::internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DYNCQ_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dyncq::internal
+
+#define DYNCQ_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dyncq::internal::CheckFail(#cond, __FILE__, __LINE__, "");        \
+    }                                                                     \
+  } while (0)
+
+#define DYNCQ_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dyncq::internal::CheckFail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define DYNCQ_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define DYNCQ_DCHECK(cond) DYNCQ_CHECK(cond)
+#endif
+
+#endif  // DYNCQ_UTIL_CHECK_H_

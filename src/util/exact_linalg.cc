@@ -1,0 +1,63 @@
+#include "util/exact_linalg.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace dyncq {
+
+std::optional<std::vector<Int128>> SolveIntegerSystem(
+    std::vector<std::vector<Int128>> a, std::vector<Int128> b) {
+  const std::size_t n = a.size();
+  for (const auto& row : a) {
+    if (row.size() != n) return std::nullopt;
+  }
+  if (b.size() != n) return std::nullopt;
+
+  // Bareiss fraction-free elimination on the augmented matrix [A | b].
+  for (std::size_t i = 0; i < n; ++i) a[i].push_back(b[i]);
+
+  Int128 prev = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot: find a nonzero entry in column k at or below row k.
+    std::size_t pivot = k;
+    while (pivot < n && a[pivot][k] == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != k) std::swap(a[pivot], a[k]);
+
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j <= n; ++j) {
+        // Bareiss update: exact division by the previous pivot.
+        a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) / prev;
+      }
+      a[i][k] = 0;
+    }
+    prev = a[k][k];
+  }
+
+  // Back substitution with exactness checks.
+  std::vector<Int128> x(n, 0);
+  for (std::size_t ik = n; ik-- > 0;) {
+    Int128 acc = a[ik][n];
+    for (std::size_t j = ik + 1; j < n; ++j) acc -= a[ik][j] * x[j];
+    if (a[ik][ik] == 0) return std::nullopt;
+    if (acc % a[ik][ik] != 0) return std::nullopt;  // non-integral solution
+    x[ik] = acc / a[ik][ik];
+  }
+  return x;
+}
+
+std::vector<std::vector<Int128>> VandermondeMatrix(int k) {
+  std::vector<std::vector<Int128>> v(static_cast<std::size_t>(k) + 1);
+  for (int l = 0; l <= k; ++l) {
+    auto& row = v[static_cast<std::size_t>(l)];
+    row.resize(static_cast<std::size_t>(k) + 1);
+    Int128 p = 1;
+    for (int j = 0; j <= k; ++j) {
+      row[static_cast<std::size_t>(j)] = p;
+      p *= l;
+    }
+  }
+  return v;
+}
+
+}  // namespace dyncq

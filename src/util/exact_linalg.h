@@ -1,0 +1,30 @@
+// Exact integer linear algebra (fraction-free Gaussian elimination).
+//
+// Used by the Lemma 5.8 restricted-count maintainer: the counts |R_{I,j}|
+// are recovered from the copy-database cardinalities by solving a square
+// Vandermonde system with nodes {0, ..., k}. The solutions are integers by
+// construction; Bareiss elimination keeps every intermediate value an
+// integer so the recovery is exact.
+#ifndef DYNCQ_UTIL_EXACT_LINALG_H_
+#define DYNCQ_UTIL_EXACT_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+namespace dyncq {
+
+using Int128 = __int128;
+
+/// Solves A x = b exactly where A is n x n with integer entries and the
+/// system is known to have a unique integer solution. Returns std::nullopt
+/// if A is singular or the solution is not integral.
+std::optional<std::vector<Int128>> SolveIntegerSystem(
+    std::vector<std::vector<Int128>> a, std::vector<Int128> b);
+
+/// Builds the (k+1)x(k+1) Vandermonde matrix V with V[l][j] = l^j for
+/// nodes l in {0, ..., k} (0^0 = 1).
+std::vector<std::vector<Int128>> VandermondeMatrix(int k);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_EXACT_LINALG_H_

@@ -1,0 +1,71 @@
+// Hash primitives used by dyncq's hash containers.
+//
+// We use the splitmix64 finalizer as the per-word mixer; it is cheap,
+// passes SMHasher-style avalanche tests, and is the standard choice for
+// hashing machine words in database engines.
+#ifndef DYNCQ_UTIL_HASH_H_
+#define DYNCQ_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/small_vector.h"
+
+namespace dyncq {
+
+/// Mixes a 64-bit word (splitmix64 finalizer).
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value with a new word.
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hashes a span of 64-bit words.
+inline std::uint64_t HashWords(const std::uint64_t* p, std::size_t n) {
+  std::uint64_t h = 0x51ed270b0a1f2cd1ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < n; ++i) h = HashCombine(h, p[i]);
+  return h;
+}
+
+/// Hash functor for SmallVector<uint64_t, N> (tuples, path keys).
+struct WordVecHash {
+  template <std::size_t N>
+  std::uint64_t operator()(const SmallVector<std::uint64_t, N>& v) const {
+    return HashWords(v.data(), v.size());
+  }
+};
+
+/// Hash functor for plain 64-bit integers.
+struct U64Hash {
+  std::uint64_t operator()(std::uint64_t v) const { return Mix64(v); }
+};
+
+/// FNV-1a for strings (dictionary keys).
+inline std::uint64_t HashString(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+struct StringHash {
+  std::uint64_t operator()(std::string_view s) const { return HashString(s); }
+  std::uint64_t operator()(const std::string& s) const {
+    return HashString(s);
+  }
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_HASH_H_

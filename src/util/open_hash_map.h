@@ -1,0 +1,330 @@
+// Open-addressing hash map and set with linear probing and backward-shift
+// deletion (no tombstones).
+//
+// These containers back the relation storage and the dynamic engine's item
+// index. The paper's RAM model assumes O(1)-access unbounded arrays
+// (footnote 2); it explicitly suggests hash tables as the real-world
+// replacement, which is what these provide. Compared to
+// std::unordered_map they store entries inline in a flat array (no
+// per-node allocation) which matters on the per-update hot path.
+#ifndef DYNCQ_UTIL_OPEN_HASH_MAP_H_
+#define DYNCQ_UTIL_OPEN_HASH_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+template <typename K, typename V, typename Hash>
+class OpenHashMap {
+ public:
+  struct Entry {
+    K first;
+    V second;
+  };
+
+  OpenHashMap() = default;
+
+  explicit OpenHashMap(std::size_t initial_capacity) {
+    Rehash(NormalizeCapacity(initial_capacity));
+  }
+
+  OpenHashMap(const OpenHashMap& other) { CopyFrom(other); }
+  OpenHashMap& operator=(const OpenHashMap& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  OpenHashMap(OpenHashMap&& other) noexcept { MoveFrom(std::move(other)); }
+  OpenHashMap& operator=(OpenHashMap&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~OpenHashMap() { Destroy(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* Find(const K& key) {
+    if (capacity_ == 0) return nullptr;
+    std::size_t i = ProbeFor(key);
+    return flags_[i] ? &slots_[i].second : nullptr;
+  }
+  const V* Find(const K& key) const {
+    return const_cast<OpenHashMap*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Inserts `key` with `value` if absent. Returns {value ptr, inserted}.
+  std::pair<V*, bool> Insert(const K& key, V value) {
+    MaybeGrow();
+    std::size_t i = ProbeFor(key);
+    if (flags_[i]) return {&slots_[i].second, false};
+    new (&slots_[i]) Entry{key, std::move(value)};
+    flags_[i] = 1;
+    ++size_;
+    return {&slots_[i].second, true};
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& FindOrInsert(const K& key) { return *Insert(key, V()).first; }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(const K& key) {
+    if (capacity_ == 0) return false;
+    std::size_t i = ProbeFor(key);
+    if (!flags_[i]) return false;
+    EraseSlot(i);
+    return true;
+  }
+
+  void Clear() {
+    if (capacity_ == 0) return;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (flags_[i]) {
+        slots_[i].~Entry();
+        flags_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  void Reserve(std::size_t n) {
+    std::size_t want = NormalizeCapacity(n * 4 / 3 + 1);
+    if (want > capacity_) Rehash(want);
+  }
+
+  /// Forward iterator over occupied entries. Mutating `first` through the
+  /// iterator would corrupt the table; treat entries as (const K, V).
+  class iterator {
+   public:
+    iterator(OpenHashMap* m, std::size_t i) : m_(m), i_(i) { SkipEmpty(); }
+    Entry& operator*() const { return m_->slots_[i_]; }
+    Entry* operator->() const { return &m_->slots_[i_]; }
+    iterator& operator++() {
+      ++i_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    void SkipEmpty() {
+      while (i_ < m_->capacity_ && !m_->flags_[i_]) ++i_;
+    }
+    OpenHashMap* m_;
+    std::size_t i_;
+  };
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, capacity_); }
+
+  class const_iterator {
+   public:
+    const_iterator(const OpenHashMap* m, std::size_t i) : m_(m), i_(i) {
+      SkipEmpty();
+    }
+    const Entry& operator*() const { return m_->slots_[i_]; }
+    const Entry* operator->() const { return &m_->slots_[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    void SkipEmpty() {
+      while (i_ < m_->capacity_ && !m_->flags_[i_]) ++i_;
+    }
+    const OpenHashMap* m_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+ private:
+  static std::size_t NormalizeCapacity(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  std::size_t IdealSlot(const K& key) const {
+    return static_cast<std::size_t>(Hash()(key)) & (capacity_ - 1);
+  }
+
+  /// Returns the slot holding `key`, or the first empty slot of its probe
+  /// sequence. Requires capacity_ > 0 and at least one empty slot.
+  std::size_t ProbeFor(const K& key) const {
+    std::size_t i = IdealSlot(key);
+    while (flags_[i] && !(slots_[i].first == key)) {
+      i = (i + 1) & (capacity_ - 1);
+    }
+    return i;
+  }
+
+  void MaybeGrow() {
+    if (capacity_ == 0) {
+      Rehash(8);
+    } else if ((size_ + 1) * 4 >= capacity_ * 3) {
+      Rehash(capacity_ * 2);
+    }
+  }
+
+  void Rehash(std::size_t new_cap) {
+    Entry* old_slots = slots_;
+    std::uint8_t* old_flags = flags_;
+    std::size_t old_cap = capacity_;
+
+    slots_ = static_cast<Entry*>(::operator new(new_cap * sizeof(Entry)));
+    flags_ = new std::uint8_t[new_cap]();
+    capacity_ = new_cap;
+
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_flags[i]) {
+        std::size_t j = ProbeFor(old_slots[i].first);
+        new (&slots_[j]) Entry(std::move(old_slots[i]));
+        flags_[j] = 1;
+        old_slots[i].~Entry();
+      }
+    }
+    if (old_slots != nullptr) ::operator delete(old_slots);
+    delete[] old_flags;
+  }
+
+  /// Backward-shift deletion: closes the probe-sequence gap left at `i`.
+  void EraseSlot(std::size_t i) {
+    slots_[i].~Entry();
+    flags_[i] = 0;
+    --size_;
+    std::size_t mask = capacity_ - 1;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (!flags_[j]) return;
+      std::size_t k = IdealSlot(slots_[j].first);
+      // Can the entry at j legally move back to the hole at i? Yes iff its
+      // ideal slot k does not lie cyclically strictly between i and j.
+      bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+      if (movable) {
+        new (&slots_[i]) Entry(std::move(slots_[j]));
+        flags_[i] = 1;
+        slots_[j].~Entry();
+        flags_[j] = 0;
+        i = j;
+      }
+    }
+  }
+
+  void CopyFrom(const OpenHashMap& other) {
+    slots_ = nullptr;
+    flags_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+    if (other.size_ == 0) return;
+    Rehash(other.capacity_);
+    for (std::size_t i = 0; i < other.capacity_; ++i) {
+      if (other.flags_[i]) {
+        std::size_t j = ProbeFor(other.slots_[i].first);
+        new (&slots_[j]) Entry(other.slots_[i]);
+        flags_[j] = 1;
+      }
+    }
+    size_ = other.size_;
+  }
+
+  void MoveFrom(OpenHashMap&& other) noexcept {
+    slots_ = other.slots_;
+    flags_ = other.flags_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    other.slots_ = nullptr;
+    other.flags_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+
+  void Destroy() {
+    Clear();
+    if (slots_ != nullptr) ::operator delete(slots_);
+    delete[] flags_;
+    slots_ = nullptr;
+    flags_ = nullptr;
+    capacity_ = 0;
+  }
+
+  Entry* slots_ = nullptr;
+  std::uint8_t* flags_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing hash set: an OpenHashMap with an empty payload plus
+/// key-centric iteration.
+template <typename K, typename Hash>
+class OpenHashSet {
+  struct Empty {};
+
+ public:
+  OpenHashSet() = default;
+  explicit OpenHashSet(std::size_t initial_capacity)
+      : map_(initial_capacity) {}
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  bool Contains(const K& key) const { return map_.Contains(key); }
+
+  /// Returns true if `key` was newly inserted.
+  bool Insert(const K& key) { return map_.Insert(key, Empty{}).second; }
+
+  /// Returns true if `key` was present.
+  bool Erase(const K& key) { return map_.Erase(key); }
+
+  void Clear() { map_.Clear(); }
+  void Reserve(std::size_t n) { map_.Reserve(n); }
+
+  class const_iterator {
+   public:
+    using Inner = typename OpenHashMap<K, Empty, Hash>::const_iterator;
+    explicit const_iterator(Inner it) : it_(it) {}
+    const K& operator*() const { return it_->first; }
+    const K* operator->() const { return &it_->first; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    Inner it_;
+  };
+
+  const_iterator begin() const { return const_iterator(map_.begin()); }
+  const_iterator end() const { return const_iterator(map_.end()); }
+
+ private:
+  OpenHashMap<K, Empty, Hash> map_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_OPEN_HASH_MAP_H_

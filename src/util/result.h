@@ -1,0 +1,72 @@
+// Lightweight Status / Result<T> error propagation (RocksDB-style).
+//
+// Used by fallible public APIs (parsing, engine construction for
+// non-q-hierarchical queries) instead of exceptions, so callers can branch
+// on failure cheaply. Internal invariant violations still use DYNCQ_CHECK.
+#ifndef DYNCQ_UTIL_RESULT_H_
+#define DYNCQ_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    DYNCQ_CHECK_MSG(!status_.ok(), "Result built from an OK status");
+  }
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  const std::string& error() const { return status_.message(); }
+
+  T& value() {
+    DYNCQ_CHECK_MSG(ok(), "Result::value() on error: " + status_.message());
+    return *value_;
+  }
+  const T& value() const {
+    DYNCQ_CHECK_MSG(ok(), "Result::value() on error: " + status_.message());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_RESULT_H_

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// xoshiro256** seeded via splitmix64: fast, high quality, and fully
+// reproducible across platforms (unlike std::default_random_engine, whose
+// distributions are implementation-defined).
+#ifndef DYNCQ_UTIL_RNG_H_
+#define DYNCQ_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    DYNCQ_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    DYNCQ_DCHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed sampler over {1, ..., n} with exponent `s`, using the
+/// inverse-CDF table method (O(n) setup, O(log n) sampling).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n) {
+    DYNCQ_CHECK(n > 0);
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(acc);
+    }
+    for (auto& v : cdf_) v /= acc;
+  }
+
+  /// Samples a rank in [1, n].
+  std::uint64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::uint64_t>(lo) + 1;
+  }
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_RNG_H_

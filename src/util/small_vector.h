@@ -1,0 +1,186 @@
+// A vector with inline storage for small sizes.
+//
+// Database tuples and q-tree path keys have small arity (typically <= 4),
+// so keeping them inline avoids a heap allocation per tuple on the hot
+// update path. The interface is the subset of std::vector that dyncq uses.
+#ifndef DYNCQ_UTIL_SMALL_VECTOR_H_
+#define DYNCQ_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector only supports trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  explicit SmallVector(std::size_t n, const T& fill = T()) {
+    resize(n, fill);
+  }
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  template <typename It>
+  SmallVector(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    DYNCQ_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    DYNCQ_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    DYNCQ_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n, const T& fill = T()) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) Grow(std::max(n, capacity_ * 2));
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    return std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVector& a, const SmallVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  void Grow(std::size_t new_cap) {
+    new_cap = std::max<std::size_t>(new_cap, N);
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(static_cast<void*>(mem), data_, size_ * sizeof(T));
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = mem;
+    capacity_ = new_cap;
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    data_ = inline_storage();
+    size_ = 0;
+    capacity_ = N;
+    reserve(other.size_);
+    std::memcpy(static_cast<void*>(data_), other.data_,
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.data_ == other.inline_storage()) {
+      data_ = inline_storage();
+      capacity_ = N;
+      std::memcpy(static_cast<void*>(data_), other.data_,
+                  other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_storage();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  void clear_storage() {
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = inline_storage();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  T* inline_storage() {
+    return reinterpret_cast<T*>(inline_buf_);
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_SMALL_VECTOR_H_

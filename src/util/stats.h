@@ -1,0 +1,115 @@
+// Timing and summary statistics for the benchmark harness.
+#ifndef DYNCQ_UTIL_STATS_H_
+#define DYNCQ_UTIL_STATS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+/// Wall-clock timer based on the steady clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds.
+  double ElapsedNs() const {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedUs() const { return ElapsedNs() / 1e3; }
+  double ElapsedMs() const { return ElapsedNs() / 1e6; }
+  double ElapsedSec() const { return ElapsedNs() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles (sorts on demand).
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+  /// q in [0, 1]; e.g. Percentile(0.99). Requires at least one sample.
+  double Percentile(double q) {
+    DYNCQ_CHECK(!values_.empty());
+    EnsureSorted();
+    double pos = q * static_cast<double>(values_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Median() { return Percentile(0.5); }
+  double Max() {
+    DYNCQ_CHECK(!values_.empty());
+    EnsureSorted();
+    return values_.back();
+  }
+  double Mean() const {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_STATS_H_

@@ -1,0 +1,46 @@
+// Small string helpers (concatenation, splitting, joining).
+#ifndef DYNCQ_UTIL_STR_H_
+#define DYNCQ_UTIL_STR_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyncq {
+
+namespace internal {
+inline void StrAppendImpl(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  StrAppendImpl(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates streamable arguments into a std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendImpl(os, args...);
+  return os.str();
+}
+
+/// Splits `s` on `sep`, dropping empty pieces if `skip_empty`.
+std::vector<std::string> Split(std::string_view s, char sep,
+                               bool skip_empty = false);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_STR_H_

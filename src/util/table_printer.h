@@ -1,0 +1,35 @@
+// Column-aligned plain-text tables for the benchmark harness output.
+#ifndef DYNCQ_UTIL_TABLE_PRINTER_H_
+#define DYNCQ_UTIL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dyncq {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+///   TablePrinter t({"n", "update ns", "ratio"});
+///   t.AddRow({"1024", "312", "1.0"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints header, separator, and all rows to `os`.
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double v, int digits = 1);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+// Basic scalar aliases shared across dyncq.
+#ifndef DYNCQ_UTIL_TYPES_H_
+#define DYNCQ_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace dyncq {
+
+/// A database constant. The paper fixes dom = N>=1; value 0 is reserved as
+/// an internal sentinel (never stored in a relation).
+using Value = std::uint64_t;
+
+/// Index of a variable within a query (dense, query-local).
+using VarId = std::uint32_t;
+
+/// Index of a relation symbol within a schema.
+using RelId = std::uint32_t;
+
+/// 128-bit unsigned weight. Weights are products of child-list sums
+/// (Lemma 6.3) and can exceed 64 bits on adversarial cross products while
+/// remaining far below 2^128 for any workload this harness can generate.
+using Weight = unsigned __int128;
+
+inline constexpr VarId kInvalidVar = static_cast<VarId>(-1);
+inline constexpr RelId kInvalidRel = static_cast<RelId>(-1);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_TYPES_H_

@@ -1,0 +1,35 @@
+#include "util/u128.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dyncq {
+
+std::string U128ToString(unsigned __int128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string I128ToString(__int128 v) {
+  if (v < 0) {
+    // Negate via unsigned arithmetic to handle INT128_MIN.
+    return "-" + U128ToString(static_cast<unsigned __int128>(0) -
+                              static_cast<unsigned __int128>(v));
+  }
+  return U128ToString(static_cast<unsigned __int128>(v));
+}
+
+std::uint64_t U128ToU64Saturating(unsigned __int128 v) {
+  if (v > std::numeric_limits<std::uint64_t>::max()) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace dyncq

@@ -1,0 +1,21 @@
+// Formatting helpers for 128-bit integers (query-result cardinalities).
+#ifndef DYNCQ_UTIL_U128_H_
+#define DYNCQ_UTIL_U128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dyncq {
+
+/// Decimal rendering of an unsigned 128-bit integer.
+std::string U128ToString(unsigned __int128 v);
+
+/// Decimal rendering of a signed 128-bit integer.
+std::string I128ToString(__int128 v);
+
+/// Saturating narrowing to uint64 (for APIs that only need 64 bits).
+std::uint64_t U128ToU64Saturating(unsigned __int128 v);
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_U128_H_

@@ -1,0 +1,46 @@
+#include "workload/matrix_workload.h"
+
+#include "util/check.h"
+
+namespace dyncq::workload {
+
+std::shared_ptr<const Schema> MakeSETSchema() {
+  auto schema = std::make_shared<Schema>();
+  DYNCQ_CHECK(schema->AddRelation("S", 1).ok());
+  DYNCQ_CHECK(schema->AddRelation("E", 2).ok());
+  DYNCQ_CHECK(schema->AddRelation("T", 1).ok());
+  return schema;
+}
+
+Value LeftValue(std::size_t i) { return 2 * (i + 1); }
+Value RightValue(std::size_t j) { return 2 * (j + 1) + 1; }
+
+UpdateStream EncodeMatrix(RelId e_rel, const omv::BitMatrix& m) {
+  UpdateStream out;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m.Get(i, j)) {
+        out.push_back(
+            UpdateCmd::Insert(e_rel, Tuple{LeftValue(i), RightValue(j)}));
+      }
+    }
+  }
+  return out;
+}
+
+UpdateStream DiffSetStream(RelId rel, bool left_side,
+                           const omv::BitVector& prev,
+                           const omv::BitVector& next) {
+  UpdateStream out;
+  for (std::size_t b = 0; b < next.size(); ++b) {
+    bool was = b < prev.size() && prev.Get(b);
+    bool now = next.Get(b);
+    if (was == now) continue;
+    Tuple t{left_side ? LeftValue(b) : RightValue(b)};
+    out.push_back(now ? UpdateCmd::Insert(rel, t)
+                      : UpdateCmd::Delete(rel, t));
+  }
+  return out;
+}
+
+}  // namespace dyncq::workload

@@ -1,0 +1,31 @@
+// Matrix-shaped database workloads: the S(x) ∧ E(x,y) ∧ T(y) family from
+// the paper's running examples, encoded over disjoint value ranges.
+#ifndef DYNCQ_WORKLOAD_MATRIX_WORKLOAD_H_
+#define DYNCQ_WORKLOAD_MATRIX_WORKLOAD_H_
+
+#include <memory>
+
+#include "cq/schema.h"
+#include "omv/bitmatrix.h"
+#include "storage/update.h"
+
+namespace dyncq::workload {
+
+/// Schema {S/1, E/2, T/1} with queries over it built by callers.
+std::shared_ptr<const Schema> MakeSETSchema();
+
+/// Value encodings for the two sides of the bipartite E relation.
+Value LeftValue(std::size_t i);   // a_i
+Value RightValue(std::size_t j);  // b_j
+
+/// Stream setting E = {(a_i, b_j) : M_{ij} = 1}.
+UpdateStream EncodeMatrix(RelId e_rel, const omv::BitMatrix& m);
+
+/// Stream transforming S (or T) from `prev` to `next` (diff only).
+UpdateStream DiffSetStream(RelId rel, bool left_side,
+                           const omv::BitVector& prev,
+                           const omv::BitVector& next);
+
+}  // namespace dyncq::workload
+
+#endif  // DYNCQ_WORKLOAD_MATRIX_WORKLOAD_H_

@@ -1,0 +1,232 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cq/analysis.h"
+#include "util/check.h"
+
+namespace dyncq::workload {
+
+namespace {
+
+/// Shared state while emitting one query's atoms into a schema/builder.
+struct Emitter {
+  const QueryGenOptions& opts;
+  Rng& rng;
+  Schema* schema;
+  // Existing relations by arity (for self-join reuse).
+  std::vector<std::vector<RelId>> rels_by_arity;
+  int next_rel = 0;
+
+  RelId RelationForArity(std::size_t arity) {
+    if (rels_by_arity.size() <= arity) rels_by_arity.resize(arity + 1);
+    auto& pool = rels_by_arity[arity];
+    if (!pool.empty() && rng.Chance(opts.reuse_rel_prob)) {
+      return pool[rng.Below(pool.size())];
+    }
+    auto added = schema->AddRelation("R" + std::to_string(next_rel++),
+                                     arity);
+    DYNCQ_CHECK_MSG(added.ok(), added.error());
+    pool.push_back(added.value());
+    return added.value();
+  }
+
+  /// Builds an atom whose variable set is exactly `path_vars`: one
+  /// occurrence of each path variable (shuffled), plus optional repeated
+  /// variables and constants.
+  void EmitAtom(QueryBuilder* b, const std::vector<VarId>& path_vars) {
+    std::vector<Term> args;
+    args.reserve(path_vars.size() + 2);
+    for (VarId v : path_vars) args.push_back(Term::Var(v));
+    // Fisher-Yates shuffle of the mandatory occurrences.
+    for (std::size_t i = args.size(); i > 1; --i) {
+      std::swap(args[i - 1], args[rng.Below(i)]);
+    }
+    while (rng.Chance(opts.repeat_arg_prob)) {
+      Term t = Term::Var(path_vars[rng.Below(path_vars.size())]);
+      args.insert(args.begin() +
+                      static_cast<std::ptrdiff_t>(rng.Below(args.size() + 1)),
+                  t);
+    }
+    while (rng.Chance(opts.const_arg_prob)) {
+      Term t = Term::Const(1 + rng.Below(opts.max_constant));
+      args.insert(args.begin() +
+                      static_cast<std::ptrdiff_t>(rng.Below(args.size() + 1)),
+                  t);
+    }
+    // Pick the relation before moving args out (argument evaluation
+    // order would otherwise read size() from a moved-from vector).
+    RelId rel = RelationForArity(args.size());
+    b->AddAtom(rel, std::move(args));
+  }
+};
+
+}  // namespace
+
+Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng) {
+  auto schema = std::make_shared<Schema>();
+  // Builder shares the schema object; we fill the schema as we go. The
+  // shared_ptr aliasing keeps it alive for the query.
+  QueryBuilder b(schema);
+  b.SetName("G");
+  Emitter em{opts, rng, schema.get(), {}, 0};
+
+  std::vector<VarId> head;
+  int components =
+      1 + static_cast<int>(rng.Below(
+              static_cast<std::uint64_t>(opts.max_components)));
+  int var_counter = 0;
+
+  for (int c = 0; c < components; ++c) {
+    // Random rooted tree on nv nodes: parent[i] uniform among 0..i-1.
+    int nv = 1 + static_cast<int>(rng.Below(static_cast<std::uint64_t>(
+                 opts.max_component_vars)));
+    std::vector<int> parent(static_cast<std::size_t>(nv), -1);
+    std::vector<std::vector<int>> children(static_cast<std::size_t>(nv));
+    for (int i = 1; i < nv; ++i) {
+      int p = static_cast<int>(rng.Below(static_cast<std::uint64_t>(i)));
+      parent[static_cast<std::size_t>(i)] = p;
+      children[static_cast<std::size_t>(p)].push_back(i);
+    }
+
+    // Free prefix: root free unless the component is Boolean; children of
+    // free nodes are free with probability free_child_prob.
+    std::vector<bool> is_free(static_cast<std::size_t>(nv), false);
+    if (!rng.Chance(opts.boolean_prob)) {
+      is_free[0] = true;
+      for (int i = 1; i < nv; ++i) {
+        int p = parent[static_cast<std::size_t>(i)];
+        if (is_free[static_cast<std::size_t>(p)] &&
+            rng.Chance(opts.free_child_prob)) {
+          is_free[static_cast<std::size_t>(i)] = true;
+        }
+      }
+    }
+
+    // Declare the variables.
+    std::vector<VarId> var_of_node(static_cast<std::size_t>(nv));
+    for (int i = 0; i < nv; ++i) {
+      var_of_node[static_cast<std::size_t>(i)] =
+          b.Var("v" + std::to_string(var_counter++));
+    }
+
+    // Path variables per node (root first).
+    std::vector<std::vector<VarId>> path(static_cast<std::size_t>(nv));
+    for (int i = 0; i < nv; ++i) {
+      int p = parent[static_cast<std::size_t>(i)];
+      if (p >= 0) path[static_cast<std::size_t>(i)] =
+          path[static_cast<std::size_t>(p)];
+      path[static_cast<std::size_t>(i)].push_back(
+          var_of_node[static_cast<std::size_t>(i)]);
+    }
+
+    // Atoms: every leaf must be represented; internal nodes (and the
+    // root) get extra atoms with some probability.
+    for (int i = 0; i < nv; ++i) {
+      bool leaf = children[static_cast<std::size_t>(i)].empty();
+      if (leaf || rng.Chance(opts.extra_atom_prob)) {
+        em.EmitAtom(&b, path[static_cast<std::size_t>(i)]);
+      }
+    }
+
+    for (int i = 0; i < nv; ++i) {
+      if (is_free[static_cast<std::size_t>(i)]) {
+        head.push_back(var_of_node[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+
+  // Shuffle the head order across components.
+  for (std::size_t i = head.size(); i > 1; --i) {
+    std::swap(head[i - 1], head[rng.Below(i)]);
+  }
+  b.SetHead(head);
+  Result<Query> q = b.Build();
+  DYNCQ_CHECK_MSG(q.ok(), "generator built an invalid query: " + q.error());
+  DYNCQ_CHECK_MSG(IsQHierarchical(q.value()),
+                  "generator violated Definition 3.1: " +
+                      q->ToString());
+  return q.value();
+}
+
+Query RandomCQ(const QueryGenOptions& opts, Rng& rng) {
+  // Draw raw atoms over abstract variable indices first; only variables
+  // that actually occur get declared (the builder rejects unused ones).
+  struct RawArg {
+    bool is_const = false;
+    int var = 0;
+    Value constant = 0;
+  };
+  struct RawAtom {
+    std::vector<RawArg> args;
+  };
+
+  const int nv = 2 + static_cast<int>(rng.Below(static_cast<std::uint64_t>(
+                     opts.max_component_vars * opts.max_components)));
+  const int natoms = 1 + static_cast<int>(rng.Below(4));
+
+  std::vector<RawAtom> atoms(static_cast<std::size_t>(natoms));
+  std::vector<bool> used(static_cast<std::size_t>(nv), false);
+  for (RawAtom& atom : atoms) {
+    std::size_t arity = 1 + rng.Below(3);
+    atom.args.resize(arity);
+    for (RawArg& arg : atom.args) {
+      if (rng.Chance(opts.const_arg_prob)) {
+        arg.is_const = true;
+        arg.constant = 1 + rng.Below(opts.max_constant);
+      } else {
+        arg.var = static_cast<int>(rng.Below(static_cast<std::uint64_t>(nv)));
+        used[static_cast<std::size_t>(arg.var)] = true;
+      }
+    }
+    // Guarantee at least one variable per atom.
+    if (std::all_of(atom.args.begin(), atom.args.end(),
+                    [](const RawArg& a) { return a.is_const; })) {
+      atom.args[0].is_const = false;
+      atom.args[0].var =
+          static_cast<int>(rng.Below(static_cast<std::uint64_t>(nv)));
+      used[static_cast<std::size_t>(atom.args[0].var)] = true;
+    }
+  }
+
+  auto schema = std::make_shared<Schema>();
+  QueryBuilder b(schema);
+  b.SetName("C");
+  Emitter em{opts, rng, schema.get(), {}, 0};
+
+  std::vector<VarId> var_of(static_cast<std::size_t>(nv), kInvalidVar);
+  for (int v = 0; v < nv; ++v) {
+    if (used[static_cast<std::size_t>(v)]) {
+      var_of[static_cast<std::size_t>(v)] = b.Var("v" + std::to_string(v));
+    }
+  }
+
+  for (const RawAtom& atom : atoms) {
+    std::vector<Term> args;
+    args.reserve(atom.args.size());
+    for (const RawArg& arg : atom.args) {
+      args.push_back(arg.is_const
+                         ? Term::Const(arg.constant)
+                         : Term::Var(var_of[static_cast<std::size_t>(
+                               arg.var)]));
+    }
+    RelId rel = em.RelationForArity(args.size());
+    b.AddAtom(rel, std::move(args));
+  }
+
+  // Head: random subset of the used variables.
+  std::vector<VarId> head;
+  for (int v = 0; v < nv; ++v) {
+    if (used[static_cast<std::size_t>(v)] && rng.Chance(0.4)) {
+      head.push_back(var_of[static_cast<std::size_t>(v)]);
+    }
+  }
+  b.SetHead(head);
+  Result<Query> q = b.Build();
+  DYNCQ_CHECK_MSG(q.ok(), "RandomCQ built an invalid query: " + q.error());
+  return q.value();
+}
+
+}  // namespace dyncq::workload

@@ -1,0 +1,39 @@
+// Random conjunctive-query generation.
+//
+// RandomQHierarchicalQuery builds queries that are q-hierarchical *by
+// construction* (sampling random q-trees and emitting atoms along root
+// paths — the converse direction of Lemma 4.2), optionally with repeated
+// variables, constants, self-joins, and multiple connected components.
+// RandomCQ samples unconstrained CQs. Both are used by the property
+// tests to cross-validate the analyses, the q-tree construction, and the
+// dynamic engine against the oracle on thousands of query shapes.
+#ifndef DYNCQ_WORKLOAD_QUERY_GEN_H_
+#define DYNCQ_WORKLOAD_QUERY_GEN_H_
+
+#include "cq/query.h"
+#include "util/rng.h"
+
+namespace dyncq::workload {
+
+struct QueryGenOptions {
+  int max_component_vars = 5;  // variables per connected component
+  int max_components = 2;
+  double boolean_prob = 0.2;     // chance a component exports no head vars
+  double free_child_prob = 0.6;  // chance a child of a free node is free
+  double extra_atom_prob = 0.35;  // chance of an atom at a non-leaf node
+  double repeat_arg_prob = 0.15;  // chance of an extra repeated-var arg
+  double const_arg_prob = 0.1;    // chance of an extra constant arg
+  double reuse_rel_prob = 0.2;    // chance of a self-join (name reuse)
+  std::size_t max_constant = 6;
+};
+
+/// A random q-hierarchical query (checked against Definition 3.1 before
+/// returning).
+Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng);
+
+/// A random unconstrained CQ (any hierarchy class).
+Query RandomCQ(const QueryGenOptions& opts, Rng& rng);
+
+}  // namespace dyncq::workload
+
+#endif  // DYNCQ_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,153 @@
+#include "workload/scenarios.h"
+
+#include "cq/parser.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dyncq::workload {
+
+namespace {
+
+Query MustParse(const std::string& text,
+                std::shared_ptr<const Schema> schema) {
+  auto q = ParseQuery(text, std::move(schema));
+  DYNCQ_CHECK_MSG(q.ok(), q.error());
+  return q.value();
+}
+
+}  // namespace
+
+Scenario SocialFeedScenario(std::size_t users, std::size_t posts,
+                            std::size_t follow_edges, std::uint64_t seed) {
+  Scenario s;
+  s.name = "social-feed";
+  s.description =
+      "Follows(follower, author) joined with Posts(author, post)";
+  auto schema = std::make_shared<Schema>();
+  DYNCQ_CHECK(schema->AddRelation("Follows", 2).ok());
+  DYNCQ_CHECK(schema->AddRelation("Posts", 2).ok());
+  s.schema = schema;
+
+  // q-hierarchical: author is the root, follower and post are children.
+  s.queries.push_back(MustParse(
+      "Feed(follower, author, post) :- Follows(follower, author), "
+      "Posts(author, post).",
+      schema));
+  // q-hierarchical with quantifiers: authors that have followers & posts.
+  s.queries.push_back(MustParse(
+      "ActiveAuthors(author) :- Follows(follower, author), "
+      "Posts(author, post).",
+      schema));
+  // NOT q-hierarchical (condition (ii)): projecting away the author.
+  s.queries.push_back(MustParse(
+      "Visible(follower, post) :- Follows(follower, author), "
+      "Posts(author, post).",
+      schema));
+
+  Rng rng(seed);
+  // Post values are offset so user and post ids never collide.
+  auto user = [&](std::size_t i) { return static_cast<Value>(i + 1); };
+  auto post = [&](std::size_t i) {
+    return static_cast<Value>(users + i + 1);
+  };
+  for (std::size_t e = 0; e < follow_edges; ++e) {
+    s.initial.push_back(UpdateCmd::Insert(
+        0, Tuple{user(rng.Below(users)), user(rng.Below(users))}));
+  }
+  for (std::size_t p = 0; p < posts; ++p) {
+    s.initial.push_back(
+        UpdateCmd::Insert(1, Tuple{user(rng.Below(users)), post(p)}));
+  }
+  return s;
+}
+
+Scenario TelemetryScenario(std::size_t sensors, std::size_t values,
+                           std::size_t readings, std::uint64_t seed) {
+  Scenario s;
+  s.name = "telemetry";
+  s.description =
+      "Critical sensors, readings, and threshold values (alerting)";
+  auto schema = std::make_shared<Schema>();
+  DYNCQ_CHECK(schema->AddRelation("Critical", 1).ok());
+  DYNCQ_CHECK(schema->AddRelation("Reading", 2).ok());
+  DYNCQ_CHECK(schema->AddRelation("Threshold", 1).ok());
+  s.schema = schema;
+
+  // The paper's ϕ'_{S-E-T}: Boolean, hierarchical-violating, OMv-hard.
+  s.queries.push_back(MustParse(
+      "Alert() :- Critical(sensor), Reading(sensor, value), "
+      "Threshold(value).",
+      schema));
+  // q-hierarchical: which critical sensors currently report anything.
+  s.queries.push_back(MustParse(
+      "LiveCritical(sensor) :- Critical(sensor), Reading(sensor, value).",
+      schema));
+  // ϕ_{E-T}-shaped (condition (ii) violation): sensors with an
+  // over-threshold reading, threshold value projected away.
+  s.queries.push_back(MustParse(
+      "Offending(sensor) :- Reading(sensor, value), Threshold(value).",
+      schema));
+
+  Rng rng(seed);
+  auto sensor = [&](std::size_t i) { return static_cast<Value>(i + 1); };
+  auto value = [&](std::size_t i) {
+    return static_cast<Value>(sensors + i + 1);
+  };
+  for (std::size_t i = 0; i < sensors; i += 4) {
+    s.initial.push_back(UpdateCmd::Insert(0, Tuple{sensor(i)}));
+  }
+  for (std::size_t i = 0; i < readings; ++i) {
+    s.initial.push_back(UpdateCmd::Insert(
+        1, Tuple{sensor(rng.Below(sensors)), value(rng.Below(values))}));
+  }
+  for (std::size_t i = 0; i < values; i += 8) {
+    s.initial.push_back(UpdateCmd::Insert(2, Tuple{value(i)}));
+  }
+  return s;
+}
+
+Scenario OrdersScenario(std::size_t customers, std::size_t orders,
+                        std::size_t items, std::uint64_t seed) {
+  Scenario s;
+  s.name = "orders";
+  s.description = "Customer -> Orders -> Items chain";
+  auto schema = std::make_shared<Schema>();
+  DYNCQ_CHECK(schema->AddRelation("Customer", 1).ok());
+  DYNCQ_CHECK(schema->AddRelation("Orders", 2).ok());
+  DYNCQ_CHECK(schema->AddRelation("Items", 2).ok());
+  s.schema = schema;
+
+  // Non-hierarchical chain (condition (i) fails on o vs c/i).
+  s.queries.push_back(MustParse(
+      "Chain(c, o, i) :- Customer(c), Orders(c, o), Items(o, i).", schema));
+  // q-hierarchical: orders of known customers with some item, item
+  // projected away (o is the root; c free child, i quantified child).
+  s.queries.push_back(MustParse(
+      "NonEmptyOrders(c, o) :- Orders(c, o), Items(o, i).", schema));
+  // q-hierarchical Boolean: is there any completed order at all?
+  s.queries.push_back(MustParse(
+      "AnyOrder() :- Orders(c, o), Items(o, i).", schema));
+
+  Rng rng(seed);
+  auto cust = [&](std::size_t i) { return static_cast<Value>(i + 1); };
+  auto order = [&](std::size_t i) {
+    return static_cast<Value>(customers + i + 1);
+  };
+  auto item = [&](std::size_t i) {
+    return static_cast<Value>(customers + orders + i + 1);
+  };
+  for (std::size_t i = 0; i < customers; ++i) {
+    s.initial.push_back(UpdateCmd::Insert(0, Tuple{cust(i)}));
+  }
+  for (std::size_t i = 0; i < orders; ++i) {
+    s.initial.push_back(UpdateCmd::Insert(
+        1, Tuple{cust(rng.Below(customers)), order(i)}));
+  }
+  for (std::size_t i = 0; i < items; ++i) {
+    s.initial.push_back(UpdateCmd::Insert(
+        2, Tuple{order(rng.Below(orders)), item(rng.Below(items))}));
+  }
+  return s;
+}
+
+}  // namespace dyncq::workload

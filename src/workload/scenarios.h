@@ -1,0 +1,44 @@
+// Named application scenarios used by the examples and benchmarks. Each
+// bundles a schema, a set of queries spanning the paper's tractability
+// classes, and an initial update stream.
+#ifndef DYNCQ_WORKLOAD_SCENARIOS_H_
+#define DYNCQ_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "storage/update.h"
+
+namespace dyncq::workload {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::shared_ptr<const Schema> schema;
+  std::vector<Query> queries;
+  UpdateStream initial;
+};
+
+/// Social feed: Follows(follower, author), Posts(author, post).
+/// Queries: the q-hierarchical feed join, a q-hierarchical quantified
+/// notification query, and the non-q-hierarchical "who sees which post"
+/// projection (the matrix-multiplication-shaped hard query).
+Scenario SocialFeedScenario(std::size_t users, std::size_t posts,
+                            std::size_t follow_edges, std::uint64_t seed);
+
+/// Telemetry: Critical(sensor), Reading(sensor, value), Threshold(value).
+/// Boolean alert query shaped exactly like the paper's ϕ'_{S-E-T} (hard),
+/// plus tractable per-sensor variants.
+Scenario TelemetryScenario(std::size_t sensors, std::size_t values,
+                           std::size_t readings, std::uint64_t seed);
+
+/// Orders: Customer(c), Orders(c, o), Items(o, i): a non-hierarchical
+/// chain plus tractable subqueries.
+Scenario OrdersScenario(std::size_t customers, std::size_t orders,
+                        std::size_t items, std::uint64_t seed);
+
+}  // namespace dyncq::workload
+
+#endif  // DYNCQ_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,72 @@
+#include "workload/stream_gen.h"
+
+#include "util/check.h"
+
+namespace dyncq::workload {
+
+StreamGenerator::StreamGenerator(std::shared_ptr<const Schema> schema,
+                                 StreamOptions opts)
+    : schema_(std::move(schema)), opts_(opts), rng_(opts.seed) {
+  DYNCQ_CHECK(schema_ != nullptr);
+  DYNCQ_CHECK(opts_.domain_size >= 1);
+  if (opts_.zipf_s > 0.0) {
+    zipf_ = std::make_unique<ZipfSampler>(opts_.domain_size, opts_.zipf_s);
+  }
+  live_.resize(schema_->NumRelations());
+  live_index_.resize(schema_->NumRelations());
+}
+
+Value StreamGenerator::RandomValue() {
+  if (zipf_ != nullptr) return zipf_->Sample(rng_);
+  return rng_.Range(1, opts_.domain_size);
+}
+
+Tuple StreamGenerator::RandomTuple(RelId rel) {
+  Tuple t;
+  for (std::size_t i = 0; i < schema_->arity(rel); ++i) {
+    t.push_back(RandomValue());
+  }
+  return t;
+}
+
+UpdateCmd StreamGenerator::Next(RelId rel) {
+  bool do_insert =
+      live_[rel].empty() || rng_.Chance(opts_.insert_ratio);
+  if (do_insert) {
+    Tuple t = RandomTuple(rel);
+    auto [slot, inserted] = live_index_[rel].Insert(t, live_[rel].size());
+    if (inserted) {
+      live_[rel].push_back(t);
+    }
+    return UpdateCmd::Insert(rel, t);
+  }
+  // Delete a uniformly random live tuple (swap-remove for O(1)).
+  std::size_t pos = rng_.Below(live_[rel].size());
+  Tuple t = live_[rel][pos];
+  Tuple& last = live_[rel].back();
+  if (pos + 1 != live_[rel].size()) {
+    *live_index_[rel].Find(last) = pos;
+    live_[rel][pos] = last;
+  }
+  live_[rel].pop_back();
+  live_index_[rel].Erase(t);
+  return UpdateCmd::Delete(rel, t);
+}
+
+UpdateStream StreamGenerator::Take(std::size_t count) {
+  UpdateStream out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Next(static_cast<RelId>(i % schema_->NumRelations())));
+  }
+  return out;
+}
+
+UpdateStream StreamGenerator::TakeFor(RelId rel, std::size_t count) {
+  UpdateStream out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(Next(rel));
+  return out;
+}
+
+}  // namespace dyncq::workload

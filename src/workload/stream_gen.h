@@ -1,0 +1,61 @@
+// Synthetic update-stream generation for tests and benchmarks.
+#ifndef DYNCQ_WORKLOAD_STREAM_GEN_H_
+#define DYNCQ_WORKLOAD_STREAM_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/schema.h"
+#include "storage/update.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/rng.h"
+
+namespace dyncq::workload {
+
+struct StreamOptions {
+  std::uint64_t seed = 42;
+  /// Values are drawn from [1, domain_size].
+  std::size_t domain_size = 1000;
+  /// Probability that a command is an insert (deletes target live tuples).
+  double insert_ratio = 1.0;
+  /// Zipf skew (0 = uniform over the domain).
+  double zipf_s = 0.0;
+};
+
+/// Stateful generator producing a realistic insert/delete mix: deletes
+/// pick uniformly among currently live tuples, so they always hit.
+class StreamGenerator {
+ public:
+  StreamGenerator(std::shared_ptr<const Schema> schema, StreamOptions opts);
+
+  /// Next command for relation `rel`.
+  UpdateCmd Next(RelId rel);
+
+  /// `count` commands spread round-robin over all relations.
+  UpdateStream Take(std::size_t count);
+
+  /// `count` commands for a single relation.
+  UpdateStream TakeFor(RelId rel, std::size_t count);
+
+  std::size_t LiveTuples(RelId rel) const {
+    return live_[rel].size();
+  }
+
+ private:
+  Tuple RandomTuple(RelId rel);
+  Value RandomValue();
+
+  std::shared_ptr<const Schema> schema_;
+  StreamOptions opts_;
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  // Live tuples per relation: vector for O(1) sampling + index map for
+  // O(1) removal (swap-with-last).
+  std::vector<std::vector<Tuple>> live_;
+  std::vector<OpenHashMap<Tuple, std::size_t, TupleHash>> live_index_;
+};
+
+}  // namespace dyncq::workload
+
+#endif  // DYNCQ_WORKLOAD_STREAM_GEN_H_

@@ -1,0 +1,225 @@
+// Tests for the static evaluator (oracle), recompute engine, and the
+// delta-IVM engine (including self-join deltas).
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/delta_ivm.h"
+#include "baseline/evaluator.h"
+#include "baseline/recompute.h"
+#include "util/rng.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq {
+namespace {
+
+using baseline::DeltaIvmEngine;
+using baseline::RecomputeEngine;
+using testing::MustParse;
+using testing::SameTupleSet;
+namespace paper = testing::paper;
+
+Database MakeDb(const Query& q,
+                const std::vector<std::pair<RelId, Tuple>>& tuples) {
+  Database db(q.schema());
+  for (const auto& [rel, t] : tuples) db.Insert(rel, t);
+  return db;
+}
+
+TEST(EvaluatorTest, SimpleJoin) {
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(y, z).");
+  Database db = MakeDb(q, {{0, {1, 2}}, {0, {4, 5}}, {1, {2, 3}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q), {{1, 2, 3}}));
+}
+
+TEST(EvaluatorTest, ProjectionDeduplicates) {
+  Query q = MustParse("Q(x) :- R(x, y).");
+  Database db = MakeDb(q, {{0, {1, 2}}, {0, {1, 3}}, {0, {2, 9}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q), {{1}, {2}}));
+  EXPECT_EQ(baseline::CountDistinct(db, q), Weight{2});
+}
+
+TEST(EvaluatorTest, BooleanAnswer) {
+  Query q = paper::PhiSETBoolean();
+  RelId s = q.schema().FindRelation("S");
+  RelId e = q.schema().FindRelation("E");
+  RelId t = q.schema().FindRelation("T");
+  Database db = MakeDb(q, {{s, {1}}, {e, {1, 2}}});
+  EXPECT_FALSE(baseline::AnswerBoolean(db, q));
+  db.Insert(t, {2});
+  EXPECT_TRUE(baseline::AnswerBoolean(db, q));
+}
+
+TEST(EvaluatorTest, SelfJoinValuations) {
+  Query q = paper::Phi1();  // E(x,x), E(x,y), E(y,y)
+  Database db = MakeDb(q, {{0, {1, 1}}, {0, {2, 2}}, {0, {1, 2}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q),
+                           {{1, 1}, {2, 2}, {1, 2}}));
+}
+
+TEST(EvaluatorTest, ConstantsFilter) {
+  Query q = MustParse("Q(x) :- R(x, 7).");
+  Database db = MakeDb(q, {{0, {1, 7}}, {0, {2, 8}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q), {{1}}));
+}
+
+TEST(EvaluatorTest, RepeatedVarsFilter) {
+  Query q = MustParse("Q(x) :- R(x, x, y).");
+  Database db = MakeDb(q, {{0, {1, 1, 5}}, {0, {1, 2, 5}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q), {{1}}));
+}
+
+TEST(EvaluatorTest, CartesianProduct) {
+  Query q = MustParse("Q(x, y) :- R(x), S(y).");
+  Database db = MakeDb(q, {{0, {1}}, {0, {2}}, {1, {8}}});
+  EXPECT_TRUE(SameTupleSet(baseline::Evaluate(db, q), {{1, 8}, {2, 8}}));
+}
+
+TEST(EvaluatorTest, ValuationCallbackCountsBagSemantics) {
+  Query q = MustParse("Q(x) :- R(x, y).");
+  Database db = MakeDb(q, {{0, {1, 2}}, {0, {1, 3}}});
+  int valuations = 0;
+  baseline::EnumerateValuations(db, q, {}, [&](const Tuple&) {
+    ++valuations;
+  });
+  EXPECT_EQ(valuations, 2);  // two valuations project to the same x
+}
+
+TEST(EvaluatorTest, ViewsExactAndMinus) {
+  Query q = MustParse("Q(x, y) :- R(x, y).");
+  Database db = MakeDb(q, {{0, {1, 2}}, {0, {3, 4}}});
+  baseline::Views views(1);
+  views[0] = {baseline::ViewMode::kExactTuple, Tuple{1, 2}};
+  int count = 0;
+  baseline::EnumerateValuations(db, q, views,
+                                [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+  views[0] = {baseline::ViewMode::kMinusTuple, Tuple{1, 2}};
+  count = 0;
+  baseline::EnumerateValuations(db, q, views,
+                                [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);  // only (3,4)
+}
+
+TEST(RecomputeEngineTest, BasicLifecycle) {
+  Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
+  RecomputeEngine e(q);
+  EXPECT_FALSE(e.Answer());
+  e.Apply(UpdateCmd::Insert(0, {1, 2}));
+  e.Apply(UpdateCmd::Insert(1, {2}));
+  EXPECT_TRUE(e.Answer());
+  EXPECT_EQ(e.Count(), Weight{1});
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(e), {{1, 2}}));
+  e.Apply(UpdateCmd::Delete(1, {2}));
+  EXPECT_EQ(e.Count(), Weight{0});
+}
+
+TEST(RecomputeEngineTest, EnumeratorInvalidation) {
+  Query q = MustParse("Q(x) :- R(x).");
+  RecomputeEngine e(q);
+  e.Apply(UpdateCmd::Insert(0, {1}));
+  auto en = e.NewEnumerator();
+  Tuple t;
+  ASSERT_TRUE(en->Next(&t));
+  e.Apply(UpdateCmd::Insert(0, {2}));
+  EXPECT_THROW(en->Next(&t), std::logic_error);
+}
+
+TEST(DeltaIvmTest, InsertDeleteRoundTrip) {
+  Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
+  DeltaIvmEngine e(q);
+  e.Apply(UpdateCmd::Insert(0, {1, 2}));
+  EXPECT_EQ(e.Count(), Weight{0});
+  e.Apply(UpdateCmd::Insert(1, {2}));
+  EXPECT_EQ(e.Count(), Weight{1});
+  e.Apply(UpdateCmd::Insert(0, {3, 2}));
+  EXPECT_EQ(e.Count(), Weight{2});
+  e.Apply(UpdateCmd::Delete(1, {2}));
+  EXPECT_EQ(e.Count(), Weight{0});
+  EXPECT_FALSE(e.Answer());
+}
+
+TEST(DeltaIvmTest, MultiplicityTracking) {
+  Query q = MustParse("Q(x) :- E(x, y).");
+  DeltaIvmEngine e(q);
+  e.Apply(UpdateCmd::Insert(0, {1, 10}));
+  e.Apply(UpdateCmd::Insert(0, {1, 11}));
+  EXPECT_EQ(e.Multiplicity({1}), 2u);
+  EXPECT_EQ(e.Count(), Weight{1});
+  e.Apply(UpdateCmd::Delete(0, {1, 10}));
+  EXPECT_EQ(e.Multiplicity({1}), 1u);
+  EXPECT_EQ(e.Count(), Weight{1});
+  e.Apply(UpdateCmd::Delete(0, {1, 11}));
+  EXPECT_EQ(e.Count(), Weight{0});
+}
+
+TEST(DeltaIvmTest, SelfJoinDeltasAreExact) {
+  // ϕ1 has three occurrences of E: the higher-order delta must not double
+  // count when one tuple matches several occurrences.
+  Query q = paper::Phi1();
+  DeltaIvmEngine e(q);
+  RecomputeEngine oracle(q);
+  Rng rng(555);
+  for (int step = 0; step < 300; ++step) {
+    Tuple t{rng.Range(1, 5), rng.Range(1, 5)};
+    UpdateCmd cmd = rng.Chance(0.6) ? UpdateCmd::Insert(0, t)
+                                    : UpdateCmd::Delete(0, t);
+    e.Apply(cmd);
+    oracle.Apply(cmd);
+    ASSERT_EQ(e.Count(), oracle.Count()) << "step " << step;
+    ASSERT_TRUE(SameTupleSet(MaterializeResult(e),
+                             MaterializeResult(oracle)))
+        << "step " << step;
+  }
+}
+
+TEST(DeltaIvmTest, RandomizedAgainstOracleMultiRelation) {
+  Query q = MustParse("Q(x, z) :- R(x, y), S(y, z).");
+  DeltaIvmEngine e(q);
+  RecomputeEngine oracle(q);
+  workload::StreamOptions opts;
+  opts.seed = 99;
+  opts.domain_size = 7;
+  opts.insert_ratio = 0.6;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+  for (int step = 0; step < 400; ++step) {
+    UpdateCmd cmd = gen.Next(static_cast<RelId>(step % 2));
+    EXPECT_EQ(e.Apply(cmd), oracle.Apply(cmd));
+    if (step % 11 == 0) {
+      ASSERT_EQ(e.Count(), oracle.Count()) << "step " << step;
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(e),
+                               MaterializeResult(oracle)));
+    }
+  }
+}
+
+TEST(DeltaIvmTest, BooleanQueryMultiplicities) {
+  Query q = paper::PhiSETBoolean();
+  DeltaIvmEngine e(q);
+  RelId s = q.schema().FindRelation("S");
+  RelId er = q.schema().FindRelation("E");
+  RelId t = q.schema().FindRelation("T");
+  e.Apply(UpdateCmd::Insert(s, {1}));
+  e.Apply(UpdateCmd::Insert(er, {1, 2}));
+  e.Apply(UpdateCmd::Insert(t, {2}));
+  EXPECT_TRUE(e.Answer());
+  EXPECT_EQ(e.Count(), Weight{1});  // the empty tuple, once
+  e.Apply(UpdateCmd::Insert(er, {1, 3}));
+  e.Apply(UpdateCmd::Insert(t, {3}));
+  EXPECT_EQ(e.Count(), Weight{1});
+  e.Apply(UpdateCmd::Delete(t, {2}));
+  EXPECT_TRUE(e.Answer());
+  e.Apply(UpdateCmd::Delete(t, {3}));
+  EXPECT_FALSE(e.Answer());
+}
+
+TEST(DeltaIvmTest, InitialDatabaseConstructor) {
+  Query q = MustParse("Q(x) :- R(x, y).");
+  Database d0(q.schema());
+  d0.Insert(0, {1, 2});
+  d0.Insert(0, {3, 4});
+  DeltaIvmEngine e(q, d0);
+  EXPECT_EQ(e.Count(), Weight{2});
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,193 @@
+// Paper-exactness tests: Example 6.1, Figure 3(a)/(b), and Table 1.
+//
+// The database D0 (letters mapped a=1 ... h=8, p=9):
+//   E = {(a,e),(a,f),(b,d),(b,g),(b,h)}
+//   S = {(a,e,a),(a,e,b),(a,f,c),(b,g,b),(b,p,a)}
+//   R = S ∪ {(a,e,c),(b,g,a),(b,g,c),(b,p,b),(b,p,c)}
+// Figure 3(a): Cstart = 23 with item weights a:14, b:9, e:6, f:1, g:3.
+// After insert E(b,p) (Figure 3(b)): Cstart = 38, b:24, p:3.
+// Table 1 lists the exact 23-tuple enumeration order.
+#include <array>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/engine.h"
+
+namespace dyncq {
+namespace {
+
+namespace paper = testing::paper;
+
+constexpr Value a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8,
+                p = 9;
+
+class Example61Test : public ::testing::Test {
+ protected:
+  Example61Test() {
+    query_ = std::make_unique<Query>(paper::Example61());
+    r_rel_ = query_->schema().FindRelation("R");
+    e_rel_ = query_->schema().FindRelation("E");
+    s_rel_ = query_->schema().FindRelation("S");
+    auto engine = core::Engine::Create(*query_);
+    EXPECT_TRUE(engine.ok()) << engine.error();
+    engine_ = std::move(engine.value());
+    // Insertion order chosen so the fit-lists match Figure 3(a): E first,
+    // then S, then R in lexicographic order.
+    for (const Tuple& t : std::vector<Tuple>{
+             {a, e}, {a, f}, {b, d}, {b, g}, {b, h}}) {
+      engine_->Apply(UpdateCmd::Insert(e_rel_, t));
+    }
+    for (const Tuple& t : std::vector<Tuple>{
+             {a, e, a}, {a, e, b}, {a, f, c}, {b, g, b}, {b, p, a}}) {
+      engine_->Apply(UpdateCmd::Insert(s_rel_, t));
+    }
+    for (const Tuple& t : std::vector<Tuple>{
+             {a, e, a}, {a, e, b}, {a, e, c}, {a, f, c}, {b, g, a},
+             {b, g, b}, {b, g, c}, {b, p, a}, {b, p, b}, {b, p, c}}) {
+      engine_->Apply(UpdateCmd::Insert(r_rel_, t));
+    }
+  }
+
+  std::unique_ptr<Query> query_;
+  RelId r_rel_, e_rel_, s_rel_;
+  std::unique_ptr<core::Engine> engine_;
+};
+
+TEST_F(Example61Test, Figure3aCStartIs23) {
+  ASSERT_EQ(engine_->NumComponents(), 1u);
+  EXPECT_EQ(engine_->component(0).CStart(), Weight{23});
+  EXPECT_EQ(engine_->component(0).CTildeStart(), Weight{23});
+  EXPECT_EQ(engine_->Count(), Weight{23});
+  EXPECT_TRUE(engine_->Answer());
+}
+
+TEST_F(Example61Test, Figure3aItemWeights) {
+  // Walk the root list: items a (weight 14) then b (weight 9).
+  const core::ChildSlot& root = engine_->component(0).root_slot();
+  ASSERT_NE(root.head, nullptr);
+  EXPECT_EQ(root.head->value, a);
+  EXPECT_EQ(root.head->weight, Weight{14});
+  ASSERT_NE(root.head->next, nullptr);
+  EXPECT_EQ(root.head->next->value, b);
+  EXPECT_EQ(root.head->next->weight, Weight{9});
+  EXPECT_EQ(root.head->next->next, nullptr);
+
+  // Item [y, a/x, e] has weight 6, [y, a/x, f] weight 1 (Figure 3a).
+  const core::Item* xa = root.head;
+  const core::ChildSlot& y_list = xa->child_slots[0];
+  ASSERT_NE(y_list.head, nullptr);
+  EXPECT_EQ(y_list.head->value, e);
+  EXPECT_EQ(y_list.head->weight, Weight{6});
+  ASSERT_NE(y_list.head->next, nullptr);
+  EXPECT_EQ(y_list.head->next->value, f);
+  EXPECT_EQ(y_list.head->next->weight, Weight{1});
+}
+
+TEST_F(Example61Test, Table1EnumerationOrder) {
+  // Table 1 rows are (x, y, z, z', y'); the query head is
+  // (x, y, z, y', z'), so expected tuples swap the last two columns.
+  const std::vector<std::array<Value, 5>> table1 = {
+      // x  y  z  z' y'
+      {a, e, a, a, e}, {a, e, a, a, f}, {a, e, a, b, e}, {a, e, a, b, f},
+      {a, e, a, c, e}, {a, e, a, c, f}, {a, e, b, a, e}, {a, e, b, a, f},
+      {a, e, b, b, e}, {a, e, b, b, f}, {a, e, b, c, e}, {a, e, b, c, f},
+      {a, f, c, c, e}, {a, f, c, c, f}, {b, g, b, a, d}, {b, g, b, a, g},
+      {b, g, b, a, h}, {b, g, b, b, d}, {b, g, b, b, g}, {b, g, b, b, h},
+      {b, g, b, c, d}, {b, g, b, c, g}, {b, g, b, c, h}};
+
+  auto en = engine_->NewEnumerator();
+  Tuple t;
+  std::size_t i = 0;
+  while (en->Next(&t)) {
+    ASSERT_LT(i, table1.size());
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_EQ(t[0], table1[i][0]) << "tuple " << i;
+    EXPECT_EQ(t[1], table1[i][1]) << "tuple " << i;
+    EXPECT_EQ(t[2], table1[i][2]) << "tuple " << i;
+    EXPECT_EQ(t[3], table1[i][4]) << "tuple " << i;  // head y' = table col 5
+    EXPECT_EQ(t[4], table1[i][3]) << "tuple " << i;  // head z' = table col 4
+    ++i;
+  }
+  EXPECT_EQ(i, 23u);
+}
+
+TEST_F(Example61Test, Figure3bInsertEbp) {
+  engine_->Apply(UpdateCmd::Insert(e_rel_, {b, p}));
+  EXPECT_EQ(engine_->component(0).CStart(), Weight{38});
+  EXPECT_EQ(engine_->Count(), Weight{38});
+
+  const core::ChildSlot& root = engine_->component(0).root_slot();
+  ASSERT_NE(root.head, nullptr);
+  EXPECT_EQ(root.head->weight, Weight{14});  // a unchanged
+  ASSERT_NE(root.head->next, nullptr);
+  EXPECT_EQ(root.head->next->weight, Weight{24});  // b: 14 -> 24
+
+  // [y, b/x, p] is now fit with weight 3 (Figure 3b) at the tail of b's
+  // y-list.
+  const core::Item* xb = root.head->next;
+  const core::ChildSlot& y_list = xb->child_slots[0];
+  const core::Item* last = y_list.tail;
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->value, p);
+  EXPECT_EQ(last->weight, Weight{3});
+}
+
+TEST_F(Example61Test, DeleteRestoresFigure3a) {
+  engine_->Apply(UpdateCmd::Insert(e_rel_, {b, p}));
+  engine_->Apply(UpdateCmd::Delete(e_rel_, {b, p}));
+  EXPECT_EQ(engine_->component(0).CStart(), Weight{23});
+  engine_->component(0).CheckInvariants();
+}
+
+TEST_F(Example61Test, FullTeardownEmptiesStructure) {
+  // Delete every tuple; the structure must drain to zero items.
+  for (const Tuple& t : std::vector<Tuple>{
+           {a, e}, {a, f}, {b, d}, {b, g}, {b, h}}) {
+    engine_->Apply(UpdateCmd::Delete(e_rel_, t));
+  }
+  for (const Tuple& t : std::vector<Tuple>{
+           {a, e, a}, {a, e, b}, {a, f, c}, {b, g, b}, {b, p, a}}) {
+    engine_->Apply(UpdateCmd::Delete(s_rel_, t));
+  }
+  for (const Tuple& t : std::vector<Tuple>{
+           {a, e, a}, {a, e, b}, {a, e, c}, {a, f, c}, {b, g, a},
+           {b, g, b}, {b, g, c}, {b, p, a}, {b, p, b}, {b, p, c}}) {
+    engine_->Apply(UpdateCmd::Delete(r_rel_, t));
+  }
+  EXPECT_EQ(engine_->Count(), Weight{0});
+  EXPECT_FALSE(engine_->Answer());
+  EXPECT_EQ(engine_->NumItems(), 0u);
+}
+
+TEST_F(Example61Test, DumpShowsWeights) {
+  std::ostringstream os;
+  engine_->DumpStructure(os);
+  std::string dump = os.str();
+  EXPECT_NE(dump.find("Cstart = 23"), std::string::npos);
+  EXPECT_NE(dump.find("C = 14"), std::string::npos);
+  EXPECT_NE(dump.find("C = 9"), std::string::npos);
+}
+
+TEST_F(Example61Test, NoOpUpdatesDoNothing) {
+  std::uint64_t epoch = engine_->epoch();
+  EXPECT_FALSE(engine_->Apply(UpdateCmd::Insert(e_rel_, {a, e})));
+  EXPECT_FALSE(engine_->Apply(UpdateCmd::Delete(e_rel_, {a, p})));
+  EXPECT_EQ(engine_->epoch(), epoch);
+  EXPECT_EQ(engine_->Count(), Weight{23});
+}
+
+TEST_F(Example61Test, EnumeratorInvalidatedByUpdate) {
+  auto en = engine_->NewEnumerator();
+  Tuple t;
+  ASSERT_TRUE(en->Next(&t));
+  engine_->Apply(UpdateCmd::Insert(e_rel_, {b, p}));
+  EXPECT_THROW(en->Next(&t), std::logic_error);
+  // A fresh enumerator works (the paper's "restart within constant time").
+  auto en2 = engine_->NewEnumerator();
+  EXPECT_TRUE(en2->Next(&t));
+}
+
+}  // namespace
+}  // namespace dyncq

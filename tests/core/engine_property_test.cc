@@ -1,0 +1,167 @@
+// Property-based differential testing: for a zoo of q-hierarchical
+// queries and random insert/delete streams, the dynamic engine must agree
+// with the static oracle evaluator after every update — result set,
+// count, answer — and its enumeration must be duplicate-free. Structure
+// invariants (stored weights vs. recomputed weights) are re-checked
+// periodically.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/evaluator.h"
+#include "core/engine.h"
+#include "cq/analysis.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/rng.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+using testing::SameTupleSet;
+
+struct PropertyCase {
+  const char* name;
+  const char* text;
+  std::size_t domain;   // value domain per stream
+  std::size_t steps;    // update commands
+};
+
+class EngineropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EngineropertyTest, MatchesOracleUnderRandomStreams) {
+  const PropertyCase& pc = GetParam();
+  Query q = MustParse(pc.text);
+  ASSERT_TRUE(IsQHierarchical(q)) << pc.text;
+
+  auto engine_or = core::Engine::Create(q);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.error();
+  auto& engine = *engine_or.value();
+
+  workload::StreamOptions opts;
+  opts.seed = HashString(pc.name);
+  opts.domain_size = pc.domain;
+  opts.insert_ratio = 0.6;  // heavy churn
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+
+  for (std::size_t step = 0; step < pc.steps; ++step) {
+    UpdateCmd cmd = gen.Next(static_cast<RelId>(
+        step % q.schema().NumRelations()));
+    engine.Apply(cmd);
+
+    if (step % 7 != 0) continue;  // full oracle check every 7 steps
+
+    std::vector<Tuple> expected = baseline::Evaluate(engine.db(), q);
+    std::vector<Tuple> actual;
+    OpenHashSet<Tuple, TupleHash> seen;
+    auto en = engine.NewEnumerator();
+    Tuple t;
+    while (en->Next(&t)) {
+      ASSERT_TRUE(seen.Insert(t)) << "duplicate tuple emitted at step "
+                                  << step;
+      actual.push_back(t);
+    }
+    ASSERT_TRUE(SameTupleSet(actual, expected))
+        << pc.text << " at step " << step;
+    ASSERT_EQ(engine.Count(), Weight{expected.size()})
+        << pc.text << " at step " << step;
+    ASSERT_EQ(engine.Answer(), !expected.empty());
+
+    for (std::size_t c = 0; c < engine.NumComponents(); ++c) {
+      engine.component(c).CheckInvariants();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QHierarchicalZoo, EngineropertyTest,
+    ::testing::Values(
+        PropertyCase{"single_atom", "Q(x, y) :- E(x, y).", 8, 400},
+        PropertyCase{"join_two", "Q(x, y) :- E(x, y), T(y).", 6, 400},
+        PropertyCase{"quantified_child", "Q(x) :- E(x, y).", 6, 400},
+        PropertyCase{"boolean", "Q() :- E(x, y), T(y).", 5, 400},
+        PropertyCase{"star", "Q(x, u, v) :- R(x, u), S(x, v).", 6, 400},
+        PropertyCase{"star_quantified", "Q(x) :- R(x, u), S(x, v).", 5,
+                     400},
+        PropertyCase{"deep_chain",
+                     "Q(a, b, c) :- R(a), S(a, b), T(a, b, c).", 5, 500},
+        PropertyCase{"figure2",
+                     "Q(x, y, z, y2, z2) :- R(x, y, z), R(x, y, z2), "
+                     "E(x, y), E(x, y2), S(x, y, z).",
+                     4, 600},
+        PropertyCase{"quantified_tail",
+                     "Q(x, y) :- R(x, y), S(x, y, z).", 5, 400},
+        PropertyCase{"two_components", "Q(x, y) :- R(x, u), S(y, v).", 6,
+                     400},
+        PropertyCase{"boolean_gate", "Q(x) :- R(x), S(u, v).", 6, 400},
+        PropertyCase{"three_components",
+                     "Q(x, y) :- R(x), S(y), T(u, v).", 6, 450},
+        PropertyCase{"selfjoin_wide",
+                     "Q(x, y, y2) :- E(x, y), E(x, y2).", 6, 400},
+        PropertyCase{"constants", "Q(x, y) :- E(x, y), F(y, 3).", 5, 400},
+        PropertyCase{"repeated_vars", "Q(x, y) :- E(x, x), F(x, y).", 6,
+                     400},
+        PropertyCase{"unary_only", "Q(x) :- R(x), S(x), T(x).", 8, 500},
+        PropertyCase{"wide_root",
+                     "Q(x, a, b, c, d) :- R(x, a), S(x, b), T(x, c), "
+                     "U(x, d).",
+                     4, 500},
+        PropertyCase{"mixed_depth",
+                     "Q(o, c) :- Orders(c, o), Items(o, i).", 6, 450}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Zipf-skewed variant: heavy-hitter values stress long fit-lists and the
+// backward-shift deletion in the item index.
+TEST(EnginePropertySkewTest, ZipfStreamsMatchOracle) {
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
+  auto engine_or = core::Engine::Create(q);
+  ASSERT_TRUE(engine_or.ok());
+  auto& engine = *engine_or.value();
+
+  workload::StreamOptions opts;
+  opts.seed = 777;
+  opts.domain_size = 20;
+  opts.insert_ratio = 0.55;
+  opts.zipf_s = 1.1;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+
+  for (std::size_t step = 0; step < 600; ++step) {
+    engine.Apply(gen.Next(static_cast<RelId>(step % 2)));
+    if (step % 13 == 0) {
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(engine),
+                               baseline::Evaluate(engine.db(), q)));
+      ASSERT_EQ(engine.Count(),
+                Weight{baseline::Evaluate(engine.db(), q).size()});
+    }
+  }
+}
+
+// Insert-then-drain: after deleting everything the pool must be empty
+// (step 5 of §6.4 reclaims every item).
+TEST(EnginePropertyDrainTest, StructureDrainsToEmpty) {
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z), T(x).");
+  auto engine_or = core::Engine::Create(q);
+  ASSERT_TRUE(engine_or.ok());
+  auto& engine = *engine_or.value();
+
+  workload::StreamOptions opts;
+  opts.seed = 31337;
+  opts.domain_size = 10;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+  UpdateStream inserted = gen.Take(500);
+  for (const UpdateCmd& cmd : inserted) engine.Apply(cmd);
+  EXPECT_GT(engine.NumItems(), 0u);
+  for (const UpdateCmd& cmd : inserted) {
+    engine.Apply(UpdateCmd::Delete(cmd.rel, cmd.tuple));
+  }
+  EXPECT_EQ(engine.NumItems(), 0u);
+  EXPECT_EQ(engine.Count(), Weight{0});
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,205 @@
+// Adversarial shapes for the dynamic engine: deep q-trees, wide stars,
+// heavy shared-relation self-joins, value collisions across positions,
+// and long-running churn with periodic full invariant checks.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/evaluator.h"
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+using testing::SameTupleSet;
+
+std::unique_ptr<core::Engine> MakeEngine(const Query& q) {
+  auto e = core::Engine::Create(q);
+  EXPECT_TRUE(e.ok()) << e.error();
+  return std::move(e.value());
+}
+
+TEST(EngineStressTest, DepthEightChain) {
+  // R1(a), R2(a,b), ..., R8(a..h): a q-tree that is a single deep path.
+  std::string text = "Q(v0";
+  for (int i = 1; i < 8; ++i) text += ", v" + std::to_string(i);
+  text += ") :- ";
+  for (int d = 1; d <= 8; ++d) {
+    if (d > 1) text += ", ";
+    text += "R" + std::to_string(d) + "(v0";
+    for (int i = 1; i < d; ++i) text += ", v" + std::to_string(i);
+    text += ")";
+  }
+  text += ".";
+  Query q = MustParse(text);
+  auto e = MakeEngine(q);
+
+  Rng rng(1);
+  for (int step = 0; step < 1500; ++step) {
+    RelId rel = static_cast<RelId>(rng.Below(8));
+    Tuple t;
+    for (std::size_t i = 0; i <= rel; ++i) t.push_back(rng.Range(1, 3));
+    if (rng.Chance(0.6)) {
+      e->Apply(UpdateCmd::Insert(rel, t));
+    } else {
+      e->Apply(UpdateCmd::Delete(rel, t));
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),
+                               baseline::Evaluate(e->db(), q)))
+          << "step " << step;
+      e->component(0).CheckInvariants();
+    }
+  }
+}
+
+TEST(EngineStressTest, WidthTenStar) {
+  std::string text = "Q(x";
+  for (int i = 0; i < 10; ++i) text += ", w" + std::to_string(i);
+  text += ") :- ";
+  for (int i = 0; i < 10; ++i) {
+    if (i > 0) text += ", ";
+    text += "S" + std::to_string(i) + "(x, w" + std::to_string(i) + ")";
+  }
+  text += ".";
+  Query q = MustParse(text);
+  auto e = MakeEngine(q);
+
+  // One hub with two choices per branch: 2^10 results.
+  for (RelId r = 0; r < 10; ++r) {
+    e->Apply(UpdateCmd::Insert(r, {1, 10 + r}));
+    e->Apply(UpdateCmd::Insert(r, {1, 100 + r}));
+  }
+  EXPECT_EQ(e->Count(), Weight{1024});
+  // Knock out one branch: result collapses to zero.
+  e->Apply(UpdateCmd::Delete(5, {1, 15}));
+  e->Apply(UpdateCmd::Delete(5, {1, 105}));
+  EXPECT_EQ(e->Count(), Weight{0});
+  EXPECT_EQ(e->component(0).CStart(), Weight{0});
+  // Restore and verify against the oracle.
+  e->Apply(UpdateCmd::Insert(5, {1, 15}));
+  EXPECT_EQ(e->Count(), Weight{512});
+  ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),
+                           baseline::Evaluate(e->db(), q)));
+}
+
+TEST(EngineStressTest, OneRelationFeedingFourAtoms) {
+  // Heavy self-join: every E update walks four atom occurrences.
+  Query q = MustParse(
+      "Q(x, a, b) :- E(x, x), E(x, a), E(a, x), E(x, b).");
+  ASSERT_TRUE(IsQHierarchical(q));
+  auto e = MakeEngine(q);
+  Rng rng(2);
+  for (int step = 0; step < 1200; ++step) {
+    Tuple t{rng.Range(1, 4), rng.Range(1, 4)};
+    if (rng.Chance(0.55)) {
+      e->Apply(UpdateCmd::Insert(0, t));
+    } else {
+      e->Apply(UpdateCmd::Delete(0, t));
+    }
+    if (step % 60 == 0) {
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),
+                               baseline::Evaluate(e->db(), q)))
+          << "step " << step;
+      ASSERT_EQ(e->Count(),
+                Weight{baseline::Evaluate(e->db(), q).size()});
+      e->component(0).CheckInvariants();
+    }
+  }
+}
+
+TEST(EngineStressTest, ValuesCollidingAcrossPositions) {
+  // The same constant appears as x-value, y-value, and z-value; item
+  // keys must not confuse positions. (The quantifier-free chain is
+  // q-hierarchical — y occurs in both atoms and becomes the root; only
+  // the projection Q(x, z) is hard.)
+  Query q2 = MustParse("Q(x, y, z) :- R(x, y), S(y, z).");
+  ASSERT_FALSE(core::Engine::Create(
+                   MustParse("Q(x, z) :- R(x, y), S(y, z)."))
+                   .ok());
+  auto e = MakeEngine(q2);
+  for (Value v = 1; v <= 3; ++v) {
+    for (Value w = 1; w <= 3; ++w) {
+      e->Apply(UpdateCmd::Insert(0, {v, w}));
+      e->Apply(UpdateCmd::Insert(1, {v, w}));
+    }
+  }
+  ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),
+                           baseline::Evaluate(e->db(), q2)));
+  EXPECT_EQ(e->Count(), Weight{27});
+}
+
+TEST(EngineStressTest, ManyComponentsChurn) {
+  Query q = MustParse(
+      "Q(a, b, c, d) :- R(a), S(b), T(c), U(d), V(x, y).");
+  auto e = MakeEngine(q);
+  EXPECT_EQ(e->NumComponents(), 5u);
+  Rng rng(3);
+  for (int step = 0; step < 800; ++step) {
+    RelId rel = static_cast<RelId>(rng.Below(5));
+    Tuple t;
+    t.push_back(rng.Range(1, 4));
+    if (rel == 4) t.push_back(rng.Range(1, 4));
+    if (rng.Chance(0.6)) {
+      e->Apply(UpdateCmd::Insert(rel, t));
+    } else {
+      e->Apply(UpdateCmd::Delete(rel, t));
+    }
+    if (step % 80 == 0) {
+      auto expected = baseline::Evaluate(e->db(), q);
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(*e), expected));
+      ASSERT_EQ(e->Count(), Weight{expected.size()});
+    }
+  }
+}
+
+TEST(EngineStressTest, WeightsBeyond64Bits) {
+  // Cross product of four unary components with 2^17 values each would
+  // be 2^68 > uint64; use smaller: 3 components with 2^22 each ~ 2^66.
+  Query q = MustParse("Q(a, b, c) :- R(a), S(b), T(c).");
+  auto e = MakeEngine(q);
+  // 5000^3 = 1.25e11 fits in 64 bits; to cross 2^64 cheaply, use the
+  // wide star instead: 12 branches with 64 values each = 64^12 ≈ 2^72.
+  Query star = MustParse(
+      "W(x, a, b, c, d, f, g, h, i, j, k, l) :- A(x, a), B(x, b), "
+      "C(x, c), D(x, d), F(x, f), G(x, g), H(x, h), I(x, i), J(x, j), "
+      "K(x, k), L(x, l).");
+  auto se_or = core::Engine::Create(star);
+  ASSERT_TRUE(se_or.ok());
+  auto& se = *se_or.value();
+  for (RelId r = 0; r < 11; ++r) {
+    for (Value v = 1; v <= 64; ++v) {
+      se.Apply(UpdateCmd::Insert(r, {1, 1000 + v}));
+    }
+  }
+  // 64^11 = 2^66 — exceeds uint64 but is exact in the 128-bit weights.
+  Weight expected = 1;
+  for (int i = 0; i < 11; ++i) expected *= 64;
+  EXPECT_EQ(se.Count(), expected);
+  EXPECT_GT(se.Count(), Weight{~std::uint64_t{0}});
+  (void)e;
+}
+
+TEST(EngineStressTest, RapidEpochChurnManyEnumerators) {
+  Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
+  auto e = MakeEngine(q);
+  Rng rng(4);
+  for (int round = 0; round < 300; ++round) {
+    RelId rel = static_cast<RelId>(rng.Below(2));
+    Tuple t = rel == 0 ? Tuple{rng.Range(1, 6), rng.Range(1, 6)}
+                       : Tuple{rng.Range(1, 6)};
+    e->Apply(rng.Chance(0.6) ? UpdateCmd::Insert(rel, t)
+                             : UpdateCmd::Delete(rel, t));
+    // Partial enumerations abandoned mid-way must not corrupt anything.
+    auto en = e->NewEnumerator();
+    Tuple out;
+    for (int i = 0; i < 3 && en->Next(&out); ++i) {
+    }
+  }
+  ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),
+                           baseline::Evaluate(e->db(), q)));
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,182 @@
+// Focused tests for Algorithm 1 and the product enumerator: document
+// order, restart semantics, gates, and degenerate shapes.
+#include "core/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/engine.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+
+std::unique_ptr<core::Engine> MakeEngine(const Query& q) {
+  auto e = core::Engine::Create(q);
+  EXPECT_TRUE(e.ok()) << e.error();
+  return std::move(e.value());
+}
+
+TEST(EnumeratorOrderTest, DocumentOrderNestsChildren) {
+  // Star query: doc order is x, y, z; z cycles fastest, then y.
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
+  auto e = MakeEngine(q);
+  // x=1 with y in {10, 11} and z in {20, 21}, inserted in order.
+  e->Apply(UpdateCmd::Insert(0, {1, 10}));
+  e->Apply(UpdateCmd::Insert(0, {1, 11}));
+  e->Apply(UpdateCmd::Insert(1, {1, 20}));
+  e->Apply(UpdateCmd::Insert(1, {1, 21}));
+
+  std::vector<Tuple> got;
+  auto en = e->NewEnumerator();
+  Tuple t;
+  while (en->Next(&t)) got.push_back(t);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], (Tuple{1, 10, 20}));
+  EXPECT_EQ(got[1], (Tuple{1, 10, 21}));
+  EXPECT_EQ(got[2], (Tuple{1, 11, 20}));
+  EXPECT_EQ(got[3], (Tuple{1, 11, 21}));
+}
+
+TEST(EnumeratorOrderTest, RootListFollowsFitOrder) {
+  Query q = MustParse("Q(x) :- R(x).");
+  auto e = MakeEngine(q);
+  for (Value v : {5, 3, 9, 1}) e->Apply(UpdateCmd::Insert(0, {v}));
+  std::vector<Value> got;
+  auto en = e->NewEnumerator();
+  Tuple t;
+  while (en->Next(&t)) got.push_back(t[0]);
+  EXPECT_EQ(got, (std::vector<Value>{5, 3, 9, 1}));
+  // Delete + reinsert moves the item to the tail.
+  e->Apply(UpdateCmd::Delete(0, {3}));
+  e->Apply(UpdateCmd::Insert(0, {3}));
+  got.clear();
+  en = e->NewEnumerator();
+  while (en->Next(&t)) got.push_back(t[0]);
+  EXPECT_EQ(got, (std::vector<Value>{5, 9, 1, 3}));
+}
+
+TEST(EnumeratorOrderTest, UnfitItemsAreSkippedEntirely) {
+  // y needs both R and T support to be fit.
+  Query q = MustParse("Q(x, y) :- R(x, y), T(y).");
+  auto e = MakeEngine(q);
+  e->Apply(UpdateCmd::Insert(0, {1, 10}));
+  e->Apply(UpdateCmd::Insert(0, {1, 11}));
+  e->Apply(UpdateCmd::Insert(1, {11}));
+  std::vector<Tuple> got;
+  auto en = e->NewEnumerator();
+  Tuple t;
+  while (en->Next(&t)) got.push_back(t);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Tuple{1, 11}));
+}
+
+TEST(ProductEnumeratorTest, OdometerOverThreeComponents) {
+  Query q = MustParse("Q(a, b, c) :- R(a), S(b), T(c).");
+  auto e = MakeEngine(q);
+  for (Value v : {1, 2}) e->Apply(UpdateCmd::Insert(0, {v}));
+  for (Value v : {10, 20}) e->Apply(UpdateCmd::Insert(1, {v}));
+  for (Value v : {100}) e->Apply(UpdateCmd::Insert(2, {v}));
+  std::vector<Tuple> got;
+  auto en = e->NewEnumerator();
+  Tuple t;
+  while (en->Next(&t)) got.push_back(t);
+  ASSERT_EQ(got.size(), 4u);
+  // Last component cycles fastest; here |T|=1 so S cycles visibly.
+  EXPECT_EQ(got[0], (Tuple{1, 10, 100}));
+  EXPECT_EQ(got[1], (Tuple{1, 20, 100}));
+  EXPECT_EQ(got[2], (Tuple{2, 10, 100}));
+  EXPECT_EQ(got[3], (Tuple{2, 20, 100}));
+}
+
+TEST(ProductEnumeratorTest, EmptyComponentShortCircuits) {
+  Query q = MustParse("Q(a, b) :- R(a), S(b).");
+  auto e = MakeEngine(q);
+  e->Apply(UpdateCmd::Insert(0, {1}));
+  Tuple t;
+  EXPECT_FALSE(e->NewEnumerator()->Next(&t));  // S empty
+}
+
+TEST(ProductEnumeratorTest, ResetReplaysIdentically) {
+  Query q = MustParse("Q(a, b) :- R(a), S(b).");
+  auto e = MakeEngine(q);
+  for (Value v : {1, 2, 3}) e->Apply(UpdateCmd::Insert(0, {v}));
+  for (Value v : {7, 8}) e->Apply(UpdateCmd::Insert(1, {v}));
+  auto en = e->NewEnumerator();
+  std::vector<Tuple> first, second;
+  Tuple t;
+  while (en->Next(&t)) first.push_back(t);
+  en->Reset();
+  while (en->Next(&t)) second.push_back(t);
+  EXPECT_EQ(first.size(), 6u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]);
+  }
+}
+
+TEST(ProductEnumeratorTest, AllBooleanComponents) {
+  Query q = MustParse("Q() :- R(x), S(y).");
+  auto e = MakeEngine(q);
+  Tuple t;
+  EXPECT_FALSE(e->NewEnumerator()->Next(&t));
+  e->Apply(UpdateCmd::Insert(0, {1}));
+  EXPECT_FALSE(e->NewEnumerator()->Next(&t));
+  e->Apply(UpdateCmd::Insert(1, {2}));
+  auto en = e->NewEnumerator();
+  EXPECT_TRUE(en->Next(&t));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(en->Next(&t));
+}
+
+TEST(EnumeratorContractTest, EOEIsSticky) {
+  Query q = MustParse("Q(x) :- R(x).");
+  auto e = MakeEngine(q);
+  e->Apply(UpdateCmd::Insert(0, {1}));
+  auto en = e->NewEnumerator();
+  Tuple t;
+  EXPECT_TRUE(en->Next(&t));
+  EXPECT_FALSE(en->Next(&t));
+  EXPECT_FALSE(en->Next(&t));  // repeated EOE stays EOE
+}
+
+TEST(EnumeratorContractTest, NoOpUpdateKeepsEnumeratorValid) {
+  Query q = MustParse("Q(x) :- R(x).");
+  auto e = MakeEngine(q);
+  e->Apply(UpdateCmd::Insert(0, {1}));
+  e->Apply(UpdateCmd::Insert(0, {2}));
+  auto en = e->NewEnumerator();
+  Tuple t;
+  ASSERT_TRUE(en->Next(&t));
+  // A no-op update (duplicate insert) does not bump the epoch.
+  EXPECT_FALSE(e->Apply(UpdateCmd::Insert(0, {1})));
+  EXPECT_TRUE(en->Next(&t));
+}
+
+TEST(EnumeratorContractTest, LargeResultNoDuplicates) {
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
+  auto e = MakeEngine(q);
+  for (Value x = 1; x <= 20; ++x) {
+    for (Value k = 1; k <= 10; ++k) {
+      e->Apply(UpdateCmd::Insert(0, {x, 100 + k}));
+      e->Apply(UpdateCmd::Insert(1, {x, 200 + k}));
+    }
+  }
+  // 20 * 10 * 10 = 2000 tuples.
+  OpenHashSet<Tuple, TupleHash> seen;
+  auto en = e->NewEnumerator();
+  Tuple t;
+  std::size_t count = 0;
+  while (en->Next(&t)) {
+    ASSERT_TRUE(seen.Insert(t));
+    ++count;
+  }
+  EXPECT_EQ(count, 2000u);
+  EXPECT_EQ(e->Count(), Weight{2000});
+}
+
+}  // namespace
+}  // namespace dyncq

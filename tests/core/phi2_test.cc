@@ -1,0 +1,137 @@
+// Tests for the Appendix A (Lemma A.2) ϕ2 engine.
+#include "core/phi2.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/evaluator.h"
+#include "util/hash.h"
+#include "util/open_hash_map.h"
+#include "util/rng.h"
+
+namespace dyncq {
+namespace {
+
+using testing::SameTupleSet;
+
+TEST(Phi2EngineTest, EmptyDatabase) {
+  core::Phi2Engine e;
+  EXPECT_FALSE(e.Answer());
+  EXPECT_EQ(e.Count(), Weight{0});
+  Tuple t;
+  EXPECT_FALSE(e.NewEnumerator()->Next(&t));
+}
+
+TEST(Phi2EngineTest, NoLoopsMeansEmptyResult) {
+  core::Phi2Engine e;
+  e.Apply(UpdateCmd::Insert(0, {1, 2}));
+  e.Apply(UpdateCmd::Insert(0, {2, 3}));
+  EXPECT_FALSE(e.Answer());
+  EXPECT_EQ(e.Count(), Weight{0});
+  EXPECT_TRUE(MaterializeResult(e).empty());
+}
+
+TEST(Phi2EngineTest, SingleLoopSelfResult) {
+  core::Phi2Engine e;
+  e.Apply(UpdateCmd::Insert(0, {5, 5}));
+  EXPECT_TRUE(e.Answer());
+  // ϕ1 = {(5,5)}, E = {(5,5)}: one result tuple (5,5,5,5).
+  EXPECT_EQ(e.Count(), Weight{1});
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(e), {{5, 5, 5, 5}}));
+}
+
+TEST(Phi2EngineTest, MatchesOracleOnSmallGraph) {
+  core::Phi2Engine e;
+  // Graph: loops at 1 and 2, edges 1->2, 2->3, 3->3? (loop at 3 too).
+  for (const Tuple& t : std::vector<Tuple>{
+           {1, 1}, {2, 2}, {1, 2}, {2, 3}, {3, 3}, {4, 1}}) {
+    e.Apply(UpdateCmd::Insert(0, t));
+  }
+  std::vector<Tuple> expected = baseline::Evaluate(e.db(), e.query());
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(e), expected));
+  EXPECT_EQ(e.Count(), Weight{expected.size()});
+  // ϕ1 pairs: (1,1),(2,2),(3,3),(1,2),(2,3) -> 5; |E| = 6 -> 30.
+  EXPECT_EQ(e.Count(), Weight{30});
+}
+
+TEST(Phi2EngineTest, NoDuplicatesEmitted) {
+  core::Phi2Engine e;
+  for (const Tuple& t : std::vector<Tuple>{
+           {1, 1}, {2, 2}, {1, 2}, {2, 1}, {3, 1}}) {
+    e.Apply(UpdateCmd::Insert(0, t));
+  }
+  OpenHashSet<Tuple, TupleHash> seen;
+  auto en = e.NewEnumerator();
+  Tuple t;
+  std::size_t count = 0;
+  while (en->Next(&t)) {
+    ASSERT_TRUE(seen.Insert(t));
+    ++count;
+  }
+  EXPECT_EQ(Weight{count}, e.Count());
+}
+
+TEST(Phi2EngineTest, RandomizedDifferentialAgainstOracle) {
+  core::Phi2Engine e;
+  Rng rng(2024);
+  for (int step = 0; step < 400; ++step) {
+    Tuple t{rng.Range(1, 6), rng.Range(1, 6)};
+    if (rng.Chance(0.65)) {
+      e.Apply(UpdateCmd::Insert(0, t));
+    } else {
+      e.Apply(UpdateCmd::Delete(0, t));
+    }
+    if (step % 9 == 0) {
+      std::vector<Tuple> expected = baseline::Evaluate(e.db(), e.query());
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(e), expected))
+          << "step " << step;
+      ASSERT_EQ(e.Count(), Weight{expected.size()});
+      ASSERT_EQ(e.Answer(), !expected.empty());
+    }
+  }
+}
+
+TEST(Phi2EngineTest, EnumeratorInvalidatedByUpdate) {
+  core::Phi2Engine e;
+  e.Apply(UpdateCmd::Insert(0, {1, 1}));
+  auto en = e.NewEnumerator();
+  Tuple t;
+  ASSERT_TRUE(en->Next(&t));
+  e.Apply(UpdateCmd::Insert(0, {2, 2}));
+  EXPECT_THROW(en->Next(&t), std::logic_error);
+}
+
+TEST(Phi2EngineTest, DeleteOfFirstLoopStillCorrect) {
+  core::Phi2Engine e;
+  for (const Tuple& t : std::vector<Tuple>{{1, 1}, {2, 2}, {1, 2}}) {
+    e.Apply(UpdateCmd::Insert(0, t));
+  }
+  e.Apply(UpdateCmd::Delete(0, {1, 1}));
+  // Remaining: loops {2}; edges {(2,2),(1,2)}; ϕ1 = {(2,2)}.
+  std::vector<Tuple> expected = baseline::Evaluate(e.db(), e.query());
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(e), expected));
+  EXPECT_EQ(e.Count(), Weight{2});
+}
+
+TEST(Phi2LinkedTupleSetTest, InsertEraseIterate) {
+  core::Phi2Engine::LinkedTupleSet s;
+  EXPECT_TRUE(s.Insert({1, 2}));
+  EXPECT_TRUE(s.Insert({3, 4}));
+  EXPECT_TRUE(s.Insert({5, 6}));
+  EXPECT_FALSE(s.Insert({3, 4}));
+  EXPECT_EQ(s.Size(), 3u);
+  EXPECT_TRUE(s.Erase({3, 4}));
+  EXPECT_FALSE(s.Erase({3, 4}));
+  // Iteration preserves insertion order of survivors.
+  std::vector<Tuple> seen;
+  for (int n = s.head(); n >= 0; n = s.NextOf(n)) seen.push_back(s.At(n));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (Tuple{1, 2}));
+  EXPECT_EQ(seen[1], (Tuple{5, 6}));
+  // Slot reuse after erase.
+  EXPECT_TRUE(s.Insert({7, 8}));
+  EXPECT_EQ(s.Size(), 3u);
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,180 @@
+// Heavy randomized cross-validation over generated queries:
+//  * generated q-hierarchical queries really satisfy Definition 3.1 and
+//    get q-trees; the engine matches the oracle on random streams;
+//  * arbitrary random CQs: IsQHierarchical agrees with q-tree
+//    constructibility per component; cores are idempotent and
+//    hom-equivalent to the original; the auto engine always produces a
+//    correct engine regardless of strategy.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/evaluator.h"
+#include "core/auto_engine.h"
+#include "core/engine.h"
+#include "cq/analysis.h"
+#include "cq/homomorphism.h"
+#include "cq/qtree.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq {
+namespace {
+
+using testing::SameTupleSet;
+using workload::QueryGenOptions;
+using workload::RandomCQ;
+using workload::RandomQHierarchicalQuery;
+
+class RandomQHierSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomQHierSeedTest, GeneratedQueriesMatchOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  QueryGenOptions opts;
+  for (int round = 0; round < 12; ++round) {
+    Query q = RandomQHierarchicalQuery(opts, rng);
+    ASSERT_TRUE(IsQHierarchical(q)) << q.ToString();
+
+    auto engine_or = core::Engine::Create(q);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.error();
+    auto& engine = *engine_or.value();
+
+    workload::StreamOptions sopts;
+    sopts.seed = rng.Next();
+    sopts.domain_size = 5;
+    sopts.insert_ratio = 0.6;
+    workload::StreamGenerator gen(q.schema_ptr(), sopts);
+    for (int step = 0; step < 120; ++step) {
+      engine.Apply(gen.Next(static_cast<RelId>(
+          step % q.schema().NumRelations())));
+      if (step % 17 != 0) continue;
+      auto expected = baseline::Evaluate(engine.db(), q);
+      ASSERT_TRUE(SameTupleSet(MaterializeResult(engine), expected))
+          << q.ToString() << " at step " << step;
+      ASSERT_EQ(engine.Count(), Weight{expected.size()}) << q.ToString();
+      for (std::size_t c = 0; c < engine.NumComponents(); ++c) {
+        engine.component(c).CheckInvariants();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQHierSeedTest,
+                         ::testing::Range(0, 10));
+
+class RandomCQSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCQSeedTest, AnalysesAgreeOnArbitraryQueries) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  QueryGenOptions opts;
+  for (int round = 0; round < 30; ++round) {
+    Query q = RandomCQ(opts, rng);
+
+    // Lemma 4.2: q-hierarchical iff every connected component has a
+    // q-tree.
+    auto split = SplitConnectedComponents(q);
+    bool all_trees = true;
+    for (const Query& comp : split.components) {
+      all_trees = all_trees && QTree::Build(comp).ok();
+    }
+    ASSERT_EQ(all_trees, IsQHierarchical(q)) << q.ToString();
+
+    // Engine creation succeeds exactly for q-hierarchical queries.
+    ASSERT_EQ(core::Engine::Create(q).ok(), IsQHierarchical(q))
+        << q.ToString();
+
+    // Core properties: equivalence and idempotence.
+    Query core_q = ComputeCore(q);
+    ASSERT_TRUE(AreHomEquivalent(q, core_q)) << q.ToString();
+    Query core2 = ComputeCore(core_q);
+    ASSERT_EQ(core2.NumAtoms(), core_q.NumAtoms()) << q.ToString();
+
+    // Witness consistency: a non-hierarchical query has a condition-(i)
+    // witness; a hierarchical non-q-hierarchical one has a condition-(ii)
+    // witness.
+    if (!IsQHierarchical(q)) {
+      ASSERT_TRUE(FindHierarchyViolation(q).has_value() ||
+                  FindFreeViolation(q).has_value())
+          << q.ToString();
+    } else {
+      ASSERT_FALSE(FindHierarchyViolation(q).has_value());
+      ASSERT_FALSE(FindFreeViolation(q).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCQSeedTest, ::testing::Range(0, 8));
+
+class AutoEngineSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoEngineSeedTest, AutoEngineCorrectForAnyQuery) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 3);
+  QueryGenOptions opts;
+  opts.const_arg_prob = 0.0;  // keep oracle results small
+  for (int round = 0; round < 10; ++round) {
+    Query q = RandomCQ(opts, rng);
+    core::EngineChoice choice = core::CreateMaintainableEngine(q);
+    ASSERT_NE(choice.engine, nullptr);
+
+    workload::StreamOptions sopts;
+    sopts.seed = rng.Next();
+    sopts.domain_size = 4;
+    sopts.insert_ratio = 0.65;
+    workload::StreamGenerator gen(q.schema_ptr(), sopts);
+    Database shadow(q.schema());
+    for (int step = 0; step < 80; ++step) {
+      UpdateCmd cmd = gen.Next(static_cast<RelId>(
+          step % q.schema().NumRelations()));
+      choice.engine->Apply(cmd);
+      shadow.Apply(cmd);
+      if (step % 19 != 0) continue;
+      auto expected = baseline::Evaluate(shadow, q);
+      ASSERT_TRUE(
+          SameTupleSet(MaterializeResult(*choice.engine), expected))
+          << q.ToString() << " via " << ToString(choice.strategy);
+      ASSERT_EQ(choice.engine->Count(), Weight{expected.size()})
+          << q.ToString() << " via " << ToString(choice.strategy);
+      ASSERT_EQ(choice.engine->Answer(), !expected.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutoEngineSeedTest, ::testing::Range(0, 6));
+
+TEST(AutoEngineTest, StrategySelection) {
+  // q-hierarchical -> q-tree engine.
+  auto c1 = core::CreateMaintainableEngine(
+      testing::MustParse("Q(x, y) :- E(x, y), T(y)."));
+  EXPECT_EQ(c1.strategy, core::EngineStrategy::kQTree);
+
+  // Non-q-hierarchical with q-hierarchical core -> core engine.
+  auto c2 = core::CreateMaintainableEngine(testing::paper::LoopTriangleBoolean());
+  EXPECT_EQ(c2.strategy, core::EngineStrategy::kQTreeOnCore);
+  EXPECT_EQ(c2.engine->name(), "dyncq");
+
+  // Hard core -> delta-IVM.
+  auto c3 = core::CreateMaintainableEngine(testing::paper::PhiSET());
+  EXPECT_EQ(c3.strategy, core::EngineStrategy::kDeltaIvm);
+  EXPECT_EQ(c3.engine->name(), "delta-ivm");
+}
+
+TEST(AutoEngineTest, CoreEngineMaintainsEquivalentResult) {
+  // ∃x∃y(Exx ∧ Exy ∧ Eyy): the core engine answers the original query.
+  Query q = testing::paper::LoopTriangleBoolean();
+  auto choice = core::CreateMaintainableEngine(q);
+  ASSERT_EQ(choice.strategy, core::EngineStrategy::kQTreeOnCore);
+  Database shadow(q.schema());
+  Rng rng(42);
+  for (int step = 0; step < 200; ++step) {
+    Tuple t{rng.Range(1, 5), rng.Range(1, 5)};
+    UpdateCmd cmd = rng.Chance(0.6) ? UpdateCmd::Insert(0, t)
+                                    : UpdateCmd::Delete(0, t);
+    choice.engine->Apply(cmd);
+    shadow.Apply(cmd);
+    ASSERT_EQ(choice.engine->Answer(),
+              baseline::AnswerBoolean(shadow, q));
+  }
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,189 @@
+// Classification tests: every (q-)hierarchical claim the paper makes
+// about a concrete query is checked here.
+#include "cq/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+namespace paper = testing::paper;
+
+TEST(HierarchicalTest, PaperSection3Examples) {
+  // ϕ_{S-E-T} is non-hierarchical in the Koutris–Suciu (join-query) sense
+  // used by Definition 3.1 condition (i).
+  EXPECT_FALSE(IsHierarchical(paper::PhiSET()));
+  EXPECT_FALSE(IsQHierarchical(paper::PhiSET()));
+
+  // Its Boolean version is likewise not (q-)hierarchical.
+  EXPECT_FALSE(IsHierarchical(paper::PhiSETBoolean()));
+  EXPECT_FALSE(IsQHierarchical(paper::PhiSETBoolean()));
+
+  // ϕ_{E-T} is hierarchical but violates condition (ii).
+  EXPECT_TRUE(IsHierarchical(paper::PhiET()));
+  EXPECT_FALSE(IsQHierarchical(paper::PhiET()));
+
+  // The paper: "all other versions ... are q-hierarchical".
+  EXPECT_TRUE(IsQHierarchical(paper::PhiETFreeY()));
+  EXPECT_TRUE(IsQHierarchical(paper::PhiETJoin()));
+  EXPECT_TRUE(IsQHierarchical(paper::PhiETBoolean()));
+
+  // The hierarchical Boolean example of §3.
+  EXPECT_TRUE(IsHierarchical(paper::HierarchicalBooleanExample()));
+  EXPECT_TRUE(IsQHierarchical(paper::HierarchicalBooleanExample()));
+}
+
+TEST(HierarchicalTest, Example61AndFigure1AreQHierarchical) {
+  EXPECT_TRUE(IsQHierarchical(paper::Example61()));
+  EXPECT_TRUE(IsQHierarchical(paper::Figure1()));
+}
+
+TEST(HierarchicalTest, SelfJoinDiscussionQueries) {
+  // §3: ϕ = ∃x∃y(Exx ∧ Exy ∧ Eyy) is not q-hierarchical...
+  EXPECT_FALSE(IsQHierarchical(paper::LoopTriangleBoolean()));
+  // ...and §7: neither are ϕ1 and ϕ2.
+  EXPECT_FALSE(IsQHierarchical(paper::Phi1()));
+  EXPECT_FALSE(IsQHierarchical(paper::Phi2()));
+}
+
+TEST(HierarchicalTest, BooleanQHierarchicalIffHierarchical) {
+  // For Boolean CQs condition (ii) is vacuous.
+  for (const char* text : {
+           "Q() :- R(x, y), S(y).",
+           "Q() :- R(x, y), S(x), T(y).",
+           "Q() :- A(x), B(x, y), C(x, y, z).",
+       }) {
+    Query q = MustParse(text);
+    EXPECT_EQ(IsHierarchical(q), IsQHierarchical(q)) << text;
+  }
+}
+
+TEST(WitnessTest, HierarchyViolationWitness) {
+  Query q = paper::PhiSET();
+  auto w = FindHierarchyViolation(q);
+  ASSERT_TRUE(w.has_value());
+  // ψx contains x but not y; ψxy contains both; ψy contains y only.
+  const Atom& ax = q.atoms()[static_cast<std::size_t>(w->atom_x)];
+  const Atom& axy = q.atoms()[static_cast<std::size_t>(w->atom_xy)];
+  const Atom& ay = q.atoms()[static_cast<std::size_t>(w->atom_y)];
+  EXPECT_TRUE(ax.var_mask & VarBit(w->x));
+  EXPECT_FALSE(ax.var_mask & VarBit(w->y));
+  EXPECT_TRUE(axy.var_mask & VarBit(w->x));
+  EXPECT_TRUE(axy.var_mask & VarBit(w->y));
+  EXPECT_FALSE(ay.var_mask & VarBit(w->x));
+  EXPECT_TRUE(ay.var_mask & VarBit(w->y));
+}
+
+TEST(WitnessTest, FreeViolationWitness) {
+  Query q = paper::PhiET();
+  EXPECT_FALSE(FindHierarchyViolation(q).has_value());
+  auto w = FindFreeViolation(q);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(q.IsFree(w->x));
+  EXPECT_FALSE(q.IsFree(w->y));
+  const Atom& axy = q.atoms()[static_cast<std::size_t>(w->atom_xy)];
+  const Atom& ay = q.atoms()[static_cast<std::size_t>(w->atom_y)];
+  EXPECT_TRUE(axy.var_mask & VarBit(w->x));
+  EXPECT_TRUE(axy.var_mask & VarBit(w->y));
+  EXPECT_FALSE(ay.var_mask & VarBit(w->x));
+  EXPECT_TRUE(ay.var_mask & VarBit(w->y));
+}
+
+TEST(WitnessTest, NoWitnessForQHierarchical) {
+  EXPECT_FALSE(FindHierarchyViolation(paper::Example61()).has_value());
+  EXPECT_FALSE(FindFreeViolation(paper::Example61()).has_value());
+}
+
+TEST(ComponentsTest, ConnectedQuery) {
+  Query q = paper::Example61();
+  EXPECT_TRUE(IsConnected(q));
+  auto split = SplitConnectedComponents(q);
+  EXPECT_EQ(split.components.size(), 1u);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  Query q = MustParse("Q(a, b) :- R(a, x), S(b, y), T(x).");
+  EXPECT_FALSE(IsConnected(q));
+  auto split = SplitConnectedComponents(q);
+  ASSERT_EQ(split.components.size(), 2u);
+  // a and x and T share the first component; b/y the second.
+  EXPECT_EQ(split.components[0].NumAtoms(), 2u);
+  EXPECT_EQ(split.components[1].NumAtoms(), 1u);
+  EXPECT_EQ(split.head_map[0].first, 0);
+  EXPECT_EQ(split.head_map[1].first, 1);
+}
+
+TEST(ComponentsTest, BooleanComponentKeepsEmptyHead) {
+  Query q = MustParse("Q(a) :- R(a), S(x, y).");
+  auto split = SplitConnectedComponents(q);
+  ASSERT_EQ(split.components.size(), 2u);
+  EXPECT_EQ(split.components[0].Arity(), 1u);
+  EXPECT_TRUE(split.components[1].IsBoolean());
+}
+
+TEST(ComponentsTest, HeadMapPreservesPositions) {
+  Query q = MustParse("Q(b, a) :- R(a, x), S(b, y).");
+  auto split = SplitConnectedComponents(q);
+  ASSERT_EQ(split.components.size(), 2u);
+  // Head position 0 is b (component of S), head position 1 is a.
+  EXPECT_EQ(split.head_map[0].first, 1);
+  EXPECT_EQ(split.head_map[1].first, 0);
+}
+
+TEST(AcyclicTest, PathAndTriangle) {
+  EXPECT_TRUE(IsAcyclic(MustParse("Q() :- R(x, y), S(y, z).")));
+  EXPECT_FALSE(
+      IsAcyclic(MustParse("Q() :- R(x, y), S(y, z), T(z, x).")));
+}
+
+TEST(AcyclicTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // A hyperedge containing all three vertices absorbs the cycle.
+  EXPECT_TRUE(IsAcyclic(
+      MustParse("Q() :- R(x, y), S(y, z), T(z, x), U(x, y, z).")));
+}
+
+TEST(FreeConnexTest, PaperRelatedExamples) {
+  // ϕ_{S-E-T}(x,y) quantifier-free: acyclic and free-connex.
+  EXPECT_TRUE(IsFreeConnex(paper::PhiSET()));
+  // ϕ_{E-T}(x): free-connex (head {x} is inside the E edge).
+  EXPECT_TRUE(IsFreeConnex(paper::PhiET()));
+  // The classical non-free-connex acyclic example: Q(x,z) :- R(x,y),S(y,z).
+  Query q = MustParse("Q(x, z) :- R(x, y), S(y, z).");
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_FALSE(IsFreeConnex(q));
+  // §7: ϕ1 and ϕ2 are free-connex acyclic (enumeration easy statically).
+  EXPECT_TRUE(IsFreeConnex(paper::Phi1()));
+  EXPECT_TRUE(IsFreeConnex(paper::Phi2()));
+}
+
+TEST(FreeConnexTest, QHierarchicalImpliesFreeConnex) {
+  // The paper: q-hierarchical CQs are a proper subclass of free-connex.
+  for (const char* text : {
+           "Q(x, y) :- E(x, y), T(y).",
+           "Q(x) :- R(x, y), S(x, z), T(x).",
+           "Q(a, b, c) :- R(a, b), S(a, c), T(a).",
+       }) {
+    Query q = MustParse(text);
+    ASSERT_TRUE(IsQHierarchical(q)) << text;
+    EXPECT_TRUE(IsFreeConnex(q)) << text;
+  }
+}
+
+TEST(AtomsOfVarsTest, MaskContents) {
+  Query q = MustParse("Q(x) :- R(x, y), S(y), T(x).");
+  auto atoms_of = AtomsOfVars(q);
+  EXPECT_EQ(atoms_of[0], 0b101u);  // x in atoms 0 and 2
+  EXPECT_EQ(atoms_of[1], 0b011u);  // y in atoms 0 and 1
+}
+
+TEST(DescribeStructureTest, MentionsKeyProperties) {
+  std::string d = DescribeStructure(paper::PhiET());
+  EXPECT_NE(d.find("non-q-hierarchical"), std::string::npos);
+  EXPECT_NE(d.find("free-connex"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,181 @@
+#include "cq/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "cq/analysis.h"
+#include "cq/dichotomy.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+namespace paper = testing::paper;
+
+TEST(HomomorphismTest, IdentityAlwaysExists) {
+  Query q = paper::Example61();
+  EXPECT_TRUE(FindHomomorphism(q, q).has_value());
+}
+
+TEST(HomomorphismTest, PathMapsIntoLoop) {
+  Query path = MustParse("Q() :- E(x, y), E(y, z).");
+  Query loop = MustParse("Q() :- E(x, x).");
+  EXPECT_TRUE(FindHomomorphism(path, loop).has_value());
+  EXPECT_FALSE(FindHomomorphism(loop, path).has_value());
+}
+
+TEST(HomomorphismTest, HeadVariablesArePinned) {
+  Query a = MustParse("Q(x) :- E(x, y).");
+  Query b = MustParse("Q(x) :- E(x, x).");
+  // x must map to x; y ↦ x works for a → b.
+  EXPECT_TRUE(FindHomomorphism(a, b).has_value());
+  // b → a would need E(x,x) in a's atoms with x pinned: absent.
+  EXPECT_FALSE(FindHomomorphism(b, a).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatch) {
+  Query a = MustParse("Q() :- E(x, 5).");
+  Query b5 = MustParse("Q() :- E(y, 5).");
+  Query b6 = MustParse("Q() :- E(y, 6).");
+  EXPECT_TRUE(FindHomomorphism(a, b5).has_value());
+  EXPECT_FALSE(FindHomomorphism(a, b6).has_value());
+}
+
+TEST(HomomorphismTest, RelationSymbolsMustMatch) {
+  Query a = MustParse("Q() :- E(x, y).");
+  Query b = MustParse("Q() :- F(x, y).");
+  EXPECT_FALSE(FindHomomorphism(a, b).has_value());
+}
+
+TEST(CoreTest, PaperSection3Example) {
+  // core(∃x∃y (Exx ∧ Exy ∧ Eyy)) = ∃x Exx.
+  Query q = paper::LoopTriangleBoolean();
+  Query core = ComputeCore(q);
+  EXPECT_EQ(core.NumAtoms(), 1u);
+  EXPECT_EQ(core.NumVars(), 1u);
+  EXPECT_TRUE(IsQHierarchical(core));
+  EXPECT_FALSE(IsQHierarchical(q));
+  EXPECT_TRUE(AreHomEquivalent(q, core));
+}
+
+TEST(CoreTest, SelfJoinFreeQueriesAreTheirOwnCores) {
+  for (const char* text : {
+           "Q(x, y) :- S(x), E(x, y), T(y).",
+           "Q(x) :- E(x, y), T(y).",
+           "Q() :- R(x, y), S(y, z).",
+       }) {
+    Query q = MustParse(text);
+    Query core = ComputeCore(q);
+    EXPECT_EQ(core.NumAtoms(), q.NumAtoms()) << text;
+  }
+}
+
+TEST(CoreTest, FreeVariantOfLoopTriangleIsItsOwnCore) {
+  // §5.4: ϕ(x,y) = (Exx ∧ Exy ∧ Eyy) is a non-q-hierarchical core —
+  // the free variables block the collapse that works for its
+  // Boolean version.
+  Query q = paper::Phi1();
+  Query core = ComputeCore(q);
+  EXPECT_EQ(core.NumAtoms(), 3u);
+  EXPECT_FALSE(IsQHierarchical(core));
+}
+
+TEST(CoreTest, DuplicateAtomsCollapse) {
+  Query q = MustParse("Q(x) :- E(x, y), E(x, y), E(x, z).");
+  Query core = ComputeCore(q);
+  EXPECT_EQ(core.NumAtoms(), 1u);
+}
+
+TEST(CoreTest, TrianglePathCollapse) {
+  // ∃-closure of a 2-path alongside a loop collapses onto the loop.
+  Query q = MustParse("Q() :- E(u, v), E(v, w), E(c, c).");
+  Query core = ComputeCore(q);
+  EXPECT_EQ(core.NumAtoms(), 1u);
+  EXPECT_EQ(core.NumVars(), 1u);
+}
+
+TEST(CoreTest, CoreEquivalentToOriginal) {
+  Query q = MustParse("Q(x) :- E(x, y), E(x, z), F(y, y), F(z, z).");
+  Query core = ComputeCore(q);
+  EXPECT_TRUE(AreHomEquivalent(q, core));
+  EXPECT_LT(core.NumAtoms(), q.NumAtoms());
+}
+
+TEST(EndomorphismPermutationsTest, IdentityAlwaysPresent) {
+  Query q = MustParse("Q(x, y) :- E(x, y).");
+  auto perms = EndomorphismPermutations(q);
+  ASSERT_GE(perms.size(), 1u);
+  EXPECT_EQ(perms[0], (std::vector<int>{0, 1}));
+}
+
+TEST(EndomorphismPermutationsTest, SymmetricQueryHasSwap) {
+  // Q(x, y) :- E(x, y), E(y, x) is symmetric under x ↔ y.
+  Query q = MustParse("Q(x, y) :- E(x, y), E(y, x).");
+  auto perms = EndomorphismPermutations(q);
+  EXPECT_EQ(perms.size(), 2u);
+}
+
+TEST(EndomorphismPermutationsTest, AsymmetricQueryOnlyIdentity) {
+  Query q = MustParse("Q(x, y) :- E(x, y), S(x).");
+  auto perms = EndomorphismPermutations(q);
+  EXPECT_EQ(perms.size(), 1u);
+}
+
+TEST(DichotomyTest, QHierarchicalQueryFullyTractable) {
+  auto r = AnalyzeQuery(MustParse("Q(x, y) :- E(x, y), T(y)."));
+  EXPECT_TRUE(r.q_hierarchical);
+  EXPECT_EQ(r.enumeration, Tractability::kTractable);
+  EXPECT_EQ(r.counting, Tractability::kTractable);
+  EXPECT_EQ(r.boolean_answering, Tractability::kTractable);
+}
+
+TEST(DichotomyTest, PhiSETFullyHard) {
+  auto r = AnalyzeQuery(paper::PhiSET());
+  EXPECT_FALSE(r.hierarchical);
+  EXPECT_EQ(r.enumeration, Tractability::kHardOMv);
+  EXPECT_EQ(r.counting, Tractability::kHardOMvOV);
+  EXPECT_EQ(r.boolean_answering, Tractability::kHardOMv);
+}
+
+TEST(DichotomyTest, PhiETSplitVerdicts) {
+  // ϕ_{E-T}: Boolean version tractable, but enumeration and counting of
+  // the unary query are hard (Theorems 1.1/1.3 vs. §5.3 discussion).
+  auto r = AnalyzeQuery(paper::PhiET());
+  EXPECT_TRUE(r.hierarchical);
+  EXPECT_FALSE(r.q_hierarchical);
+  EXPECT_EQ(r.boolean_answering, Tractability::kTractable);
+  EXPECT_EQ(r.enumeration, Tractability::kHardOMv);
+  EXPECT_EQ(r.counting, Tractability::kHardOMvOV);
+}
+
+TEST(DichotomyTest, LoopTriangleBooleanTractableViaCore) {
+  // §5.4: counting for ∃x∃y(Exx∧Exy∧Eyy) is easy (core = ∃x Exx) ...
+  auto r = AnalyzeQuery(paper::LoopTriangleBoolean());
+  EXPECT_FALSE(r.q_hierarchical);
+  EXPECT_TRUE(r.core_q_hierarchical);
+  EXPECT_EQ(r.counting, Tractability::kTractable);
+  EXPECT_EQ(r.boolean_answering, Tractability::kTractable);
+  // ... whereas the free version ϕ1(x,y) is a hard core.
+  auto r1 = AnalyzeQuery(paper::Phi1());
+  EXPECT_FALSE(r1.core_q_hierarchical);
+  EXPECT_EQ(r1.counting, Tractability::kHardOMvOV);
+  EXPECT_EQ(r1.enumeration, Tractability::kOpen);  // self-joins: §7
+}
+
+TEST(DichotomyTest, Phi2OpenForEnumerationHardForCounting) {
+  auto r = AnalyzeQuery(paper::Phi2());
+  EXPECT_EQ(r.enumeration, Tractability::kOpen);
+  EXPECT_EQ(r.counting, Tractability::kHardOMvOV);
+  // Boolean version of ϕ2: core is ∃x Exx (loop), q-hierarchical.
+  EXPECT_TRUE(r.boolean_core_q_hierarchical);
+  EXPECT_EQ(r.boolean_answering, Tractability::kTractable);
+}
+
+TEST(DichotomyTest, SummaryMentionsVerdicts) {
+  auto r = AnalyzeQuery(paper::PhiET());
+  EXPECT_NE(r.summary.find("enumeration"), std::string::npos);
+  EXPECT_NE(r.summary.find("hard under OMv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyncq

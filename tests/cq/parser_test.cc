@@ -1,0 +1,181 @@
+#include "cq/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+
+TEST(ParserTest, SimpleJoinQuery) {
+  Query q = MustParse("Q(x, y) :- R(x, y), S(y, z).");
+  EXPECT_EQ(q.name(), "Q");
+  EXPECT_EQ(q.NumAtoms(), 2u);
+  EXPECT_EQ(q.Arity(), 2u);
+  EXPECT_EQ(q.NumVars(), 3u);
+  EXPECT_EQ(q.schema().NumRelations(), 2u);
+  EXPECT_EQ(q.schema().arity(q.schema().FindRelation("R")), 2u);
+}
+
+TEST(ParserTest, BooleanQuery) {
+  Query q = MustParse("Q() :- R(x).");
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_EQ(q.Arity(), 0u);
+}
+
+TEST(ParserTest, ConstantsAllowed) {
+  Query q = MustParse("Q(x) :- R(x, 42).");
+  EXPECT_TRUE(q.HasConstants());
+  EXPECT_EQ(q.atoms()[0].args[1].constant, 42u);
+}
+
+TEST(ParserTest, PrimedVariables) {
+  Query q = MustParse("Q(y') :- E(x, y'), T(y').");
+  EXPECT_EQ(q.VarName(q.head()[0]), "y'");
+}
+
+TEST(ParserTest, TrailingPeriodOptional) {
+  Query q = MustParse("Q(x) :- R(x)");
+  EXPECT_EQ(q.NumAtoms(), 1u);
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  Query q = MustParse("% header\nQ(x) :- R(x). % tail comment");
+  EXPECT_EQ(q.NumAtoms(), 1u);
+}
+
+TEST(ParserTest, RepeatedVariablesInAtom) {
+  Query q = MustParse("Q(x) :- E(x, x).");
+  EXPECT_EQ(q.NumVars(), 1u);
+  EXPECT_EQ(q.atoms()[0].args[0].var, q.atoms()[0].args[1].var);
+}
+
+TEST(ParserTest, ErrorOnArityMismatch) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x), R(x, y).").ok());
+}
+
+TEST(ParserTest, ErrorOnMissingTurnstile) {
+  EXPECT_FALSE(ParseQuery("Q(x) R(x).").ok());
+}
+
+TEST(ParserTest, ErrorOnHeadVarNotInBody) {
+  EXPECT_FALSE(ParseQuery("Q(x, w) :- R(x, y).").ok());
+}
+
+TEST(ParserTest, ErrorOnDuplicateHeadVar) {
+  EXPECT_FALSE(ParseQuery("Q(x, x) :- R(x, y).").ok());
+}
+
+TEST(ParserTest, ErrorOnEmptyBody) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- ").ok());
+}
+
+TEST(ParserTest, ErrorOnLowercaseRelation) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- r(x).").ok());
+}
+
+TEST(ParserTest, ErrorOnUppercaseHeadVar) {
+  EXPECT_FALSE(ParseQuery("Q(X) :- R(X).").ok());
+}
+
+TEST(ParserTest, ErrorOnZeroConstant) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x, 0).").ok());
+}
+
+TEST(ParserTest, ErrorOnConstantOnlyAtom) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x), S(5).").ok());
+}
+
+TEST(ParserTest, ErrorOnTrailingGarbage) {
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x). extra").ok());
+}
+
+TEST(ParserTest, WithExplicitSchema) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+  auto q = ParseQuery("Q(x) :- R(x, y).", schema);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->schema_ptr().get(), schema.get());
+  // Unknown relation or wrong arity against the schema fails.
+  EXPECT_FALSE(ParseQuery("Q(x) :- S(x).", schema).ok());
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x).", schema).ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  Query q = MustParse("Q(x, y) :- R(x, y), S(y, 7).");
+  Query q2 = MustParse(q.ToString());
+  EXPECT_EQ(q.ToString(), q2.ToString());
+}
+
+TEST(QueryTest, BooleanClosureDropsHead) {
+  Query q = MustParse("Q(x, y) :- R(x, y).");
+  Query b = q.BooleanClosure();
+  EXPECT_TRUE(b.IsBoolean());
+  EXPECT_EQ(b.NumAtoms(), 1u);
+  EXPECT_FALSE(q.IsBoolean());
+}
+
+TEST(QueryTest, SelfJoinDetection) {
+  EXPECT_TRUE(MustParse("Q(x) :- E(x, y), E(y, x).").HasSelfJoin());
+  EXPECT_FALSE(MustParse("Q(x) :- E(x, y), F(y, x).").HasSelfJoin());
+}
+
+TEST(QueryTest, QuantifierFree) {
+  EXPECT_TRUE(MustParse("Q(x, y) :- R(x, y).").IsQuantifierFree());
+  EXPECT_FALSE(MustParse("Q(x) :- R(x, y).").IsQuantifierFree());
+}
+
+TEST(QueryTest, RestrictToAtoms) {
+  Query q = MustParse("Q(x) :- R(x, y), S(y, z), T(x).");
+  Query r = q.RestrictToAtoms({0, 2});
+  EXPECT_EQ(r.NumAtoms(), 2u);
+  EXPECT_EQ(r.Arity(), 1u);
+  EXPECT_EQ(r.NumVars(), 2u);  // z dropped
+}
+
+TEST(QueryTest, VarLimitEnforced) {
+  std::string text = "Q() :- R(";
+  for (int i = 0; i < 65; ++i) {
+    if (i) text += ", ";
+    text += "v" + std::to_string(i);
+  }
+  text += ").";
+  EXPECT_FALSE(ParseQuery(text).ok());
+}
+
+TEST(QueryBuilderTest, ProgrammaticConstruction) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("E", 2).ok());
+  QueryBuilder b(schema);
+  VarId x = b.Var("x");
+  VarId y = b.Var("y");
+  b.AddAtom("E", {Term::Var(x), Term::Var(y)});
+  b.SetHead({x, y});
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(), "Q(x, y) :- E(x, y).");
+}
+
+TEST(QueryBuilderTest, AddAtomVarsConvenience) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("E", 2).ok());
+  QueryBuilder b(schema);
+  b.AddAtomVars("E", {"u", "v"});
+  b.SetHeadNames({"u"});
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Arity(), 1u);
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation("R", 2).ok());
+  EXPECT_FALSE(s.AddRelation("R", 3).ok());
+  EXPECT_FALSE(s.AddRelation("Z", 0).ok());
+  EXPECT_EQ(s.FindRelation("nope"), kInvalidRel);
+}
+
+}  // namespace
+}  // namespace dyncq

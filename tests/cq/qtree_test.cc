@@ -1,0 +1,161 @@
+#include "cq/qtree.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "cq/analysis.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+namespace paper = testing::paper;
+
+// Validates Definition 4.1 directly on a built tree.
+void ValidateQTree(const Query& q, const QTree& t) {
+  // Every atom's variables form a root path.
+  for (std::size_t ai = 0; ai < q.NumAtoms(); ++ai) {
+    int rep = t.RepNodeOfAtom(static_cast<int>(ai));
+    VarMask path = 0;
+    for (VarId v : t.node(rep).path_vars) path |= VarBit(v);
+    EXPECT_EQ(path, q.atoms()[ai].var_mask) << q.ToString();
+  }
+  // Free variables form a connected prefix containing the root.
+  if (q.free_mask() != 0) {
+    EXPECT_TRUE(t.node(t.root()).is_free);
+  }
+  for (std::size_t i = 0; i < t.NumNodes(); ++i) {
+    const QTreeNode& n = t.node(static_cast<int>(i));
+    EXPECT_EQ(n.is_free, q.IsFree(n.var));
+    if (n.is_free && n.parent >= 0) {
+      EXPECT_TRUE(t.node(n.parent).is_free);
+    }
+    for (std::size_t c = 0; c < n.children.size(); ++c) {
+      EXPECT_EQ(t.node(n.children[c]).parent, static_cast<int>(i));
+      EXPECT_EQ(t.node(n.children[c]).slot_in_parent, static_cast<int>(c));
+    }
+  }
+}
+
+TEST(QTreeTest, Example61ShapeMatchesFigure2) {
+  Query q = paper::Example61();
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok()) << t.error();
+  ValidateQTree(q, *t);
+  ASSERT_EQ(t->NumNodes(), 5u);
+  // Document order must be x, y, z, z', y' (the order Table 1 uses).
+  EXPECT_EQ(q.VarName(t->node(0).var), "x");
+  EXPECT_EQ(q.VarName(t->node(1).var), "y");
+  EXPECT_EQ(q.VarName(t->node(2).var), "z");
+  EXPECT_EQ(q.VarName(t->node(3).var), "z'");
+  EXPECT_EQ(q.VarName(t->node(4).var), "y'");
+  // Figure 2 annotations: rep(x) = ∅; rep(y) = {Exy}; rep(y') = {Exy'};
+  // rep(z) = {Rxyz, Sxyz}; rep(z') = {Rxyz'}.
+  EXPECT_TRUE(t->node(0).rep_atoms.empty());
+  EXPECT_EQ(t->node(1).rep_atoms, (std::vector<int>{2}));
+  EXPECT_EQ(t->node(2).rep_atoms, (std::vector<int>{0, 4}));
+  EXPECT_EQ(t->node(3).rep_atoms, (std::vector<int>{1}));
+  EXPECT_EQ(t->node(4).rep_atoms, (std::vector<int>{3}));
+  // atoms(x) is everything; atoms(y) everything except Exy'.
+  EXPECT_EQ(t->node(0).tracked_atoms, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(t->node(1).tracked_atoms, (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(QTreeTest, Figure1QueryHasAQTree) {
+  Query q = paper::Figure1();
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok()) << t.error();
+  ValidateQTree(q, *t);
+  // Figure 1 shows two valid q-trees; ours must be one rooted at x1 or x2
+  // (the variables occurring in every atom, both free).
+  std::string root = q.VarName(t->node(0).var);
+  EXPECT_TRUE(root == "x1" || root == "x2") << root;
+  // x5 and x4 must be below (quantified leaves).
+  EXPECT_FALSE(t->node(t->NodeOfVar(q.head()[0])).is_free == false);
+}
+
+TEST(QTreeTest, FailsForNonQHierarchical) {
+  EXPECT_FALSE(QTree::Build(paper::PhiSET()).ok());
+  EXPECT_FALSE(QTree::Build(paper::PhiET()).ok());
+  EXPECT_FALSE(QTree::Build(paper::Phi1()).ok());
+}
+
+TEST(QTreeTest, FailsForDisconnected) {
+  EXPECT_FALSE(QTree::Build(MustParse("Q(x, y) :- R(x), S(y).")).ok());
+}
+
+TEST(QTreeTest, BuildSucceedsIffQHierarchical) {
+  for (const char* text : {
+           "Q(x) :- E(x, y), T(y).",          // no
+           "Q(y) :- E(x, y), T(y).",          // yes
+           "Q(x, y) :- E(x, y), T(y).",       // yes
+           "Q() :- E(x, y), T(y).",           // yes
+           "Q() :- S(x), E(x, y), T(y).",     // no
+           "Q(x, y, z) :- R(x, y), S(x, z).", // yes
+           "Q(x, z) :- R(x, y), S(y, z).",    // no
+           "Q(a) :- R(a, b, c), S(a, b), T(a).",  // yes
+       }) {
+    Query q = testing::MustParse(text);
+    if (!IsConnected(q)) continue;
+    EXPECT_EQ(QTree::Build(q).ok(), IsQHierarchical(q)) << text;
+  }
+}
+
+TEST(QTreeTest, SingleAtomQueries) {
+  Query q = MustParse("Q(x, y) :- R(x, y).");
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  ValidateQTree(q, *t);
+  EXPECT_EQ(t->NumNodes(), 2u);
+  EXPECT_EQ(t->node(1).depth, 1);
+  EXPECT_EQ(t->node(1).path_vars.size(), 2u);
+}
+
+TEST(QTreeTest, RepeatedVariableAtom) {
+  Query q = MustParse("Q(x) :- E(x, x).");
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumNodes(), 1u);
+  EXPECT_EQ(t->node(0).rep_atoms.size(), 1u);
+}
+
+TEST(QTreeTest, QuantifiedRootForBooleanQuery) {
+  Query q = MustParse("Q() :- R(x, y), S(x).");
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  ValidateQTree(q, *t);
+  EXPECT_EQ(q.VarName(t->node(0).var), "x");
+  EXPECT_FALSE(t->node(0).is_free);
+}
+
+TEST(QTreeTest, FreeVariablePreferredAsRoot) {
+  // Both u and v occur in every atom, but only v is free.
+  Query q = MustParse("Q(v) :- R(u, v), S(v, u).");
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(q.VarName(t->node(0).var), "v");
+}
+
+TEST(QTreeTest, DeepChain) {
+  Query q = MustParse(
+      "Q(a, b, c, d) :- R(a), S(a, b), T(a, b, c), U(a, b, c, d).");
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  ValidateQTree(q, *t);
+  EXPECT_EQ(t->NumNodes(), 4u);
+  EXPECT_EQ(t->node(3).depth, 3);
+  EXPECT_EQ(t->AtomPathNodes(3).size(), 4u);
+}
+
+TEST(QTreeTest, ToStringAndDotRender) {
+  Query q = paper::Example61();
+  auto t = QTree::Build(q);
+  ASSERT_TRUE(t.ok());
+  std::string s = t->ToString(q);
+  EXPECT_NE(s.find("x*"), std::string::npos);  // free marker
+  std::string dot = t->ToDot(q);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyncq

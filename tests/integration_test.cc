@@ -1,0 +1,127 @@
+// End-to-end integration: all three engines (dyncq, delta-IVM, recompute)
+// driven through the same scenario streams must agree at every
+// checkpoint; the dichotomy classifier must route each scenario query to
+// an engine that can run it.
+#include <gtest/gtest.h>
+
+#include "baseline/delta_ivm.h"
+#include "baseline/recompute.h"
+#include "core/engine.h"
+#include "cq/analysis.h"
+#include "cq/dichotomy.h"
+#include "cq/homomorphism.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq {
+namespace {
+
+using testing::SameTupleSet;
+
+/// Builds every engine that supports `q`.
+std::vector<std::unique_ptr<DynamicQueryEngine>> AllEngines(const Query& q) {
+  std::vector<std::unique_ptr<DynamicQueryEngine>> out;
+  auto dyn = core::Engine::Create(q);
+  if (dyn.ok()) out.push_back(std::move(dyn.value()));
+  out.push_back(std::make_unique<baseline::DeltaIvmEngine>(q));
+  out.push_back(std::make_unique<baseline::RecomputeEngine>(q));
+  return out;
+}
+
+void RunScenario(const workload::Scenario& s, std::size_t churn_steps,
+                 std::size_t check_every) {
+  for (const Query& q : s.queries) {
+    SCOPED_TRACE(s.name + ": " + q.ToString());
+    auto engines = AllEngines(q);
+    ASSERT_GE(engines.size(), 2u);
+    // dyncq must be present exactly when the query is q-hierarchical.
+    EXPECT_EQ(engines.size() == 3u, IsQHierarchical(q));
+
+    for (const UpdateCmd& cmd : s.initial) {
+      for (auto& e : engines) e->Apply(cmd);
+    }
+
+    workload::StreamOptions opts;
+    opts.seed = 1234;
+    opts.domain_size = 60;
+    opts.insert_ratio = 0.5;
+    workload::StreamGenerator gen(
+        std::const_pointer_cast<const Schema>(s.schema), opts);
+
+    for (std::size_t step = 0; step < churn_steps; ++step) {
+      UpdateCmd cmd = gen.Next(
+          static_cast<RelId>(step % s.schema->NumRelations()));
+      bool changed0 = engines[0]->Apply(cmd);
+      for (std::size_t i = 1; i < engines.size(); ++i) {
+        EXPECT_EQ(engines[i]->Apply(cmd), changed0);
+      }
+      if (step % check_every != 0) continue;
+      Weight count0 = engines[0]->Count();
+      auto result0 = MaterializeResult(*engines[0]);
+      ASSERT_EQ(count0, Weight{result0.size()});
+      for (std::size_t i = 1; i < engines.size(); ++i) {
+        ASSERT_EQ(engines[i]->Count(), count0)
+            << engines[i]->name() << " vs " << engines[0]->name()
+            << " at step " << step;
+        ASSERT_TRUE(SameTupleSet(MaterializeResult(*engines[i]), result0))
+            << engines[i]->name() << " at step " << step;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, SocialFeedAllEnginesAgree) {
+  RunScenario(workload::SocialFeedScenario(15, 20, 40, 7), 120, 10);
+}
+
+TEST(IntegrationTest, TelemetryAllEnginesAgree) {
+  RunScenario(workload::TelemetryScenario(12, 12, 30, 8), 120, 10);
+}
+
+TEST(IntegrationTest, OrdersAllEnginesAgree) {
+  RunScenario(workload::OrdersScenario(8, 12, 18, 9), 120, 10);
+}
+
+TEST(IntegrationTest, DichotomyVerdictsMatchEngineAvailability) {
+  for (const auto& scenario :
+       {workload::SocialFeedScenario(5, 5, 5, 1),
+        workload::TelemetryScenario(5, 5, 5, 2),
+        workload::OrdersScenario(5, 5, 5, 3)}) {
+    for (const Query& q : scenario.queries) {
+      DichotomyReport r = AnalyzeQuery(q);
+      // Theorem 3.2's engine applies exactly to q-hierarchical queries.
+      EXPECT_EQ(core::Engine::Create(q).ok(), r.q_hierarchical)
+          << q.ToString();
+      // A tractable-enumeration verdict for self-join-free queries means
+      // the core runs on the dyncq engine.
+      if (r.enumeration == Tractability::kTractable) {
+        EXPECT_TRUE(core::Engine::Create(ComputeCore(q)).ok())
+            << q.ToString();
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, CountingViaCoreForNonQHierarchicalQuery) {
+  // §5.4's example: the Boolean ∃x∃y(Exx ∧ Exy ∧ Eyy) is maintainable by
+  // running Theorem 3.2 on its core ∃x Exx.
+  Query q = testing::paper::LoopTriangleBoolean();
+  Query core_q = ComputeCore(q);
+  auto engine = core::Engine::Create(core_q);
+  ASSERT_TRUE(engine.ok());
+  baseline::RecomputeEngine oracle(q);
+
+  Rng rng(17);
+  for (int step = 0; step < 200; ++step) {
+    Tuple t{rng.Range(1, 6), rng.Range(1, 6)};
+    UpdateCmd cmd = rng.Chance(0.6) ? UpdateCmd::Insert(0, t)
+                                    : UpdateCmd::Delete(0, t);
+    (*engine)->Apply(cmd);
+    oracle.Apply(cmd);
+    ASSERT_EQ((*engine)->Answer(), oracle.Answer()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace dyncq

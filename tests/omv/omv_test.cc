@@ -1,0 +1,143 @@
+// Tests for bit matrices and the OMv / OuMv / OV problem substrate.
+#include <gtest/gtest.h>
+
+#include "omv/bitmatrix.h"
+#include "omv/omv.h"
+#include "omv/ov.h"
+
+namespace dyncq::omv {
+namespace {
+
+TEST(BitVectorTest, SetGet) {
+  BitVector v(130);
+  EXPECT_FALSE(v.Get(0));
+  v.Set(0, true);
+  v.Set(64, true);
+  v.Set(129, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(129));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.PopCount(), 3u);
+  v.Set(64, false);
+  EXPECT_FALSE(v.Get(64));
+}
+
+TEST(BitVectorTest, DotProduct) {
+  BitVector a(100), b(100);
+  a.Set(3, true);
+  a.Set(77, true);
+  b.Set(4, true);
+  EXPECT_FALSE(a.Dot(b));
+  b.Set(77, true);
+  EXPECT_TRUE(a.Dot(b));
+}
+
+TEST(BitMatrixTest, SetGet) {
+  BitMatrix m(5, 70);
+  m.Set(2, 65, true);
+  EXPECT_TRUE(m.Get(2, 65));
+  EXPECT_FALSE(m.Get(2, 64));
+  EXPECT_FALSE(m.Get(3, 65));
+}
+
+TEST(BitMatrixTest, MultiplyAgreesWithNaive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = 1 + rng.Below(80);
+    BitMatrix m = BitMatrix::Random(n, n, 0.2, rng);
+    BitVector v = BitVector::Random(n, 0.3, rng);
+    EXPECT_EQ(m.Multiply(v), m.MultiplyNaive(v));
+  }
+}
+
+TEST(BitMatrixTest, BilinearFormAgreesWithExplicit) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = 1 + rng.Below(50);
+    BitMatrix m = BitMatrix::Random(n, n, 0.15, rng);
+    BitVector u = BitVector::Random(n, 0.3, rng);
+    BitVector v = BitVector::Random(n, 0.3, rng);
+    bool expected = false;
+    for (std::size_t i = 0; i < n && !expected; ++i) {
+      for (std::size_t j = 0; j < n && !expected; ++j) {
+        expected = u.Get(i) && m.Get(i, j) && v.Get(j);
+      }
+    }
+    EXPECT_EQ(m.BilinearForm(u, v), expected);
+  }
+}
+
+TEST(OMvTest, SolversAgree) {
+  OMvInstance inst = OMvInstance::Random(60, 0.1, 99);
+  auto naive = SolveOMvNaive(inst);
+  auto word = SolveOMvWordParallel(inst);
+  ASSERT_EQ(naive.size(), word.size());
+  for (std::size_t t = 0; t < naive.size(); ++t) {
+    EXPECT_EQ(naive[t], word[t]) << "round " << t;
+  }
+}
+
+TEST(OuMvTest, SolversAgree) {
+  OuMvInstance inst = OuMvInstance::Random(50, 0.15, 7);
+  auto naive = SolveOuMvNaive(inst);
+  auto word = SolveOuMvWordParallel(inst);
+  EXPECT_EQ(naive, word);
+}
+
+TEST(OuMvTest, AllZeroVectorsGiveZero) {
+  OuMvInstance inst;
+  inst.m = BitMatrix(4, 4);
+  inst.m.Set(1, 2, true);
+  inst.pairs.assign(3, {BitVector(4), BitVector(4)});
+  auto out = SolveOuMvNaive(inst);
+  EXPECT_EQ(out, (std::vector<bool>{false, false, false}));
+}
+
+TEST(OuMvTest, SingleHit) {
+  OuMvInstance inst;
+  inst.m = BitMatrix(3, 3);
+  inst.m.Set(0, 2, true);
+  BitVector u(3), v(3);
+  u.Set(0, true);
+  v.Set(2, true);
+  inst.pairs = {{u, v}};
+  EXPECT_EQ(SolveOuMvNaive(inst), (std::vector<bool>{true}));
+}
+
+TEST(OVTest, DimensionIsLog2) {
+  OVInstance inst = OVInstance::Random(100, 0.5, 3);
+  EXPECT_EQ(inst.d, 7u);  // ceil(log2 100)
+  EXPECT_EQ(inst.u.size(), 100u);
+  EXPECT_EQ(inst.v.size(), 100u);
+}
+
+TEST(OVTest, PlantedPairIsFound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    OVInstance inst = OVInstance::RandomWithPlantedPair(64, 0.9, seed);
+    EXPECT_TRUE(SolveOVNaive(inst)) << "seed " << seed;
+  }
+}
+
+TEST(OVTest, DenseInstanceHasNoOrthogonalPair) {
+  // All-ones vectors are pairwise non-orthogonal.
+  OVInstance inst;
+  inst.d = 4;
+  BitVector ones(4);
+  for (std::size_t b = 0; b < 4; ++b) ones.Set(b, true);
+  inst.u.assign(8, ones);
+  inst.v.assign(8, ones);
+  EXPECT_FALSE(SolveOVNaive(inst));
+}
+
+TEST(OVTest, CountNonOrthogonal) {
+  BitVector v(3);
+  v.Set(0, true);
+  BitVector hit(3), miss(3);
+  hit.Set(0, true);
+  miss.Set(1, true);
+  EXPECT_EQ(CountNonOrthogonal({hit, miss, hit}, v), 2u);
+}
+
+}  // namespace
+}  // namespace dyncq::omv

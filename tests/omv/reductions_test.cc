@@ -1,0 +1,234 @@
+// End-to-end tests of the §5 reductions: OuMv / OMv / OV instances solved
+// through dynamic engines must match direct matrix arithmetic.
+#include "omv/reductions.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baseline/delta_ivm.h"
+#include "baseline/recompute.h"
+#include "core/engine.h"
+#include "omv/restricted_count.h"
+
+namespace dyncq::omv {
+namespace {
+
+using dyncq::testing::MustParse;
+namespace paper = dyncq::testing::paper;
+
+EngineFactory RecomputeFactory() {
+  return [](const Query& q) -> std::unique_ptr<DynamicQueryEngine> {
+    return std::make_unique<baseline::RecomputeEngine>(q);
+  };
+}
+
+EngineFactory DeltaIvmFactory() {
+  return [](const Query& q) -> std::unique_ptr<DynamicQueryEngine> {
+    return std::make_unique<baseline::DeltaIvmEngine>(q);
+  };
+}
+
+TEST(OuMvReductionTest, RejectsTractableQueries) {
+  EXPECT_FALSE(OuMvReduction::Create(paper::PhiETBoolean()).ok());
+  EXPECT_FALSE(
+      OuMvReduction::Create(MustParse("Q(x, y) :- E(x, y), T(y).")).ok());
+  // ∃x∃y(Exx ∧ Exy ∧ Eyy): core is ∃x Exx -> tractable, rejected.
+  EXPECT_FALSE(OuMvReduction::Create(paper::LoopTriangleBoolean()).ok());
+}
+
+TEST(OuMvReductionTest, PhiSETBooleanSolvesOuMv) {
+  auto red = OuMvReduction::Create(paper::PhiSETBoolean());
+  ASSERT_TRUE(red.ok()) << red.error();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    OuMvInstance inst = OuMvInstance::Random(9, 0.25, seed);
+    std::vector<bool> expected = SolveOuMvWordParallel(inst);
+    ReductionStats stats;
+    EXPECT_EQ(red->Solve(inst, RecomputeFactory(), &stats), expected)
+        << "seed " << seed;
+    EXPECT_GT(stats.updates, 0u);
+    EXPECT_EQ(stats.query_calls, inst.pairs.size());
+    EXPECT_EQ(red->Solve(inst, DeltaIvmFactory()), expected);
+  }
+}
+
+TEST(OuMvReductionTest, NonBooleanQueryUsesBooleanCore) {
+  // The k-ary ϕ_{S-E-T} reduces through its Boolean closure.
+  auto red = OuMvReduction::Create(paper::PhiSET());
+  ASSERT_TRUE(red.ok());
+  OuMvInstance inst = OuMvInstance::Random(7, 0.3, 42);
+  EXPECT_EQ(red->Solve(inst, RecomputeFactory()),
+            SolveOuMvWordParallel(inst));
+}
+
+TEST(OuMvReductionTest, Phi1BooleanClosureRejected) {
+  // ϕ1's Boolean closure collapses to the q-hierarchical core ∃x E(x,x),
+  // so the answering reduction must reject it. (Lemma A.1 obtains ϕ1's
+  // hardness through the enumeration interface instead.)
+  auto red = OuMvReduction::Create(paper::Phi1().BooleanClosure());
+  EXPECT_FALSE(red.ok());
+}
+
+TEST(OuMvReductionTest, LargerChainQuery) {
+  // Non-hierarchical chain: Customer(c), Orders(c,o), Items(o,i).
+  Query q = MustParse(
+      "Q() :- Customer(c), Orders(c, o), Items(o, i).");
+  auto red = OuMvReduction::Create(q);
+  ASSERT_TRUE(red.ok()) << red.error();
+  OuMvInstance inst = OuMvInstance::Random(6, 0.35, 5);
+  EXPECT_EQ(red->Solve(inst, RecomputeFactory()),
+            SolveOuMvWordParallel(inst));
+}
+
+TEST(OMvEnumerationReductionTest, RejectsWrongShapes) {
+  // Condition (i) violation -> wrong reduction.
+  EXPECT_FALSE(OMvEnumerationReduction::Create(paper::PhiSET()).ok());
+  // q-hierarchical -> no reduction.
+  EXPECT_FALSE(
+      OMvEnumerationReduction::Create(paper::PhiETJoin()).ok());
+  // Self-joins unsupported by Theorem 3.3.
+  EXPECT_FALSE(OMvEnumerationReduction::Create(paper::Phi1()).ok());
+}
+
+TEST(OMvEnumerationReductionTest, PhiETSolvesOMv) {
+  auto red = OMvEnumerationReduction::Create(paper::PhiET());
+  ASSERT_TRUE(red.ok()) << red.error();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    OMvInstance inst = OMvInstance::Random(8, 0.3, seed);
+    auto expected = SolveOMvWordParallel(inst);
+    ReductionStats stats;
+    auto got = red->Solve(inst, RecomputeFactory(), &stats);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t t = 0; t < got.size(); ++t) {
+      EXPECT_EQ(got[t], expected[t]) << "seed " << seed << " round " << t;
+    }
+    EXPECT_EQ(red->Solve(inst, DeltaIvmFactory()).size(), expected.size());
+  }
+}
+
+TEST(OMvEnumerationReductionTest, WithExtraFreeVariables) {
+  // ϕ(x, z) = ∃y (E(x,z,y) ∧ T(y)): hierarchical, condition-(ii)
+  // violating, with a second free variable riding along.
+  Query q = MustParse("Q(x, z) :- E(x, z, y), T(y).");
+  auto red = OMvEnumerationReduction::Create(q);
+  ASSERT_TRUE(red.ok()) << red.error();
+  OMvInstance inst = OMvInstance::Random(6, 0.4, 11);
+  auto expected = SolveOMvWordParallel(inst);
+  auto got = red->Solve(inst, RecomputeFactory());
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    EXPECT_EQ(got[t], expected[t]) << t;
+  }
+}
+
+TEST(OVCountingReductionTest, PhiETDetectsOrthogonalPairs) {
+  auto red = OVCountingReduction::Create(paper::PhiET());
+  ASSERT_TRUE(red.ok()) << red.error();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    OVInstance inst = OVInstance::Random(12, 0.5, seed);
+    EXPECT_EQ(red->Solve(inst, RecomputeFactory()), SolveOVNaive(inst))
+        << "seed " << seed;
+  }
+  // Planted instances must always be detected.
+  OVInstance planted = OVInstance::RandomWithPlantedPair(16, 0.9, 17);
+  EXPECT_TRUE(red->Solve(planted, RecomputeFactory()));
+  EXPECT_TRUE(SolveOVNaive(planted));
+}
+
+TEST(OVCountingReductionTest, RejectsTractableAndConditionI) {
+  EXPECT_FALSE(
+      OVCountingReduction::Create(paper::PhiETJoin()).ok());
+  EXPECT_FALSE(OVCountingReduction::Create(paper::PhiSET()).ok());
+}
+
+TEST(RestrictedCountTest, MatchesFilteredOracleOnGadgetDatabases) {
+  // ϕ1(x, y) with classes X_x = {a_i}, X_y = {b_j}: the gadget databases
+  // of §5.4 provide the homomorphism g the lemma requires.
+  Query q = paper::Phi1();
+  auto class_of = [](Value v) -> int {
+    if (GadgetDomain::IsA(v)) return 0;  // X_x
+    if (v % 3 == 1) return 1;            // X_y
+    return RestrictedCountMaintainer::kNoClass;
+  };
+  RestrictedCountMaintainer rc(q, class_of, RecomputeFactory());
+  baseline::RecomputeEngine oracle(q);
+
+  // Build the Lemma A.1 encoding: loops on a_i / b_j plus matrix edges.
+  Rng rng(5);
+  std::vector<UpdateCmd> cmds;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cmds.push_back(UpdateCmd::Insert(
+        0, Tuple{GadgetDomain::A(i), GadgetDomain::A(i)}));
+    cmds.push_back(UpdateCmd::Insert(
+        0, Tuple{GadgetDomain::B(i), GadgetDomain::B(i)}));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (rng.Chance(0.5)) {
+        cmds.push_back(UpdateCmd::Insert(
+            0, Tuple{GadgetDomain::A(i), GadgetDomain::B(j)}));
+      }
+    }
+  }
+  for (const UpdateCmd& cmd : cmds) {
+    rc.Apply(cmd);
+    oracle.Apply(cmd);
+    // Oracle: count result tuples with x ∈ X_x, y ∈ X_y.
+    std::size_t expected = 0;
+    for (const Tuple& t : MaterializeResult(oracle)) {
+      if (class_of(t[0]) == 0 && class_of(t[1]) == 1) ++expected;
+    }
+    ASSERT_EQ(rc.RestrictedCount(), static_cast<Int128>(expected));
+  }
+  // Deletions too.
+  for (std::size_t i = 0; i < cmds.size(); i += 2) {
+    UpdateCmd del = UpdateCmd::Delete(cmds[i].rel, cmds[i].tuple);
+    rc.Apply(del);
+    oracle.Apply(del);
+    std::size_t expected = 0;
+    for (const Tuple& t : MaterializeResult(oracle)) {
+      if (class_of(t[0]) == 0 && class_of(t[1]) == 1) ++expected;
+    }
+    ASSERT_EQ(rc.RestrictedCount(), static_cast<Int128>(expected));
+  }
+}
+
+TEST(Phi1EnumerationReductionTest, SolvesOuMvThroughSelfJoin) {
+  // Lemma A.1: ϕ1's enumeration interface decides OuMv rounds.
+  OuMvViaPhi1Enumeration red;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    OuMvInstance inst = OuMvInstance::Random(10, 0.3, seed);
+    std::vector<bool> expected = SolveOuMvWordParallel(inst);
+    ReductionStats stats;
+    EXPECT_EQ(red.Solve(inst, DeltaIvmFactory(), &stats), expected)
+        << "seed " << seed;
+    // Each round reads at most 2n+1 tuples.
+    EXPECT_LE(stats.tuples_read, inst.pairs.size() * (2 * 10 + 1));
+    EXPECT_EQ(red.Solve(inst, RecomputeFactory()), expected);
+  }
+}
+
+TEST(Phi1EnumerationReductionTest, AllOnesAndAllZeros) {
+  OuMvViaPhi1Enumeration red;
+  OuMvInstance inst;
+  std::size_t n = 5;
+  inst.m = BitMatrix(n, n);
+  inst.m.Set(2, 3, true);
+  BitVector ones(n), zeros(n);
+  for (std::size_t i = 0; i < n; ++i) ones.Set(i, true);
+  inst.pairs = {{ones, ones}, {zeros, ones}, {ones, zeros}};
+  auto got = red.Solve(inst, RecomputeFactory());
+  EXPECT_EQ(got, (std::vector<bool>{true, false, false}));
+}
+
+TEST(RestrictedCountTest, NoOpUpdatesAbsorbed) {
+  Query q = paper::Phi1();
+  auto class_of = [](Value) { return RestrictedCountMaintainer::kNoClass; };
+  RestrictedCountMaintainer rc(q, class_of, RecomputeFactory());
+  EXPECT_TRUE(rc.Apply(UpdateCmd::Insert(0, {3, 3})));
+  EXPECT_FALSE(rc.Apply(UpdateCmd::Insert(0, {3, 3})));
+  EXPECT_FALSE(rc.Apply(UpdateCmd::Delete(0, {4, 4})));
+  EXPECT_EQ(rc.NumEngines(), (std::size_t{1} << 2) * 3);  // 2^k * (k+1)
+}
+
+}  // namespace
+}  // namespace dyncq::omv

@@ -1,0 +1,108 @@
+#include "storage/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace dyncq {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation("R", 2).ok());
+  EXPECT_TRUE(s.AddRelation("S", 1).ok());
+  return s;
+}
+
+TEST(IoTest, ParseInsertShorthand) {
+  Schema schema = MakeSchema();
+  auto cmd = ParseUpdateLine("R(1, 2)", schema);
+  ASSERT_TRUE(cmd.ok()) << cmd.error();
+  EXPECT_EQ(cmd->kind, UpdateKind::kInsert);
+  EXPECT_EQ(cmd->rel, 0u);
+  EXPECT_EQ(cmd->tuple, (Tuple{1, 2}));
+}
+
+TEST(IoTest, ParseExplicitMarkers) {
+  Schema schema = MakeSchema();
+  auto ins = ParseUpdateLine("+ S(7)", schema);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->kind, UpdateKind::kInsert);
+  auto del = ParseUpdateLine("-S(7)", schema);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, UpdateKind::kDelete);
+}
+
+TEST(IoTest, ParseErrors) {
+  Schema schema = MakeSchema();
+  EXPECT_FALSE(ParseUpdateLine("R(1)", schema).ok());        // arity
+  EXPECT_FALSE(ParseUpdateLine("X(1, 2)", schema).ok());     // unknown rel
+  EXPECT_FALSE(ParseUpdateLine("R(1, x)", schema).ok());     // non-numeric
+  EXPECT_FALSE(ParseUpdateLine("R(1, 0)", schema).ok());     // reserved 0
+  EXPECT_FALSE(ParseUpdateLine("R 1 2", schema).ok());       // no parens
+  EXPECT_FALSE(ParseUpdateLine("R(1, )", schema).ok());      // empty value
+}
+
+TEST(IoTest, StreamRoundTrip) {
+  Schema schema = MakeSchema();
+  UpdateStream stream{
+      UpdateCmd::Insert(0, {1, 2}),
+      UpdateCmd::Delete(0, {1, 2}),
+      UpdateCmd::Insert(1, {9}),
+  };
+  std::ostringstream os;
+  WriteUpdateStream(stream, schema, os);
+  std::istringstream is(os.str());
+  auto parsed = ReadUpdateStream(is, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*parsed)[i].kind, stream[i].kind);
+    EXPECT_EQ((*parsed)[i].rel, stream[i].rel);
+    EXPECT_EQ((*parsed)[i].tuple, stream[i].tuple);
+  }
+}
+
+TEST(IoTest, ReadSkipsCommentsAndBlankLines) {
+  Schema schema = MakeSchema();
+  std::istringstream is(
+      "# header\n"
+      "\n"
+      "+ R(1, 2)\n"
+      "   # indented comment\n"
+      "- S(3)\n");
+  auto parsed = ReadUpdateStream(is, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(IoTest, ReadReportsLineNumbers) {
+  Schema schema = MakeSchema();
+  std::istringstream is("+ R(1, 2)\nbogus line\n");
+  auto parsed = ReadUpdateStream(is, schema);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("line 2"), std::string::npos);
+}
+
+TEST(IoTest, DatabaseDumpReloadsAsInserts) {
+  Schema schema = MakeSchema();
+  Database db(schema);
+  db.Insert(0, {1, 2});
+  db.Insert(0, {3, 4});
+  db.Insert(1, {5});
+  std::ostringstream os;
+  WriteDatabase(db, os);
+  std::istringstream is(os.str());
+  auto parsed = ReadUpdateStream(is, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  Database db2(schema);
+  EXPECT_EQ(db2.ApplyAll(*parsed), 3u);
+  EXPECT_TRUE(db2.relation(0).Contains({1, 2}));
+  EXPECT_TRUE(db2.relation(0).Contains({3, 4}));
+  EXPECT_TRUE(db2.relation(1).Contains({5}));
+}
+
+}  // namespace
+}  // namespace dyncq

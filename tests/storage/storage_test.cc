@@ -1,0 +1,123 @@
+// Tests for relations, databases (active domain, updates), dictionary.
+#include <gtest/gtest.h>
+
+#include "cq/schema.h"
+#include "storage/database.h"
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+#include "storage/update.h"
+
+namespace dyncq {
+namespace {
+
+TEST(RelationTest, InsertContainsErase) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));  // duplicate
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Erase({1, 2}));
+  EXPECT_FALSE(r.Erase({1, 2}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, ArityMismatchThrows) {
+  Relation r(2);
+  EXPECT_THROW(r.Insert({1}), std::logic_error);
+  EXPECT_THROW(r.Erase({1, 2, 3}), std::logic_error);
+}
+
+TEST(RelationTest, IterationCoversAll) {
+  Relation r(1);
+  for (Value v = 1; v <= 50; ++v) r.Insert({v});
+  std::size_t count = 0;
+  Value sum = 0;
+  for (const Tuple& t : r) {
+    ++count;
+    sum += t[0];
+  }
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(sum, 50u * 51 / 2);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() {
+    schema_.AddRelation("R", 2).value();
+    schema_.AddRelation("S", 1).value();
+  }
+  Schema schema_;
+};
+
+TEST_F(DatabaseTest, ApplyInsertDelete) {
+  Database db(schema_);
+  EXPECT_TRUE(db.Apply(UpdateCmd::Insert(0, {1, 2})));
+  EXPECT_FALSE(db.Apply(UpdateCmd::Insert(0, {1, 2})));  // no-op
+  EXPECT_TRUE(db.Apply(UpdateCmd::Insert(1, {3})));
+  EXPECT_EQ(db.NumTuples(), 2u);
+  EXPECT_TRUE(db.Apply(UpdateCmd::Delete(0, {1, 2})));
+  EXPECT_FALSE(db.Apply(UpdateCmd::Delete(0, {1, 2})));  // no-op
+  EXPECT_EQ(db.NumTuples(), 1u);
+}
+
+TEST_F(DatabaseTest, ActiveDomainTracksMultiplicity) {
+  Database db(schema_);
+  db.Insert(0, {1, 2});
+  db.Insert(0, {2, 3});
+  db.Insert(1, {2});
+  EXPECT_EQ(db.ActiveDomainSize(), 3u);  // {1, 2, 3}
+  db.Delete(0, {1, 2});
+  EXPECT_EQ(db.ActiveDomainSize(), 2u);  // {2, 3}; 1 gone
+  EXPECT_FALSE(db.InActiveDomain(1));
+  EXPECT_TRUE(db.InActiveDomain(2));
+  db.Delete(0, {2, 3});
+  db.Delete(1, {2});
+  EXPECT_EQ(db.ActiveDomainSize(), 0u);
+}
+
+TEST_F(DatabaseTest, SizeDMatchesPaperDefinition) {
+  Database db(schema_);
+  db.Insert(0, {1, 2});
+  db.Insert(1, {7});
+  // ||D|| = |σ| + |adom| + Σ ar(R)·|R| = 2 + 3 + (2*1 + 1*1) = 8.
+  EXPECT_EQ(db.SizeD(), 8u);
+}
+
+TEST_F(DatabaseTest, ApplyAllCountsEffective) {
+  Database db(schema_);
+  UpdateStream s{UpdateCmd::Insert(1, {1}), UpdateCmd::Insert(1, {1}),
+                 UpdateCmd::Delete(1, {2}), UpdateCmd::Delete(1, {1})};
+  EXPECT_EQ(db.ApplyAll(s), 2u);
+  EXPECT_EQ(db.NumTuples(), 0u);
+}
+
+TEST_F(DatabaseTest, ClearResets) {
+  Database db(schema_);
+  db.Insert(0, {1, 2});
+  db.Clear();
+  EXPECT_EQ(db.NumTuples(), 0u);
+  EXPECT_EQ(db.ActiveDomainSize(), 0u);
+}
+
+TEST(DictionaryTest, InternLookupSpell) {
+  Dictionary d;
+  Value a = d.Intern("alice");
+  Value b = d.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alice"), a);
+  EXPECT_EQ(d.Lookup("alice"), a);
+  EXPECT_EQ(d.Lookup("carol"), 0u);
+  EXPECT_EQ(d.Spell(a), "alice");
+  EXPECT_EQ(d.Spell(b), "bob");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, CodesStartAtOne) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("first"), 1u);
+  EXPECT_THROW(d.Spell(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,132 @@
+// Shared helpers for dyncq tests.
+#ifndef DYNCQ_TESTS_TEST_UTIL_H_
+#define DYNCQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "storage/tuple.h"
+
+namespace dyncq::testing {
+
+/// Parses or dies with the parser error.
+inline Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.error();
+  return q.value();
+}
+
+inline Query MustParse(const std::string& text,
+                       std::shared_ptr<const Schema> schema) {
+  auto q = ParseQuery(text, std::move(schema));
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.error();
+  return q.value();
+}
+
+/// Order-insensitive tuple-set comparison with readable failure output.
+inline std::multiset<std::vector<Value>> AsSet(
+    const std::vector<Tuple>& tuples) {
+  std::multiset<std::vector<Value>> out;
+  for (const Tuple& t : tuples) {
+    out.insert(std::vector<Value>(t.begin(), t.end()));
+  }
+  return out;
+}
+
+inline ::testing::AssertionResult SameTupleSet(
+    const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
+  auto sa = AsSet(a), sb = AsSet(b);
+  if (sa == sb) return ::testing::AssertionSuccess();
+  auto render = [](const std::multiset<std::vector<Value>>& s) {
+    std::string out;
+    std::size_t shown = 0;
+    for (const auto& t : s) {
+      if (++shown > 12) {
+        out += " ...";
+        break;
+      }
+      out += "(";
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(t[i]);
+      }
+      out += ") ";
+    }
+    return out;
+  };
+  return ::testing::AssertionFailure()
+         << "tuple sets differ:\n  left  (" << sa.size()
+         << "): " << render(sa) << "\n  right (" << sb.size()
+         << "): " << render(sb);
+}
+
+/// The paper's running example queries (§3, §6, §7).
+namespace paper {
+
+// ϕ_{S-E-T}(x, y) — join query, hierarchical per Fink–Olteanu but not
+// per Koutris–Suciu; not q-hierarchical (condition (i) fails).
+inline Query PhiSET() {
+  return MustParse("Q(x, y) :- S(x), E(x, y), T(y).");
+}
+
+// ϕ'_{S-E-T} — its Boolean version (eq. 3).
+inline Query PhiSETBoolean() {
+  return MustParse("Q() :- S(x), E(x, y), T(y).");
+}
+
+// ϕ_{E-T}(x) = ∃y (Exy ∧ Ty) (eq. 4) — hierarchical but not
+// q-hierarchical (condition (ii) fails).
+inline Query PhiET() { return MustParse("Q(x) :- E(x, y), T(y)."); }
+
+// The q-hierarchical variants the paper lists alongside ϕ_{E-T}.
+inline Query PhiETFreeY() { return MustParse("Q(y) :- E(x, y), T(y)."); }
+inline Query PhiETJoin() { return MustParse("Q(x, y) :- E(x, y), T(y)."); }
+inline Query PhiETBoolean() { return MustParse("Q() :- E(x, y), T(y)."); }
+
+// Example 6.1 / Figure 2: ϕ(x,y,z,y',z') over R/3, E/2, S/3.
+inline Query Example61() {
+  return MustParse(
+      "Q(x, y, z, y', z') :- R(x, y, z), R(x, y, z'), E(x, y), E(x, y'), "
+      "S(x, y, z).");
+}
+
+// Figure 1: ϕ(x1,x2,x3) = ∃x4∃x5 (E x1x2 ∧ R x4x1x2x1 ∧ R x5x3x2x1).
+inline Query Figure1() {
+  return MustParse(
+      "Q(x1, x2, x3) :- E(x1, x2), R(x4, x1, x2, x1), R(x5, x3, x2, x1).");
+}
+
+// §3: hierarchical Boolean CQ example
+// ∃x∃y∃z∃y'∃z' (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy').
+inline Query HierarchicalBooleanExample() {
+  return MustParse(
+      "Q() :- R(x, y, z), R(x, y, z2), E(x, y), E(x, y2).");
+}
+
+// §3: ϕ = ∃x∃y (Exx ∧ Exy ∧ Eyy), whose core ∃x Exx is q-hierarchical.
+inline Query LoopTriangleBoolean() {
+  return MustParse("Q() :- E(x, x), E(x, y), E(y, y).");
+}
+
+// §7: ϕ1(x, y) — non-q-hierarchical self-join core, enumeration hard.
+inline Query Phi1() {
+  return MustParse("Q(x, y) :- E(x, x), E(x, y), E(y, y).");
+}
+
+// §7: ϕ2(x, y, z1, z2) — non-q-hierarchical but tractable to enumerate.
+inline Query Phi2() {
+  return MustParse(
+      "Q(x, y, z1, z2) :- E(x, x), E(x, y), E(y, y), E(z1, z2).");
+}
+
+}  // namespace paper
+
+}  // namespace dyncq::testing
+
+#endif  // DYNCQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,220 @@
+// Tests for rng, stats, str, u128, result, exact_linalg, table_printer.
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/exact_linalg.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "util/table_printer.h"
+#include "util/u128.h"
+
+namespace dyncq {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ZipfTest, SkewPrefersSmallRanks) {
+  Rng rng(4);
+  ZipfSampler zipf(1000, 1.2);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (zipf.Sample(rng) <= 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks carry far more than 10/1000 of the mass.
+  EXPECT_GT(low, total / 10);
+}
+
+TEST(ZipfTest, UniformishForSmallSkew) {
+  Rng rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k], 5000, 500) << k;
+  }
+}
+
+TEST(StatsTest, OnlineStatsMatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, SamplesPercentiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(0.99), 99.01, 0.1);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_NE(sink, -1.0);  // keep the loop from being optimized away
+  EXPECT_GT(t.ElapsedNs(), 0.0);
+}
+
+TEST(StrTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  auto skipped = Split("a,b,,c", ',', /*skip_empty=*/true);
+  ASSERT_EQ(skipped.size(), 3u);
+}
+
+TEST(StrTest, JoinAndTrim) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Trim("  hi\t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(U128Test, ToStringSmall) {
+  EXPECT_EQ(U128ToString(0), "0");
+  EXPECT_EQ(U128ToString(12345), "12345");
+}
+
+TEST(U128Test, ToStringBeyond64Bits) {
+  unsigned __int128 v = static_cast<unsigned __int128>(1) << 64;
+  EXPECT_EQ(U128ToString(v), "18446744073709551616");
+  EXPECT_EQ(U128ToString(v * 10 + 7), "184467440737095516167");
+}
+
+TEST(U128Test, SignedToString) {
+  EXPECT_EQ(I128ToString(-42), "-42");
+  EXPECT_EQ(I128ToString(0), "0");
+}
+
+TEST(U128Test, Saturation) {
+  EXPECT_EQ(U128ToU64Saturating(5), 5u);
+  unsigned __int128 big = static_cast<unsigned __int128>(1) << 100;
+  EXPECT_EQ(U128ToU64Saturating(big), ~std::uint64_t{0});
+}
+
+TEST(ResultTest, OkAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> err = Result<int>::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+  EXPECT_THROW(err.value(), std::logic_error);
+}
+
+TEST(ExactLinalgTest, SolvesSmallSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  auto x = SolveIntegerSystem({{2, 1}, {1, 3}}, {5, 10});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], 1);
+  EXPECT_EQ((*x)[1], 3);
+}
+
+TEST(ExactLinalgTest, DetectsSingular) {
+  EXPECT_FALSE(SolveIntegerSystem({{1, 2}, {2, 4}}, {3, 6}).has_value());
+}
+
+TEST(ExactLinalgTest, DetectsNonIntegral) {
+  // 2x = 3 has no integer solution.
+  EXPECT_FALSE(SolveIntegerSystem({{2}}, {3}).has_value());
+}
+
+TEST(ExactLinalgTest, VandermondeRecovery) {
+  // Polynomial p(l) = 4 + 0*l + 2*l^2 + l^3 sampled at l = 0..3.
+  int k = 3;
+  auto v = VandermondeMatrix(k);
+  std::vector<Int128> b;
+  for (int l = 0; l <= k; ++l) {
+    b.push_back(4 + 2 * l * l + l * l * l);
+  }
+  auto x = SolveIntegerSystem(v, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], 4);
+  EXPECT_EQ((*x)[1], 0);
+  EXPECT_EQ((*x)[2], 2);
+  EXPECT_EQ((*x)[3], 1);
+}
+
+TEST(ExactLinalgTest, NeedsPivoting) {
+  // First pivot position is zero; solver must row-swap.
+  auto x = SolveIntegerSystem({{0, 1}, {1, 0}}, {7, 9});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], 9);
+  EXPECT_EQ((*x)[1], 7);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -1,0 +1,169 @@
+#include "util/open_hash_map.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace dyncq {
+namespace {
+
+using Map = OpenHashMap<std::uint64_t, std::uint64_t, U64Hash>;
+using Set = OpenHashSet<std::uint64_t, U64Hash>;
+
+TEST(OpenHashMapTest, EmptyMap) {
+  Map m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_FALSE(m.Erase(42));
+}
+
+TEST(OpenHashMapTest, InsertAndFind) {
+  Map m;
+  auto [v1, inserted1] = m.Insert(1, 100);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, 100u);
+  auto [v2, inserted2] = m.Insert(1, 200);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 100u);  // existing value kept
+  EXPECT_EQ(*m.Find(1), 100u);
+}
+
+TEST(OpenHashMapTest, FindOrInsertDefaults) {
+  Map m;
+  EXPECT_EQ(m.FindOrInsert(7), 0u);
+  m.FindOrInsert(7) = 9;
+  EXPECT_EQ(m.FindOrInsert(7), 9u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(OpenHashMapTest, EraseRemoves) {
+  Map m;
+  m.Insert(1, 10);
+  m.Insert(2, 20);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(2), 20u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(OpenHashMapTest, GrowthPreservesEntries) {
+  Map m;
+  for (std::uint64_t i = 0; i < 10000; ++i) m.Insert(i, i * 3);
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 3);
+  }
+}
+
+TEST(OpenHashMapTest, IterationVisitsAllEntries) {
+  Map m;
+  for (std::uint64_t i = 0; i < 257; ++i) m.Insert(i, i + 1);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& e : m) {
+    EXPECT_EQ(e.second, e.first + 1);
+    EXPECT_TRUE(seen.insert(e.first).second);
+  }
+  EXPECT_EQ(seen.size(), 257u);
+}
+
+TEST(OpenHashMapTest, CopyAndMove) {
+  Map a;
+  for (std::uint64_t i = 0; i < 100; ++i) a.Insert(i, i);
+  Map b(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(*b.Find(50), 50u);
+  Map c(std::move(a));
+  EXPECT_EQ(c.size(), 100u);
+  b = c;
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(OpenHashMapTest, ClearThenReuse) {
+  Map m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.Insert(i, i);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(5), nullptr);
+  m.Insert(5, 55);
+  EXPECT_EQ(*m.Find(5), 55u);
+}
+
+TEST(OpenHashMapTest, StringKeys) {
+  OpenHashMap<std::string, int, StringHash> m;
+  m.Insert("alpha", 1);
+  m.Insert("beta", 2);
+  EXPECT_EQ(*m.Find("alpha"), 1);
+  EXPECT_EQ(*m.Find("beta"), 2);
+  EXPECT_EQ(m.Find("gamma"), nullptr);
+}
+
+// Randomized differential test against std::unordered_map, exercising the
+// backward-shift deletion path heavily.
+TEST(OpenHashMapTest, RandomizedAgainstStdUnorderedMap) {
+  Map m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(12345);
+  for (int step = 0; step < 200000; ++step) {
+    std::uint64_t key = rng.Below(512);  // small key space forces clustering
+    int op = static_cast<int>(rng.Below(3));
+    if (op == 0) {
+      std::uint64_t val = rng.Next();
+      auto [slot, inserted] = m.Insert(key, val);
+      auto [it, ref_inserted] = ref.emplace(key, val);
+      EXPECT_EQ(inserted, ref_inserted);
+      EXPECT_EQ(*slot, it->second);
+    } else if (op == 1) {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+    } else {
+      const std::uint64_t* found = m.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+}
+
+TEST(OpenHashSetTest, BasicOperations) {
+  Set s;
+  EXPECT_TRUE(s.Insert(1));
+  EXPECT_FALSE(s.Insert(1));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Erase(1));
+  EXPECT_FALSE(s.Erase(1));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OpenHashSetTest, Iteration) {
+  Set s;
+  for (std::uint64_t i = 0; i < 100; ++i) s.Insert(i * 7);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t v : s) seen.insert(v);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(seen.count(7 * 42));
+}
+
+TEST(OpenHashSetTest, TupleKeys) {
+  OpenHashSet<SmallVector<std::uint64_t, 4>, WordVecHash> s;
+  EXPECT_TRUE(s.Insert({1, 2, 3}));
+  EXPECT_TRUE(s.Insert({1, 2}));
+  EXPECT_FALSE(s.Insert({1, 2, 3}));
+  EXPECT_TRUE(s.Contains({1, 2}));
+  EXPECT_FALSE(s.Contains({2, 1}));
+}
+
+}  // namespace
+}  // namespace dyncq

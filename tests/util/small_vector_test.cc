@@ -1,0 +1,118 @@
+#include "util/small_vector.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dyncq {
+namespace {
+
+TEST(SmallVectorTest, StartsEmpty) {
+  SmallVector<std::uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVectorTest, PushBackWithinInlineCapacity) {
+  SmallVector<std::uint64_t, 4> v;
+  for (std::uint64_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVectorTest, GrowsBeyondInlineCapacity) {
+  SmallVector<std::uint64_t, 2> v;
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  SmallVector<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVectorTest, IteratorRange) {
+  SmallVector<int, 4> v{5, 6, 7};
+  std::vector<int> collected(v.begin(), v.end());
+  EXPECT_EQ(collected, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(SmallVectorTest, RangeConstructor) {
+  std::vector<int> src{9, 8, 7, 6, 5};
+  SmallVector<int, 2> v(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 9);
+  EXPECT_EQ(v[4], 5);
+}
+
+TEST(SmallVectorTest, CopySemantics) {
+  SmallVector<int, 2> a{1, 2, 3, 4};
+  SmallVector<int, 2> b(a);
+  EXPECT_EQ(a, b);
+  b.push_back(5);
+  EXPECT_NE(a, b);
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVectorTest, MoveSemanticsHeap) {
+  SmallVector<int, 2> a{1, 2, 3, 4};
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 4);
+  EXPECT_TRUE(a.empty());  // NOLINT: intentional use-after-move check
+}
+
+TEST(SmallVectorTest, MoveSemanticsInline) {
+  SmallVector<int, 8> a{1, 2};
+  SmallVector<int, 8> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(SmallVectorTest, SelfAssignmentIsSafe) {
+  SmallVector<int, 2> a{1, 2, 3};
+  a = *&a;
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(SmallVectorTest, ComparisonOperators) {
+  SmallVector<int, 4> a{1, 2};
+  SmallVector<int, 4> b{1, 2};
+  SmallVector<int, 4> c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(SmallVectorTest, ResizeAndClear) {
+  SmallVector<int, 2> v;
+  v.resize(10, 7);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 7);
+  v.resize(3);
+  EXPECT_EQ(v.size(), 3u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, PopBack) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVectorTest, ReserveKeepsContents) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v[2], 3);
+}
+
+}  // namespace
+}  // namespace dyncq

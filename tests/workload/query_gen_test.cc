@@ -1,0 +1,75 @@
+// Tests for the random query generators themselves.
+#include "workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/analysis.h"
+#include "cq/qtree.h"
+
+namespace dyncq::workload {
+namespace {
+
+TEST(QueryGenTest, QHierarchicalByConstruction) {
+  Rng rng(1);
+  QueryGenOptions opts;
+  for (int i = 0; i < 200; ++i) {
+    Query q = RandomQHierarchicalQuery(opts, rng);
+    ASSERT_TRUE(IsQHierarchical(q)) << q.ToString();
+    ASSERT_GE(q.NumAtoms(), 1u);
+    // Every component must admit a q-tree.
+    for (const Query& comp : SplitConnectedComponents(q).components) {
+      ASSERT_TRUE(QTree::Build(comp).ok()) << comp.ToString();
+    }
+  }
+}
+
+TEST(QueryGenTest, GeneratesVariety) {
+  Rng rng(2);
+  QueryGenOptions opts;
+  bool saw_boolean = false, saw_selfjoin = false, saw_multicomponent = false,
+       saw_constants = false, saw_quantified = false;
+  for (int i = 0; i < 400; ++i) {
+    Query q = RandomQHierarchicalQuery(opts, rng);
+    saw_boolean |= q.IsBoolean();
+    saw_selfjoin |= q.HasSelfJoin();
+    saw_multicomponent |= !IsConnected(q);
+    saw_constants |= q.HasConstants();
+    saw_quantified |= !q.IsQuantifierFree();
+  }
+  EXPECT_TRUE(saw_boolean);
+  EXPECT_TRUE(saw_selfjoin);
+  EXPECT_TRUE(saw_multicomponent);
+  EXPECT_TRUE(saw_constants);
+  EXPECT_TRUE(saw_quantified);
+}
+
+TEST(QueryGenTest, RandomCQCoversBothClasses) {
+  Rng rng(3);
+  QueryGenOptions opts;
+  int q_hier = 0, non_q_hier = 0;
+  for (int i = 0; i < 300; ++i) {
+    Query q = RandomCQ(opts, rng);
+    ASSERT_GE(q.NumAtoms(), 1u);
+    if (IsQHierarchical(q)) {
+      ++q_hier;
+    } else {
+      ++non_q_hier;
+    }
+  }
+  // Both classes must be well represented for the differential tests to
+  // mean anything.
+  EXPECT_GT(q_hier, 30);
+  EXPECT_GT(non_q_hier, 30);
+}
+
+TEST(QueryGenTest, DeterministicGivenRngState) {
+  QueryGenOptions opts;
+  Rng a(77), b(77);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(RandomQHierarchicalQuery(opts, a).ToString(),
+              RandomQHierarchicalQuery(opts, b).ToString());
+  }
+}
+
+}  // namespace
+}  // namespace dyncq::workload

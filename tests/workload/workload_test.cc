@@ -1,0 +1,149 @@
+// Tests for stream generation, matrix workloads, and scenarios.
+#include <gtest/gtest.h>
+
+#include "cq/analysis.h"
+#include "storage/database.h"
+#include "workload/matrix_workload.h"
+#include "workload/scenarios.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq::workload {
+namespace {
+
+std::shared_ptr<const Schema> TwoRelSchema() {
+  auto s = std::make_shared<Schema>();
+  EXPECT_TRUE(s->AddRelation("R", 2).ok());
+  EXPECT_TRUE(s->AddRelation("S", 1).ok());
+  return s;
+}
+
+TEST(StreamGeneratorTest, InsertOnlyStreamIsAllInserts) {
+  StreamOptions opts;
+  opts.insert_ratio = 1.0;
+  opts.domain_size = 50;
+  StreamGenerator gen(TwoRelSchema(), opts);
+  for (const UpdateCmd& cmd : gen.Take(200)) {
+    EXPECT_EQ(cmd.kind, UpdateKind::kInsert);
+    for (Value v : cmd.tuple) {
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 50u);
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, DeletesAlwaysHitLiveTuples) {
+  StreamOptions opts;
+  opts.insert_ratio = 0.5;
+  opts.domain_size = 10;
+  opts.seed = 3;
+  auto schema = TwoRelSchema();
+  StreamGenerator gen(schema, opts);
+  Database db(*schema);
+  for (const UpdateCmd& cmd : gen.Take(1000)) {
+    if (cmd.kind == UpdateKind::kDelete) {
+      // Deletes must always be effective (generator tracks live tuples).
+      EXPECT_TRUE(db.Apply(cmd));
+    } else {
+      db.Apply(cmd);
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, DeterministicForSeed) {
+  StreamOptions opts;
+  opts.seed = 9;
+  opts.insert_ratio = 0.7;
+  StreamGenerator a(TwoRelSchema(), opts), b(TwoRelSchema(), opts);
+  UpdateStream sa = a.Take(100), sb = b.Take(100);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].kind, sb[i].kind);
+    EXPECT_EQ(sa[i].rel, sb[i].rel);
+    EXPECT_EQ(sa[i].tuple, sb[i].tuple);
+  }
+}
+
+TEST(StreamGeneratorTest, TakeForSingleRelation) {
+  StreamGenerator gen(TwoRelSchema(), {});
+  for (const UpdateCmd& cmd : gen.TakeFor(1, 50)) {
+    EXPECT_EQ(cmd.rel, 1u);
+    EXPECT_EQ(cmd.tuple.size(), 1u);
+  }
+}
+
+TEST(MatrixWorkloadTest, EncodeMatrixRoundTrip) {
+  Rng rng(4);
+  omv::BitMatrix m = omv::BitMatrix::Random(8, 8, 0.3, rng);
+  auto schema = MakeSETSchema();
+  Database db(*schema);
+  RelId e = schema->FindRelation("E");
+  db.ApplyAll(EncodeMatrix(e, m));
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (m.Get(i, j)) {
+        ++ones;
+        EXPECT_TRUE(
+            db.relation(e).Contains({LeftValue(i), RightValue(j)}));
+      }
+    }
+  }
+  EXPECT_EQ(db.relation(e).size(), ones);
+}
+
+TEST(MatrixWorkloadTest, DiffSetStreamOnlyChanges) {
+  omv::BitVector prev(5), next(5);
+  prev.Set(0, true);
+  prev.Set(1, true);
+  next.Set(1, true);
+  next.Set(2, true);
+  UpdateStream s = DiffSetStream(0, /*left_side=*/true, prev, next);
+  ASSERT_EQ(s.size(), 2u);  // delete 0, insert 2
+  EXPECT_EQ(s[0].kind, UpdateKind::kDelete);
+  EXPECT_EQ(s[0].tuple[0], LeftValue(0));
+  EXPECT_EQ(s[1].kind, UpdateKind::kInsert);
+  EXPECT_EQ(s[1].tuple[0], LeftValue(2));
+}
+
+TEST(MatrixWorkloadTest, LeftRightValuesDisjoint) {
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      EXPECT_NE(LeftValue(i), RightValue(j));
+    }
+  }
+}
+
+TEST(ScenariosTest, SocialFeedShape) {
+  Scenario s = SocialFeedScenario(50, 100, 200, 1);
+  EXPECT_EQ(s.queries.size(), 3u);
+  EXPECT_TRUE(IsQHierarchical(s.queries[0]));
+  EXPECT_TRUE(IsQHierarchical(s.queries[1]));
+  EXPECT_FALSE(IsQHierarchical(s.queries[2]));
+  EXPECT_EQ(s.initial.size(), 300u);
+  Database db(*s.schema);
+  EXPECT_GT(db.ApplyAll(s.initial), 0u);
+}
+
+TEST(ScenariosTest, TelemetryShape) {
+  Scenario s = TelemetryScenario(40, 40, 150, 2);
+  ASSERT_EQ(s.queries.size(), 3u);
+  EXPECT_FALSE(IsQHierarchical(s.queries[0]));  // the ϕ'_{S-E-T} alert
+  EXPECT_TRUE(s.queries[0].IsBoolean());
+  EXPECT_TRUE(IsQHierarchical(s.queries[1]));
+  EXPECT_FALSE(IsQHierarchical(s.queries[2]));  // ϕ_{E-T} shape
+  Database db(*s.schema);
+  db.ApplyAll(s.initial);
+  EXPECT_GT(db.NumTuples(), 0u);
+}
+
+TEST(ScenariosTest, OrdersShape) {
+  Scenario s = OrdersScenario(20, 40, 60, 3);
+  ASSERT_EQ(s.queries.size(), 3u);
+  EXPECT_FALSE(IsQHierarchical(s.queries[0]));  // chain
+  EXPECT_TRUE(IsQHierarchical(s.queries[1]));
+  EXPECT_TRUE(IsQHierarchical(s.queries[2]));
+  EXPECT_TRUE(s.queries[2].IsBoolean());
+}
+
+}  // namespace
+}  // namespace dyncq::workload
