@@ -1,9 +1,14 @@
 // E12 — google-benchmark micro suite: the primitive operations behind
 // the paper's constant-time bounds (hash map ops, relation updates,
-// single engine updates, enumerator steps, count calls).
+// single engine updates, batched updates, enumerator steps, count
+// calls). Without arguments the suite writes BENCH_e12.json
+// (--benchmark_out), so ns/update and enumeration-delay numbers are
+// machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "baseline/delta_ivm.h"
 #include "core/engine.h"
@@ -71,7 +76,8 @@ void BM_RelationInsertContains(benchmark::State& state) {
   Relation r(2);
   Rng rng(3);
   for (auto _ : state) {
-    Tuple t{rng.Below(1 << 12), rng.Below(1 << 12)};
+    // Value 0 is reserved (util/types.h), so draw from [1, 2^12].
+    Tuple t{rng.Below(1 << 12) + 1, rng.Below(1 << 12) + 1};
     r.Insert(t);
     benchmark::DoNotOptimize(r.Contains(t));
   }
@@ -95,6 +101,31 @@ void BM_EngineUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineUpdate)->Arg(1000)->Arg(16000)->Arg(64000);
+
+// The batched pipeline over the same churn stream; reported per update
+// so the ratio to BM_EngineUpdate is the batch speedup.
+void BM_EngineApplyBatch(benchmark::State& state) {
+  Query q = Parse("Q(x, y, z) :- R(x, y), S(x, z).");
+  auto engine = core::Engine::Create(q);
+  DYNCQ_CHECK(engine.ok());
+  workload::StreamOptions opts;
+  opts.domain_size = static_cast<std::size_t>(state.range(0));
+  opts.insert_ratio = 0.5;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+  for (const UpdateCmd& c : gen.Take(4 * opts.domain_size)) {
+    (*engine)->Apply(c);
+  }
+  constexpr std::size_t kBatch = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdateStream batch = gen.Take(kBatch);
+    state.ResumeTiming();
+    (*engine)->ApplyBatch(std::span<const UpdateCmd>(batch));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_EngineApplyBatch)->Arg(1000)->Arg(16000)->Arg(64000);
 
 void BM_EngineCount(benchmark::State& state) {
   Query q = Parse("Q(x) :- R(x, y), S(x, z).");
@@ -147,4 +178,22 @@ BENCHMARK(BM_DeltaIvmUpdate)->Arg(1000)->Arg(16000);
 }  // namespace
 }  // namespace dyncq
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default --benchmark_out=BENCH_e12.json when the
+// caller passes no flags of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_e12.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (argc == 1) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

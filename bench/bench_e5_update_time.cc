@@ -6,7 +6,15 @@
 //     per-update cost grows with n (Θ(n) deltas on S/T updates), and
 //     recompute pays Θ(||D||) per refresh — the behaviour the OMv lower
 //     bound says is unavoidable up to n^{1-ε}.
+// (c) engine hot-path tracking on arity-2 chain/star queries: per-update
+//     latency of the single-tuple path, ApplyBatch throughput, and
+//     enumeration delay, written to BENCH_e5.json together with the
+//     recorded pre-refactor baseline so the perf trajectory is
+//     machine-checkable across PRs.
+#include <algorithm>
 #include <iostream>
+#include <span>
+#include <tuple>
 
 #include "bench_util.h"
 #include "omv/bitmatrix.h"
@@ -154,10 +162,152 @@ void PartB() {
                "phi_S-E-T is the vector side, exactly as in Lemma 5.3.\n";
 }
 
+// ---------------------------------------------------------------------------
+// Part C: hot-path tracking for the dynamic engine.
+//
+// The pre-refactor baseline below was measured on the seed engine
+// (commit b31d933: per-node OpenHashMap<PathKey, Item*> indexes, eager
+// adom maintenance, SmallVector relation storage) with exactly the
+// parameters used here: preload 4n inserts (seed 1), then 200k churn
+// commands (seed 99, insert ratio 0.5) timed through Apply.
+// ---------------------------------------------------------------------------
+
+struct BaselineNs {
+  std::size_t n;
+  double chain_ns;  // Q(x,y,z) :- R(x,y), S(y,z)
+  double star_ns;   // Q(x,y,z) :- R(x,y), S(x,z)
+};
+
+// Medians of repeated runs on the benchmark host (see PR notes).
+constexpr BaselineNs kPreRefactorBaseline[] = {
+    {16000, 431.0, 426.0},
+    {64000, 644.0, 652.0},
+};
+
+std::unique_ptr<core::Engine> MakePreloaded(const Query& q, std::size_t n) {
+  auto engine = MustCreateEngine(q);
+  workload::StreamOptions opts;
+  opts.seed = 1;
+  opts.domain_size = n;
+  opts.insert_ratio = 1.0;
+  workload::StreamGenerator preload(q.schema_ptr(), opts);
+  for (const UpdateCmd& c : preload.Take(4 * n)) engine->Apply(c);
+  return engine;
+}
+
+UpdateStream ChurnStream(const Query& q, std::size_t n, std::size_t ops) {
+  workload::StreamOptions opts;
+  opts.seed = 99;
+  opts.domain_size = n;
+  opts.insert_ratio = 0.5;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+  UpdateStream out;
+  out.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    out.push_back(gen.Next(static_cast<RelId>(i % 2)));
+  }
+  return out;
+}
+
+double MedianSingleNs(const Query& q, std::size_t n, std::size_t ops,
+                      int reps) {
+  Samples samples;
+  for (int r = 0; r < reps; ++r) {
+    auto engine = MakePreloaded(q, n);
+    UpdateStream stream = ChurnStream(q, n, ops);
+    Timer t;
+    for (const UpdateCmd& c : stream) engine->Apply(c);
+    samples.Add(t.ElapsedNs() / static_cast<double>(ops));
+  }
+  return samples.Median();
+}
+
+void PartC(JsonWriter* json) {
+  std::cout << "-- (c) engine hot path: arity-2 chain/star, single vs "
+               "batch (BENCH_e5.json) --\n";
+  Query chain = MustParse("Q(x, y, z) :- R(x, y), S(y, z).");
+  Query star = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
+  const std::size_t kOps = 200000;
+  const std::size_t kBatchOps = 100000;
+  const std::size_t kBatchSize = 8192;
+
+  TablePrinter t({"query", "n (adom)", "ns/update", "baseline ns",
+                  "speedup", "batch ns/update", "batch speedup",
+                  "enum ns/tuple"});
+  for (const BaselineNs& base : kPreRefactorBaseline) {
+    for (const auto& [name, q, base_ns] :
+         {std::tuple<const char*, const Query*, double>{"chain", &chain,
+                                                        base.chain_ns},
+          std::tuple<const char*, const Query*, double>{"star", &star,
+                                                        base.star_ns}}) {
+      double single_ns = MedianSingleNs(*q, base.n, kOps, 3);
+
+      // Batch pipeline on a fresh engine over a 100k-update stream.
+      auto batch_engine = MakePreloaded(*q, base.n);
+      UpdateStream stream = ChurnStream(*q, base.n, kBatchOps);
+      Timer bt;
+      for (std::size_t off = 0; off < stream.size(); off += kBatchSize) {
+        std::size_t len = std::min(kBatchSize, stream.size() - off);
+        batch_engine->ApplyBatch(
+            std::span<const UpdateCmd>(stream.data() + off, len));
+      }
+      double batch_ns =
+          bt.ElapsedNs() / static_cast<double>(stream.size());
+
+      // Enumeration delay: one full scan of the maintained result.
+      double enum_ns = 0.0;
+      {
+        auto en = batch_engine->NewEnumerator();
+        Tuple tup;
+        std::size_t tuples = 0;
+        Timer et;
+        while (en->Next(&tup)) ++tuples;
+        enum_ns = tuples > 0
+                      ? et.ElapsedNs() / static_cast<double>(tuples)
+                      : 0.0;
+      }
+
+      std::string prefix =
+          std::string(name) + ".n" + std::to_string(base.n);
+      json->Add(prefix + ".single_ns_per_update", single_ns);
+      json->Add(prefix + ".pre_refactor_single_ns_per_update", base_ns);
+      json->Add(prefix + ".single_speedup_vs_pre_refactor",
+                base_ns / single_ns);
+      json->Add(prefix + ".batch_ns_per_update", batch_ns);
+      json->Add(prefix + ".batch_speedup_vs_single",
+                single_ns / batch_ns);
+      json->Add(prefix + ".batch_speedup_vs_pre_refactor",
+                base_ns / batch_ns);
+      json->Add(prefix + ".enum_ns_per_tuple", enum_ns);
+
+      t.AddRow({name, std::to_string(base.n), FormatDouble(single_ns, 1),
+                FormatDouble(base_ns, 1),
+                FormatDouble(base_ns / single_ns, 2),
+                FormatDouble(batch_ns, 1),
+                FormatDouble(single_ns / batch_ns, 2),
+                FormatDouble(enum_ns, 1)});
+    }
+  }
+  t.Print();
+  json->Add("batch.ops_per_batch", kBatchSize);
+  json->Add("batch.stream_len", kBatchOps);
+  json->AddString("baseline.provenance",
+                  "seed engine (commit b31d933) + identical workload, "
+                  "median of repeated runs");
+  json->Write("BENCH_e5.json");
+  std::cout << "Expected: >=2x single-update speedup vs the recorded "
+               "pre-refactor baseline; ApplyBatch at or above "
+               "single-tuple throughput.\n";
+}
+
 void Run() {
   Banner("E5", "constant vs growing update time",
          "q-hierarchical: tu = poly(phi) (flat); otherwise tu grows "
          "with n for every known algorithm");
+  // Part C first: the tracked hot-path numbers are measured on a clean
+  // heap, before the baselines allocate their large delta states.
+  JsonWriter json;
+  PartC(&json);
   PartA();
   PartB();
 }

@@ -6,8 +6,11 @@
 #ifndef DYNCQ_BENCH_BENCH_UTIL_H_
 #define DYNCQ_BENCH_BENCH_UTIL_H_
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/delta_ivm.h"
 #include "baseline/recompute.h"
@@ -49,6 +52,39 @@ inline std::unique_ptr<core::Engine> MustCreateEngine(const Query& q) {
 inline std::string NsPerOp(double total_ns, std::size_t ops) {
   return FormatDouble(total_ns / static_cast<double>(ops), 1);
 }
+
+/// Flat machine-readable metrics sink: collects `"key": value` pairs and
+/// writes one JSON object (e.g. BENCH_e5.json) so the perf trajectory is
+/// trackable across PRs. Keys use dotted paths ("chain.single_ns").
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    entries_.emplace_back(key, FormatDouble(value, 2));
+  }
+  void Add(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes the collected metrics to `path` and reports it on stdout.
+  void Write(const std::string& path) const {
+    std::ofstream os(path);
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << "  \"" << entries_[i].first << "\": " << entries_[i].second;
+      if (i + 1 < entries_.size()) os << ",";
+      os << "\n";
+    }
+    os << "}\n";
+    std::cout << "[json] wrote " << path << " (" << entries_.size()
+              << " metrics)\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace dyncq::bench
 

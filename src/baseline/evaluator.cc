@@ -60,9 +60,11 @@ struct PlanStep {
 };
 
 /// Transient per-call index (used when no PersistentIndexStore is given).
+/// Buckets hold tuples by value: Relation iteration materializes tuples,
+/// so there is no stable storage to point into.
 struct TransientIndex {
   bool built = false;
-  OpenHashMap<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+  OpenHashMap<Tuple, std::vector<Tuple>, TupleHash> buckets;
 };
 
 class Executor {
@@ -178,7 +180,7 @@ class Executor {
         for (int p : ps.key_positions) {
           key.push_back(t[static_cast<std::size_t>(p)]);
         }
-        idx.buckets.FindOrInsert(key).push_back(&t);
+        idx.buckets.FindOrInsert(key).push_back(t);
       }
     }
     return idx;

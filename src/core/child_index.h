@@ -1,0 +1,233 @@
+// Parent-scoped child index: the per-item successor table of the dynamic
+// q-tree structure.
+//
+// Every item i = [v, α, a] owns, per child u of v, the set of child items
+// [u, α a, b] keyed by their own value b. Because the parent item already
+// pins down the whole root-path prefix α a, a single-Value key suffices —
+// the update procedure (§6.4) descends one hash probe per level instead of
+// hashing the full prefix into a global per-node map.
+//
+// Layout is a two-mode open-addressing table tuned for the fanout
+// distribution of real item trees (most items have a handful of children,
+// a few hubs have thousands):
+//  * inline mode: up to kInlineCap entries stored directly in the slot,
+//    scanned linearly — no heap allocation, no hashing;
+//  * heap mode: a cache-line-aligned power-of-two linear-probe table with
+//    backward-shift deletion (no tombstones, so probe chains never rot
+//    under churn).
+//
+// Value 0 is the engine-wide reserved sentinel (util/types.h) and doubles
+// as the empty-slot marker, so the heap table needs no flags array and a
+// zero-initialized ChildIndex is a valid empty one.
+#ifndef DYNCQ_CORE_CHILD_INDEX_H_
+#define DYNCQ_CORE_CHILD_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace dyncq::core {
+
+struct Item;
+
+class ChildIndex {
+ public:
+  struct Entry {
+    Value key = 0;  // 0 = empty slot
+    Item* item = nullptr;
+  };
+
+  static constexpr std::size_t kInlineCap = 4;
+
+  ChildIndex() = default;
+  ChildIndex(const ChildIndex&) = delete;
+  ChildIndex& operator=(const ChildIndex&) = delete;
+  ~ChildIndex() {
+    if (slots_ != nullptr) Deallocate(slots_, mask_ + 1);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Hints the cache line holding `v`'s probe start into cache. Used to
+  /// overlap the root-index miss with the database's own hash probes.
+  void Prefetch(Value v) const {
+    if (slots_ != nullptr) {
+      __builtin_prefetch(&slots_[Mix64(v) & mask_]);
+    }
+  }
+
+  /// Child item with value `v`, or nullptr.
+  Item* Find(Value v) const {
+    DYNCQ_DCHECK(v != 0);
+    if (slots_ == nullptr) {
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        if (inline_[i].key == v) return inline_[i].item;
+      }
+      return nullptr;
+    }
+    std::size_t i = Mix64(v) & mask_;
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == v) return slots_[i].item;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Slot for `v`, claiming an empty (nullptr-item) slot if absent. The
+  /// pointer is valid until the next mutation of this index.
+  Item** FindOrInsertSlot(Value v) {
+    DYNCQ_DCHECK(v != 0);
+    if (slots_ == nullptr) {
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        if (inline_[i].key == v) return &inline_[i].item;
+      }
+      if (size_ < kInlineCap) {
+        inline_[size_] = Entry{v, nullptr};
+        return &inline_[size_++].item;
+      }
+      GrowToHeap(2 * kInlineCap);
+    } else if ((size_ + 1) * 4 >= (mask_ + 1) * 3) {
+      GrowToHeap((mask_ + 1) * 2);
+    }
+    std::size_t i = Mix64(v) & mask_;
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == v) return &slots_[i].item;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = v;
+    ++size_;
+    return &slots_[i].item;
+  }
+
+  /// Removes `v`. Returns true iff it was present.
+  bool Erase(Value v) {
+    DYNCQ_DCHECK(v != 0);
+    if (slots_ == nullptr) {
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        if (inline_[i].key == v) {
+          inline_[i] = inline_[--size_];
+          inline_[size_] = Entry{};
+          return true;
+        }
+      }
+      return false;
+    }
+    std::size_t i = Mix64(v) & mask_;
+    while (slots_[i].key != v) {
+      if (slots_[i].key == 0) return false;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: close the probe-sequence gap at i.
+    slots_[i] = Entry{};
+    --size_;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == 0) return true;
+      std::size_t k = Mix64(slots_[j].key) & mask_;
+      bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+      if (movable) {
+        slots_[i] = slots_[j];
+        slots_[j] = Entry{};
+        i = j;
+      }
+    }
+  }
+
+  /// Pre-sizes the table for `n` entries (bulk-load path).
+  void Reserve(std::size_t n) {
+    if (n <= kInlineCap && slots_ == nullptr) return;
+    std::size_t cap = 2 * kInlineCap;
+    while (n * 4 >= cap * 3) cap <<= 1;
+    if (slots_ == nullptr || cap > mask_ + 1) GrowToHeap(cap);
+  }
+
+  /// Invokes fn(Value, Item*) for every entry (test/invariant hook; the
+  /// hot paths never iterate).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (slots_ == nullptr) {
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        fn(inline_[i].key, inline_[i].item);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      if (slots_[i].key != 0) fn(slots_[i].key, slots_[i].item);
+    }
+  }
+
+  /// Entry-cursor iteration for inline-leaf enumeration (core engine):
+  /// entries are stable between updates, so an enumerator may walk them
+  /// directly. Inline mode preserves insertion order; a spilled table
+  /// yields its probe order.
+  const Entry* FirstEntry() const {
+    if (slots_ == nullptr) return size_ > 0 ? &inline_[0] : nullptr;
+    return NextOccupied(slots_);
+  }
+  const Entry* NextEntry(const Entry* e) const {
+    if (slots_ == nullptr) {
+      ++e;
+      return e < inline_ + size_ ? e : nullptr;
+    }
+    return NextOccupied(e + 1);
+  }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  const Entry* NextOccupied(const Entry* e) const {
+    const Entry* end = slots_ + mask_ + 1;
+    for (; e < end; ++e) {
+      if (e->key != 0) return e;
+    }
+    return nullptr;
+  }
+
+  static Entry* Allocate(std::size_t cap) {
+    void* mem = ::operator new(cap * sizeof(Entry),
+                               std::align_val_t{kCacheLine});
+    Entry* slots = static_cast<Entry*>(mem);
+    for (std::size_t i = 0; i < cap; ++i) slots[i] = Entry{};
+    return slots;
+  }
+
+  static void Deallocate(Entry* slots, std::size_t cap) {
+    ::operator delete(slots, cap * sizeof(Entry),
+                      std::align_val_t{kCacheLine});
+  }
+
+  void GrowToHeap(std::size_t new_cap) {
+    Entry* fresh = Allocate(new_cap);
+    std::size_t new_mask = new_cap - 1;
+    auto reinsert = [&](const Entry& e) {
+      std::size_t i = Mix64(e.key) & new_mask;
+      while (fresh[i].key != 0) i = (i + 1) & new_mask;
+      fresh[i] = e;
+    };
+    if (slots_ == nullptr) {
+      for (std::uint32_t i = 0; i < size_; ++i) reinsert(inline_[i]);
+    } else {
+      for (std::size_t i = 0; i <= mask_; ++i) {
+        if (slots_[i].key != 0) reinsert(slots_[i]);
+      }
+      Deallocate(slots_, mask_ + 1);
+    }
+    slots_ = fresh;
+    mask_ = new_mask;
+  }
+
+  Entry inline_[kInlineCap];     // used while slots_ == nullptr
+  Entry* slots_ = nullptr;       // heap table (nullptr = inline mode)
+  std::size_t mask_ = 0;         // heap capacity - 1
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_CHILD_INDEX_H_

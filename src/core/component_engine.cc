@@ -31,17 +31,30 @@ std::vector<std::size_t> TrackedCounts(const QTree& tree) {
 ComponentEngine::ComponentEngine(Query query, QTree tree)
     : query_(std::move(query)),
       tree_(std::move(tree)),
-      pool_(ChildrenCounts(tree_), TrackedCounts(tree_)),
-      index_(tree_.NumNodes()) {
+      pool_(ChildrenCounts(tree_), TrackedCounts(tree_)) {
   // Node metadata.
   node_meta_.resize(tree_.NumNodes());
+  int max_depth = 0;
   for (std::size_t n = 0; n < tree_.NumNodes(); ++n) {
     const QTreeNode& tn = tree_.node(static_cast<int>(n));
     NodeMeta& nm = node_meta_[n];
     nm.num_children = static_cast<int>(tn.children.size());
     nm.num_tracked = static_cast<int>(tn.tracked_atoms.size());
     nm.is_free = tn.is_free;
+    // Root nodes stay materialized even when leaf-shaped: the root index
+    // and root fit list hold real items.
+    nm.unit_leaf = tn.children.empty() && tn.tracked_atoms.size() == 1 &&
+                   tn.parent >= 0;
     nm.slot_in_parent = tn.slot_in_parent;
+    nm.slots_off = ItemSlotsOffset(tn.tracked_atoms.size());
+    // Preorder storage guarantees the parent's meta is already built.
+    nm.parent_slot_off =
+        tn.parent >= 0
+            ? node_meta_[static_cast<std::size_t>(tn.parent)].slots_off +
+                  static_cast<std::size_t>(tn.slot_in_parent) *
+                      sizeof(ChildSlot)
+            : 0;
+    max_depth = std::max(max_depth, tn.depth);
     for (int ai : tn.rep_atoms) {
       auto it = std::find(tn.tracked_atoms.begin(), tn.tracked_atoms.end(),
                           ai);
@@ -54,7 +67,21 @@ ComponentEngine::ComponentEngine(Query query, QTree tree)
         nm.free_child_slots.push_back(static_cast<int>(c));
       }
     }
+    // Cache lines the bottom-up pass reads: the header (weights, list
+    // links, counts) and each child slot's sums, deduplicated per
+    // 64-byte line.
+    std::vector<std::size_t> lines = {0};
+    for (int u = 0; u < nm.num_children; ++u) {
+      lines.push_back((ItemSlotsOffset(tn.tracked_atoms.size()) +
+                       static_cast<std::size_t>(u) * sizeof(ChildSlot) +
+                       offsetof(ChildSlot, sum)) /
+                      64);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    for (std::size_t line : lines) nm.touch_offsets.push_back(line * 64);
   }
+  dirty_.resize(static_cast<std::size_t>(max_depth) + 1);
 
   // Atom metadata.
   atoms_of_rel_.resize(query_.schema().NumRelations());
@@ -77,6 +104,20 @@ ComponentEngine::ComponentEngine(Query query, QTree tree)
       DYNCQ_CHECK(slot_it != tn.tracked_atoms.end());
       am.level_slot.push_back(
           static_cast<int>(slot_it - tn.tracked_atoms.begin()));
+      am.level_parent_slot.push_back(tn.slot_in_parent);
+      am.level_count_off.push_back(
+          ItemCountsOffset() +
+          static_cast<std::size_t>(am.level_slot.back()) *
+              sizeof(std::uint64_t));
+      // Slot offsets address the PARENT item's block, whose layout is
+      // governed by the parent node's tracked-atom count.
+      am.level_slot_off.push_back(
+          tn.slot_in_parent >= 0
+              ? ItemSlotsOffset(
+                    tree_.node(tn.parent).tracked_atoms.size()) +
+                    static_cast<std::size_t>(tn.slot_in_parent) *
+                        sizeof(ChildSlot)
+              : 0);
       // First argument position carrying this level's variable.
       int pos = -1;
       for (std::size_t p = 0; p < atom.args.size(); ++p) {
@@ -87,6 +128,12 @@ ComponentEngine::ComponentEngine(Query query, QTree tree)
       }
       DYNCQ_CHECK_MSG(pos >= 0, "path variable missing from atom");
       am.read_pos.push_back(pos);
+    }
+    {
+      const NodeMeta& last =
+          node_meta_[static_cast<std::size_t>(am.level_node.back())];
+      am.leaf_inline = am.d >= 2 && last.unit_leaf;
+      am.leaf_free = last.is_free;
     }
 
     // Consistency checks: repeated variables and constants (§6.4: only
@@ -122,6 +169,10 @@ ComponentEngine::ComponentEngine(Query query, QTree tree)
           tn.parent >= 0 ? pos_of_node[static_cast<std::size_t>(tn.parent)]
                          : -1);
       enum_meta_.slot_in_parent.push_back(tn.slot_in_parent);
+      enum_meta_.unit_leaf.push_back(
+          node_meta_[static_cast<std::size_t>(n)].unit_leaf ? 1 : 0);
+      enum_meta_.slot_off.push_back(
+          node_meta_[static_cast<std::size_t>(n)].parent_slot_off);
       for (auto it = tn.children.rbegin(); it != tn.children.rend(); ++it) {
         stack.push_back(*it);
       }
@@ -135,6 +186,51 @@ ComponentEngine::ComponentEngine(Query query, QTree tree)
   }
 }
 
+ComponentEngine::~ComponentEngine() {
+  root_index_.ForEach([this](Value, Item* it) { FreeSubtree(it); });
+}
+
+void ComponentEngine::FreeSubtree(Item* it) {
+  const NodeMeta& nm = node_meta_[it->node];
+  const QTreeNode& tn = tree_.node(static_cast<int>(it->node));
+  ChildSlot* slots = reinterpret_cast<ChildSlot*>(
+      reinterpret_cast<char*>(it) + nm.slots_off);
+  for (int u = 0; u < nm.num_children; ++u) {
+    const int child = tn.children[static_cast<std::size_t>(u)];
+    if (node_meta_[static_cast<std::size_t>(child)].unit_leaf) continue;
+    slots[u].index.ForEach(
+        [this](Value, Item* ch) { FreeSubtree(ch); });
+  }
+  pool_.Free(it);  // runs the slot destructors (index tables included)
+}
+
+bool ComponentEngine::MatchesAtom(const AtomMeta& am, const Tuple& t) const {
+  // §6.4: the update only concerns atoms whose repeated-variable /
+  // constant pattern is consistent with the tuple.
+  for (const auto& [p1, p2] : am.eq_checks) {
+    if (t[static_cast<std::size_t>(p1)] != t[static_cast<std::size_t>(p2)]) {
+      return false;
+    }
+  }
+  for (const auto& [p, c] : am.const_checks) {
+    if (t[static_cast<std::size_t>(p)] != c) return false;
+  }
+  return true;
+}
+
+void ComponentEngine::PrefetchWalk(RelId rel, const Tuple& t) const {
+  for (int ai : atoms_of_rel_[rel]) {
+    const AtomMeta& am = atom_meta_[static_cast<std::size_t>(ai)];
+    if (!MatchesAtom(am, t)) continue;
+    const Item* root = root_index_.Find(
+        t[static_cast<std::size_t>(am.read_pos[0])]);
+    if (root == nullptr) continue;
+    const char* base = reinterpret_cast<const char*>(root);
+    __builtin_prefetch(base + am.level_count_off[0]);
+    if (am.d > 1) __builtin_prefetch(base + am.level_slot_off[1]);
+  }
+}
+
 void ComponentEngine::ApplyDelta(RelId rel, const Tuple& t, bool insert) {
   DYNCQ_DCHECK(rel < atoms_of_rel_.size());
   for (int ai : atoms_of_rel_[rel]) {
@@ -144,57 +240,74 @@ void ComponentEngine::ApplyDelta(RelId rel, const Tuple& t, bool insert) {
 
 void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
                                      bool insert) {
-  // §6.4: the update only concerns atoms whose repeated-variable /
-  // constant pattern is consistent with the tuple.
-  for (const auto& [p1, p2] : am.eq_checks) {
-    if (t[static_cast<std::size_t>(p1)] != t[static_cast<std::size_t>(p2)]) {
-      return;
-    }
-  }
-  for (const auto& [p, c] : am.const_checks) {
-    if (t[static_cast<std::size_t>(p)] != c) return;
-  }
+  if (!MatchesAtom(am, t)) return;
 
   // Top-down: locate (and on insert, create) the path items
-  // i_j = [v_j, a_1..a_{j-1}, a_j].
+  // i_j = [v_j, a_1..a_{j-1}, a_j] by one single-Value probe per level in
+  // the parent's child index (root index at level 0). The next level's
+  // ChildSlot and this level's tracked count live at offsets fixed per
+  // q-tree node, so both are prefetched the moment the item pointer is
+  // known and no header pointer is chased on the way down.
+  // For leaf-inline atoms the last level is a presence entry in the
+  // level-(d-2) item's child index; only the first `nd` levels are
+  // materialized items.
+  const int nd = am.leaf_inline ? am.d - 1 : am.d;
   SmallVector<Item*, 8> chain;
-  PathKey key;
   Item* parent = nullptr;
-  for (int j = 0; j < am.d; ++j) {
-    int node = am.level_node[static_cast<std::size_t>(j)];
-    key.push_back(t[static_cast<std::size_t>(
-        am.read_pos[static_cast<std::size_t>(j)])]);
-    Item* it = nullptr;
+  for (int j = 0; j < nd; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    const Value v = t[static_cast<std::size_t>(am.read_pos[sj])];
+    ChildIndex& idx =
+        j == 0 ? root_index_
+               : reinterpret_cast<ChildSlot*>(
+                     reinterpret_cast<char*>(parent) +
+                     am.level_slot_off[sj])
+                     ->index;
+    Item* it;
     if (insert) {
-      auto [slot, _] = index_[static_cast<std::size_t>(node)].Insert(
-          key, nullptr);
+      Item** slot = idx.FindOrInsertSlot(v);
       if (*slot == nullptr) {
-        Item* fresh = pool_.Alloc(static_cast<std::uint32_t>(node));
-        fresh->value = key.back();
+        Item* fresh = pool_.Alloc(
+            static_cast<std::uint32_t>(am.level_node[sj]));
+        fresh->value = v;
         fresh->parent = parent;
         *slot = fresh;
       }
       it = *slot;
     } else {
-      Item** found = index_[static_cast<std::size_t>(node)].Find(key);
-      DYNCQ_CHECK_MSG(found != nullptr && *found != nullptr,
-                      "delete walk hit a missing item");
-      it = *found;
+      it = idx.Find(v);
+      DYNCQ_CHECK_MSG(it != nullptr, "delete walk hit a missing item");
+    }
+    __builtin_prefetch(reinterpret_cast<char*>(it) +
+                       am.level_count_off[sj]);
+    if (j + 1 < am.d) {
+      __builtin_prefetch(reinterpret_cast<char*>(it) +
+                         am.level_slot_off[sj + 1]);
+    }
+    for (std::size_t off :
+         node_meta_[static_cast<std::size_t>(am.level_node[sj])]
+             .touch_offsets) {
+      __builtin_prefetch(reinterpret_cast<char*>(it) + off);
     }
     chain.push_back(it);
     parent = it;
   }
 
+  if (am.leaf_inline) {
+    FlipLeafEntry(am, chain[static_cast<std::size_t>(nd - 1)], t, insert);
+  }
+
   // Bottom-up: steps 1-5 (+2a/4a) of §6.4 for j = d .. 1.
-  for (int j = am.d - 1; j >= 0; --j) {
+  for (int j = nd - 1; j >= 0; --j) {
     Item* it = chain[static_cast<std::size_t>(j)];
     const NodeMeta& nm =
         node_meta_[static_cast<std::size_t>(
             am.level_node[static_cast<std::size_t>(j)])];
 
-    // Step 1: adjust C^{i_j}_ψ.
-    std::uint64_t& count =
-        it->atom_counts[am.level_slot[static_cast<std::size_t>(j)]];
+    // Step 1: adjust C^{i_j}_ψ (count address precomputed per level).
+    std::uint64_t& count = *reinterpret_cast<std::uint64_t*>(
+        reinterpret_cast<char*>(it) +
+        am.level_count_off[static_cast<std::size_t>(j)]);
     if (insert) {
       ++count;
     } else {
@@ -209,8 +322,10 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
 
     // Steps 3 & 4 (+4a): fix list membership and the parent sums.
     ChildSlot& pslot =
-        j > 0 ? chain[static_cast<std::size_t>(j - 1)]
-                    ->child_slots[nm.slot_in_parent]
+        j > 0 ? *reinterpret_cast<ChildSlot*>(
+                    reinterpret_cast<char*>(
+                        chain[static_cast<std::size_t>(j - 1)]) +
+                    nm.parent_slot_off)
               : root_slot_;
     if (old_c == 0 && it->weight > 0) {
       ListPushBack(pslot, it);
@@ -223,18 +338,17 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
     // Step 5: delete the item once no atom is supported by it.
     if (!insert) {
       bool all_zero = true;
+      const std::uint64_t* counts = ItemCounts(it);
       for (int s = 0; s < nm.num_tracked; ++s) {
-        if (it->atom_counts[s] != 0) {
+        if (counts[s] != 0) {
           all_zero = false;
           break;
         }
       }
       if (all_zero) {
         DYNCQ_DCHECK(!it->in_list && it->weight == 0);
-        PathKey prefix(key.begin(), key.begin() + j + 1);
-        bool erased = index_[static_cast<std::size_t>(
-                                 am.level_node[static_cast<std::size_t>(j)])]
-                          .Erase(prefix);
+        ChildIndex& idx = j > 0 ? pslot.index : root_index_;
+        bool erased = idx.Erase(it->value);
         DYNCQ_CHECK(erased);
         pool_.Free(it);
       }
@@ -242,17 +356,262 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched update pipeline.
+//
+// Phase A (per atom): route the batch's effective deltas to the atom,
+// sort them by root-path key (original order preserved per key, which is
+// enough: for a fixed atom the key determines the whole tuple), and walk
+// the q-tree top-down once per delta, sharing the descent of the common
+// prefix with the previous delta. Only the tracked counts are adjusted;
+// every touched item is recorded (once) with its pre-batch weights.
+//
+// Phase B: process touched items deepest-level first — recompute weights
+// once, fix fit-list membership, push the weight difference into the
+// parent's running sums, and free items whose counts all reached zero.
+// Deferring weight recomputation to one pass per item is what makes a
+// batch cheaper than its updates applied one by one.
+// ---------------------------------------------------------------------------
+
+void ComponentEngine::MarkDirty(Item* it, int depth) {
+  if (it->batch_stamp == batch_epoch_) return;
+  it->batch_stamp = batch_epoch_;
+  dirty_[static_cast<std::size_t>(depth)].push_back(
+      DirtyItem{it, it->node, it->weight, it->weight_free});
+}
+
+void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
+  ++batch_epoch_;
+  // Route the batch once: per-relation index lists, so each atom only
+  // scans its own relation's deltas (self-joins share the list).
+  if (rel_groups_.size() < atoms_of_rel_.size()) {
+    rel_groups_.resize(atoms_of_rel_.size());
+  }
+  for (auto& g : rel_groups_) g.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const RelId r = deltas[i].rel;
+    if (r < atoms_of_rel_.size() && !atoms_of_rel_[r].empty()) {
+      rel_groups_[r].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  bool touched = false;
+  for (const AtomMeta& am : atom_meta_) {
+    batch_scratch_.clear();
+    for (std::uint32_t i : rel_groups_[am.rel]) {
+      if (MatchesAtom(am, *deltas[i].tuple)) {
+        batch_scratch_.push_back(
+            AtomDelta{deltas[i].tuple, i, deltas[i].insert});
+      }
+    }
+    if (batch_scratch_.empty()) continue;
+    touched = true;
+    // Arrival order is kept: for a fixed atom the root-path key determines
+    // the whole tuple, so per-key sequencing (the only ordering phase A
+    // relies on) holds trivially, and the block prefetch sweeps in
+    // BatchDescend recover the memory locality a sort would have bought —
+    // without the pointer-chasing key comparisons.
+    BatchDescend(am);
+  }
+  if (touched) FlushDirty();
+}
+
+// Deltas are consumed in blocks: two prefetch sweeps (root buckets, then
+// root item lines) put up to kBatchBlock independent fetches in flight
+// before the serial descents run, so the per-delta latency is the line
+// latency divided by the block's memory-level parallelism rather than a
+// full round-trip per update.
+void ComponentEngine::BatchDescend(const AtomMeta& am) {
+  constexpr std::size_t kBatchBlock = 32;
+  const std::size_t nd =
+      static_cast<std::size_t>(am.leaf_inline ? am.d - 1 : am.d);
+  SmallVector<Item*, 8> chain;
+  SmallVector<Value, 8> prev_key;
+  for (std::size_t base = 0; base < batch_scratch_.size();
+       base += kBatchBlock) {
+    const std::size_t end =
+        std::min(base + kBatchBlock, batch_scratch_.size());
+    for (std::size_t i = base; i < end; ++i) {
+      root_index_.Prefetch((*batch_scratch_[i].tuple)[
+          static_cast<std::size_t>(am.read_pos[0])]);
+    }
+    for (std::size_t i = base; i < end; ++i) {
+      const Item* root = root_index_.Find((*batch_scratch_[i].tuple)[
+          static_cast<std::size_t>(am.read_pos[0])]);
+      if (root == nullptr) continue;
+      // Only the two lines the descent itself needs — the weight fix-up
+      // lines are prefetched by FlushDirty's own lookahead, and issuing
+      // them here would exceed the core's miss-level parallelism.
+      const char* b = reinterpret_cast<const char*>(root);
+      __builtin_prefetch(b + am.level_count_off[0]);
+      if (am.d > 1) __builtin_prefetch(b + am.level_slot_off[1]);
+    }
+    for (std::size_t i = base; i < end; ++i) {
+      BatchOneDelta(am, batch_scratch_[i], nd, chain, prev_key);
+    }
+  }
+}
+
+void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
+                                    std::size_t nd,
+                                    SmallVector<Item*, 8>& chain,
+                                    SmallVector<Value, 8>& prev_key) {
+  const Tuple& t = *ad.tuple;
+  // Longest prefix shared with the previous delta's path.
+  std::size_t lcp = 0;
+  while (lcp < chain.size() &&
+         t[static_cast<std::size_t>(am.read_pos[lcp])] == prev_key[lcp]) {
+    ++lcp;
+  }
+  chain.resize(lcp);
+  prev_key.resize(lcp);
+
+  // Descend the unshared suffix (deletes must find their items: set
+  // semantics plus per-key order preservation guarantee they exist).
+  Item* parent = lcp > 0 ? chain[lcp - 1] : nullptr;
+  for (std::size_t j = lcp; j < nd; ++j) {
+    const Value v = t[static_cast<std::size_t>(am.read_pos[j])];
+    ChildIndex& idx =
+        j == 0 ? root_index_
+               : reinterpret_cast<ChildSlot*>(
+                     reinterpret_cast<char*>(parent) +
+                     am.level_slot_off[j])
+                     ->index;
+    Item* it;
+    if (ad.insert) {
+      Item** slot = idx.FindOrInsertSlot(v);
+      if (*slot == nullptr) {
+        Item* fresh =
+            pool_.Alloc(static_cast<std::uint32_t>(am.level_node[j]));
+        fresh->value = v;
+        fresh->parent = parent;
+        *slot = fresh;
+      }
+      it = *slot;
+    } else {
+      it = idx.Find(v);
+      DYNCQ_CHECK_MSG(it != nullptr, "batch delete hit a missing item");
+    }
+    chain.push_back(it);
+    prev_key.push_back(v);
+    parent = it;
+  }
+
+  // Step 1 of Â§6.4 for every materialized level; weights are fixed up in
+  // phase B.
+  for (std::size_t j = 0; j < nd; ++j) {
+    Item* it = chain[j];
+    MarkDirty(it, static_cast<int>(j));
+    std::uint64_t& count = *reinterpret_cast<std::uint64_t*>(
+        reinterpret_cast<char*>(it) + am.level_count_off[j]);
+    if (ad.insert) {
+      ++count;
+    } else {
+      DYNCQ_DCHECK(count > 0);
+      --count;
+    }
+  }
+
+  // Leaf-inline level: the parent was marked dirty above with its
+  // pre-batch weight, so the slot sums may be finalized right away and
+  // phase B recomputes the parent from them.
+  if (am.leaf_inline) {
+    FlipLeafEntry(am, chain[nd - 1], t, ad.insert);
+  }
+}
+
+// Flips the presence entry of a unit-leaf atom under `parent_item` and
+// maintains the slot's running sums directly (C^i_ψ and C^i of a
+// unit-leaf item are identically 1 while it exists).
+void ComponentEngine::FlipLeafEntry(const AtomMeta& am, Item* parent_item,
+                                    const Tuple& t, bool insert) {
+  ChildSlot& slot = *reinterpret_cast<ChildSlot*>(
+      reinterpret_cast<char*>(parent_item) +
+      am.level_slot_off[static_cast<std::size_t>(am.d - 1)]);
+  const Value v = t[static_cast<std::size_t>(
+      am.read_pos[static_cast<std::size_t>(am.d - 1)])];
+  if (insert) {
+    Item** entry = slot.index.FindOrInsertSlot(v);
+    DYNCQ_DCHECK(*entry == nullptr);
+    *entry = reinterpret_cast<Item*>(std::uintptr_t{1});
+    slot.sum += 1;
+    if (am.leaf_free) slot.sum_free += 1;
+  } else {
+    bool erased = slot.index.Erase(v);
+    DYNCQ_CHECK_MSG(erased, "delete walk hit a missing leaf entry");
+    slot.sum -= 1;
+    if (am.leaf_free) slot.sum_free -= 1;
+  }
+}
+
+void ComponentEngine::FlushDirty() {
+  constexpr std::size_t kLookahead = 8;
+  for (std::size_t depth = dirty_.size(); depth-- > 0;) {
+    std::vector<DirtyItem>& level = dirty_[depth];
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (i + kLookahead < level.size()) {
+        const DirtyItem& ahead = level[i + kLookahead];
+        for (std::size_t off : node_meta_[ahead.node].touch_offsets) {
+          __builtin_prefetch(reinterpret_cast<char*>(ahead.item) + off);
+        }
+      }
+      const DirtyItem& d = level[i];
+      Item* it = d.item;
+      const NodeMeta& nm = node_meta_[it->node];
+      // Steps 2/2a: child running sums are final (deeper levels flushed
+      // first), so one recomputation per item suffices.
+      RecomputeWeights(it, nm);
+
+      // Steps 3/4 (+4a) against the PRE-batch membership and sums.
+      ChildSlot& pslot =
+          it->parent != nullptr
+              ? *reinterpret_cast<ChildSlot*>(
+                    reinterpret_cast<char*>(it->parent) +
+                    nm.parent_slot_off)
+              : root_slot_;
+      if (!it->in_list && it->weight > 0) {
+        ListPushBack(pslot, it);
+      } else if (it->in_list && it->weight == 0) {
+        ListRemove(pslot, it);
+      }
+      pslot.sum += it->weight - d.pre_weight;  // unsigned wrap is exact
+      if (nm.is_free) pslot.sum_free += it->weight_free - d.pre_weight_free;
+
+      // Step 5: free items no atom supports any more.
+      bool all_zero = true;
+      const std::uint64_t* counts = ItemCounts(it);
+      for (int s = 0; s < nm.num_tracked; ++s) {
+        if (counts[s] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        DYNCQ_DCHECK(!it->in_list && it->weight == 0);
+        ChildIndex& idx =
+            it->parent != nullptr ? pslot.index : root_index_;
+        bool erased = idx.Erase(it->value);
+        DYNCQ_CHECK(erased);
+        pool_.Free(it);
+      }
+    }
+    dirty_[depth].clear();
+  }
+}
+
 void ComponentEngine::RecomputeWeights(Item* it, const NodeMeta& nm) const {
+  const std::uint64_t* counts = ItemCounts(it);
+  const ChildSlot* slots = reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(it) + nm.slots_off);
   Weight c = 1;
-  for (int s : nm.rep_slots) c *= it->atom_counts[s];
-  for (int u = 0; u < nm.num_children; ++u) c *= it->child_slots[u].sum;
+  for (int s : nm.rep_slots) c *= counts[s];
+  for (int u = 0; u < nm.num_children; ++u) c *= slots[u].sum;
   it->weight = c;
   if (nm.is_free) {
     if (c == 0) {
       it->weight_free = 0;
     } else {
       Weight ct = 1;
-      for (int u : nm.free_child_slots) ct *= it->child_slots[u].sum_free;
+      for (int u : nm.free_child_slots) ct *= slots[u].sum_free;
       it->weight_free = ct;
     }
   }
@@ -279,38 +638,156 @@ void ComponentEngine::DumpItem(std::ostream& os, const Item* it,
      << "]  C = " << U128ToString(it->weight);
   if (nm.is_free) os << "  C~ = " << U128ToString(it->weight_free);
   os << "\n";
+  const ChildSlot* slots = reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(it) + nm.slots_off);
   for (int u = 0; u < nm.num_children; ++u) {
-    for (const Item* c = it->child_slots[u].head; c != nullptr;
-         c = c->next) {
+    const int child_node = tn.children[static_cast<std::size_t>(u)];
+    if (node_meta_[static_cast<std::size_t>(child_node)].unit_leaf) {
+      const QTreeNode& cn = tree_.node(child_node);
+      slots[u].index.ForEach([&](Value key, Item*) {
+        os << std::string(static_cast<std::size_t>(indent + 1) * 2, ' ');
+        os << "[" << query_.VarName(cn.var) << " = " << key
+           << "]  C = 1\n";
+      });
+      continue;
+    }
+    for (const Item* c = slots[u].head; c != nullptr; c = c->next) {
       DumpItem(os, c, indent + 1);
     }
   }
 }
 
-Weight ComponentEngine::RecountWeightSlow(const Item* it) const {
+std::size_t ComponentEngine::CheckItemRec(const Item* it) const {
   const NodeMeta& nm = node_meta_[it->node];
-  Weight c = 1;
-  for (int s : nm.rep_slots) c *= it->atom_counts[s];
-  for (int u = 0; u < nm.num_children; ++u) {
-    Weight sum = 0;
-    for (const Item* ch = it->child_slots[u].head; ch != nullptr;
-         ch = ch->next) {
-      sum += RecountWeightSlow(ch);
+  const QTreeNode& tn = tree_.node(static_cast<int>(it->node));
+
+  // Existence invariant (§6.2): an item exists iff some tracked count is
+  // positive.
+  const std::uint64_t* counts = ItemCounts(it);
+  const ChildSlot* slots = reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(it) + nm.slots_off);
+  bool any_count = false;
+  for (int s = 0; s < nm.num_tracked; ++s) {
+    if (counts[s] != 0) {
+      any_count = true;
+      break;
     }
-    c *= sum;
   }
-  return c;
+  DYNCQ_CHECK_MSG(any_count, "item alive with all-zero atom counts");
+
+  std::size_t reached = 1;
+  for (int u = 0; u < nm.num_children; ++u) {
+    const ChildSlot& cs = slots[u];
+    const int child_node = tn.children[static_cast<std::size_t>(u)];
+    const NodeMeta& cm = node_meta_[static_cast<std::size_t>(child_node)];
+    const bool child_free = cm.is_free;
+
+    if (cm.unit_leaf) {
+      // Presence entries: weight and count are identically 1, so the
+      // sums are plain cardinalities and no fit list exists.
+      DYNCQ_CHECK_MSG(cs.head == nullptr && cs.tail == nullptr,
+                      "unit-leaf slot must not keep a fit list");
+      std::size_t entries = 0;
+      cs.index.ForEach([&](Value key, Item* payload) {
+        DYNCQ_CHECK_MSG(key != 0, "unit-leaf entry with sentinel key");
+        DYNCQ_CHECK_MSG(
+            payload == reinterpret_cast<Item*>(std::uintptr_t{1}),
+            "unit-leaf entry payload must be the presence marker");
+        ++entries;
+      });
+      DYNCQ_CHECK_MSG(cs.sum == Weight{entries},
+                      "unit-leaf running sum diverged");
+      if (child_free) {
+        DYNCQ_CHECK_MSG(cs.sum_free == Weight{entries},
+                        "unit-leaf free running sum diverged");
+      }
+      continue;
+    }
+
+    // Fit list: members are exactly the fit children; sums match.
+    Weight sum = 0, sum_free = 0;
+    std::size_t fit_listed = 0;
+    for (const Item* ch = cs.head; ch != nullptr; ch = ch->next) {
+      DYNCQ_CHECK_MSG(ch->weight > 0, "unfit item found in a fit list");
+      DYNCQ_CHECK_MSG(ch->in_list, "listed item not flagged in_list");
+      sum += ch->weight;
+      if (child_free) sum_free += ch->weight_free;
+      ++fit_listed;
+    }
+    DYNCQ_CHECK_MSG(sum == cs.sum, "running sum C^i_u diverged");
+    if (child_free) {
+      DYNCQ_CHECK_MSG(sum_free == cs.sum_free,
+                      "running sum C~^i_u diverged");
+    }
+
+    // Child index: keys/back-pointers consistent; fit members coincide
+    // with the list population.
+    std::size_t fit_indexed = 0;
+    cs.index.ForEach([&](Value key, Item* ch) {
+      DYNCQ_CHECK_MSG(ch != nullptr, "child index holds a null item");
+      DYNCQ_CHECK_MSG(ch->value == key, "child index key != item value");
+      DYNCQ_CHECK_MSG(ch->parent == it, "child item parent pointer wrong");
+      DYNCQ_CHECK_MSG(ch->node == static_cast<std::uint32_t>(child_node),
+                      "child item indexed under the wrong q-tree node");
+      DYNCQ_CHECK_MSG(ch->in_list == (ch->weight > 0),
+                      "fit item missing from list (or vice versa)");
+      if (ch->in_list) ++fit_indexed;
+      reached += CheckItemRec(ch);
+    });
+    DYNCQ_CHECK_MSG(fit_indexed == fit_listed,
+                    "fit list and child index disagree");
+  }
+
+  // Lemma 6.3/6.4: stored weights match a recomputation from counts and
+  // (just re-verified) child sums.
+  Weight c = 1;
+  for (int s : nm.rep_slots) c *= counts[s];
+  for (int u = 0; u < nm.num_children; ++u) c *= slots[u].sum;
+  DYNCQ_CHECK_MSG(c == it->weight, "stored weight diverged");
+  if (nm.is_free) {
+    Weight ct = 0;
+    if (c > 0) {
+      ct = 1;
+      for (int u : nm.free_child_slots) ct *= slots[u].sum_free;
+    }
+    DYNCQ_CHECK_MSG(ct == it->weight_free, "stored free weight diverged");
+  }
+  return reached;
 }
 
 void ComponentEngine::CheckInvariants() const {
-  Weight start = 0;
+  const bool root_free = node_meta_[0].is_free;
+  Weight start = 0, start_free = 0;
+  std::size_t fit_listed = 0;
   for (const Item* it = root_slot_.head; it != nullptr; it = it->next) {
-    Weight w = RecountWeightSlow(it);
-    DYNCQ_CHECK_MSG(w == it->weight, "stored weight diverged");
-    DYNCQ_CHECK_MSG(w > 0, "unfit item found in a fit list");
-    start += w;
+    DYNCQ_CHECK_MSG(it->weight > 0, "unfit item found in the root list");
+    start += it->weight;
+    if (root_free) start_free += it->weight_free;
+    ++fit_listed;
   }
   DYNCQ_CHECK_MSG(start == root_slot_.sum, "Cstart diverged");
+  if (root_free) {
+    DYNCQ_CHECK_MSG(start_free == root_slot_.sum_free,
+                    "C~start diverged");
+  }
+
+  std::size_t reached = 0;
+  std::size_t fit_indexed = 0;
+  root_index_.ForEach([&](Value key, Item* it) {
+    DYNCQ_CHECK_MSG(it != nullptr, "root index holds a null item");
+    DYNCQ_CHECK_MSG(it->value == key, "root index key != item value");
+    DYNCQ_CHECK_MSG(it->parent == nullptr, "root item has a parent");
+    DYNCQ_CHECK_MSG(it->node == 0, "root index holds a non-root item");
+    DYNCQ_CHECK_MSG(it->in_list == (it->weight > 0),
+                    "fit root item missing from list (or vice versa)");
+    if (it->in_list) ++fit_indexed;
+    reached += CheckItemRec(it);
+  });
+  DYNCQ_CHECK_MSG(fit_indexed == fit_listed,
+                  "root list and root index disagree");
+  DYNCQ_CHECK_MSG(reached == pool_.live_items(),
+                  "child indexes reach a different item count than the "
+                  "pool tracks");
 }
 
 }  // namespace dyncq::core

@@ -4,22 +4,38 @@
 // The top-level core::Engine splits a query into connected components and
 // owns one ComponentEngine per component; ϕ(D) is the cross product of
 // the component results (paper §6, opening remarks).
+//
+// Items are located by descending parent-scoped child indexes: the
+// engine holds one root index (value of the root variable -> root item)
+// and every item holds, per child q-tree node, an index of its child
+// items keyed by a single Value (core/child_index.h). The §6.4 update
+// walk therefore probes one single-word key per level — no root-path
+// prefix is ever materialized or re-hashed on the hot path.
 #ifndef DYNCQ_CORE_COMPONENT_ENGINE_H_
 #define DYNCQ_CORE_COMPONENT_ENGINE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "core/child_index.h"
 #include "core/item.h"
 #include "core/item_pool.h"
 #include "cq/qtree.h"
 #include "cq/query.h"
 #include "storage/tuple.h"
-#include "util/open_hash_map.h"
 #include "util/small_vector.h"
 
 namespace dyncq::core {
+
+/// One effective (post set-semantics dedup) base-table change inside a
+/// batch. Tuples are borrowed from the caller's UpdateCmd storage.
+struct PendingDelta {
+  RelId rel = kInvalidRel;
+  const Tuple* tuple = nullptr;
+  bool insert = true;
+};
 
 class ComponentEngine {
  public:
@@ -29,6 +45,10 @@ class ComponentEngine {
   ComponentEngine(const ComponentEngine&) = delete;
   ComponentEngine& operator=(const ComponentEngine&) = delete;
 
+  /// Frees every live item: the pool releases raw chunks only, and child
+  /// slots own their (possibly heap-grown) index tables.
+  ~ComponentEngine();
+
   const Query& query() const { return query_; }
   const QTree& tree() const { return tree_; }
 
@@ -36,6 +56,33 @@ class ComponentEngine {
   /// deduplication (the tuple was truly added / removed).
   void OnInsert(RelId rel, const Tuple& t) { ApplyDelta(rel, t, true); }
   void OnDelete(RelId rel, const Tuple& t) { ApplyDelta(rel, t, false); }
+
+  /// Batched §6.4: applies `n` effective deltas as one pipeline. Deltas
+  /// for foreign relations (no atom in this component) are skipped.
+  /// Per atom, deltas are sorted by root-path key so consecutive walks
+  /// share their common-prefix descent, and every touched item has its
+  /// weight, fit-list membership, and parent running sums fixed up once
+  /// (bottom-up) instead of once per update.
+  void ApplyBatch(const PendingDelta* deltas, std::size_t n);
+
+  /// Pre-sizes the root index for `n` distinct root values (bulk load).
+  void ReserveRoot(std::size_t n) { root_index_.Reserve(n); }
+
+  /// Stage-1 prefetch: hints the root-index bucket lines a delta for
+  /// (rel, t) will probe — a pure hint, never a blocking load. The engine
+  /// issues this before the database's relation-set probe so the bucket
+  /// fetch overlaps that hash work.
+  void PrefetchDelta(RelId rel, const Tuple& t) const {
+    for (int ai : atoms_of_rel_[rel]) {
+      const AtomMeta& am = atom_meta_[static_cast<std::size_t>(ai)];
+      root_index_.Prefetch(t[static_cast<std::size_t>(am.read_pos[0])]);
+    }
+  }
+
+  /// Stage-2 prefetch: probes the root index (bucket now resident thanks
+  /// to stage 1) and hints the root item's lines; issued before the
+  /// active-domain bookkeeping so the item fetch overlaps it.
+  void PrefetchWalk(RelId rel, const Tuple& t) const;
 
   /// Cstart: Σ over fit root items of C^i (eq. 11).
   Weight CStart() const { return root_slot_.sum; }
@@ -53,6 +100,15 @@ class ComponentEngine {
 
   const ChildSlot& root_slot() const { return root_slot_; }
 
+  /// Child slot `u` of `it` (inspection hook — the slot array's offset
+  /// depends on the item's q-tree node).
+  const ChildSlot& item_child_slot(const Item* it, int u) const {
+    return *(reinterpret_cast<const ChildSlot*>(
+                 reinterpret_cast<const char*>(it) +
+                 node_meta_[it->node].slots_off) +
+             u);
+  }
+
   /// Document-order traversal metadata for Algorithm 1 over the subtree
   /// T' induced by the free variables.
   struct EnumMeta {
@@ -60,6 +116,10 @@ class ComponentEngine {
     std::vector<int> parent_pos;      // doc position of parent (-1 = root)
     std::vector<int> slot_in_parent;  // child-slot index within parent item
     std::vector<int> head_doc_pos;    // head position -> doc position
+    std::vector<char> unit_leaf;      // position iterates index entries,
+                                      // not a fit list of items
+    std::vector<std::size_t> slot_off;  // byte offset of this position's
+                                        // ChildSlot in the parent block
   };
   const EnumMeta& enum_meta() const { return enum_meta_; }
 
@@ -69,17 +129,34 @@ class ComponentEngine {
   /// Figure 3-style dump of the whole structure (weights, lists).
   void Dump(std::ostream& os) const;
 
-  /// Internal invariant check (test hook): recomputes every weight from
-  /// scratch and compares; verifies list membership iff fit.
+  /// Internal invariant check (test hook): walks the child indexes,
+  /// recomputes every weight and running sum from scratch, verifies list
+  /// membership iff fit, index/parent back-pointers, and that the index
+  /// reaches exactly the pool's live items.
   void CheckInvariants() const;
 
  private:
   struct NodeMeta {
     std::vector<int> rep_slots;        // atom_counts slots of rep atoms
     std::vector<int> free_child_slots; // child slots with free child node
+    // Distinct cache-line offsets within an item block that the §6.4
+    // bottom-up pass touches (header weights, every child slot's running
+    // sums). The descent prefetches these as soon as the item pointer is
+    // known so the bottom-up pass never stalls on them.
+    std::vector<std::size_t> touch_offsets;
+    // Deterministic block offsets: this node's ChildSlot array, and the
+    // position of this node's slot within its PARENT's block.
+    std::size_t slots_off = 0;
+    std::size_t parent_slot_off = 0;
     int num_children = 0;
     int num_tracked = 0;
     bool is_free = false;
+    // Leaf tracking exactly one atom: the tracked count of any of its
+    // items is 0/1 (the atom's variables are fully determined by the
+    // root path), so the "items" of this node are stored inline as bare
+    // presence entries in the parent's child index — no Item block, no
+    // extra cache line on the update walk.
+    bool unit_leaf = false;
     int slot_in_parent = -1;
   };
 
@@ -89,17 +166,53 @@ class ComponentEngine {
     std::vector<int> level_node;     // q-tree node per level
     std::vector<int> level_slot;     // atom_counts slot per level
     std::vector<int> read_pos;       // arg position giving the level value
+    std::vector<int> level_parent_slot;  // child slot within parent item
+    // Precomputed block offsets (the item layout is fixed per node):
+    // byte offset of this atom's tracked count within a level-j item, and
+    // of the ChildSlot inside the level-(j-1) item that reaches level j.
+    std::vector<std::size_t> level_count_off;
+    std::vector<std::size_t> level_slot_off;
     std::vector<std::pair<int, int>> eq_checks;       // args equal pairs
     std::vector<std::pair<int, Value>> const_checks;  // constant args
+    // The atom ends in a unit-leaf node below the root: the last level is
+    // a presence entry in the level-(d-2) item's child index.
+    bool leaf_inline = false;
+    bool leaf_free = false;  // the unit leaf is a free node
   };
 
-  using PathKey = SmallVector<Value, 4>;
+  /// A batch-touched item with its pre-batch weights (the values the
+  /// parent's running sums still reflect until the bottom-up fix-up).
+  /// The node index is denormalized so the fix-up pass can prefetch an
+  /// item's lines without first loading its header.
+  struct DirtyItem {
+    Item* item = nullptr;
+    std::uint32_t node = 0;
+    Weight pre_weight = 0;
+    Weight pre_weight_free = 0;
+  };
 
+  /// One delta routed to a specific atom during a batch (phase A input).
+  struct AtomDelta {
+    const Tuple* tuple = nullptr;
+    std::uint32_t seq = 0;  // original batch position (stable tie-break)
+    bool insert = true;
+  };
+
+  void FreeSubtree(Item* it);
   void ApplyDelta(RelId rel, const Tuple& t, bool insert);
   void ApplyAtomDelta(const AtomMeta& am, const Tuple& t, bool insert);
+  bool MatchesAtom(const AtomMeta& am, const Tuple& t) const;
+  void FlipLeafEntry(const AtomMeta& am, Item* parent_item, const Tuple& t,
+                     bool insert);
+  void BatchDescend(const AtomMeta& am);
+  void BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
+                     std::size_t nd, SmallVector<Item*, 8>& chain,
+                     SmallVector<Value, 8>& prev_key);
+  void FlushDirty();
+  void MarkDirty(Item* it, int depth);
   void RecomputeWeights(Item* it, const NodeMeta& nm) const;
   void DumpItem(std::ostream& os, const Item* it, int indent) const;
-  Weight RecountWeightSlow(const Item* it) const;
+  std::size_t CheckItemRec(const Item* it) const;
 
   Query query_;
   QTree tree_;
@@ -108,8 +221,14 @@ class ComponentEngine {
   std::vector<std::vector<int>> atoms_of_rel_;  // global RelId -> atom idxs
   EnumMeta enum_meta_;
   ItemPool pool_;
-  std::vector<OpenHashMap<PathKey, Item*, WordVecHash>> index_;  // per node
+  ChildIndex root_index_;  // root-variable value -> root item
   ChildSlot root_slot_;
+
+  // Batch pipeline state (scratch, reused across batches).
+  std::uint64_t batch_epoch_ = 0;
+  std::vector<AtomDelta> batch_scratch_;
+  std::vector<std::vector<std::uint32_t>> rel_groups_;  // RelId -> deltas
+  std::vector<std::vector<DirtyItem>> dirty_;  // per q-tree depth
 };
 
 }  // namespace dyncq::core

@@ -36,6 +36,11 @@ class Engine final : public DynamicQueryEngine {
 
   bool Apply(const UpdateCmd& cmd) override;
 
+  /// Batched update pipeline: dedups no-ops through the database's set
+  /// semantics, bumps the enumeration epoch once, and hands every
+  /// component the effective deltas for one shared-descent pass.
+  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) override;
+
   Weight Count() override;
   bool Answer() override;
   std::unique_ptr<Enumerator> NewEnumerator() override;
@@ -58,11 +63,17 @@ class Engine final : public DynamicQueryEngine {
  private:
   explicit Engine(Query q);
 
+  /// Linear-time preprocessing (§6.4): reserves relations and root child
+  /// indexes from the input sizes, then replays the initial database
+  /// through the batch pipeline.
+  void Preload(const Database& initial);
+
   Query query_;
   Database db_;
   std::vector<std::pair<int, int>> head_map_;
   std::vector<std::unique_ptr<ComponentEngine>> components_;
   std::vector<std::vector<int>> comps_of_rel_;  // RelId -> component idxs
+  std::vector<PendingDelta> pending_;  // batch scratch
   std::uint64_t epoch_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #define DYNCQ_CORE_ENGINE_IFACE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "cq/query.h"
@@ -48,6 +49,21 @@ class DynamicQueryEngine {
   /// Returns true iff the database changed (no-op updates are absorbed).
   virtual bool Apply(const UpdateCmd& cmd) = 0;
 
+  /// Applies a batch of updates and returns the number of effective
+  /// (database-changing) commands. Equivalent to applying the commands in
+  /// order one by one; engines with a real batch pipeline (core::Engine)
+  /// override this to dedup no-ops once, group deltas per relation/atom,
+  /// and share root-path descents. The default is the per-tuple fallback
+  /// used by the recompute / delta-IVM baselines and whichever engine
+  /// CreateMaintainableEngine dispatched to.
+  virtual std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) {
+    std::size_t effective = 0;
+    for (const UpdateCmd& cmd : cmds) {
+      if (Apply(cmd)) ++effective;
+    }
+    return effective;
+  }
+
   /// |ϕ(D)| (the paper's `count` routine).
   virtual Weight Count() = 0;
 
@@ -59,13 +75,10 @@ class DynamicQueryEngine {
 
   virtual std::string name() const = 0;
 
-  /// Convenience: applies every command in the stream.
+  /// Convenience: applies every command in the stream (through the batch
+  /// pipeline when the engine has one).
   std::size_t ApplyAll(const UpdateStream& stream) {
-    std::size_t effective = 0;
-    for (const UpdateCmd& cmd : stream) {
-      if (Apply(cmd)) ++effective;
-    }
-    return effective;
+    return ApplyBatch(std::span<const UpdateCmd>(stream));
   }
 };
 

@@ -28,25 +28,52 @@ ComponentEnumerator::ComponentEnumerator(const ComponentEngine* ce,
     : ce_(ce), guard_(guard) {
   DYNCQ_CHECK_MSG(!ce->query().head().empty(),
                   "ComponentEnumerator requires free variables");
-  items_.resize(ce->enum_meta().nodes.size(), nullptr);
+  cur_.resize(ce->enum_meta().nodes.size(), nullptr);
 }
 
-Item* ComponentEnumerator::FirstOf(std::size_t pos) const {
+const ChildSlot& ComponentEnumerator::SlotOf(std::size_t pos) const {
   const auto& meta = ce_->enum_meta();
   int ppos = meta.parent_pos[pos];
   DYNCQ_DCHECK(ppos >= 0);
-  Item* parent = items_[static_cast<std::size_t>(ppos)];
-  const ChildSlot& slot =
-      parent->child_slots[meta.slot_in_parent[pos]];
+  // A parent of any enumerated node is a regular item (unit leaves have
+  // no children); the slot address is a fixed offset into its block.
+  const Item* parent =
+      static_cast<const Item*>(cur_[static_cast<std::size_t>(ppos)]);
+  return *reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(parent) + meta.slot_off[pos]);
+}
+
+const void* ComponentEnumerator::FirstOf(std::size_t pos) const {
+  const ChildSlot& slot = SlotOf(pos);
+  if (ce_->enum_meta().unit_leaf[pos]) {
+    const ChildIndex::Entry* e = slot.index.FirstEntry();
+    DYNCQ_DCHECK(e != nullptr);  // fit parents have entries
+    return e;
+  }
   DYNCQ_DCHECK(slot.head != nullptr);  // fit parents have non-empty lists
   return slot.head;
+}
+
+const void* ComponentEnumerator::NextOf(std::size_t pos) const {
+  if (pos == 0) {
+    return static_cast<const Item*>(cur_[0])->next;
+  }
+  if (ce_->enum_meta().unit_leaf[pos]) {
+    return SlotOf(pos).index.NextEntry(
+        static_cast<const ChildIndex::Entry*>(cur_[pos]));
+  }
+  return static_cast<const Item*>(cur_[pos])->next;
 }
 
 void ComponentEnumerator::Emit(Tuple* out) const {
   const auto& meta = ce_->enum_meta();
   out->clear();
   for (int pos : meta.head_doc_pos) {
-    out->push_back(items_[static_cast<std::size_t>(pos)]->value);
+    const std::size_t p = static_cast<std::size_t>(pos);
+    out->push_back(
+        meta.unit_leaf[p]
+            ? static_cast<const ChildIndex::Entry*>(cur_[p])->key
+            : static_cast<const Item*>(cur_[p])->value);
   }
 }
 
@@ -61,28 +88,26 @@ bool ComponentEnumerator::Next(Tuple* out) {
       done_ = true;
       return false;  // EOE
     }
-    items_[0] = root;
-    for (std::size_t mu = 1; mu < items_.size(); ++mu) {
-      items_[mu] = FirstOf(mu);
+    cur_[0] = root;
+    for (std::size_t mu = 1; mu < cur_.size(); ++mu) {
+      cur_[mu] = FirstOf(mu);
     }
     Emit(out);
     return true;
   }
 
-  // Algorithm 1: advance the deepest (in document order) item that is not
-  // last in its list; reset everything after it to list heads.
-  std::size_t j = items_.size();
-  while (j > 0) {
-    if (items_[j - 1]->next != nullptr) break;
-    --j;
-  }
+  // Algorithm 1: advance the deepest (in document order) position that is
+  // not last in its list; reset everything after it to first positions.
+  const void* next = nullptr;
+  std::size_t j = cur_.size();
+  while (j > 0 && (next = NextOf(j - 1)) == nullptr) --j;
   if (j == 0) {
     done_ = true;
     return false;  // EOE
   }
-  items_[j - 1] = items_[j - 1]->next;
-  for (std::size_t mu = j; mu < items_.size(); ++mu) {
-    items_[mu] = FirstOf(mu);
+  cur_[j - 1] = next;
+  for (std::size_t mu = j; mu < cur_.size(); ++mu) {
+    cur_[mu] = FirstOf(mu);
   }
   Emit(out);
   return true;

@@ -24,6 +24,12 @@ struct EpochGuard {
 
 /// Algorithm 1 over one connected component with free variables: walks
 /// the free-prefix subtree in document order; O(k) work per tuple.
+///
+/// A document position holds either the current Item (regular nodes,
+/// advanced along the parent's fit list) or the current presence entry in
+/// the parent's child index (unit-leaf nodes, advanced by entry cursor —
+/// every present entry is fit). Entries are stable between updates, and
+/// the epoch guard forbids use across updates.
 class ComponentEnumerator final : public Enumerator {
  public:
   ComponentEnumerator(const ComponentEngine* ce, EpochGuard guard);
@@ -32,12 +38,15 @@ class ComponentEnumerator final : public Enumerator {
   void Reset() override;
 
  private:
-  Item* FirstOf(std::size_t pos) const;
+  const ChildSlot& SlotOf(std::size_t pos) const;
+  const void* FirstOf(std::size_t pos) const;
+  const void* NextOf(std::size_t pos) const;
   void Emit(Tuple* out) const;
 
   const ComponentEngine* ce_;
   EpochGuard guard_;
-  std::vector<Item*> items_;  // current item per document position
+  // Current Item* or ChildIndex::Entry* per document position.
+  std::vector<const void*> cur_;
   bool started_ = false;
   bool done_ = false;
 };

@@ -7,7 +7,9 @@
 //    iff some C^i_ψ > 0;
 //  * the weight C^i (Lemma 6.3) and projected weight C̃^i (Lemma 6.4);
 //  * per child u of v: the doubly linked fit-list L^i_u of child items
-//    with running sums C^i_u and C̃^i_u (eq. 11);
+//    with running sums C^i_u and C̃^i_u (eq. 11), plus the parent-scoped
+//    child index mapping a child value b to the child item [u, α a, b]
+//    (core/child_index.h) — the structure the update procedure descends;
 //  * intrusive prev/next links for its own membership in the parent's
 //    fit-list (an item is in the list iff it is "fit", i.e. C^i > 0).
 //
@@ -18,14 +20,19 @@
 
 #include <cstdint>
 
+#include "core/child_index.h"
 #include "util/types.h"
 
 namespace dyncq::core {
 
 struct Item;
 
-/// Per-child fit-list head/tail plus running sums over list members.
+/// Per-child fit-list head/tail, running sums over list members, and the
+/// index of ALL child items (fit or not) keyed by their value. The index
+/// leads the struct so the top-down walk's first touch of a slot lands on
+/// the inline entries' cache line.
 struct ChildSlot {
+  ChildIndex index;     // value b -> child item [u, α a, b]
   Item* head = nullptr;
   Item* tail = nullptr;
   Weight sum = 0;       // C^i_u  = Σ_{i' ∈ L^i_u} C^{i'}
@@ -44,10 +51,54 @@ struct Item {
   Weight weight = 0;       // C^i   (Lemma 6.3); fit iff weight > 0
   Weight weight_free = 0;  // C̃^i  (Lemma 6.4); only used for free nodes
 
-  // Trailing arrays, placed by the ItemPool:
-  ChildSlot* child_slots = nullptr;   // one per child of `node`
-  std::uint64_t* atom_counts = nullptr;  // one per tracked atom of `node`
+  // Batch epoch that last touched this item (see ApplyBatch); epoch 0 is
+  // never issued, so a fresh item is always "untouched".
+  std::uint64_t batch_stamp = 0;
+
+  // The trailing arrays (atom counts, then child slots) are NOT pointed
+  // to from the header: their offsets are deterministic per q-tree node
+  // (see ItemCountsOffset / ItemSlotsOffset below), which keeps the
+  // header to 80 bytes and the update walk free of pointer loads.
 };
+
+/// Block layout: [Item header][atom counts][child slots]. The layout is
+/// deterministic per q-tree node, so the update walk computes trailing
+/// array addresses instead of loading the header pointers — one fewer
+/// dependent cache access per level. The counts sit right behind the
+/// header (usually the same cache line the weight fields occupy), so the
+/// §6.4 step-1 adjustment rides along with the weight recomputation.
+constexpr std::size_t ItemCountsOffset() {
+  return (sizeof(Item) + alignof(std::uint64_t) - 1) /
+         alignof(std::uint64_t) * alignof(std::uint64_t);
+}
+
+/// Byte offset of the ChildSlot array for a node tracking `num_atoms`.
+constexpr std::size_t ItemSlotsOffset(std::size_t num_atoms) {
+  std::size_t off =
+      ItemCountsOffset() + num_atoms * sizeof(std::uint64_t);
+  return (off + alignof(ChildSlot) - 1) / alignof(ChildSlot) *
+         alignof(ChildSlot);
+}
+
+/// The atom-count array of `it`.
+inline std::uint64_t* ItemCounts(Item* it) {
+  return reinterpret_cast<std::uint64_t*>(reinterpret_cast<char*>(it) +
+                                          ItemCountsOffset());
+}
+inline const std::uint64_t* ItemCounts(const Item* it) {
+  return reinterpret_cast<const std::uint64_t*>(
+      reinterpret_cast<const char*>(it) + ItemCountsOffset());
+}
+
+/// The ChildSlot array of `it`, whose node tracks `num_atoms` atoms.
+inline ChildSlot* ItemSlots(Item* it, std::size_t num_atoms) {
+  return reinterpret_cast<ChildSlot*>(reinterpret_cast<char*>(it) +
+                                      ItemSlotsOffset(num_atoms));
+}
+inline const ChildSlot* ItemSlots(const Item* it, std::size_t num_atoms) {
+  return reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(it) + ItemSlotsOffset(num_atoms));
+}
 
 /// Appends `it` to the tail of `slot`'s list (paper Figure 3 list order:
 /// items appear in the order they became fit).

@@ -23,10 +23,8 @@ ItemPool::ItemPool(std::vector<std::size_t> num_children,
   block_size_.resize(num_children_.size());
   free_lists_.assign(num_children_.size(), nullptr);
   for (std::size_t n = 0; n < num_children_.size(); ++n) {
-    std::size_t sz = AlignUp(sizeof(Item), alignof(ChildSlot));
-    sz += num_children_[n] * sizeof(ChildSlot);
-    sz = AlignUp(sz, alignof(std::uint64_t));
-    sz += num_atoms_[n] * sizeof(std::uint64_t);
+    std::size_t sz = ItemSlotsOffset(num_atoms_[n]) +
+                     num_children_[n] * sizeof(ChildSlot);
     block_size_[n] = AlignUp(sz, alignof(Item));
   }
 }
@@ -57,17 +55,23 @@ Item* ItemPool::Alloc(std::uint32_t n) {
   std::memset(base, 0, block_size_[n]);
   Item* it = new (base) Item();
   it->node = n;
-  std::size_t off = AlignUp(sizeof(Item), alignof(ChildSlot));
-  it->child_slots = reinterpret_cast<ChildSlot*>(base + off);
-  off = AlignUp(off + num_children_[n] * sizeof(ChildSlot),
-                alignof(std::uint64_t));
-  it->atom_counts = reinterpret_cast<std::uint64_t*>(base + off);
+  ChildSlot* slots = ItemSlots(it, num_atoms_[n]);
+  for (std::size_t c = 0; c < num_children_[n]; ++c) {
+    new (slots + c) ChildSlot();
+  }
   ++live_;
   return it;
 }
 
 void ItemPool::Free(Item* it) {
   std::uint32_t n = it->node;
+  // Child slots own their child index's heap table; an item is only freed
+  // once all children are gone, so the indexes are empty but may still
+  // hold a grown table.
+  ChildSlot* slots = ItemSlots(it, num_atoms_[n]);
+  for (std::size_t c = 0; c < num_children_[n]; ++c) {
+    slots[c].~ChildSlot();
+  }
   it->~Item();
   auto* fn = reinterpret_cast<FreeNode*>(it);
   fn->next = free_lists_[n];

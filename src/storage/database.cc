@@ -27,6 +27,18 @@ bool Database::Apply(const UpdateCmd& cmd) {
 }
 
 std::size_t Database::ApplyAll(const UpdateStream& stream) {
+  // Count inserts per relation so the hash tables are sized once up
+  // front (an upper bound when the stream mixes deletes back in).
+  std::vector<std::size_t> inserts(relations_.size(), 0);
+  for (const UpdateCmd& cmd : stream) {
+    if (cmd.kind == UpdateKind::kInsert && cmd.rel < inserts.size()) {
+      ++inserts[cmd.rel];
+    }
+  }
+  for (RelId r = 0; r < inserts.size(); ++r) {
+    if (inserts[r] > 0) Reserve(r, inserts[r]);
+  }
+
   std::size_t effective = 0;
   for (const UpdateCmd& cmd : stream) {
     if (Apply(cmd)) ++effective;
@@ -34,15 +46,23 @@ std::size_t Database::ApplyAll(const UpdateStream& stream) {
   return effective;
 }
 
+void Database::Reserve(RelId rel, std::size_t n) {
+  Relation& r = relation(rel);
+  r.Reserve(r.size() + n);
+  // Each inserted tuple contributes arity() candidate constants to the
+  // active domain.
+  adom_counts_.Reserve(adom_counts_.size() + n * r.arity());
+}
+
 bool Database::Insert(RelId rel, const Tuple& t) {
   if (!relation(rel).Insert(t)) return false;
-  AdomAdd(t);
+  adom_stale_ = true;
   return true;
 }
 
 bool Database::Delete(RelId rel, const Tuple& t) {
   if (!relation(rel).Erase(t)) return false;
-  AdomRemove(t);
+  adom_stale_ = true;
   return true;
 }
 
@@ -63,18 +83,18 @@ std::size_t Database::SizeD() const {
 void Database::Clear() {
   for (Relation& r : relations_) r.Clear();
   adom_counts_.Clear();
+  adom_stale_ = false;
 }
 
-void Database::AdomAdd(const Tuple& t) {
-  for (Value v : t) ++adom_counts_.FindOrInsert(v);
-}
-
-void Database::AdomRemove(const Tuple& t) {
-  for (Value v : t) {
-    std::uint64_t* c = adom_counts_.Find(v);
-    DYNCQ_DCHECK(c != nullptr && *c > 0);
-    if (--*c == 0) adom_counts_.Erase(v);
+void Database::EnsureAdom() const {
+  if (!adom_stale_) return;
+  adom_counts_.Clear();
+  for (const Relation& r : relations_) {
+    for (const Tuple& t : r) {
+      for (Value v : t) ++adom_counts_.FindOrInsert(v);
+    }
   }
+  adom_stale_ = false;
 }
 
 std::string Database::ToString() const {

@@ -28,8 +28,22 @@ class Database {
   /// (insert of a present tuple / delete of an absent tuple are no-ops).
   bool Apply(const UpdateCmd& cmd);
 
+
   /// Applies a whole stream; returns the number of effective updates.
+  /// Bulk-load path: pre-sizes the relations and the active-domain map
+  /// from the stream's composition so the replay never rehashes (paper
+  /// §6.4 linear-time preprocessing).
   std::size_t ApplyAll(const UpdateStream& stream);
+
+  /// Pre-sizes relation `rel` (and the active-domain map) for `n` more
+  /// tuples.
+  void Reserve(RelId rel, std::size_t n);
+
+  /// Hints the hash bucket `cmd` will probe into cache; used by batch
+  /// loops to look ahead.
+  void Prefetch(const UpdateCmd& cmd) const {
+    relations_[cmd.rel].Prefetch(cmd.tuple);
+  }
 
   bool Insert(RelId rel, const Tuple& t);
   bool Delete(RelId rel, const Tuple& t);
@@ -41,23 +55,33 @@ class Database {
   std::size_t SizeD() const;
 
   /// n = |adom(D)|: number of distinct constants in the database.
-  std::size_t ActiveDomainSize() const { return adom_counts_.size(); }
+  /// Maintained lazily: updates only mark the cached reference counts
+  /// stale (keeping per-update hash work off the streaming hot path) and
+  /// the first adom query after a change rebuilds them in O(||D||).
+  std::size_t ActiveDomainSize() const {
+    EnsureAdom();
+    return adom_counts_.size();
+  }
 
   /// True if `v` occurs somewhere in the database.
-  bool InActiveDomain(Value v) const { return adom_counts_.Contains(v); }
+  bool InActiveDomain(Value v) const {
+    EnsureAdom();
+    return adom_counts_.Contains(v);
+  }
 
   void Clear();
 
   std::string ToString() const;
 
  private:
-  void AdomAdd(const Tuple& t);
-  void AdomRemove(const Tuple& t);
+  void EnsureAdom() const;
 
   const Schema& schema_;
   std::vector<Relation> relations_;
   // Reference counts: value -> number of tuple positions holding it.
-  OpenHashMap<Value, std::uint64_t, U64Hash> adom_counts_;
+  // Rebuilt on demand (see ActiveDomainSize).
+  mutable OpenHashMap<Value, std::uint64_t, U64Hash> adom_counts_;
+  mutable bool adom_stale_ = false;
 };
 
 }  // namespace dyncq

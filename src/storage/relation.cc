@@ -1,28 +1,147 @@
 #include "storage/relation.h"
 
+#include <cstring>
+
 #include "util/check.h"
 
 namespace dyncq {
 
+namespace {
+
+std::size_t NormalizeCapacity(std::size_t n) {
+  std::size_t c = 8;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+bool Relation::SlotEquals(std::size_t i, const Tuple& t) const {
+  const Value* s = slots_.get() + i * arity_;
+  for (std::size_t p = 0; p < arity_; ++p) {
+    if (s[p] != t[p]) return false;
+  }
+  return true;
+}
+
+std::size_t Relation::ProbeFor(const Tuple& t) const {
+  std::size_t i = static_cast<std::size_t>(Hash(t)) & (cap_ - 1);
+  while (slots_[i * arity_] != 0 && !SlotEquals(i, t)) {
+    i = (i + 1) & (cap_ - 1);
+  }
+  return i;
+}
+
 bool Relation::Contains(const Tuple& t) const {
   DYNCQ_DCHECK(t.size() == arity_);
-  return tuples_.Contains(t);
+  if (arity_ == 0) return has_empty_tuple_;
+  if (cap_ == 0) return false;
+  return slots_[ProbeFor(t) * arity_] != 0;
 }
 
 bool Relation::Insert(const Tuple& t) {
   DYNCQ_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
-  return tuples_.Insert(t);
+  if (arity_ == 0) {
+    if (has_empty_tuple_) return false;
+    has_empty_tuple_ = true;
+    size_ = 1;
+    return true;
+  }
+  // Value 0 is the engine-wide empty-slot sentinel: both this table
+  // (first word) and the core engine's ChildIndex (any key position)
+  // would be corrupted by it, so reject it in every position.
+  for (std::size_t p = 0; p < arity_; ++p) {
+    DYNCQ_CHECK_MSG(t[p] != 0,
+                    "value 0 is reserved (util/types.h) and cannot be "
+                    "stored");
+  }
+  if (cap_ == 0) {
+    Rehash(8);
+  } else if ((size_ + 1) * 4 >= cap_ * 3) {
+    Rehash(cap_ * 2);
+  }
+  std::size_t i = ProbeFor(t);
+  if (slots_[i * arity_] != 0) return false;
+  std::memcpy(slots_.get() + i * arity_, t.data(),
+              arity_ * sizeof(Value));
+  ++size_;
+  return true;
 }
 
 bool Relation::Erase(const Tuple& t) {
   DYNCQ_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
-  return tuples_.Erase(t);
+  if (arity_ == 0) {
+    if (!has_empty_tuple_) return false;
+    has_empty_tuple_ = false;
+    size_ = 0;
+    return true;
+  }
+  if (cap_ == 0) return false;
+  std::size_t i = ProbeFor(t);
+  if (slots_[i * arity_] == 0) return false;
+  EraseSlot(i);
+  return true;
+}
+
+/// Backward-shift deletion: closes the probe-sequence gap left at `i`.
+void Relation::EraseSlot(std::size_t i) {
+  slots_[i * arity_] = 0;
+  --size_;
+  const std::size_t mask = cap_ - 1;
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (slots_[j * arity_] == 0) return;
+    std::size_t k = static_cast<std::size_t>(HashSlot(j)) & mask;
+    // The entry at j may move back to the hole at i iff its ideal slot k
+    // does not lie cyclically strictly between i and j.
+    bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+    if (movable) {
+      std::memcpy(slots_.get() + i * arity_, slots_.get() + j * arity_,
+                  arity_ * sizeof(Value));
+      slots_[j * arity_] = 0;
+      i = j;
+    }
+  }
+}
+
+void Relation::Clear() {
+  if (arity_ == 0) {
+    has_empty_tuple_ = false;
+    size_ = 0;
+    return;
+  }
+  if (cap_ > 0) {
+    std::memset(slots_.get(), 0, cap_ * arity_ * sizeof(Value));
+  }
+  size_ = 0;
+}
+
+void Relation::Reserve(std::size_t n) {
+  if (arity_ == 0) return;
+  std::size_t want = NormalizeCapacity(n * 4 / 3 + 1);
+  if (want > cap_) Rehash(want);
+}
+
+void Relation::Rehash(std::size_t new_cap) {
+  std::unique_ptr<Value[]> old = std::move(slots_);
+  std::size_t old_cap = cap_;
+  slots_ = std::make_unique<Value[]>(new_cap * arity_);  // zero = empty
+  cap_ = new_cap;
+  const std::size_t mask = cap_ - 1;
+  for (std::size_t i = 0; i < old_cap; ++i) {
+    const Value* s = old.get() + i * arity_;
+    if (s[0] == 0) continue;
+    std::size_t j = static_cast<std::size_t>(HashWords(s, arity_)) & mask;
+    while (slots_[j * arity_] != 0) j = (j + 1) & mask;
+    std::memcpy(slots_.get() + j * arity_, s, arity_ * sizeof(Value));
+  }
 }
 
 std::string Relation::ToString(const std::string& name) const {
   std::string out = name + " = {";
   bool first = true;
-  for (const Tuple& t : tuples_) {
+  for (const Tuple& t : *this) {
     if (!first) out += ", ";
     first = false;
     out += TupleToString(t);

@@ -3,10 +3,11 @@
 #define DYNCQ_STORAGE_RELATION_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "storage/tuple.h"
-#include "util/open_hash_map.h"
+#include "util/hash.h"
 #include "util/types.h"
 
 namespace dyncq {
@@ -15,13 +16,21 @@ namespace dyncq {
 /// database actually changed, which drives the no-op detection required
 /// by every dynamic engine (inserting a present tuple or deleting an
 /// absent one must leave all data structures untouched).
+///
+/// Storage is a flat open-addressing table of `arity` machine words per
+/// slot (linear probing, backward-shift deletion). The relation knows its
+/// arity, so no per-tuple vector header or separate occupancy array is
+/// needed: a slot is empty iff its first word is the reserved Value 0
+/// (util/types.h). At arity 2 a slot is 16 bytes — 3.5x denser than the
+/// previous SmallVector-entry table, which keeps the per-update hash
+/// probe in the fast region of the cache hierarchy.
 class Relation {
  public:
   explicit Relation(std::size_t arity) : arity_(arity) {}
 
   std::size_t arity() const { return arity_; }
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   bool Contains(const Tuple& t) const;
 
@@ -31,18 +40,73 @@ class Relation {
   /// Returns true iff `t` was present.
   bool Erase(const Tuple& t);
 
-  void Clear() { tuples_.Clear(); }
-  void Reserve(std::size_t n) { tuples_.Reserve(n); }
+  void Clear();
+  void Reserve(std::size_t n);
 
-  using const_iterator = OpenHashSet<Tuple, TupleHash>::const_iterator;
-  const_iterator begin() const { return tuples_.begin(); }
-  const_iterator end() const { return tuples_.end(); }
+  /// Hints the hash bucket `t` probes into cache (batch pipelines look a
+  /// few commands ahead to hide the set-lookup latency).
+  void Prefetch(const Tuple& t) const {
+    if (cap_ > 0) {
+      __builtin_prefetch(slots_.get() +
+                         (Hash(t) & (cap_ - 1)) * arity_);
+    }
+  }
+
+  /// Forward iterator over the stored tuples; materializes each tuple by
+  /// value (range-for with `const Tuple&` binds it as usual).
+  class const_iterator {
+   public:
+    const_iterator(const Relation* r, std::size_t i) : r_(r), i_(i) {
+      SkipEmpty();
+    }
+    Tuple operator*() const {
+      if (r_->arity_ == 0) return Tuple();
+      const Value* s = r_->slots_.get() + i_ * r_->arity_;
+      return Tuple(s, s + r_->arity_);
+    }
+    const_iterator& operator++() {
+      ++i_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    void SkipEmpty() {
+      if (r_->arity_ == 0) return;  // nullary: index counts () directly
+      while (i_ < r_->cap_ && r_->slots_[i_ * r_->arity_] == 0) ++i_;
+    }
+    const Relation* r_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const {
+    if (arity_ == 0) return const_iterator(this, has_empty_tuple_ ? 1 : 0);
+    return const_iterator(this, cap_);
+  }
 
   std::string ToString(const std::string& name) const;
 
  private:
+  std::uint64_t Hash(const Tuple& t) const {
+    return HashWords(t.data(), arity_);
+  }
+  std::uint64_t HashSlot(std::size_t i) const {
+    return HashWords(slots_.get() + i * arity_, arity_);
+  }
+  bool SlotEquals(std::size_t i, const Tuple& t) const;
+  /// Slot holding `t`, or the first empty slot of its probe sequence.
+  std::size_t ProbeFor(const Tuple& t) const;
+  void Rehash(std::size_t new_cap);
+  void EraseSlot(std::size_t i);
+
   std::size_t arity_;
-  OpenHashSet<Tuple, TupleHash> tuples_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;  // slot count, power of two (0 = unallocated)
+  std::unique_ptr<Value[]> slots_;  // cap_ * arity_ words
+  bool has_empty_tuple_ = false;    // arity-0 relations hold at most ()
 };
 
 }  // namespace dyncq

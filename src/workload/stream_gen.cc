@@ -30,6 +30,16 @@ Tuple StreamGenerator::RandomTuple(RelId rel) {
 }
 
 UpdateCmd StreamGenerator::Next(RelId rel) {
+  if (opts_.noop_ratio > 0.0 && rng_.Chance(opts_.noop_ratio)) {
+    if (!live_[rel].empty() && rng_.Chance(0.5)) {
+      // Re-insert a tuple that is already present.
+      return UpdateCmd::Insert(rel,
+                               live_[rel][rng_.Below(live_[rel].size())]);
+    }
+    // Delete a tuple that is (almost surely) absent.
+    Tuple t = RandomTuple(rel);
+    if (!live_index_[rel].Contains(t)) return UpdateCmd::Delete(rel, t);
+  }
   bool do_insert =
       live_[rel].empty() || rng_.Chance(opts_.insert_ratio);
   if (do_insert) {

@@ -21,6 +21,10 @@ struct StreamOptions {
   double insert_ratio = 1.0;
   /// Zipf skew (0 = uniform over the domain).
   double zipf_s = 0.0;
+  /// Probability that a command is a deliberate no-op (re-insert of a
+  /// live tuple or delete of an absent one) — models at-least-once
+  /// delivery and exercises the engines' set-semantics dedup paths.
+  double noop_ratio = 0.0;
 };
 
 /// Stateful generator producing a realistic insert/delete mix: deletes

@@ -1,0 +1,135 @@
+// ChildIndex: the parent-scoped single-Value child table of the dynamic
+// engine (inline small-table -> cache-line-aligned linear probing with
+// backward-shift deletion).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/child_index.h"
+#include "util/rng.h"
+
+namespace dyncq::core {
+namespace {
+
+Item* Marker(std::uintptr_t v) { return reinterpret_cast<Item*>(v); }
+
+TEST(ChildIndexTest, EmptyFindsNothing) {
+  ChildIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.Find(1), nullptr);
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.FirstEntry(), nullptr);
+}
+
+TEST(ChildIndexTest, InlineInsertFindErase) {
+  ChildIndex idx;
+  for (Value v = 1; v <= ChildIndex::kInlineCap; ++v) {
+    Item** slot = idx.FindOrInsertSlot(v);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(*slot, nullptr);  // fresh slot
+    *slot = Marker(v);
+  }
+  EXPECT_EQ(idx.size(), ChildIndex::kInlineCap);
+  for (Value v = 1; v <= ChildIndex::kInlineCap; ++v) {
+    EXPECT_EQ(idx.Find(v), Marker(v));
+  }
+  EXPECT_TRUE(idx.Erase(2));
+  EXPECT_EQ(idx.Find(2), nullptr);
+  EXPECT_EQ(idx.size(), ChildIndex::kInlineCap - 1);
+}
+
+TEST(ChildIndexTest, FindOrInsertIsIdempotentPerKey) {
+  ChildIndex idx;
+  Item** a = idx.FindOrInsertSlot(7);
+  *a = Marker(70);
+  Item** b = idx.FindOrInsertSlot(7);
+  EXPECT_EQ(*b, Marker(70));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(ChildIndexTest, SpillsToHeapBeyondInlineCapacity) {
+  ChildIndex idx;
+  const Value n = 100;
+  for (Value v = 1; v <= n; ++v) {
+    *idx.FindOrInsertSlot(v) = Marker(v);
+  }
+  EXPECT_EQ(idx.size(), n);
+  for (Value v = 1; v <= n; ++v) {
+    ASSERT_EQ(idx.Find(v), Marker(v)) << v;
+  }
+  EXPECT_EQ(idx.Find(n + 1), nullptr);
+}
+
+TEST(ChildIndexTest, InlineIterationPreservesInsertionOrder) {
+  // The fit-list semantics of unit-leaf enumeration rely on this for
+  // small fanouts (paper Figure 3 list order).
+  ChildIndex idx;
+  std::vector<Value> keys = {42, 7, 19};
+  for (Value v : keys) *idx.FindOrInsertSlot(v) = Marker(v);
+  std::vector<Value> seen;
+  for (const ChildIndex::Entry* e = idx.FirstEntry(); e != nullptr;
+       e = idx.NextEntry(e)) {
+    seen.push_back(e->key);
+  }
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(ChildIndexTest, EntryCursorVisitsEverythingOnHeap) {
+  ChildIndex idx;
+  std::set<Value> expect;
+  for (Value v = 1; v <= 50; ++v) {
+    *idx.FindOrInsertSlot(v * 3) = Marker(v * 3);
+    expect.insert(v * 3);
+  }
+  std::set<Value> seen;
+  for (const ChildIndex::Entry* e = idx.FirstEntry(); e != nullptr;
+       e = idx.NextEntry(e)) {
+    EXPECT_TRUE(seen.insert(e->key).second) << "duplicate " << e->key;
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(ChildIndexTest, ReserveAllowsBulkInsertion) {
+  ChildIndex idx;
+  idx.Reserve(1000);
+  for (Value v = 1; v <= 1000; ++v) *idx.FindOrInsertSlot(v) = Marker(v);
+  EXPECT_EQ(idx.size(), 1000u);
+  EXPECT_EQ(idx.Find(500), Marker(500));
+}
+
+TEST(ChildIndexTest, RandomizedAgainstStdMap) {
+  ChildIndex idx;
+  std::map<Value, Item*> ref;
+  Rng rng(1234);
+  for (int step = 0; step < 200000; ++step) {
+    Value v = rng.Range(1, 300);
+    if (rng.Chance(0.55)) {
+      Item** slot = idx.FindOrInsertSlot(v);
+      auto [it, inserted] = ref.emplace(v, Marker(v));
+      if (inserted) {
+        ASSERT_EQ(*slot, nullptr) << "step " << step;
+        *slot = Marker(v);
+      } else {
+        ASSERT_EQ(*slot, it->second) << "step " << step;
+      }
+    } else {
+      ASSERT_EQ(idx.Erase(v), ref.erase(v) > 0) << "step " << step;
+    }
+    ASSERT_EQ(idx.size(), ref.size());
+    if (step % 1000 == 0) {
+      // Full-content audit via the entry cursor.
+      std::map<Value, Item*> seen;
+      for (const ChildIndex::Entry* e = idx.FirstEntry(); e != nullptr;
+           e = idx.NextEntry(e)) {
+        seen.emplace(e->key, e->item);
+      }
+      ASSERT_EQ(seen, ref) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyncq::core

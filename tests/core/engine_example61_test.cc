@@ -76,7 +76,8 @@ TEST_F(Example61Test, Figure3aItemWeights) {
 
   // Item [y, a/x, e] has weight 6, [y, a/x, f] weight 1 (Figure 3a).
   const core::Item* xa = root.head;
-  const core::ChildSlot& y_list = xa->child_slots[0];
+  const core::ChildSlot& y_list =
+      engine_->component(0).item_child_slot(xa, 0);
   ASSERT_NE(y_list.head, nullptr);
   EXPECT_EQ(y_list.head->value, e);
   EXPECT_EQ(y_list.head->weight, Weight{6});
@@ -127,7 +128,8 @@ TEST_F(Example61Test, Figure3bInsertEbp) {
   // [y, b/x, p] is now fit with weight 3 (Figure 3b) at the tail of b's
   // y-list.
   const core::Item* xb = root.head->next;
-  const core::ChildSlot& y_list = xb->child_slots[0];
+  const core::ChildSlot& y_list =
+      engine_->component(0).item_child_slot(xb, 0);
   const core::Item* last = y_list.tail;
   ASSERT_NE(last, nullptr);
   EXPECT_EQ(last->value, p);
