@@ -55,11 +55,11 @@ void Run() {
     // phi2 enumeration delay over a bounded prefix.
     Samples delays;
     {
-      auto en = phi2.NewEnumerator();
+      auto en = phi2.NewCursor();
       Tuple tup;
       for (int i = 0; i < 50000; ++i) {
         Timer per;
-        if (!en->Next(&tup)) break;
+        if (en->Next(&tup) != CursorStatus::kOk) break;
         delays.Add(per.ElapsedNs());
       }
     }

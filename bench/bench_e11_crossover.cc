@@ -33,8 +33,9 @@ double RunMix(DynamicQueryEngine& engine, workload::StreamGenerator& gen,
       (void)sink;
     }
     for (int e = 0; e < mix.enums_per_round; ++e) {
-      auto en = engine.NewEnumerator();
-      for (int i = 0; i < 100 && en->Next(&tup); ++i) {
+      auto en = engine.NewCursor();
+      for (int i = 0; i < 100 && en->Next(&tup) == CursorStatus::kOk;
+           ++i) {
       }
     }
   }

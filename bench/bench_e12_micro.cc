@@ -141,7 +141,7 @@ void BM_EngineCount(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCount);
 
-void BM_EnumeratorNext(benchmark::State& state) {
+void BM_CursorNext(benchmark::State& state) {
   Query q = Parse("Q(x, y, z) :- R(x, y), S(x, z).");
   auto engine = core::Engine::Create(q);
   DYNCQ_CHECK(engine.ok());
@@ -149,14 +149,14 @@ void BM_EnumeratorNext(benchmark::State& state) {
   opts.domain_size = 2000;
   workload::StreamGenerator gen(q.schema_ptr(), opts);
   for (const UpdateCmd& c : gen.Take(20000)) (*engine)->Apply(c);
-  auto en = (*engine)->NewEnumerator();
+  auto en = (*engine)->NewCursor();
   Tuple t;
   for (auto _ : state) {
-    if (!en->Next(&t)) en->Reset();
+    if (en->Next(&t) != CursorStatus::kOk) en->Reset();
     benchmark::DoNotOptimize(t);
   }
 }
-BENCHMARK(BM_EnumeratorNext);
+BENCHMARK(BM_CursorNext);
 
 void BM_DeltaIvmUpdate(benchmark::State& state) {
   Query q = Parse("Q(x, y, z) :- R(x, y), S(x, z).");

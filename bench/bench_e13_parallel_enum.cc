@@ -1,0 +1,93 @@
+// E13 — partitioned (parallel) enumeration at scale.
+//
+// Builds a >=1M-tuple star-query result, then compares a single-cursor
+// materialization against QuerySession::ParallelMaterialize(k) for
+// k in {2, 4, 8} (ROADMAP "parallel enumeration": ComponentCursor root
+// positions are independent per root item, so the root fit list is split
+// into k ranges drained by k threads). Writes BENCH_e13.json.
+//
+// NOTE: the speedup is bounded by the host's core count — on a 1-core
+// container the interesting number is the partitioning overhead (~1.0x),
+// not the parallel gain.
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/session.h"
+
+namespace dyncq::bench {
+namespace {
+
+void Run() {
+  Banner("E13", "partitioned parallel enumeration",
+         "partition cursors jointly enumerate phi(D) with no overlap; "
+         "k threads drain k ranges");
+  std::cout << "hardware threads: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
+  QuerySession session(q);
+
+  // 1000 roots x 32 y x 32 z = 1,024,000 result tuples.
+  constexpr Value kRoots = 1000;
+  constexpr Value kFan = 32;
+  {
+    UpdateStream load;
+    load.reserve(2 * kRoots * kFan);
+    for (Value x = 1; x <= kRoots; ++x) {
+      for (Value i = 1; i <= kFan; ++i) {
+        load.push_back(UpdateCmd::Insert(0, {x, 10000 + i}));
+        load.push_back(UpdateCmd::Insert(1, {x, 20000 + i}));
+      }
+    }
+    session.ApplyBatch(load);
+  }
+  const auto total = static_cast<std::size_t>(session.Count());
+  std::cout << "result size: " << total << " tuples\n";
+  DYNCQ_CHECK(total >= 1000000);
+
+  JsonWriter json;
+  json.Add("result_tuples", total);
+  json.Add("hardware_threads",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  // Single-cursor baseline (median of 3).
+  Samples single;
+  std::size_t single_size = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    std::vector<Tuple> out = MaterializeResult(session.engine());
+    single.Add(t.ElapsedNs());
+    single_size = out.size();
+  }
+  const double single_ns = single.Median();
+  DYNCQ_CHECK(single_size == total);
+  json.Add("single_cursor_ms", single_ns / 1e6);
+
+  TablePrinter table({"k", "ms", "speedup vs single cursor"});
+  table.AddRow({"1 (plain cursor)", FormatDouble(single_ns / 1e6, 1), "1.00"});
+  for (std::size_t k : {2u, 4u, 8u}) {
+    Samples s;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t;
+      auto out = session.ParallelMaterialize(k);
+      s.Add(t.ElapsedNs());
+      DYNCQ_CHECK_MSG(out.ok(), out.error());
+      DYNCQ_CHECK(out.value().size() == total);
+    }
+    const double ns = s.Median();
+    json.Add("parallel_k" + std::to_string(k) + "_ms", ns / 1e6);
+    json.Add("parallel_k" + std::to_string(k) + "_speedup", single_ns / ns);
+    table.AddRow({std::to_string(k), FormatDouble(ns / 1e6, 1),
+                  FormatDouble(single_ns / ns, 2)});
+  }
+  table.Print();
+  json.Write("BENCH_e13.json");
+  std::cout << "Expected: speedup approaching min(k, cores) on "
+               "multi-core hosts; ~1x (pure overhead check) on 1 core.\n";
+}
+
+}  // namespace
+}  // namespace dyncq::bench
+
+int main() { dyncq::bench::Run(); }

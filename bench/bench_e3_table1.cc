@@ -58,10 +58,10 @@ void Run() {
 
   // Head order is (x, y, z, y', z'); Table 1 rows are x, y, z, z', y'.
   std::vector<std::string> row_x, row_y, row_z, row_zp, row_yp;
-  auto en = engine->NewEnumerator();
+  auto en = engine->NewCursor();
   Tuple t;
   std::size_t count = 0;
-  while (en->Next(&t)) {
+  while (en->Next(&t) == CursorStatus::kOk) {
     ++count;
     row_x.push_back(dict.Spell(t[0]));
     row_y.push_back(dict.Spell(t[1]));

@@ -257,11 +257,11 @@ void PartC(JsonWriter* json) {
       // Enumeration delay: one full scan of the maintained result.
       double enum_ns = 0.0;
       {
-        auto en = batch_engine->NewEnumerator();
+        auto en = batch_engine->NewCursor();
         Tuple tup;
         std::size_t tuples = 0;
         Timer et;
-        while (en->Next(&tup)) ++tuples;
+        while (en->Next(&tup) == CursorStatus::kOk) ++tuples;
         enum_ns = tuples > 0
                       ? et.ElapsedNs() / static_cast<double>(tuples)
                       : 0.0;

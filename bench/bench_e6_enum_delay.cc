@@ -36,12 +36,12 @@ void Run() {
     Samples delays;
     std::size_t result_size = 0;
     {
-      auto en = engine->NewEnumerator();
+      auto en = engine->NewCursor();
       Tuple tup;
       Timer timer;
       while (true) {
         Timer per;
-        bool more = en->Next(&tup);
+        bool more = en->Next(&tup) == CursorStatus::kOk;
         delays.Add(per.ElapsedNs());
         if (!more) break;
         ++result_size;
@@ -54,7 +54,7 @@ void Run() {
     double first_ns;
     {
       Timer per;
-      auto en = engine->NewEnumerator();
+      auto en = engine->NewCursor();
       Tuple tup;
       en->Next(&tup);
       first_ns = per.ElapsedNs();
@@ -64,7 +64,7 @@ void Run() {
     double rec_first_ns;
     {
       Timer per;
-      auto en = rec.NewEnumerator();
+      auto en = rec.NewCursor();
       Tuple tup;
       en->Next(&tup);
       rec_first_ns = per.ElapsedNs();

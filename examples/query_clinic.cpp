@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/session.h"
 #include "cq/analysis.h"
 #include "cq/dichotomy.h"
 #include "cq/homomorphism.h"
@@ -28,6 +29,18 @@ void Examine(const std::string& text) {
   const Query& q = parsed.value();
   DichotomyReport r = AnalyzeQuery(q);
   std::cout << r.summary << "\n";
+
+  // What a live session would run this query on, and with which
+  // guarantees (the QuerySession constructor performs this selection).
+  QuerySession session(q);
+  Capabilities caps = session.capabilities();
+  std::cout << "  session: " << core::ToString(session.strategy()) << "\n";
+  std::cout << "  caps:    constant-delay enum="
+            << (caps.constant_delay_enumeration ? "yes" : "no")
+            << " batch=" << (caps.batch_pipeline ? "yes" : "no")
+            << " O(1)-count=" << (caps.constant_time_count ? "yes" : "no")
+            << " partitionable=" << (caps.partitionable ? "yes" : "no")
+            << "\n";
 
   if (r.q_hierarchical) {
     auto split = SplitConnectedComponents(q);

@@ -1,11 +1,12 @@
-// Quickstart: parse a conjunctive query, check that it is q-hierarchical,
-// maintain it under inserts and deletes, and read results three ways
-// (answer / count / enumerate).
+// Quickstart: open a QuerySession on a conjunctive query, see which
+// maintenance strategy the dichotomy picked and what it guarantees, then
+// stream updates (single and staged batches) and read results three ways
+// (answer / count / cursor).
 //
 //   $ ./quickstart
 #include <iostream>
 
-#include "core/engine.h"
+#include "core/session.h"
 #include "cq/analysis.h"
 #include "cq/parser.h"
 #include "util/u128.h"
@@ -25,51 +26,69 @@ int main() {
   std::cout << "query:  " << q.ToString() << "\n";
   std::cout << "class:  " << DescribeStructure(q) << "\n\n";
 
-  // 2. Build the dynamic engine (Theorem 3.2). This fails for
-  //    non-q-hierarchical queries — exactly the ones the paper proves
-  //    cannot be maintained with constant update time under OMv.
-  auto engine_or = core::Engine::Create(q);
-  if (!engine_or.ok()) {
-    std::cerr << "engine: " << engine_or.error() << "\n";
-    return 1;
-  }
-  auto& engine = *engine_or.value();
+  // 2. Open a session. Construction never fails for a valid CQ: the
+  //    dichotomy routes q-hierarchical queries to the Theorem 3.2 engine
+  //    and everything else to the delta-IVM fallback, and reports which
+  //    guarantees apply.
+  QuerySession session(q);
+  Capabilities caps = session.capabilities();
+  std::cout << "engine:  " << core::ToString(session.strategy()) << "\n";
+  std::cout << "  (" << session.rationale() << ")\n";
+  std::cout << "caps:    constant-delay enum: "
+            << (caps.constant_delay_enumeration ? "yes" : "no")
+            << ", batch pipeline: " << (caps.batch_pipeline ? "yes" : "no")
+            << ", O(1) count: " << (caps.constant_time_count ? "yes" : "no")
+            << ", partitionable: " << (caps.partitionable ? "yes" : "no")
+            << "\n\n";
 
   RelId orders = q.schema().FindRelation("Orders");
   RelId items = q.schema().FindRelation("Items");
 
   // 3. Stream updates. Each Apply is O(1) in the data size.
-  engine.Apply(UpdateCmd::Insert(orders, {/*customer=*/1, /*order=*/100}));
-  engine.Apply(UpdateCmd::Insert(orders, {2, 200}));
-  engine.Apply(UpdateCmd::Insert(items, {100, 7}));
-  engine.Apply(UpdateCmd::Insert(items, {100, 8}));
+  session.Apply(UpdateCmd::Insert(orders, {/*customer=*/1, /*order=*/100}));
+  session.Apply(UpdateCmd::Insert(orders, {2, 200}));
+  session.Apply(UpdateCmd::Insert(items, {100, 7}));
+  session.Apply(UpdateCmd::Insert(items, {100, 8}));
 
-  std::cout << "after 4 inserts:\n";
-  std::cout << "  answer: " << (engine.Answer() ? "yes" : "no") << "\n";
-  std::cout << "  count:  " << U128ToString(engine.Count()) << "\n";
+  std::cout << "after 4 inserts (revision "
+            << session.revision().value << "):\n";
+  std::cout << "  answer: " << (session.Answer() ? "yes" : "no") << "\n";
+  std::cout << "  count:  " << U128ToString(session.Count()) << "\n";
 
-  // 4. Constant-delay enumeration. Enumerators are invalidated by
-  //    updates; create a fresh one per read (O(k) — "restart within
-  //    constant time").
-  auto en = engine.NewEnumerator();
+  // 4. Constant-delay enumeration through a cursor. Cursors are pinned
+  //    to the revision they were opened at; after an update they report
+  //    kInvalidated instead of walking stale structure — open a fresh
+  //    one (O(k), the paper's "restart within constant time").
+  auto cur = session.NewCursor();
   Tuple t;
-  while (en->Next(&t)) {
+  while (cur->Next(&t) == CursorStatus::kOk) {
     std::cout << "  result: customer " << t[0] << ", order " << t[1]
               << "\n";
   }
 
-  // 5. Deletes are just as cheap — and exact.
-  engine.Apply(UpdateCmd::Delete(items, {100, 7}));
-  std::cout << "after deleting Items(100, 7): count = "
-            << U128ToString(engine.Count()) << " (order 100 still live)\n";
-  engine.Apply(UpdateCmd::Delete(items, {100, 8}));
-  std::cout << "after deleting Items(100, 8): count = "
-            << U128ToString(engine.Count()) << "\n";
+  // 5. Staged batch with the net-delta pre-pass: the insert/delete pair
+  //    on Items(100, 7) annihilates inside the builder — neither command
+  //    ever reaches the engine or probes a relation, and the resident
+  //    tuple (100, 7) stays put. Only the net delta commits: delete
+  //    Items(100, 8), insert Items(200, 9).
+  UpdateBatch batch = session.NewBatch();
+  batch.Insert(items, {100, 7});   // annihilated by the next line
+  batch.Delete(items, {100, 7});
+  batch.Delete(items, {100, 8});
+  batch.Insert(items, {200, 9});
+  std::cout << "\nbatch: " << batch.pending() << " net commands, "
+            << batch.annihilated() << " inverse pair annihilated\n";
+  batch.Commit();
 
-  // 6. Order 200 never had items; insert one and watch it appear.
-  engine.Apply(UpdateCmd::Insert(items, {200, 9}));
-  en = engine.NewEnumerator();
-  while (en->Next(&t)) {
+  std::cout << "after the batch: count = " << U128ToString(session.Count())
+            << " (order 100 keeps item 7, order 200 gained an item)\n";
+
+  // 6. The old cursor is stale now — typed status, no abort.
+  if (cur->Next(&t) == CursorStatus::kInvalidated) {
+    std::cout << "old cursor reports kInvalidated; reopening:\n";
+  }
+  cur = session.NewCursor();
+  while (cur->Next(&t) == CursorStatus::kOk) {
     std::cout << "  result: customer " << t[0] << ", order " << t[1]
               << "\n";
   }

@@ -6,8 +6,7 @@
 //   $ ./social_feed
 #include <iostream>
 
-#include "baseline/delta_ivm.h"
-#include "core/engine.h"
+#include "core/session.h"
 #include "cq/analysis.h"
 #include "cq/parser.h"
 #include "storage/dictionary.h"
@@ -32,22 +31,17 @@ int main() {
   std::cout << "visible query: " << visible.ToString() << "\n  "
             << DescribeStructure(visible) << "\n\n";
 
-  // The feed view runs on the Theorem 3.2 engine.
-  auto engine_or = core::Engine::Create(feed);
-  if (!engine_or.ok()) {
-    std::cerr << engine_or.error() << "\n";
-    return 1;
-  }
-  auto& engine = *engine_or.value();
+  // One session per view: construction picks the best strategy the
+  // dichotomy allows and says so. The feed view lands on the Theorem 3.2
+  // engine; the "visible" projection cannot (Theorem 1.1) and falls back
+  // to delta-IVM -- same API, different guarantees.
+  QuerySession engine(feed);
+  QuerySession visible_engine(visible);
+  std::cout << "feed session:    " << core::ToString(engine.strategy())
+            << "\n";
+  std::cout << "visible session: "
+            << core::ToString(visible_engine.strategy()) << "\n\n";
 
-  // The "visible" projection is rejected by the engine — the paper says
-  // it must be (Theorem 1.1) — so it runs on delta-IVM instead.
-  auto rejected = core::Engine::Create(visible);
-  std::cout << "core::Engine on the visible query: "
-            << (rejected.ok() ? "accepted (?!)" : "rejected, as the "
-                                                  "dichotomy requires")
-            << "\n\n";
-  baseline::DeltaIvmEngine visible_engine(visible);
 
   Timer load;
   for (const UpdateCmd& cmd : s.initial) {
@@ -87,10 +81,10 @@ int main() {
             << FormatDouble(visible_update_ns.max(), 0) << " ns\n\n";
 
   // Peek at the first few feed entries.
-  auto en = engine.NewEnumerator();
+  auto en = engine.NewCursor();
   Tuple t;
   std::cout << "first feed entries (follower, author, post):\n";
-  for (int i = 0; i < 5 && en->Next(&t); ++i) {
+  for (int i = 0; i < 5 && en->Next(&t) == CursorStatus::kOk; ++i) {
     std::cout << "  user" << t[0] << " sees post" << t[2] << " by user"
               << t[1] << "\n";
   }

@@ -7,8 +7,7 @@
 //   $ ./telemetry_alerts
 #include <iostream>
 
-#include "baseline/delta_ivm.h"
-#include "core/engine.h"
+#include "core/session.h"
 #include "cq/dichotomy.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -29,16 +28,15 @@ int main() {
   std::cout << "LiveCritical query dichotomy report:\n"
             << AnalyzeQuery(live_critical).summary << "\n\n";
 
-  // Alert is not q-hierarchical: maintain it with delta-IVM (answer stays
-  // O(1), but updates pay the delta join — the cost the paper proves
-  // unavoidable in general).
-  baseline::DeltaIvmEngine alert_engine(alert);
-  auto live_or = core::Engine::Create(live_critical);
-  if (!live_or.ok()) {
-    std::cerr << live_or.error() << "\n";
-    return 1;
-  }
-  auto& live_engine = *live_or.value();
+  // Alert is not q-hierarchical: its session falls back to delta-IVM
+  // (answer stays O(1), but updates pay the delta join -- the cost the
+  // paper proves unavoidable in general). LiveCritical gets the
+  // Theorem 3.2 engine. Same session API either way.
+  QuerySession alert_engine(alert);
+  QuerySession live_engine(live_critical);
+  std::cout << "alert engine: " << core::ToString(alert_engine.strategy())
+            << "\nlive engine:  " << core::ToString(live_engine.strategy())
+            << "\n\n";
 
   for (const UpdateCmd& cmd : s.initial) {
     alert_engine.Apply(cmd);

@@ -68,10 +68,12 @@ int main() {
   table.Print();
 
   // Peek at a few engaged users (duplicates across disjuncts suppressed).
-  auto en = engine.NewEnumerator();
+  auto en = engine.NewCursor();
   Tuple t;
   std::cout << "\nsample engaged users:";
-  for (int i = 0; i < 8 && en->Next(&t); ++i) std::cout << " " << t[0];
+  for (int i = 0; i < 8 && en->Next(&t) == CursorStatus::kOk; ++i) {
+    std::cout << " " << t[0];
+  }
   std::cout << "\n";
   return 0;
 }

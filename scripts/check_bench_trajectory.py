@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bench-trajectory check: compare a freshly produced bench JSON against
+the committed one and fail on throughput regressions.
+
+Supports two formats:
+  * the flat dyncq JsonWriter format (BENCH_e5.json / BENCH_e13.json):
+    {"chain.n64000.single_ns_per_update": 123.4, ...}
+  * the google-benchmark format (BENCH_e12.json): {"benchmarks":
+    [{"name": ..., "cpu_time": ...}, ...]}
+
+Gated metrics are ns-per-operation keys matched by --gate-pattern
+(default: the E5 single-update and batch hot-path numbers). A regression
+of more than --max-regress (default 25%) of throughput — i.e. fresh_ns >
+committed_ns / (1 - max_regress) — fails the check. Everything else is
+compared report-only. Use --report-only to never fail (e.g. for the
+google-benchmark micro suite, whose absolute numbers are host-bound).
+
+Usage:
+  scripts/check_bench_trajectory.py COMMITTED.json FRESH.json
+      [--max-regress 0.25] [--gate-pattern REGEX] [--report-only]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+DEFAULT_GATE = r"\.(single|batch)_ns_per_update$"
+
+
+def load_metrics(path):
+    """Returns {name: float} for either supported format."""
+    with open(path) as f:
+        data = json.load(f)
+    if "benchmarks" in data:  # google-benchmark
+        out = {}
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            try:
+                out[b["name"]] = float(b["cpu_time"])
+            except (KeyError, TypeError, ValueError):
+                pass
+        return out
+    out = {}
+    for k, v in data.items():
+        try:
+            out[k] = float(v)
+        except (TypeError, ValueError):
+            pass  # string metadata (provenance etc.)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="maximum tolerated throughput regression (0.25 "
+                         "= fresh may be at most 1/0.75x slower)")
+    ap.add_argument("--gate-pattern", default=DEFAULT_GATE,
+                    help="regex over metric names selecting gated "
+                         "ns-per-op metrics")
+    ap.add_argument("--report-only", action="store_true",
+                    help="report all metrics, never fail")
+    args = ap.parse_args()
+
+    committed = load_metrics(args.committed)
+    fresh = load_metrics(args.fresh)
+    gate = re.compile(args.gate_pattern)
+    limit = 1.0 / (1.0 - args.max_regress)
+
+    failures = []
+    shared = sorted(set(committed) & set(fresh))
+    if not shared:
+        print(f"WARNING: no shared metrics between {args.committed} and "
+              f"{args.fresh}; nothing to check")
+        return 0
+    print(f"{'metric':58} {'committed':>12} {'fresh':>12} {'ratio':>7}")
+    for name in shared:
+        old, new = committed[name], fresh[name]
+        if old <= 0:
+            continue
+        ratio = new / old
+        gated = bool(gate.search(name)) and not args.report_only
+        verdict = ""
+        if gated and ratio > limit:
+            verdict = f"  REGRESSION (>{args.max_regress:.0%} throughput)"
+            failures.append((name, old, new, ratio))
+        elif gated:
+            verdict = "  ok"
+        print(f"{name:58} {old:12.2f} {new:12.2f} {ratio:6.2f}x{verdict}")
+    for name in sorted(set(committed) ^ set(fresh)):
+        side = "committed only" if name in committed else "fresh only"
+        print(f"{name:58} ({side}; skipped)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated metric(s) regressed more "
+              f"than {args.max_regress:.0%}:")
+        for name, old, new, ratio in failures:
+            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op ({ratio:.2f}x)")
+        return 1
+    print("\nOK: no gated regression beyond "
+          f"{args.max_regress:.0%} of throughput")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

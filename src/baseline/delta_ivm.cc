@@ -6,28 +6,30 @@ namespace dyncq::baseline {
 
 namespace {
 
-class MapEnumerator final : public Enumerator {
+class MapCursor final : public Cursor {
  public:
   using Map = OpenHashMap<Tuple, std::uint64_t, TupleHash>;
 
-  MapEnumerator(const Map* map, const std::uint64_t* epoch)
-      : map_(map), epoch_(epoch), at_create_(*epoch), it_(map->begin()) {}
+  MapCursor(const Map* map, RevisionGuard guard)
+      : map_(map), guard_(guard), it_(map->begin()) {}
 
-  bool Next(Tuple* out) override {
-    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
-                    "enumerator used after an update");
-    if (it_ == map_->end()) return false;
+  CursorStatus Next(Tuple* out) override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    if (it_ == map_->end()) return CursorStatus::kEnd;
     *out = it_->first;
     ++it_;
-    return true;
+    return CursorStatus::kOk;
   }
 
-  void Reset() override { it_ = map_->begin(); }
+  CursorStatus Reset() override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    it_ = map_->begin();
+    return CursorStatus::kOk;
+  }
 
  private:
   const Map* map_;
-  const std::uint64_t* epoch_;
-  std::uint64_t at_create_;
+  RevisionGuard guard_;
   Map::const_iterator it_;
 };
 
@@ -53,12 +55,12 @@ std::uint64_t DeltaIvmEngine::Multiplicity(const Tuple& t) const {
 bool DeltaIvmEngine::Apply(const UpdateCmd& cmd) {
   if (cmd.kind == UpdateKind::kInsert) {
     if (!db_.Insert(cmd.rel, cmd.tuple)) return false;
-    ++epoch_;
+    BumpRevision();
     index_store_.OnInsert(cmd.rel, cmd.tuple);
     ApplyDelta(cmd, /*insert=*/true);
   } else {
     if (!db_.relation(cmd.rel).Contains(cmd.tuple)) return false;
-    ++epoch_;
+    BumpRevision();
     // Deltas for deletion are evaluated against the pre-delete database.
     ApplyDelta(cmd, /*insert=*/false);
     db_.Delete(cmd.rel, cmd.tuple);
@@ -114,8 +116,8 @@ void DeltaIvmEngine::ApplyDelta(const UpdateCmd& cmd, bool insert) {
   }
 }
 
-std::unique_ptr<Enumerator> DeltaIvmEngine::NewEnumerator() {
-  return std::make_unique<MapEnumerator>(&result_, &epoch_);
+std::unique_ptr<Cursor> DeltaIvmEngine::NewCursor() {
+  return std::make_unique<MapCursor>(&result_, NewGuard());
 }
 
 }  // namespace dyncq::baseline

@@ -31,10 +31,17 @@ class DeltaIvmEngine final : public DynamicQueryEngine {
   const Query& query() const override { return query_; }
   const Database& db() const override { return db_; }
 
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.constant_delay_enumeration = true;  // materialized result map
+    caps.constant_time_count = true;
+    return caps;
+  }
+
   bool Apply(const UpdateCmd& cmd) override;
   Weight Count() override { return result_.size(); }
   bool Answer() override { return result_.size() > 0; }
-  std::unique_ptr<Enumerator> NewEnumerator() override;
+  std::unique_ptr<Cursor> NewCursor() override;
   std::string name() const override { return "delta-ivm"; }
 
   /// Valuation multiplicity of a result tuple (0 if absent).
@@ -49,7 +56,6 @@ class DeltaIvmEngine final : public DynamicQueryEngine {
   /// engine maintains its join indexes incrementally).
   PersistentIndexStore index_store_{&db_};
   OpenHashMap<Tuple, std::uint64_t, TupleHash> result_;
-  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dyncq::baseline

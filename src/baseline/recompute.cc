@@ -7,27 +7,28 @@ namespace dyncq::baseline {
 
 namespace {
 
-/// Enumerates a materialized vector; epoch-guarded against updates.
-class VectorEnumerator final : public Enumerator {
+/// Enumerates a materialized vector; revision-guarded against updates.
+class VectorCursor final : public Cursor {
  public:
-  VectorEnumerator(const std::vector<Tuple>* data,
-                   const std::uint64_t* epoch)
-      : data_(data), epoch_(epoch), at_create_(*epoch) {}
+  VectorCursor(const std::vector<Tuple>* data, RevisionGuard guard)
+      : data_(data), guard_(guard) {}
 
-  bool Next(Tuple* out) override {
-    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
-                    "enumerator used after an update");
-    if (pos_ >= data_->size()) return false;
+  CursorStatus Next(Tuple* out) override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    if (pos_ >= data_->size()) return CursorStatus::kEnd;
     *out = (*data_)[pos_++];
-    return true;
+    return CursorStatus::kOk;
   }
 
-  void Reset() override { pos_ = 0; }
+  CursorStatus Reset() override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    pos_ = 0;
+    return CursorStatus::kOk;
+  }
 
  private:
   const std::vector<Tuple>* data_;
-  const std::uint64_t* epoch_;
-  std::uint64_t at_create_;
+  RevisionGuard guard_;
   std::size_t pos_ = 0;
 };
 
@@ -46,7 +47,7 @@ RecomputeEngine::RecomputeEngine(const Query& q, const Database& initial)
 bool RecomputeEngine::Apply(const UpdateCmd& cmd) {
   if (!db_.Apply(cmd)) return false;
   dirty_ = true;
-  ++epoch_;
+  BumpRevision();
   return true;
 }
 
@@ -67,9 +68,9 @@ bool RecomputeEngine::Answer() {
   return !cache_.empty();
 }
 
-std::unique_ptr<Enumerator> RecomputeEngine::NewEnumerator() {
+std::unique_ptr<Cursor> RecomputeEngine::NewCursor() {
   EnsureFresh();
-  return std::make_unique<VectorEnumerator>(&cache_, &epoch_);
+  return std::make_unique<VectorCursor>(&cache_, NewGuard());
 }
 
 }  // namespace dyncq::baseline

@@ -20,10 +20,14 @@ class RecomputeEngine final : public DynamicQueryEngine {
   const Query& query() const override { return query_; }
   const Database& db() const override { return db_; }
 
+  Capabilities capabilities() const override {
+    return Capabilities{};  // recomputation guarantees nothing dynamic
+  }
+
   bool Apply(const UpdateCmd& cmd) override;
   Weight Count() override;
   bool Answer() override;
-  std::unique_ptr<Enumerator> NewEnumerator() override;
+  std::unique_ptr<Cursor> NewCursor() override;
   std::string name() const override { return "recompute"; }
 
  private:
@@ -33,7 +37,6 @@ class RecomputeEngine final : public DynamicQueryEngine {
   Database db_;
   bool dirty_ = true;
   std::vector<Tuple> cache_;
-  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dyncq::baseline

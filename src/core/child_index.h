@@ -104,7 +104,9 @@ class ChildIndex {
     return &slots_[i].item;
   }
 
-  /// Removes `v`. Returns true iff it was present.
+  /// Removes `v`. Returns true iff it was present. After mass deletion a
+  /// heap table shrinks back down (see MaybeShrink) so the worst-case
+  /// entry-cursor scan stays proportional to the live population.
   bool Erase(Value v) {
     DYNCQ_DCHECK(v != 0);
     if (slots_ == nullptr) {
@@ -128,7 +130,7 @@ class ChildIndex {
     std::size_t j = i;
     while (true) {
       j = (j + 1) & mask_;
-      if (slots_[j].key == 0) return true;
+      if (slots_[j].key == 0) break;
       std::size_t k = Mix64(slots_[j].key) & mask_;
       bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
       if (movable) {
@@ -137,6 +139,8 @@ class ChildIndex {
         i = j;
       }
     }
+    MaybeShrink();
+    return true;
   }
 
   /// Pre-sizes the table for `n` entries (bulk-load path).
@@ -178,6 +182,12 @@ class ChildIndex {
     return NextOccupied(e + 1);
   }
 
+  /// Heap-table slot count (0 while in inline mode). Test/telemetry hook
+  /// for the shrink-on-low-load policy.
+  std::size_t heap_capacity() const {
+    return slots_ != nullptr ? mask_ + 1 : 0;
+  }
+
  private:
   static constexpr std::size_t kCacheLine = 64;
 
@@ -202,7 +212,43 @@ class ChildIndex {
                       std::align_val_t{kCacheLine});
   }
 
-  void GrowToHeap(std::size_t new_cap) {
+  /// Adaptive shrink-on-low-load: heap tables grown by a hub's past
+  /// fanout would otherwise never give the memory back, and the spilled
+  /// unit-leaf entry cursor scans whole tables — so a mass deletion
+  /// would degrade the worst-case (not amortized) enumeration delay
+  /// forever. Trigger at 1/8 load, rebuild at ~1/4..1/2 load (growth
+  /// re-triggers at 3/4, so churn cannot thrash between the two).
+  void MaybeShrink() {
+    const std::size_t cap = mask_ + 1;
+    if (cap <= 2 * kInlineCap || size_ * 8 >= cap) return;
+    if (size_ <= kInlineCap) {
+      ShrinkToInline();
+      return;
+    }
+    std::size_t new_cap = cap;
+    while (new_cap > 2 * kInlineCap && size_ * 4 < new_cap) new_cap >>= 1;
+    if (new_cap < cap) RehashHeap(new_cap);
+  }
+
+  void ShrinkToInline() {
+    Entry tmp[kInlineCap];
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      if (slots_[i].key != 0) tmp[n++] = slots_[i];
+    }
+    DYNCQ_DCHECK(n == size_);
+    Deallocate(slots_, mask_ + 1);
+    slots_ = nullptr;
+    mask_ = 0;
+    for (std::uint32_t i = 0; i < kInlineCap; ++i) {
+      inline_[i] = i < n ? tmp[i] : Entry{};
+    }
+  }
+
+  void GrowToHeap(std::size_t new_cap) { RehashHeap(new_cap); }
+
+  /// Rebuilds the heap table at `new_cap` slots (grow or shrink).
+  void RehashHeap(std::size_t new_cap) {
     Entry* fresh = Allocate(new_cap);
     std::size_t new_mask = new_cap - 1;
     auto reinsert = [&](const Entry& e) {

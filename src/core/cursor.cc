@@ -1,4 +1,4 @@
-#include "core/enumerator.h"
+#include "core/cursor.h"
 
 #include "util/check.h"
 
@@ -6,9 +6,11 @@ namespace dyncq {
 
 std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine) {
   std::vector<Tuple> out;
-  auto e = engine.NewEnumerator();
+  // Reserve from the maintained count so the drain never reallocates.
+  out.reserve(BoundedReserveFromCount(engine.Count()));
+  auto c = engine.NewCursor();
   Tuple t;
-  while (e->Next(&t)) out.push_back(t);
+  while (c->Next(&t) == CursorStatus::kOk) out.push_back(t);
   return out;
 }
 
@@ -16,22 +18,17 @@ std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine) {
 
 namespace dyncq::core {
 
-void EpochGuard::Check() const {
-  if (current != nullptr) {
-    DYNCQ_CHECK_MSG(*current == at_create,
-                    "enumerator used after an update; create a fresh one");
-  }
-}
-
-ComponentEnumerator::ComponentEnumerator(const ComponentEngine* ce,
-                                         EpochGuard guard)
-    : ce_(ce), guard_(guard) {
+ComponentCursor::ComponentCursor(const ComponentEngine* ce,
+                                 RevisionGuard guard,
+                                 const Item* root_begin,
+                                 const Item* root_end)
+    : ce_(ce), guard_(guard), root_begin_(root_begin), root_end_(root_end) {
   DYNCQ_CHECK_MSG(!ce->query().head().empty(),
-                  "ComponentEnumerator requires free variables");
+                  "ComponentCursor requires free variables");
   cur_.resize(ce->enum_meta().nodes.size(), nullptr);
 }
 
-const ChildSlot& ComponentEnumerator::SlotOf(std::size_t pos) const {
+const ChildSlot& ComponentCursor::SlotOf(std::size_t pos) const {
   const auto& meta = ce_->enum_meta();
   int ppos = meta.parent_pos[pos];
   DYNCQ_DCHECK(ppos >= 0);
@@ -43,7 +40,7 @@ const ChildSlot& ComponentEnumerator::SlotOf(std::size_t pos) const {
       reinterpret_cast<const char*>(parent) + meta.slot_off[pos]);
 }
 
-const void* ComponentEnumerator::FirstOf(std::size_t pos) const {
+const void* ComponentCursor::FirstOf(std::size_t pos) const {
   const ChildSlot& slot = SlotOf(pos);
   if (ce_->enum_meta().unit_leaf[pos]) {
     const ChildIndex::Entry* e = slot.index.FirstEntry();
@@ -54,9 +51,10 @@ const void* ComponentEnumerator::FirstOf(std::size_t pos) const {
   return slot.head;
 }
 
-const void* ComponentEnumerator::NextOf(std::size_t pos) const {
+const void* ComponentCursor::NextOf(std::size_t pos) const {
   if (pos == 0) {
-    return static_cast<const Item*>(cur_[0])->next;
+    const Item* next = static_cast<const Item*>(cur_[0])->next;
+    return next == root_end_ ? nullptr : next;
   }
   if (ce_->enum_meta().unit_leaf[pos]) {
     return SlotOf(pos).index.NextEntry(
@@ -65,7 +63,7 @@ const void* ComponentEnumerator::NextOf(std::size_t pos) const {
   return static_cast<const Item*>(cur_[pos])->next;
 }
 
-void ComponentEnumerator::Emit(Tuple* out) const {
+void ComponentCursor::Emit(Tuple* out) const {
   const auto& meta = ce_->enum_meta();
   out->clear();
   for (int pos : meta.head_doc_pos) {
@@ -77,23 +75,24 @@ void ComponentEnumerator::Emit(Tuple* out) const {
   }
 }
 
-bool ComponentEnumerator::Next(Tuple* out) {
-  guard_.Check();
-  if (done_) return false;
+CursorStatus ComponentCursor::Next(Tuple* out) {
+  if (!guard_.valid()) return CursorStatus::kInvalidated;
+  if (done_) return CursorStatus::kEnd;
 
   if (!started_) {
     started_ = true;
-    Item* root = ce_->root_slot().head;
-    if (root == nullptr) {
+    const Item* root =
+        root_begin_ != nullptr ? root_begin_ : ce_->root_slot().head;
+    if (root == nullptr || root == root_end_) {
       done_ = true;
-      return false;  // EOE
+      return CursorStatus::kEnd;  // empty (range of the) result
     }
     cur_[0] = root;
     for (std::size_t mu = 1; mu < cur_.size(); ++mu) {
       cur_[mu] = FirstOf(mu);
     }
     Emit(out);
-    return true;
+    return CursorStatus::kOk;
   }
 
   // Algorithm 1: advance the deepest (in document order) position that is
@@ -103,38 +102,38 @@ bool ComponentEnumerator::Next(Tuple* out) {
   while (j > 0 && (next = NextOf(j - 1)) == nullptr) --j;
   if (j == 0) {
     done_ = true;
-    return false;  // EOE
+    return CursorStatus::kEnd;
   }
   cur_[j - 1] = next;
   for (std::size_t mu = j; mu < cur_.size(); ++mu) {
     cur_[mu] = FirstOf(mu);
   }
   Emit(out);
-  return true;
+  return CursorStatus::kOk;
 }
 
-void ComponentEnumerator::Reset() {
-  guard_.Check();
+CursorStatus ComponentCursor::Reset() {
+  if (!guard_.valid()) return CursorStatus::kInvalidated;
   started_ = false;
   done_ = false;
+  return CursorStatus::kOk;
 }
 
-bool BooleanGateEnumerator::Next(Tuple* out) {
-  guard_.Check();
-  if (emitted_ || !nonempty_) return false;
+CursorStatus BooleanGateCursor::Next(Tuple* out) {
+  if (!guard_.valid()) return CursorStatus::kInvalidated;
+  if (emitted_ || !nonempty_) return CursorStatus::kEnd;
   emitted_ = true;
   out->clear();
-  return true;
+  return CursorStatus::kOk;
 }
 
-ProductEnumerator::ProductEnumerator(
-    std::vector<std::unique_ptr<Enumerator>> subs,
-    std::vector<std::pair<int, int>> head_map)
+ProductCursor::ProductCursor(std::vector<std::unique_ptr<Cursor>> subs,
+                             std::vector<std::pair<int, int>> head_map)
     : subs_(std::move(subs)), head_map_(std::move(head_map)) {
   current_.resize(subs_.size());
 }
 
-void ProductEnumerator::Emit(Tuple* out) const {
+void ProductCursor::Emit(Tuple* out) const {
   out->clear();
   for (const auto& [comp, pos] : head_map_) {
     out->push_back(current_[static_cast<std::size_t>(comp)]
@@ -142,42 +141,54 @@ void ProductEnumerator::Emit(Tuple* out) const {
   }
 }
 
-bool ProductEnumerator::Next(Tuple* out) {
-  if (done_) return false;
+CursorStatus ProductCursor::Next(Tuple* out) {
+  if (done_) return CursorStatus::kEnd;
 
   if (!started_) {
     started_ = true;
     for (std::size_t i = 0; i < subs_.size(); ++i) {
-      if (!subs_[i]->Next(&current_[i])) {
+      CursorStatus s = subs_[i]->Next(&current_[i]);
+      if (s == CursorStatus::kInvalidated) return s;
+      if (s == CursorStatus::kEnd) {
         done_ = true;  // some component is empty -> empty product
-        return false;
+        return CursorStatus::kEnd;
       }
     }
     Emit(out);
-    return true;
+    return CursorStatus::kOk;
   }
 
   // Odometer advance from the last component.
   std::size_t i = subs_.size();
   while (i > 0) {
-    if (subs_[i - 1]->Next(&current_[i - 1])) break;
-    subs_[i - 1]->Reset();
-    bool ok = subs_[i - 1]->Next(&current_[i - 1]);
-    DYNCQ_CHECK_MSG(ok, "component became empty mid-enumeration");
+    CursorStatus s = subs_[i - 1]->Next(&current_[i - 1]);
+    if (s == CursorStatus::kInvalidated) return s;
+    if (s == CursorStatus::kOk) break;
+    s = subs_[i - 1]->Reset();
+    if (s == CursorStatus::kInvalidated) return s;
+    s = subs_[i - 1]->Next(&current_[i - 1]);
+    if (s == CursorStatus::kInvalidated) return s;
+    DYNCQ_CHECK_MSG(s == CursorStatus::kOk,
+                    "component became empty mid-enumeration");
     --i;
   }
   if (i == 0) {
     done_ = true;
-    return false;
+    return CursorStatus::kEnd;
   }
   Emit(out);
-  return true;
+  return CursorStatus::kOk;
 }
 
-void ProductEnumerator::Reset() {
-  for (auto& s : subs_) s->Reset();
+CursorStatus ProductCursor::Reset() {
+  for (auto& s : subs_) {
+    if (s->Reset() == CursorStatus::kInvalidated) {
+      return CursorStatus::kInvalidated;
+    }
+  }
   started_ = false;
   done_ = false;
+  return CursorStatus::kOk;
 }
 
 }  // namespace dyncq::core

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
-#include "core/enumerator.h"
+#include "core/cursor.h"
 #include "cq/qtree.h"
 #include "util/check.h"
 
@@ -34,6 +34,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
         lst.push_back(static_cast<int>(c));
       }
     }
+    if (!comp.head().empty()) engine->has_free_component_ = true;
     engine->components_.push_back(std::make_unique<ComponentEngine>(
         std::move(comp), std::move(tree.value())));
   }
@@ -77,7 +78,7 @@ bool Engine::Apply(const UpdateCmd& cmd) {
                                                             cmd.tuple);
   }
   if (!db_.Apply(cmd)) return false;  // no-op update
-  ++epoch_;
+  BumpRevision();
   for (int c : comps_of_rel_[cmd.rel]) {
     components_[static_cast<std::size_t>(c)]->PrefetchWalk(cmd.rel,
                                                            cmd.tuple);
@@ -104,7 +105,7 @@ std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds) {
                                     cmd.kind == UpdateKind::kInsert});
   }
   if (pending_.empty()) return 0;
-  ++epoch_;
+  BumpRevision();
   // Every component sees the full effective list; deltas whose relation
   // has no atom in a component are skipped inside its per-atom routing.
   for (const auto& c : components_) {
@@ -126,24 +127,92 @@ bool Engine::Answer() {
   return true;
 }
 
-std::unique_ptr<Enumerator> Engine::NewEnumerator() {
-  EpochGuard guard{&epoch_, epoch_};
+std::unique_ptr<Cursor> Engine::NewComponentCursor(std::size_t c,
+                                                   const Item* root_begin,
+                                                   const Item* root_end) {
+  RevisionGuard guard = NewGuard();
+  const ComponentEngine* ce = components_[c].get();
+  if (ce->query().head().empty()) {
+    return std::make_unique<BooleanGateCursor>(ce->Answer(), guard);
+  }
+  return std::make_unique<ComponentCursor>(ce, guard, root_begin, root_end);
+}
+
+std::unique_ptr<Cursor> Engine::NewCursor() {
   if (components_.size() == 1 && !components_[0]->query().head().empty()) {
     // Single non-Boolean component: its head order is the query's.
-    return std::make_unique<ComponentEnumerator>(components_[0].get(),
-                                                 guard);
+    return NewComponentCursor(0, nullptr, nullptr);
   }
-  std::vector<std::unique_ptr<Enumerator>> subs;
+  std::vector<std::unique_ptr<Cursor>> subs;
   subs.reserve(components_.size());
-  for (const auto& c : components_) {
-    if (c->query().head().empty()) {
-      subs.push_back(
-          std::make_unique<BooleanGateEnumerator>(c->Answer(), guard));
-    } else {
-      subs.push_back(std::make_unique<ComponentEnumerator>(c.get(), guard));
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    subs.push_back(NewComponentCursor(c, nullptr, nullptr));
+  }
+  return std::make_unique<ProductCursor>(std::move(subs), head_map_);
+}
+
+Result<std::vector<std::unique_ptr<Cursor>>> Engine::NewPartitions(
+    std::size_t k) {
+  using R = Result<std::vector<std::unique_ptr<Cursor>>>;
+  if (k == 0) return R::Error("NewPartitions: k must be >= 1");
+  std::vector<std::unique_ptr<Cursor>> out;
+  if (!has_free_component_) {
+    // All components Boolean: the result is at most one empty tuple.
+    out.push_back(NewCursor());
+    return out;
+  }
+
+  // Pick the pivot per call: the free-variable component with the most
+  // fit roots, so a skewed product (tiny first component, huge second)
+  // still splits k ways. Each root subtree is an independent enumeration
+  // unit (§6.3), so contiguous fit-list ranges partition the pivot's
+  // result, and the cross product with the other components partitions
+  // ϕ(D). The walk is O(#fit roots) — the price of a partitioned read.
+  std::size_t pivot = 0;
+  std::size_t roots = 0;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (components_[c]->query().head().empty()) continue;
+    std::size_t n = 0;
+    for (const Item* it = components_[c]->root_slot().head; it != nullptr;
+         it = it->next) {
+      ++n;
+    }
+    if (n > roots) {
+      pivot = c;
+      roots = n;
     }
   }
-  return std::make_unique<ProductEnumerator>(std::move(subs), head_map_);
+  if (roots == 0) {
+    out.push_back(NewCursor());  // empty result: one cursor ending at once
+    return out;
+  }
+  const ComponentEngine& ce = *components_[pivot];
+
+  const std::size_t parts = std::min(k, roots);
+  const std::size_t base = roots / parts;
+  std::size_t extra = roots % parts;  // first `extra` ranges get one more
+  const Item* begin = ce.root_slot().head;
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t len = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const Item* end = begin;
+    for (std::size_t i = 0; i < len; ++i) end = end->next;
+
+    if (components_.size() == 1) {
+      out.push_back(NewComponentCursor(0, begin, end));
+    } else {
+      std::vector<std::unique_ptr<Cursor>> subs;
+      subs.reserve(components_.size());
+      for (std::size_t c = 0; c < components_.size(); ++c) {
+        subs.push_back(c == pivot ? NewComponentCursor(c, begin, end)
+                                  : NewComponentCursor(c, nullptr, nullptr));
+      }
+      out.push_back(
+          std::make_unique<ProductCursor>(std::move(subs), head_map_));
+    }
+    begin = end;
+  }
+  return out;
 }
 
 std::size_t Engine::NumItems() const {

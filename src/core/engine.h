@@ -23,6 +23,7 @@ class Engine final : public DynamicQueryEngine {
   /// Builds the engine for an empty initial database. Fails iff `q` is
   /// not q-hierarchical (use the baselines or, per Theorem 1.3, run the
   /// engine on ComputeCore(q) when that core is q-hierarchical).
+  /// QuerySession (core/session.h) is the strategy-selecting front door.
   static Result<std::unique_ptr<Engine>> Create(const Query& q);
 
   /// Preprocessing phase on an initial database: initializes the empty
@@ -34,20 +35,45 @@ class Engine final : public DynamicQueryEngine {
   const Query& query() const override { return query_; }
   const Database& db() const override { return db_; }
 
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.constant_delay_enumeration = true;
+    caps.batch_pipeline = true;
+    caps.constant_time_count = true;
+    // §6.3: root positions are independent per root item, so any
+    // component with free variables can be range-partitioned.
+    caps.partitionable = has_free_component_;
+    return caps;
+  }
+
   bool Apply(const UpdateCmd& cmd) override;
 
   /// Batched update pipeline: dedups no-ops through the database's set
-  /// semantics, bumps the enumeration epoch once, and hands every
-  /// component the effective deltas for one shared-descent pass.
+  /// semantics, bumps the revision once, and hands every component the
+  /// effective deltas for one shared-descent pass.
   std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) override;
+
+  /// Linear-time preprocessing (§6.4): reserves relations and root child
+  /// indexes from the input sizes, then replays the initial database
+  /// through the batch pipeline.
+  void Preload(const Database& initial) override;
 
   Weight Count() override;
   bool Answer() override;
-  std::unique_ptr<Enumerator> NewEnumerator() override;
-  std::string name() const override { return "dyncq"; }
+  std::unique_ptr<Cursor> NewCursor() override;
 
-  /// Bumped on every effective update; outstanding enumerators check it.
-  std::uint64_t epoch() const { return epoch_; }
+  /// Splits a pivot component's root fit list into at most `k`
+  /// contiguous ranges and returns one cursor per range; the other
+  /// components (and Boolean gates) are re-enumerated per partition, so
+  /// jointly the cursors yield exactly ϕ(D) with no overlap. The pivot
+  /// is chosen per call as the free-variable component with the most
+  /// fit roots (O(#fit roots) walk), so a skewed product still splits
+  /// k ways. Queries whose components are all Boolean degrade to one
+  /// cursor.
+  Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
+      std::size_t k) override;
+
+  std::string name() const override { return "dyncq"; }
 
   std::size_t NumComponents() const { return components_.size(); }
   const ComponentEngine& component(std::size_t i) const {
@@ -63,10 +89,10 @@ class Engine final : public DynamicQueryEngine {
  private:
   explicit Engine(Query q);
 
-  /// Linear-time preprocessing (§6.4): reserves relations and root child
-  /// indexes from the input sizes, then replays the initial database
-  /// through the batch pipeline.
-  void Preload(const Database& initial);
+  /// Cursor for one component (range-restricted at the pivot).
+  std::unique_ptr<Cursor> NewComponentCursor(std::size_t c,
+                                             const Item* root_begin,
+                                             const Item* root_end);
 
   Query query_;
   Database db_;
@@ -74,7 +100,7 @@ class Engine final : public DynamicQueryEngine {
   std::vector<std::unique_ptr<ComponentEngine>> components_;
   std::vector<std::vector<int>> comps_of_rel_;  // RelId -> component idxs
   std::vector<PendingDelta> pending_;  // batch scratch
-  std::uint64_t epoch_ = 0;
+  bool has_free_component_ = false;  // some component has free vars
 };
 
 }  // namespace dyncq::core

@@ -3,39 +3,93 @@
 //
 // Implemented by the q-tree engine (core::Engine, Theorem 3.2), the
 // baselines (baseline::RecomputeEngine, baseline::DeltaIvmEngine), and the
-// Appendix A special-case engine (core::Phi2Engine). The §5 reductions
-// and the benchmark harness are written against this interface so any
-// algorithm can be swapped in.
+// Appendix A special-case engine (core::Phi2Engine). The §5 reductions,
+// the QuerySession facade (core/session.h), and the benchmark harness are
+// written against this interface so any algorithm can be swapped in.
+//
+// Reads go through Cursors: a cursor is pinned to the Revision of the
+// result it was opened at, and instead of aborting on misuse it reports
+// CursorStatus::kInvalidated once the engine has moved past that revision
+// (the paper's model restarts enumeration after each update).
 #ifndef DYNCQ_CORE_ENGINE_IFACE_H_
 #define DYNCQ_CORE_ENGINE_IFACE_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/update.h"
+#include "util/result.h"
 #include "util/types.h"
 
 namespace dyncq {
 
-/// Cursor over the current query result, one tuple per Next() call
-/// (the paper's `enumerate` routine; returning false is the EOE message).
+/// Monotone version of an engine's maintained result. Every effective
+/// (database-changing) update advances the revision; no-op updates do
+/// not. Cursors are keyed to the revision they were opened at.
+struct Revision {
+  std::uint64_t value = 0;
+  friend bool operator==(const Revision&, const Revision&) = default;
+};
+
+/// Typed outcome of a cursor step (replaces abort-on-stale-use).
+enum class CursorStatus : std::uint8_t {
+  kOk,           // a tuple was produced
+  kEnd,          // end of enumeration (sticky; the paper's EOE message)
+  kInvalidated,  // the engine's revision moved past the cursor's —
+                 // results may have changed, open a fresh cursor
+};
+
+/// Checks that the structure a cursor walks has not changed since the
+/// cursor was opened. A null counter never invalidates (used by cursors
+/// over self-contained snapshots).
+struct RevisionGuard {
+  const std::uint64_t* current = nullptr;
+  std::uint64_t at_create = 0;
+
+  bool valid() const { return current == nullptr || *current == at_create; }
+};
+
+/// Cursor over the query result at one revision, one tuple per Next()
+/// call (the paper's `enumerate` routine).
 ///
-/// Enumerators are invalidated by updates: the paper's model restarts
-/// enumeration after each update, and implementations check this.
-class Enumerator {
+/// Contract: Next() writes `*out` and returns kOk, or returns kEnd once
+/// the result is exhausted (kEnd is sticky), or returns kInvalidated as
+/// soon as the underlying engine applied an effective update — a stale
+/// cursor never walks freed structure and never aborts the process.
+/// Tuples are emitted without repetition within one pass.
+class Cursor {
  public:
-  virtual ~Enumerator() = default;
+  virtual ~Cursor() = default;
 
-  /// Writes the next result tuple into `*out` and returns true, or
-  /// returns false at end of enumeration. Tuples are emitted without
-  /// repetition.
-  virtual bool Next(Tuple* out) = 0;
+  /// Writes the next result tuple into `*out` iff the status is kOk.
+  virtual CursorStatus Next(Tuple* out) = 0;
 
-  /// Restarts the enumeration from the beginning.
-  virtual void Reset() = 0;
+  /// Restarts the enumeration from the beginning. Returns kOk, or
+  /// kInvalidated if the engine has moved on (the cursor stays dead).
+  virtual CursorStatus Reset() = 0;
+};
+
+/// What the selected maintenance strategy guarantees (Theorems 3.2-3.5):
+/// reported by every engine and surfaced by QuerySession at construction
+/// so callers can branch on guarantees instead of engine names.
+struct Capabilities {
+  /// Enumeration emits each tuple with O(1) delay (Theorem 3.2 or a
+  /// materialized result; false for recompute-per-read).
+  bool constant_delay_enumeration = false;
+  /// ApplyBatch is a real batched pipeline (shared descents, one weight
+  /// fix-up per touched item), not the per-tuple fallback.
+  bool batch_pipeline = false;
+  /// Count() is O(1) (maintained counter / materialized result size).
+  bool constant_time_count = false;
+  /// NewPartitions(k) can split the result into k > 1 independent
+  /// ranges for parallel enumeration (§6.3: root positions are
+  /// independent per root item).
+  bool partitionable = false;
 };
 
 class DynamicQueryEngine {
@@ -44,6 +98,9 @@ class DynamicQueryEngine {
 
   virtual const Query& query() const = 0;
   virtual const Database& db() const = 0;
+
+  /// Guarantees of this engine's strategy (constant across its lifetime).
+  virtual Capabilities capabilities() const = 0;
 
   /// Applies a single-tuple insert/delete (the paper's `update` routine).
   /// Returns true iff the database changed (no-op updates are absorbed).
@@ -54,8 +111,9 @@ class DynamicQueryEngine {
   /// order one by one; engines with a real batch pipeline (core::Engine)
   /// override this to dedup no-ops once, group deltas per relation/atom,
   /// and share root-path descents. The default is the per-tuple fallback
-  /// used by the recompute / delta-IVM baselines and whichever engine
-  /// CreateMaintainableEngine dispatched to.
+  /// used by the recompute / delta-IVM baselines. For in-batch net-delta
+  /// cancellation (inverse insert/delete pairs annihilating before any
+  /// relation probe) stage through UpdateBatch (core/session.h) instead.
   virtual std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) {
     std::size_t effective = 0;
     for (const UpdateCmd& cmd : cmds) {
@@ -64,25 +122,84 @@ class DynamicQueryEngine {
     return effective;
   }
 
+  /// Preloads an initial database (the paper's preprocessing phase).
+  /// The default replays |D0| inserts through the batch pipeline;
+  /// engines with size-aware structures (core::Engine) override this to
+  /// reserve every hash table from the input sizes first.
+  virtual void Preload(const Database& initial) {
+    UpdateStream stream;
+    stream.reserve(initial.NumTuples());
+    for (RelId r = 0; r < initial.schema().NumRelations(); ++r) {
+      for (const Tuple& t : initial.relation(r)) {
+        stream.push_back(UpdateCmd::Insert(r, t));
+      }
+    }
+    ApplyBatch(std::span<const UpdateCmd>(stream));
+  }
+
   /// |ϕ(D)| (the paper's `count` routine).
   virtual Weight Count() = 0;
 
   /// Whether ϕ(D) is non-empty (the paper's `answer` routine).
   virtual bool Answer() = 0;
 
-  /// Fresh enumeration of ϕ(D) (the paper's `enumerate` routine).
-  virtual std::unique_ptr<Enumerator> NewEnumerator() = 0;
+  /// Fresh cursor over ϕ(D) at the current revision (the paper's
+  /// `enumerate` routine).
+  virtual std::unique_ptr<Cursor> NewCursor() = 0;
+
+  /// Splits the current result into at most `k` independent ranges, each
+  /// yielding its own cursor; jointly the cursors enumerate exactly ϕ(D)
+  /// with no overlap. Engines without the `partitionable` capability
+  /// return a single full cursor. Fewer than `k` cursors are returned
+  /// when the result has fewer independent units than `k`. k == 0 is
+  /// misuse and returns an error.
+  virtual Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
+      std::size_t k) {
+    if (k == 0) {
+      return Result<std::vector<std::unique_ptr<Cursor>>>::Error(
+          "NewPartitions: k must be >= 1");
+    }
+    std::vector<std::unique_ptr<Cursor>> out;
+    out.push_back(NewCursor());
+    return out;
+  }
 
   virtual std::string name() const = 0;
+
+  /// Revision of the maintained result; advanced by every effective
+  /// update. All engines share this one counter type — cursors opened at
+  /// an older revision report kInvalidated instead of walking stale
+  /// structure.
+  Revision revision() const { return Revision{rev_}; }
 
   /// Convenience: applies every command in the stream (through the batch
   /// pipeline when the engine has one).
   std::size_t ApplyAll(const UpdateStream& stream) {
     return ApplyBatch(std::span<const UpdateCmd>(stream));
   }
+
+ protected:
+  /// Called by implementations on every effective update.
+  void BumpRevision() { ++rev_; }
+
+  /// Guard pinned to the current revision, for cursors over live
+  /// structure.
+  RevisionGuard NewGuard() const { return RevisionGuard{&rev_, rev_}; }
+
+ private:
+  std::uint64_t rev_ = 0;
 };
 
-/// Drains a fresh enumerator into a vector (testing/benchmark helper).
+/// Bounds a maintained count to a sane up-front reserve size: a
+/// cross-product blowup must not turn into one giant allocation before
+/// the first tuple arrives.
+inline std::size_t BoundedReserveFromCount(Weight n) {
+  constexpr Weight kReserveCap = Weight{1} << 24;
+  return static_cast<std::size_t>(n < kReserveCap ? n : kReserveCap);
+}
+
+/// Drains a fresh cursor into a vector reserved from Count() up front
+/// (testing/benchmark helper).
 std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine);
 
 }  // namespace dyncq

@@ -69,7 +69,7 @@ Phi2Engine::Phi2Engine()
 bool Phi2Engine::Apply(const UpdateCmd& cmd) {
   DYNCQ_CHECK_MSG(cmd.rel == edge_rel(), "Phi2Engine has one relation E");
   if (!db_.Apply(cmd)) return false;
-  ++epoch_;
+  BumpRevision();
   if (cmd.kind == UpdateKind::kInsert) {
     edge_order_.Insert(cmd.tuple);
     if (cmd.tuple[0] == cmd.tuple[1]) {
@@ -103,21 +103,17 @@ namespace {
 /// builds the remaining ϕ1 pairs at >= 1 scan step per output (the scan
 /// has |E| steps and phase 1 has |E| outputs, so it always finishes in
 /// time). Phase 2 emits pairs(ϕ1 \ {(c0,c0)}) × E.
-class Phi2Enumerator final : public Enumerator {
+class Phi2Cursor final : public Cursor {
  public:
-  Phi2Enumerator(const Phi2Engine* engine,
-                 const Phi2Engine::LinkedTupleSet* edges,
-                 const Phi2Engine::LinkedTupleSet* loops,
-                 const std::uint64_t* epoch)
-      : edges_(edges), loops_(loops), epoch_(epoch), at_create_(*epoch) {
-    (void)engine;
-    Reset();
+  Phi2Cursor(const Phi2Engine::LinkedTupleSet* edges,
+             const Phi2Engine::LinkedTupleSet* loops, RevisionGuard guard)
+      : edges_(edges), loops_(loops), guard_(guard) {
+    Rewind();
   }
 
-  bool Next(Tuple* out) override {
-    DYNCQ_CHECK_MSG(*epoch_ == at_create_,
-                    "enumerator used after an update");
-    if (c0_ == 0) return false;  // no loop -> empty result
+  CursorStatus Next(Tuple* out) override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    if (c0_ == 0) return CursorStatus::kEnd;  // no loop -> empty result
 
     if (phase1_edge_ >= 0) {
       // Budgeted preprocessing: two scan steps per emitted tuple.
@@ -141,11 +137,11 @@ class Phi2Enumerator final : public Enumerator {
         pair_idx_ = 0;
         phase2_edge_ = edges_->head();
       }
-      return true;
+      return CursorStatus::kOk;
     }
 
     // Phase 2: pairs_ × E.
-    if (pair_idx_ >= pairs_.size()) return false;
+    if (pair_idx_ >= pairs_.size()) return CursorStatus::kEnd;
     const Tuple& p = pairs_[pair_idx_];
     const Tuple& e = edges_->At(phase2_edge_);
     out->clear();
@@ -158,10 +154,17 @@ class Phi2Enumerator final : public Enumerator {
       ++pair_idx_;
       phase2_edge_ = edges_->head();
     }
-    return true;
+    return CursorStatus::kOk;
   }
 
-  void Reset() override {
+  CursorStatus Reset() override {
+    if (!guard_.valid()) return CursorStatus::kInvalidated;
+    Rewind();
+    return CursorStatus::kOk;
+  }
+
+ private:
+  void Rewind() {
     pairs_.clear();
     pair_idx_ = 0;
     scan_ = -1;
@@ -176,11 +179,9 @@ class Phi2Enumerator final : public Enumerator {
     }
   }
 
- private:
   const Phi2Engine::LinkedTupleSet* edges_;
   const Phi2Engine::LinkedTupleSet* loops_;
-  const std::uint64_t* epoch_;
-  std::uint64_t at_create_;
+  RevisionGuard guard_;
 
   Value c0_ = 0;
   int phase1_edge_ = -1;  // cursor over E during phase 1 (-1 once done)
@@ -194,9 +195,9 @@ class Phi2Enumerator final : public Enumerator {
 
 }  // namespace
 
-std::unique_ptr<Enumerator> Phi2Engine::NewEnumerator() {
-  return std::make_unique<Phi2Enumerator>(this, &edge_order_, &loop_order_,
-                                          &epoch_);
+std::unique_ptr<Cursor> Phi2Engine::NewCursor() {
+  return std::make_unique<Phi2Cursor>(&edge_order_, &loop_order_,
+                                      NewGuard());
 }
 
 }  // namespace dyncq::core

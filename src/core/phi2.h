@@ -34,6 +34,12 @@ class Phi2Engine final : public DynamicQueryEngine {
   const Query& query() const override { return query_; }
   const Database& db() const override { return db_; }
 
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.constant_delay_enumeration = true;  // Lemma A.2
+    return caps;
+  }
+
   bool Apply(const UpdateCmd& cmd) override;
 
   /// Θ(||D||): |ϕ1(D)| · |E| by a scan (counting ϕ2 is OMv-hard, so no
@@ -43,7 +49,7 @@ class Phi2Engine final : public DynamicQueryEngine {
   /// O(1): nonempty iff some loop exists (then (c,c,c,c) is an answer).
   bool Answer() override { return loop_order_.Size() > 0; }
 
-  std::unique_ptr<Enumerator> NewEnumerator() override;
+  std::unique_ptr<Cursor> NewCursor() override;
   std::string name() const override { return "phi2-special"; }
 
   RelId edge_rel() const { return 0; }
@@ -82,7 +88,6 @@ class Phi2Engine final : public DynamicQueryEngine {
   Database db_;
   LinkedTupleSet edge_order_;  // all tuples of E, insertion order
   LinkedTupleSet loop_order_;  // all c with (c,c) ∈ E, as 1-tuples
-  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dyncq::core

@@ -200,8 +200,8 @@ std::vector<BitVector> OMvEnumerationReduction::Solve(
     prev_v = v;
     if (stats != nullptr) ++stats->query_calls;
     BitVector result(n);
-    auto en = engine->NewEnumerator();
-    while (en->Next(&row)) {
+    auto en = engine->NewCursor();
+    while (en->Next(&row) == CursorStatus::kOk) {
       if (stats != nullptr) ++stats->tuples_read;
       Value val = row[x_pos];
       DYNCQ_CHECK_MSG(GadgetDomain::IsA(val),
@@ -336,9 +336,9 @@ std::vector<bool> OuMvViaPhi1Enumeration::Solve(
     // at most 2n loop pairs, so 2n+1 reads decide the round.
     if (stats != nullptr) ++stats->query_calls;
     bool hit = false;
-    auto en = engine->NewEnumerator();
+    auto en = engine->NewCursor();
     for (std::size_t reads = 0; reads < 2 * n + 1; ++reads) {
-      if (!en->Next(&row)) break;
+      if (en->Next(&row) != CursorStatus::kOk) break;
       if (stats != nullptr) ++stats->tuples_read;
       if (GadgetDomain::IsA(row[0]) && !GadgetDomain::IsA(row[1])) {
         hit = true;

@@ -54,6 +54,13 @@ class Database {
   /// ||D||: |schema| + |adom| + sum_R ar(R)*|R^D| (paper §2, Sizes).
   std::size_t SizeD() const;
 
+  /// Total hash probes across all relations (see Relation::probe_count).
+  std::uint64_t TotalRelationProbes() const {
+    std::uint64_t total = 0;
+    for (const Relation& r : relations_) total += r.probe_count();
+    return total;
+  }
+
   /// n = |adom(D)|: number of distinct constants in the database.
   /// Maintained lazily: updates only mark the cached reference counts
   /// stale (keeping per-update hash work off the streaming hot path) and

@@ -25,6 +25,7 @@ bool Relation::SlotEquals(std::size_t i, const Tuple& t) const {
 }
 
 std::size_t Relation::ProbeFor(const Tuple& t) const {
+  ++probes_;
   std::size_t i = static_cast<std::size_t>(Hash(t)) & (cap_ - 1);
   while (slots_[i * arity_] != 0 && !SlotEquals(i, t)) {
     i = (i + 1) & (cap_ - 1);

@@ -81,6 +81,12 @@ class Relation {
     std::size_t i_;
   };
 
+  /// Number of hash probes (Contains/Insert/Erase lookups) this relation
+  /// has ever run. Batch pipelines use the delta of this counter to
+  /// prove work was avoided (e.g. the UpdateBatch net-delta pre-pass
+  /// cancelling inverse pairs before any probe).
+  std::uint64_t probe_count() const { return probes_; }
+
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const {
     if (arity_ == 0) return const_iterator(this, has_empty_tuple_ ? 1 : 0);
@@ -107,6 +113,7 @@ class Relation {
   std::size_t cap_ = 0;  // slot count, power of two (0 = unallocated)
   std::unique_ptr<Value[]> slots_;  // cap_ * arity_ words
   bool has_empty_tuple_ = false;    // arity-0 relations hold at most ()
+  mutable std::uint64_t probes_ = 0;
 };
 
 }  // namespace dyncq

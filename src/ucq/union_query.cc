@@ -144,47 +144,54 @@ bool UnionEngine::Answer() {
 
 namespace {
 
-/// Streams disjunct enumerators in order, suppressing duplicates with a
-/// hash set of emitted tuples.
-class UnionEnumerator final : public Enumerator {
+/// Streams disjunct cursors in order, suppressing duplicates with a
+/// hash set of emitted tuples. Invalidation of any sub-cursor propagates.
+class UnionCursor final : public Cursor {
  public:
-  explicit UnionEnumerator(std::vector<std::unique_ptr<Enumerator>> subs)
+  explicit UnionCursor(std::vector<std::unique_ptr<Cursor>> subs)
       : subs_(std::move(subs)) {}
 
-  bool Next(Tuple* out) override {
+  CursorStatus Next(Tuple* out) override {
     while (current_ < subs_.size()) {
-      if (!subs_[current_]->Next(out)) {
+      CursorStatus s = subs_[current_]->Next(out);
+      if (s == CursorStatus::kInvalidated) return s;
+      if (s == CursorStatus::kEnd) {
         ++current_;
         continue;
       }
-      if (seen_.Insert(*out)) return true;
+      if (seen_.Insert(*out)) return CursorStatus::kOk;
     }
-    return false;
+    return CursorStatus::kEnd;
   }
 
-  void Reset() override {
-    for (auto& s : subs_) s->Reset();
+  CursorStatus Reset() override {
+    for (auto& s : subs_) {
+      if (s->Reset() == CursorStatus::kInvalidated) {
+        return CursorStatus::kInvalidated;
+      }
+    }
     seen_.Clear();
     current_ = 0;
+    return CursorStatus::kOk;
   }
 
  private:
-  std::vector<std::unique_ptr<Enumerator>> subs_;
+  std::vector<std::unique_ptr<Cursor>> subs_;
   OpenHashSet<Tuple, TupleHash> seen_;
   std::size_t current_ = 0;
 };
 
 }  // namespace
 
-std::unique_ptr<Enumerator> UnionEngine::NewEnumerator() {
+std::unique_ptr<Cursor> UnionEngine::NewCursor() {
   const std::size_t d = uq_.disjuncts().size();
-  std::vector<std::unique_ptr<Enumerator>> subs;
+  std::vector<std::unique_ptr<Cursor>> subs;
   subs.reserve(d);
   for (std::size_t i = 0; i < d; ++i) {
     subs.push_back(
-        engines_[(std::size_t{1} << i) - 1].engine->NewEnumerator());
+        engines_[(std::size_t{1} << i) - 1].engine->NewCursor());
   }
-  return std::make_unique<UnionEnumerator>(std::move(subs));
+  return std::make_unique<UnionCursor>(std::move(subs));
 }
 
 }  // namespace dyncq::ucq

@@ -74,8 +74,12 @@ class UnionEngine {
   /// ⋃ϕi(D) ≠ ∅ (OR over disjunct engines).
   bool Answer();
 
-  /// Enumerates the union without duplicates.
-  std::unique_ptr<Enumerator> NewEnumerator();
+  /// Enumerates the union without duplicates. Invalidation of any
+  /// disjunct's cursor propagates as CursorStatus::kInvalidated.
+  std::unique_ptr<Cursor> NewCursor();
+
+  /// Revision of the union result (advanced by every effective update).
+  Revision revision() const { return Revision{epoch_}; }
 
   /// Strategy used for the subset-conjunction engine (diagnostics).
   core::EngineStrategy SubsetStrategy(std::size_t subset_mask) const;

@@ -113,15 +113,15 @@ TEST(RecomputeEngineTest, BasicLifecycle) {
   EXPECT_EQ(e.Count(), Weight{0});
 }
 
-TEST(RecomputeEngineTest, EnumeratorInvalidation) {
+TEST(RecomputeEngineTest, CursorInvalidation) {
   Query q = MustParse("Q(x) :- R(x).");
   RecomputeEngine e(q);
   e.Apply(UpdateCmd::Insert(0, {1}));
-  auto en = e.NewEnumerator();
+  auto en = e.NewCursor();
   Tuple t;
-  ASSERT_TRUE(en->Next(&t));
+  ASSERT_EQ(en->Next(&t), CursorStatus::kOk);
   e.Apply(UpdateCmd::Insert(0, {2}));
-  EXPECT_THROW(en->Next(&t), std::logic_error);
+  EXPECT_EQ(en->Next(&t), CursorStatus::kInvalidated);
 }
 
 TEST(DeltaIvmTest, InsertDeleteRoundTrip) {

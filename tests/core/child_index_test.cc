@@ -131,5 +131,57 @@ TEST(ChildIndexTest, RandomizedAgainstStdMap) {
   }
 }
 
+
+TEST(ChildIndexTest, ShrinksAfterMassDeletion) {
+  // Adaptive shrink-on-low-load: a table grown by a hub's past fanout
+  // gives the memory back once the population collapses, so the spilled
+  // unit-leaf entry scan (worst-case enumeration delay) stays
+  // proportional to the live entries, not the historical peak.
+  ChildIndex idx;
+  const Value n = 4096;
+  for (Value v = 1; v <= n; ++v) *idx.FindOrInsertSlot(v) = Marker(v);
+  const std::size_t peak_cap = idx.heap_capacity();
+  ASSERT_GE(peak_cap, n);
+
+  // Mass deletion down to 32 entries: capacity must drop well below the
+  // peak while every surviving probe stays correct.
+  for (Value v = 33; v <= n; ++v) ASSERT_TRUE(idx.Erase(v));
+  EXPECT_EQ(idx.size(), 32u);
+  EXPECT_LT(idx.heap_capacity(), peak_cap / 8);
+  EXPECT_GE(idx.heap_capacity(), 32u * 2);  // never shrinks past 1/2 load
+  for (Value v = 1; v <= 32; ++v) {
+    ASSERT_EQ(idx.Find(v), Marker(v)) << v;
+  }
+  for (Value v = 33; v <= n; ++v) {
+    ASSERT_EQ(idx.Find(v), nullptr) << v;
+  }
+
+  // Down to the inline regime: the heap table is released entirely.
+  for (Value v = 4; v <= 32; ++v) ASSERT_TRUE(idx.Erase(v));
+  EXPECT_EQ(idx.heap_capacity(), 0u);
+  for (Value v = 1; v <= 3; ++v) ASSERT_EQ(idx.Find(v), Marker(v));
+
+  // And the table grows again cleanly after the shrink.
+  for (Value v = 100; v < 200; ++v) *idx.FindOrInsertSlot(v) = Marker(v);
+  EXPECT_EQ(idx.size(), 103u);
+  for (Value v = 100; v < 200; ++v) ASSERT_EQ(idx.Find(v), Marker(v));
+}
+
+TEST(ChildIndexTest, ShrinkKeepsEntryCursorComplete) {
+  ChildIndex idx;
+  for (Value v = 1; v <= 1024; ++v) *idx.FindOrInsertSlot(v) = Marker(v);
+  for (Value v = 1; v <= 1024; ++v) {
+    if (v % 64 != 0) ASSERT_TRUE(idx.Erase(v));
+  }
+  std::set<Value> seen;
+  for (const ChildIndex::Entry* e = idx.FirstEntry(); e != nullptr;
+       e = idx.NextEntry(e)) {
+    seen.insert(e->key);
+  }
+  std::set<Value> expected;
+  for (Value v = 64; v <= 1024; v += 64) expected.insert(v);
+  EXPECT_EQ(seen, expected);
+}
+
 }  // namespace
 }  // namespace dyncq::core

@@ -1,6 +1,7 @@
-// Focused tests for Algorithm 1 and the product enumerator: document
-// order, restart semantics, gates, and degenerate shapes.
-#include "core/enumerator.h"
+// Focused tests for Algorithm 1 and the product cursor: document
+// order, restart semantics, gates, status contract, and degenerate
+// shapes.
+#include "core/cursor.h"
 
 #include <gtest/gtest.h>
 
@@ -31,9 +32,9 @@ TEST(EnumeratorOrderTest, DocumentOrderNestsChildren) {
   e->Apply(UpdateCmd::Insert(1, {1, 21}));
 
   std::vector<Tuple> got;
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  while (en->Next(&t)) got.push_back(t);
+  while (en->Next(&t) == CursorStatus::kOk) got.push_back(t);
   ASSERT_EQ(got.size(), 4u);
   EXPECT_EQ(got[0], (Tuple{1, 10, 20}));
   EXPECT_EQ(got[1], (Tuple{1, 10, 21}));
@@ -46,16 +47,16 @@ TEST(EnumeratorOrderTest, RootListFollowsFitOrder) {
   auto e = MakeEngine(q);
   for (Value v : {5, 3, 9, 1}) e->Apply(UpdateCmd::Insert(0, {v}));
   std::vector<Value> got;
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  while (en->Next(&t)) got.push_back(t[0]);
+  while (en->Next(&t) == CursorStatus::kOk) got.push_back(t[0]);
   EXPECT_EQ(got, (std::vector<Value>{5, 3, 9, 1}));
   // Delete + reinsert moves the item to the tail.
   e->Apply(UpdateCmd::Delete(0, {3}));
   e->Apply(UpdateCmd::Insert(0, {3}));
   got.clear();
-  en = e->NewEnumerator();
-  while (en->Next(&t)) got.push_back(t[0]);
+  en = e->NewCursor();
+  while (en->Next(&t) == CursorStatus::kOk) got.push_back(t[0]);
   EXPECT_EQ(got, (std::vector<Value>{5, 9, 1, 3}));
 }
 
@@ -67,9 +68,9 @@ TEST(EnumeratorOrderTest, UnfitItemsAreSkippedEntirely) {
   e->Apply(UpdateCmd::Insert(0, {1, 11}));
   e->Apply(UpdateCmd::Insert(1, {11}));
   std::vector<Tuple> got;
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  while (en->Next(&t)) got.push_back(t);
+  while (en->Next(&t) == CursorStatus::kOk) got.push_back(t);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], (Tuple{1, 11}));
 }
@@ -81,9 +82,9 @@ TEST(ProductEnumeratorTest, OdometerOverThreeComponents) {
   for (Value v : {10, 20}) e->Apply(UpdateCmd::Insert(1, {v}));
   for (Value v : {100}) e->Apply(UpdateCmd::Insert(2, {v}));
   std::vector<Tuple> got;
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  while (en->Next(&t)) got.push_back(t);
+  while (en->Next(&t) == CursorStatus::kOk) got.push_back(t);
   ASSERT_EQ(got.size(), 4u);
   // Last component cycles fastest; here |T|=1 so S cycles visibly.
   EXPECT_EQ(got[0], (Tuple{1, 10, 100}));
@@ -97,7 +98,7 @@ TEST(ProductEnumeratorTest, EmptyComponentShortCircuits) {
   auto e = MakeEngine(q);
   e->Apply(UpdateCmd::Insert(0, {1}));
   Tuple t;
-  EXPECT_FALSE(e->NewEnumerator()->Next(&t));  // S empty
+  EXPECT_EQ(e->NewCursor()->Next(&t), CursorStatus::kEnd);  // S empty
 }
 
 TEST(ProductEnumeratorTest, ResetReplaysIdentically) {
@@ -105,12 +106,12 @@ TEST(ProductEnumeratorTest, ResetReplaysIdentically) {
   auto e = MakeEngine(q);
   for (Value v : {1, 2, 3}) e->Apply(UpdateCmd::Insert(0, {v}));
   for (Value v : {7, 8}) e->Apply(UpdateCmd::Insert(1, {v}));
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   std::vector<Tuple> first, second;
   Tuple t;
-  while (en->Next(&t)) first.push_back(t);
+  while (en->Next(&t) == CursorStatus::kOk) first.push_back(t);
   en->Reset();
-  while (en->Next(&t)) second.push_back(t);
+  while (en->Next(&t) == CursorStatus::kOk) second.push_back(t);
   EXPECT_EQ(first.size(), 6u);
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) {
@@ -122,25 +123,25 @@ TEST(ProductEnumeratorTest, AllBooleanComponents) {
   Query q = MustParse("Q() :- R(x), S(y).");
   auto e = MakeEngine(q);
   Tuple t;
-  EXPECT_FALSE(e->NewEnumerator()->Next(&t));
+  EXPECT_EQ(e->NewCursor()->Next(&t), CursorStatus::kEnd);
   e->Apply(UpdateCmd::Insert(0, {1}));
-  EXPECT_FALSE(e->NewEnumerator()->Next(&t));
+  EXPECT_EQ(e->NewCursor()->Next(&t), CursorStatus::kEnd);
   e->Apply(UpdateCmd::Insert(1, {2}));
-  auto en = e->NewEnumerator();
-  EXPECT_TRUE(en->Next(&t));
+  auto en = e->NewCursor();
+  EXPECT_EQ(en->Next(&t), CursorStatus::kOk);
   EXPECT_TRUE(t.empty());
-  EXPECT_FALSE(en->Next(&t));
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);
 }
 
 TEST(EnumeratorContractTest, EOEIsSticky) {
   Query q = MustParse("Q(x) :- R(x).");
   auto e = MakeEngine(q);
   e->Apply(UpdateCmd::Insert(0, {1}));
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  EXPECT_TRUE(en->Next(&t));
-  EXPECT_FALSE(en->Next(&t));
-  EXPECT_FALSE(en->Next(&t));  // repeated EOE stays EOE
+  EXPECT_EQ(en->Next(&t), CursorStatus::kOk);
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);  // repeated EOE stays EOE
 }
 
 TEST(EnumeratorContractTest, NoOpUpdateKeepsEnumeratorValid) {
@@ -148,12 +149,12 @@ TEST(EnumeratorContractTest, NoOpUpdateKeepsEnumeratorValid) {
   auto e = MakeEngine(q);
   e->Apply(UpdateCmd::Insert(0, {1}));
   e->Apply(UpdateCmd::Insert(0, {2}));
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  ASSERT_TRUE(en->Next(&t));
-  // A no-op update (duplicate insert) does not bump the epoch.
+  ASSERT_EQ(en->Next(&t), CursorStatus::kOk);
+  // A no-op update (duplicate insert) does not bump the revision.
   EXPECT_FALSE(e->Apply(UpdateCmd::Insert(0, {1})));
-  EXPECT_TRUE(en->Next(&t));
+  EXPECT_EQ(en->Next(&t), CursorStatus::kOk);
 }
 
 TEST(EnumeratorContractTest, LargeResultNoDuplicates) {
@@ -167,10 +168,10 @@ TEST(EnumeratorContractTest, LargeResultNoDuplicates) {
   }
   // 20 * 10 * 10 = 2000 tuples.
   OpenHashSet<Tuple, TupleHash> seen;
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
   std::size_t count = 0;
-  while (en->Next(&t)) {
+  while (en->Next(&t) == CursorStatus::kOk) {
     ASSERT_TRUE(seen.Insert(t));
     ++count;
   }

@@ -50,11 +50,11 @@ TEST(EngineTest, BooleanQueryAnswer) {
   EXPECT_TRUE(e->Answer());
   EXPECT_EQ(e->Count(), Weight{1});
   // Boolean enumeration yields one empty tuple.
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
-  ASSERT_TRUE(en->Next(&t));
+  ASSERT_EQ(en->Next(&t), CursorStatus::kOk);
   EXPECT_TRUE(t.empty());
-  EXPECT_FALSE(en->Next(&t));
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);
   e->Apply(UpdateCmd::Delete(tr, {2}));
   EXPECT_FALSE(e->Answer());
 }
@@ -204,23 +204,23 @@ TEST(EngineTest, EmptyEnumerationEmitsEOEImmediately) {
   Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
   auto e = MakeEngine(q);
   Tuple t;
-  auto en = e->NewEnumerator();
-  EXPECT_FALSE(en->Next(&t));
-  EXPECT_FALSE(en->Next(&t));  // stays at EOE
+  auto en = e->NewCursor();
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);
+  EXPECT_EQ(en->Next(&t), CursorStatus::kEnd);  // stays at EOE
 }
 
-TEST(EngineTest, EnumeratorResetRestarts) {
+TEST(EngineTest, CursorResetRestarts) {
   Query q = MustParse("Q(x) :- R(x).");
   auto e = MakeEngine(q);
   e->Apply(UpdateCmd::Insert(0, {1}));
   e->Apply(UpdateCmd::Insert(0, {2}));
-  auto en = e->NewEnumerator();
+  auto en = e->NewCursor();
   Tuple t;
   int first_pass = 0;
-  while (en->Next(&t)) ++first_pass;
-  en->Reset();
+  while (en->Next(&t) == CursorStatus::kOk) ++first_pass;
+  EXPECT_EQ(en->Reset(), CursorStatus::kOk);
   int second_pass = 0;
-  while (en->Next(&t)) ++second_pass;
+  while (en->Next(&t) == CursorStatus::kOk) ++second_pass;
   EXPECT_EQ(first_pass, 2);
   EXPECT_EQ(second_pass, 2);
 }

@@ -98,10 +98,10 @@ TEST_F(Example61Test, Table1EnumerationOrder) {
       {b, g, b, a, h}, {b, g, b, b, d}, {b, g, b, b, g}, {b, g, b, b, h},
       {b, g, b, c, d}, {b, g, b, c, g}, {b, g, b, c, h}};
 
-  auto en = engine_->NewEnumerator();
+  auto en = engine_->NewCursor();
   Tuple t;
   std::size_t i = 0;
-  while (en->Next(&t)) {
+  while (en->Next(&t) == CursorStatus::kOk) {
     ASSERT_LT(i, table1.size());
     ASSERT_EQ(t.size(), 5u);
     EXPECT_EQ(t[0], table1[i][0]) << "tuple " << i;
@@ -173,22 +173,24 @@ TEST_F(Example61Test, DumpShowsWeights) {
 }
 
 TEST_F(Example61Test, NoOpUpdatesDoNothing) {
-  std::uint64_t epoch = engine_->epoch();
+  Revision rev = engine_->revision();
   EXPECT_FALSE(engine_->Apply(UpdateCmd::Insert(e_rel_, {a, e})));
   EXPECT_FALSE(engine_->Apply(UpdateCmd::Delete(e_rel_, {a, p})));
-  EXPECT_EQ(engine_->epoch(), epoch);
+  EXPECT_EQ(engine_->revision(), rev);
   EXPECT_EQ(engine_->Count(), Weight{23});
 }
 
-TEST_F(Example61Test, EnumeratorInvalidatedByUpdate) {
-  auto en = engine_->NewEnumerator();
+TEST_F(Example61Test, CursorInvalidatedByUpdate) {
+  auto en = engine_->NewCursor();
   Tuple t;
-  ASSERT_TRUE(en->Next(&t));
+  ASSERT_EQ(en->Next(&t), CursorStatus::kOk);
   engine_->Apply(UpdateCmd::Insert(e_rel_, {b, p}));
-  EXPECT_THROW(en->Next(&t), std::logic_error);
-  // A fresh enumerator works (the paper's "restart within constant time").
-  auto en2 = engine_->NewEnumerator();
-  EXPECT_TRUE(en2->Next(&t));
+  // Typed status instead of an abort; Reset does not revive it.
+  EXPECT_EQ(en->Next(&t), CursorStatus::kInvalidated);
+  EXPECT_EQ(en->Reset(), CursorStatus::kInvalidated);
+  // A fresh cursor works (the paper's "restart within constant time").
+  auto en2 = engine_->NewCursor();
+  EXPECT_EQ(en2->Next(&t), CursorStatus::kOk);
 }
 
 }  // namespace

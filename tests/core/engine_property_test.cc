@@ -57,9 +57,9 @@ TEST_P(EngineropertyTest, MatchesOracleUnderRandomStreams) {
     std::vector<Tuple> expected = baseline::Evaluate(engine.db(), q);
     std::vector<Tuple> actual;
     OpenHashSet<Tuple, TupleHash> seen;
-    auto en = engine.NewEnumerator();
+    auto en = engine.NewCursor();
     Tuple t;
-    while (en->Next(&t)) {
+    while (en->Next(&t) == CursorStatus::kOk) {
       ASSERT_TRUE(seen.Insert(t)) << "duplicate tuple emitted at step "
                                   << step;
       actual.push_back(t);

@@ -181,7 +181,7 @@ TEST(EngineStressTest, WeightsBeyond64Bits) {
   (void)e;
 }
 
-TEST(EngineStressTest, RapidEpochChurnManyEnumerators) {
+TEST(EngineStressTest, RapidRevisionChurnManyCursors) {
   Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
   auto e = MakeEngine(q);
   Rng rng(4);
@@ -192,9 +192,9 @@ TEST(EngineStressTest, RapidEpochChurnManyEnumerators) {
     e->Apply(rng.Chance(0.6) ? UpdateCmd::Insert(rel, t)
                              : UpdateCmd::Delete(rel, t));
     // Partial enumerations abandoned mid-way must not corrupt anything.
-    auto en = e->NewEnumerator();
+    auto en = e->NewCursor();
     Tuple out;
-    for (int i = 0; i < 3 && en->Next(&out); ++i) {
+    for (int i = 0; i < 3 && en->Next(&out) == CursorStatus::kOk; ++i) {
     }
   }
   ASSERT_TRUE(SameTupleSet(MaterializeResult(*e),

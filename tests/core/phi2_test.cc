@@ -19,7 +19,7 @@ TEST(Phi2EngineTest, EmptyDatabase) {
   EXPECT_FALSE(e.Answer());
   EXPECT_EQ(e.Count(), Weight{0});
   Tuple t;
-  EXPECT_FALSE(e.NewEnumerator()->Next(&t));
+  EXPECT_EQ(e.NewCursor()->Next(&t), CursorStatus::kEnd);
 }
 
 TEST(Phi2EngineTest, NoLoopsMeansEmptyResult) {
@@ -61,10 +61,10 @@ TEST(Phi2EngineTest, NoDuplicatesEmitted) {
     e.Apply(UpdateCmd::Insert(0, t));
   }
   OpenHashSet<Tuple, TupleHash> seen;
-  auto en = e.NewEnumerator();
+  auto en = e.NewCursor();
   Tuple t;
   std::size_t count = 0;
-  while (en->Next(&t)) {
+  while (en->Next(&t) == CursorStatus::kOk) {
     ASSERT_TRUE(seen.Insert(t));
     ++count;
   }
@@ -91,14 +91,14 @@ TEST(Phi2EngineTest, RandomizedDifferentialAgainstOracle) {
   }
 }
 
-TEST(Phi2EngineTest, EnumeratorInvalidatedByUpdate) {
+TEST(Phi2EngineTest, CursorInvalidatedByUpdate) {
   core::Phi2Engine e;
   e.Apply(UpdateCmd::Insert(0, {1, 1}));
-  auto en = e.NewEnumerator();
+  auto en = e.NewCursor();
   Tuple t;
-  ASSERT_TRUE(en->Next(&t));
+  ASSERT_EQ(en->Next(&t), CursorStatus::kOk);
   e.Apply(UpdateCmd::Insert(0, {2, 2}));
-  EXPECT_THROW(en->Next(&t), std::logic_error);
+  EXPECT_EQ(en->Next(&t), CursorStatus::kInvalidated);
 }
 
 TEST(Phi2EngineTest, DeleteOfFirstLoopStillCorrect) {

@@ -10,6 +10,7 @@
 #include "../test_util.h"
 #include "baseline/evaluator.h"
 #include "core/auto_engine.h"
+#include "core/session.h"
 #include "core/engine.h"
 #include "cq/analysis.h"
 #include "cq/homomorphism.h"
@@ -113,8 +114,7 @@ TEST_P(AutoEngineSeedTest, AutoEngineCorrectForAnyQuery) {
   opts.const_arg_prob = 0.0;  // keep oracle results small
   for (int round = 0; round < 10; ++round) {
     Query q = RandomCQ(opts, rng);
-    core::EngineChoice choice = core::CreateMaintainableEngine(q);
-    ASSERT_NE(choice.engine, nullptr);
+    QuerySession session(q);
 
     workload::StreamOptions sopts;
     sopts.seed = rng.Next();
@@ -125,16 +125,16 @@ TEST_P(AutoEngineSeedTest, AutoEngineCorrectForAnyQuery) {
     for (int step = 0; step < 80; ++step) {
       UpdateCmd cmd = gen.Next(static_cast<RelId>(
           step % q.schema().NumRelations()));
-      choice.engine->Apply(cmd);
+      session.Apply(cmd);
       shadow.Apply(cmd);
       if (step % 19 != 0) continue;
       auto expected = baseline::Evaluate(shadow, q);
       ASSERT_TRUE(
-          SameTupleSet(MaterializeResult(*choice.engine), expected))
-          << q.ToString() << " via " << ToString(choice.strategy);
-      ASSERT_EQ(choice.engine->Count(), Weight{expected.size()})
-          << q.ToString() << " via " << ToString(choice.strategy);
-      ASSERT_EQ(choice.engine->Answer(), !expected.empty());
+          SameTupleSet(MaterializeResult(session.engine()), expected))
+          << q.ToString() << " via " << ToString(session.strategy());
+      ASSERT_EQ(session.Count(), Weight{expected.size()})
+          << q.ToString() << " via " << ToString(session.strategy());
+      ASSERT_EQ(session.Answer(), !expected.empty());
     }
   }
 }
@@ -142,20 +142,29 @@ TEST_P(AutoEngineSeedTest, AutoEngineCorrectForAnyQuery) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AutoEngineSeedTest, ::testing::Range(0, 6));
 
 TEST(AutoEngineTest, StrategySelection) {
-  // q-hierarchical -> q-tree engine.
-  auto c1 = core::CreateMaintainableEngine(
-      testing::MustParse("Q(x, y) :- E(x, y), T(y)."));
-  EXPECT_EQ(c1.strategy, core::EngineStrategy::kQTree);
+  // q-hierarchical -> q-tree engine, with the full capability set.
+  QuerySession s1(testing::MustParse("Q(x, y) :- E(x, y), T(y)."));
+  EXPECT_EQ(s1.strategy(), core::EngineStrategy::kQTree);
+  EXPECT_TRUE(s1.capabilities().constant_delay_enumeration);
+  EXPECT_TRUE(s1.capabilities().batch_pipeline);
+  EXPECT_TRUE(s1.capabilities().constant_time_count);
+  EXPECT_TRUE(s1.capabilities().partitionable);
 
   // Non-q-hierarchical with q-hierarchical core -> core engine.
-  auto c2 = core::CreateMaintainableEngine(testing::paper::LoopTriangleBoolean());
-  EXPECT_EQ(c2.strategy, core::EngineStrategy::kQTreeOnCore);
-  EXPECT_EQ(c2.engine->name(), "dyncq");
+  QuerySession s2(testing::paper::LoopTriangleBoolean());
+  EXPECT_EQ(s2.strategy(), core::EngineStrategy::kQTreeOnCore);
+  EXPECT_EQ(s2.engine().name(), "dyncq");
+  // Boolean query: nothing to range-partition.
+  EXPECT_FALSE(s2.capabilities().partitionable);
 
-  // Hard core -> delta-IVM.
-  auto c3 = core::CreateMaintainableEngine(testing::paper::PhiSET());
-  EXPECT_EQ(c3.strategy, core::EngineStrategy::kDeltaIvm);
-  EXPECT_EQ(c3.engine->name(), "delta-ivm");
+  // Hard core -> delta-IVM: reads stay O(1) but no batch pipeline or
+  // partitioning.
+  QuerySession s3(testing::paper::PhiSET());
+  EXPECT_EQ(s3.strategy(), core::EngineStrategy::kDeltaIvm);
+  EXPECT_EQ(s3.engine().name(), "delta-ivm");
+  EXPECT_TRUE(s3.capabilities().constant_time_count);
+  EXPECT_FALSE(s3.capabilities().batch_pipeline);
+  EXPECT_FALSE(s3.capabilities().partitionable);
 }
 
 TEST(AutoEngineTest, CoreEngineMaintainsEquivalentResult) {

@@ -118,10 +118,10 @@ TEST(UnionEngineTest, EnumerationNoDuplicates) {
     engine.Apply(UpdateCmd::Insert(1, {v, v + 100}));  // full overlap
   }
   OpenHashSet<Tuple, TupleHash> seen;
-  auto en = engine.NewEnumerator();
+  auto en = engine.NewCursor();
   Tuple t;
   std::size_t count = 0;
-  while (en->Next(&t)) {
+  while (en->Next(&t) == CursorStatus::kOk) {
     ASSERT_TRUE(seen.Insert(t));
     ++count;
   }
@@ -151,9 +151,9 @@ TEST(UnionEngineTest, RandomizedAgainstOracle) {
     if (step % 13 != 0) continue;
     auto expected = UnionOracle(shadow, uq);
     std::vector<Tuple> got;
-    auto en = engine.NewEnumerator();
+    auto en = engine.NewCursor();
     Tuple t;
-    while (en->Next(&t)) got.push_back(t);
+    while (en->Next(&t) == CursorStatus::kOk) got.push_back(t);
     ASSERT_TRUE(SameTupleSet(got, expected)) << "step " << step;
     ASSERT_EQ(engine.Count(), Weight{expected.size()}) << "step " << step;
     ASSERT_EQ(engine.Answer(), !expected.empty());
