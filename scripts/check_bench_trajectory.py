@@ -15,6 +15,13 @@ committed_ns / (1 - max_regress) — fails the check. Everything else is
 compared report-only. Use --report-only to never fail (e.g. for the
 google-benchmark micro suite, whose absolute numbers are host-bound).
 
+A gated metric that cannot be checked is an explicit FAILURE, never a
+silent pass: missing from the committed baseline (regenerate and commit
+it alongside the change that added the metric), missing from the fresh
+output (the bench stopped emitting it), or unusable in the committed
+file (zero, negative, NaN/inf, or non-numeric). Ungated metrics in those
+states are reported as skips.
+
 Usage:
   scripts/check_bench_trajectory.py COMMITTED.json FRESH.json
       [--max-regress 0.25] [--gate-pattern REGEX] [--report-only]
@@ -22,6 +29,7 @@ Usage:
 
 import argparse
 import json
+import math
 import re
 import sys
 
@@ -29,26 +37,43 @@ DEFAULT_GATE = r"\.(single|batch)_ns_per_update$"
 
 
 def load_metrics(path):
-    """Returns {name: float} for either supported format."""
+    """Returns ({name: float}, {unusable name: reason}) for either
+    supported format. Non-numeric and non-finite values land in the
+    unusable map instead of being silently dropped."""
     with open(path) as f:
         data = json.load(f)
+    out, unusable = {}, {}
     if "benchmarks" in data:  # google-benchmark
-        out = {}
         for b in data["benchmarks"]:
             if b.get("run_type") == "aggregate":
                 continue
+            name = b.get("name")
+            if name is None:
+                continue
             try:
-                out[b["name"]] = float(b["cpu_time"])
+                v = float(b["cpu_time"])
             except (KeyError, TypeError, ValueError):
-                pass
-        return out
-    out = {}
+                unusable[name] = "non-numeric cpu_time"
+                continue
+            if not math.isfinite(v):
+                unusable[name] = f"non-finite cpu_time ({v})"
+                continue
+            out[name] = v
+        return out, unusable
     for k, v in data.items():
         try:
-            out[k] = float(v)
+            v = float(v)
         except (TypeError, ValueError):
-            pass  # string metadata (provenance etc.)
-    return out
+            # String metadata (provenance etc.) is expected and silent —
+            # unless the key looks like a metric, in which case it must
+            # surface as unusable rather than vanish.
+            unusable[k] = f"non-numeric value ({v!r})"
+            continue
+        if not math.isfinite(v):
+            unusable[k] = f"non-finite value ({v})"
+            continue
+        out[k] = v
+    return out, unusable
 
 
 def main():
@@ -64,41 +89,75 @@ def main():
     ap.add_argument("--report-only", action="store_true",
                     help="report all metrics, never fail")
     args = ap.parse_args()
+    if not 0.0 <= args.max_regress < 1.0:
+        ap.error(f"--max-regress must be in [0, 1), got {args.max_regress}")
 
-    committed = load_metrics(args.committed)
-    fresh = load_metrics(args.fresh)
+    committed, committed_bad = load_metrics(args.committed)
+    fresh, fresh_bad = load_metrics(args.fresh)
     gate = re.compile(args.gate_pattern)
     limit = 1.0 / (1.0 - args.max_regress)
 
+    def gated(name):
+        return bool(gate.search(name)) and not args.report_only
+
     failures = []
     shared = sorted(set(committed) & set(fresh))
-    if not shared:
-        print(f"WARNING: no shared metrics between {args.committed} and "
-              f"{args.fresh}; nothing to check")
-        return 0
     print(f"{'metric':58} {'committed':>12} {'fresh':>12} {'ratio':>7}")
     for name in shared:
         old, new = committed[name], fresh[name]
         if old <= 0:
+            msg = (f"{name}: committed value {old} is not a positive "
+                   "ns/op — regenerate and commit the baseline")
+            if gated(name):
+                print(f"{name:58} {old:12.2f} {new:12.2f}      -  "
+                      "UNCHECKABLE (gated)")
+                failures.append(msg)
+            else:
+                print(f"{name:58} {old:12.2f} {new:12.2f}      -  "
+                      "skipped (committed value not positive)")
             continue
         ratio = new / old
-        gated = bool(gate.search(name)) and not args.report_only
         verdict = ""
-        if gated and ratio > limit:
+        if gated(name) and ratio > limit:
             verdict = f"  REGRESSION (>{args.max_regress:.0%} throughput)"
-            failures.append((name, old, new, ratio))
-        elif gated:
+            failures.append(f"{name}: {old:.1f} -> {new:.1f} ns/op "
+                            f"({ratio:.2f}x)")
+        elif gated(name):
             verdict = "  ok"
         print(f"{name:58} {old:12.2f} {new:12.2f} {ratio:6.2f}x{verdict}")
-    for name in sorted(set(committed) ^ set(fresh)):
-        side = "committed only" if name in committed else "fresh only"
-        print(f"{name:58} ({side}; skipped)")
+
+    # Every key that could not be compared — missing or unusable on
+    # either side, in any combination: loud failure for gated metrics,
+    # loud skip for the rest, never a silent pass.
+    all_names = (set(committed) | set(fresh) | set(committed_bad) |
+                 set(fresh_bad))
+    for name in sorted(all_names - set(shared)):
+        parts = []
+        if name not in committed:
+            parts.append("committed: " +
+                         committed_bad.get(name, "missing — regenerate "
+                                           f"and commit {args.committed}"))
+        if name not in fresh:
+            parts.append("fresh: " +
+                         fresh_bad.get(name, "missing — did the bench "
+                                      "stop emitting it?"))
+        desc = "; ".join(parts)
+        if gated(name):
+            print(f"{name:58} FAIL: gated metric uncheckable ({desc})")
+            failures.append(f"{name}: uncheckable ({desc})")
+        else:
+            print(f"{name:58} ({desc}; skipped)")
+
+    if not shared and not failures:
+        print(f"WARNING: no shared metrics between {args.committed} and "
+              f"{args.fresh}; nothing to check")
+        return 0
 
     if failures:
-        print(f"\nFAIL: {len(failures)} gated metric(s) regressed more "
-              f"than {args.max_regress:.0%}:")
-        for name, old, new, ratio in failures:
-            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op ({ratio:.2f}x)")
+        print(f"\nFAIL: {len(failures)} gated metric(s) regressed beyond "
+              f"{args.max_regress:.0%} or could not be checked:")
+        for msg in failures:
+            print(f"  {msg}")
         return 1
     print("\nOK: no gated regression beyond "
           f"{args.max_regress:.0%} of throughput")

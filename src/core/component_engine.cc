@@ -373,15 +373,16 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
 // batch cheaper than its updates applied one by one.
 // ---------------------------------------------------------------------------
 
-void ComponentEngine::MarkDirty(Item* it, int depth) {
+void ComponentEngine::MarkDirty(Item* it, int depth,
+                                std::vector<std::vector<DirtyItem>>& dirty) {
   if (it->batch_stamp == batch_epoch_) return;
   it->batch_stamp = batch_epoch_;
-  dirty_[static_cast<std::size_t>(depth)].push_back(
+  dirty[static_cast<std::size_t>(depth)].push_back(
       DirtyItem{it, it->node, it->weight, it->weight_free});
 }
 
-void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
-  ++batch_epoch_;
+void ComponentEngine::RouteRelGroups(const PendingDelta* deltas,
+                                     std::size_t n) {
   // Route the batch once: per-relation index lists, so each atom only
   // scans its own relation's deltas (self-joins share the list).
   if (rel_groups_.size() < atoms_of_rel_.size()) {
@@ -394,13 +395,18 @@ void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
       rel_groups_[r].push_back(static_cast<std::uint32_t>(i));
     }
   }
+}
+
+void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
+  ++batch_epoch_;
+  RouteRelGroups(deltas, n);
   bool touched = false;
   for (const AtomMeta& am : atom_meta_) {
     batch_scratch_.clear();
     for (std::uint32_t i : rel_groups_[am.rel]) {
       if (MatchesAtom(am, *deltas[i].tuple)) {
         batch_scratch_.push_back(
-            AtomDelta{deltas[i].tuple, i, deltas[i].insert});
+            AtomDelta{deltas[i].tuple, nullptr, i, deltas[i].insert});
       }
     }
     if (batch_scratch_.empty()) continue;
@@ -410,9 +416,126 @@ void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
     // relies on) holds trivially, and the block prefetch sweeps in
     // BatchDescend recover the memory locality a sort would have bought —
     // without the pointer-chasing key comparisons.
-    BatchDescend(am);
+    BatchDescend(am, batch_scratch_, dirty_, /*stripe=*/0,
+                 /*roots_premade=*/false);
   }
-  if (touched) FlushDirty();
+  if (touched) FlushDirty(dirty_, /*stripe=*/0, /*defer_roots=*/nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded batch pipeline (BeginShardedBatch / RunShard / FinishShardedBatch).
+//
+// Ownership argument: a §6.4 walk for a delta on atom ψ starts at the
+// root item keyed by the tuple's root value and never leaves that root's
+// subtree — every item it finds, creates, counts, re-weights, or frees,
+// and every child index and fit list it mutates, lives under that root.
+// Routing deltas by Mix64(root value) % k therefore partitions the item
+// forest: two shards never touch the same item, so phase A needs no
+// locks and phase B needs no cross-shard merge. The only shared
+// structures are the root index (made read-only by pre-creating insert
+// roots up front) and the engine-level root slot (fit list + Cstart
+// sums), whose fix-ups are deferred to the sequential finish pass.
+// ---------------------------------------------------------------------------
+
+void ComponentEngine::BeginShardedBatch(const PendingDelta* deltas,
+                                        std::size_t n, std::size_t shards) {
+  DYNCQ_CHECK(shards >= 1);
+  ++batch_epoch_;
+  num_shards_ = shards;
+  pool_.EnsureStripes(shards);
+  if (shards_.size() < shards) {
+    std::size_t old = shards_.size();
+    shards_.resize(shards);
+    for (std::size_t s = old; s < shards; ++s) {
+      shards_[s].atom_deltas.resize(atom_meta_.size());
+      shards_[s].dirty.resize(dirty_.size());
+    }
+  }
+  RouteRelGroups(deltas, n);
+  for (std::size_t ai = 0; ai < atom_meta_.size(); ++ai) {
+    const AtomMeta& am = atom_meta_[ai];
+    for (std::uint32_t i : rel_groups_[am.rel]) {
+      if (!MatchesAtom(am, *deltas[i].tuple)) continue;
+      const Tuple& t = *deltas[i].tuple;
+      const Value v = t[static_cast<std::size_t>(am.read_pos[0])];
+      const std::size_t s = Mix64(v) % shards;
+      // Resolve (and for inserts, create) the root item now, so workers
+      // never touch the shared root index: the probe the sequential
+      // descent would have spent at level 0 happens here instead — one
+      // root probe per delta either way.
+      Item* root;
+      if (deltas[i].insert) {
+        Item** slot = root_index_.FindOrInsertSlot(v);
+        if (*slot == nullptr) {
+          // The fresh item comes from its owner's stripe; its counts
+          // stay zero until that shard's phase A runs.
+          Item* fresh = pool_.Alloc(
+              static_cast<std::uint32_t>(am.level_node[0]), s);
+          fresh->value = v;
+          fresh->parent = nullptr;
+          *slot = fresh;
+        }
+        root = *slot;
+      } else {
+        root = root_index_.Find(v);
+        DYNCQ_CHECK_MSG(root != nullptr,
+                        "sharded delete routed to a missing root");
+      }
+      shards_[s].atom_deltas[ai].push_back(
+          AtomDelta{deltas[i].tuple, root, i, deltas[i].insert});
+    }
+  }
+}
+
+void ComponentEngine::RunShard(std::size_t s) {
+  DYNCQ_DCHECK(s < num_shards_);
+  ShardState& sh = shards_[s];
+  for (std::size_t ai = 0; ai < atom_meta_.size(); ++ai) {
+    std::vector<AtomDelta>& deltas = sh.atom_deltas[ai];
+    if (deltas.empty()) continue;
+    BatchDescend(atom_meta_[ai], deltas, sh.dirty, s,
+                 /*roots_premade=*/true);
+    deltas.clear();
+  }
+  FlushDirty(sh.dirty, s, &sh.root_fixups);
+}
+
+void ComponentEngine::FinishShardedBatch() {
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    for (const RootFixup& f : shards_[s].root_fixups) {
+      Item* it = f.item;
+      const NodeMeta& nm = node_meta_[it->node];
+      if (!it->in_list && it->weight > 0) {
+        ListPushBack(root_slot_, it);
+      } else if (it->in_list && it->weight == 0) {
+        ListRemove(root_slot_, it);
+      }
+      root_slot_.sum += it->weight - f.pre_weight;  // unsigned wrap exact
+      if (nm.is_free) {
+        root_slot_.sum_free += it->weight_free - f.pre_weight_free;
+      }
+
+      // Step 5 at the root: drop roots no atom supports any more (this
+      // also reaps roots pre-created for inserts that a same-batch
+      // delete pattern drained back to zero).
+      bool all_zero = true;
+      const std::uint64_t* counts = ItemCounts(it);
+      for (int c = 0; c < nm.num_tracked; ++c) {
+        if (counts[c] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        DYNCQ_DCHECK(!it->in_list && it->weight == 0);
+        bool erased = root_index_.Erase(it->value);
+        DYNCQ_CHECK(erased);
+        pool_.Free(it, s);
+      }
+    }
+    shards_[s].root_fixups.clear();
+  }
+  num_shards_ = 0;
 }
 
 // Deltas are consumed in blocks: two prefetch sweeps (root buckets, then
@@ -420,33 +543,46 @@ void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
 // before the serial descents run, so the per-delta latency is the line
 // latency divided by the block's memory-level parallelism rather than a
 // full round-trip per update.
-void ComponentEngine::BatchDescend(const AtomMeta& am) {
+void ComponentEngine::BatchDescend(const AtomMeta& am,
+                                   const std::vector<AtomDelta>& deltas,
+                                   std::vector<std::vector<DirtyItem>>& dirty,
+                                   std::size_t stripe, bool roots_premade) {
   constexpr std::size_t kBatchBlock = 32;
   const std::size_t nd =
       static_cast<std::size_t>(am.leaf_inline ? am.d - 1 : am.d);
   SmallVector<Item*, 8> chain;
   SmallVector<Value, 8> prev_key;
-  for (std::size_t base = 0; base < batch_scratch_.size();
-       base += kBatchBlock) {
-    const std::size_t end =
-        std::min(base + kBatchBlock, batch_scratch_.size());
-    for (std::size_t i = base; i < end; ++i) {
-      root_index_.Prefetch((*batch_scratch_[i].tuple)[
-          static_cast<std::size_t>(am.read_pos[0])]);
+  for (std::size_t base = 0; base < deltas.size(); base += kBatchBlock) {
+    const std::size_t end = std::min(base + kBatchBlock, deltas.size());
+    if (roots_premade) {
+      // Root items are already resolved by the routing pass: one sweep
+      // hints their descent lines directly, no index probes.
+      for (std::size_t i = base; i < end; ++i) {
+        const char* b = reinterpret_cast<const char*>(deltas[i].root);
+        __builtin_prefetch(b + am.level_count_off[0]);
+        if (am.d > 1) __builtin_prefetch(b + am.level_slot_off[1]);
+      }
+    } else {
+      for (std::size_t i = base; i < end; ++i) {
+        root_index_.Prefetch((*deltas[i].tuple)[
+            static_cast<std::size_t>(am.read_pos[0])]);
+      }
+      for (std::size_t i = base; i < end; ++i) {
+        const Item* root = root_index_.Find((*deltas[i].tuple)[
+            static_cast<std::size_t>(am.read_pos[0])]);
+        if (root == nullptr) continue;
+        // Only the two lines the descent itself needs — the weight
+        // fix-up lines are prefetched by FlushDirty's own lookahead, and
+        // issuing them here would exceed the core's miss-level
+        // parallelism.
+        const char* b = reinterpret_cast<const char*>(root);
+        __builtin_prefetch(b + am.level_count_off[0]);
+        if (am.d > 1) __builtin_prefetch(b + am.level_slot_off[1]);
+      }
     }
     for (std::size_t i = base; i < end; ++i) {
-      const Item* root = root_index_.Find((*batch_scratch_[i].tuple)[
-          static_cast<std::size_t>(am.read_pos[0])]);
-      if (root == nullptr) continue;
-      // Only the two lines the descent itself needs — the weight fix-up
-      // lines are prefetched by FlushDirty's own lookahead, and issuing
-      // them here would exceed the core's miss-level parallelism.
-      const char* b = reinterpret_cast<const char*>(root);
-      __builtin_prefetch(b + am.level_count_off[0]);
-      if (am.d > 1) __builtin_prefetch(b + am.level_slot_off[1]);
-    }
-    for (std::size_t i = base; i < end; ++i) {
-      BatchOneDelta(am, batch_scratch_[i], nd, chain, prev_key);
+      BatchOneDelta(am, deltas[i], nd, chain, prev_key, dirty, stripe,
+                    roots_premade);
     }
   }
 }
@@ -454,7 +590,9 @@ void ComponentEngine::BatchDescend(const AtomMeta& am) {
 void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
                                     std::size_t nd,
                                     SmallVector<Item*, 8>& chain,
-                                    SmallVector<Value, 8>& prev_key) {
+                                    SmallVector<Value, 8>& prev_key,
+                                    std::vector<std::vector<DirtyItem>>& dirty,
+                                    std::size_t stripe, bool roots_premade) {
   const Tuple& t = *ad.tuple;
   // Longest prefix shared with the previous delta's path.
   std::size_t lcp = 0;
@@ -465,31 +603,38 @@ void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
   chain.resize(lcp);
   prev_key.resize(lcp);
 
-  // Descend the unshared suffix (deletes must find their items: set
-  // semantics plus per-key order preservation guarantee they exist).
+  // Descend the unshared suffix (deletes must find their items: the
+  // batch fold keeps at most one command per tuple and set semantics
+  // makes an effective delete imply pre-batch presence). In sharded mode
+  // (`roots_premade`) the level-0 probe is a read-only Find for inserts
+  // too — BeginShardedBatch created every root an insert can reach.
   Item* parent = lcp > 0 ? chain[lcp - 1] : nullptr;
   for (std::size_t j = lcp; j < nd; ++j) {
     const Value v = t[static_cast<std::size_t>(am.read_pos[j])];
-    ChildIndex& idx =
-        j == 0 ? root_index_
-               : reinterpret_cast<ChildSlot*>(
-                     reinterpret_cast<char*>(parent) +
-                     am.level_slot_off[j])
-                     ->index;
     Item* it;
-    if (ad.insert) {
-      Item** slot = idx.FindOrInsertSlot(v);
-      if (*slot == nullptr) {
-        Item* fresh =
-            pool_.Alloc(static_cast<std::uint32_t>(am.level_node[j]));
-        fresh->value = v;
-        fresh->parent = parent;
-        *slot = fresh;
-      }
-      it = *slot;
+    if (j == 0 && roots_premade) {
+      it = ad.root;  // resolved by the routing pass, no index probe
     } else {
-      it = idx.Find(v);
-      DYNCQ_CHECK_MSG(it != nullptr, "batch delete hit a missing item");
+      ChildIndex& idx =
+          j == 0 ? root_index_
+                 : reinterpret_cast<ChildSlot*>(
+                       reinterpret_cast<char*>(parent) +
+                       am.level_slot_off[j])
+                       ->index;
+      if (ad.insert) {
+        Item** slot = idx.FindOrInsertSlot(v);
+        if (*slot == nullptr) {
+          Item* fresh = pool_.Alloc(
+              static_cast<std::uint32_t>(am.level_node[j]), stripe);
+          fresh->value = v;
+          fresh->parent = parent;
+          *slot = fresh;
+        }
+        it = *slot;
+      } else {
+        it = idx.Find(v);
+        DYNCQ_CHECK_MSG(it != nullptr, "batch walk hit a missing item");
+      }
     }
     chain.push_back(it);
     prev_key.push_back(v);
@@ -500,7 +645,7 @@ void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
   // phase B.
   for (std::size_t j = 0; j < nd; ++j) {
     Item* it = chain[j];
-    MarkDirty(it, static_cast<int>(j));
+    MarkDirty(it, static_cast<int>(j), dirty);
     std::uint64_t& count = *reinterpret_cast<std::uint64_t*>(
         reinterpret_cast<char*>(it) + am.level_count_off[j]);
     if (ad.insert) {
@@ -543,10 +688,26 @@ void ComponentEngine::FlipLeafEntry(const AtomMeta& am, Item* parent_item,
   }
 }
 
-void ComponentEngine::FlushDirty() {
+void ComponentEngine::FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
+                                 std::size_t stripe,
+                                 std::vector<RootFixup>* defer_roots) {
   constexpr std::size_t kLookahead = 8;
-  for (std::size_t depth = dirty_.size(); depth-- > 0;) {
-    std::vector<DirtyItem>& level = dirty_[depth];
+  for (std::size_t depth = dirty.size(); depth-- > 0;) {
+    std::vector<DirtyItem>& level = dirty[depth];
+    if (depth == 0 && defer_roots != nullptr) {
+      // Sharded mode: the root slot (fit list + Cstart sums) and root
+      // index are shared across shards, so depth-0 items only get their
+      // weights finalized here (their children — same shard — are
+      // already flushed); the slot fix-up and root deletion run in
+      // FinishShardedBatch.
+      for (const DirtyItem& d : level) {
+        RecomputeWeights(d.item, node_meta_[d.node]);
+        defer_roots->push_back(
+            RootFixup{d.item, d.pre_weight, d.pre_weight_free});
+      }
+      level.clear();
+      continue;
+    }
     for (std::size_t i = 0; i < level.size(); ++i) {
       if (i + kLookahead < level.size()) {
         const DirtyItem& ahead = level[i + kLookahead];
@@ -591,10 +752,10 @@ void ComponentEngine::FlushDirty() {
             it->parent != nullptr ? pslot.index : root_index_;
         bool erased = idx.Erase(it->value);
         DYNCQ_CHECK(erased);
-        pool_.Free(it);
+        pool_.Free(it, stripe);
       }
     }
-    dirty_[depth].clear();
+    level.clear();
   }
 }
 

@@ -65,6 +65,27 @@ class ComponentEngine {
   /// (bottom-up) instead of once per update.
   void ApplyBatch(const PendingDelta* deltas, std::size_t n);
 
+  /// Sharded batched §6.4. A delta's whole walk stays inside the subtree
+  /// under its root value, so deltas are routed to shards by
+  /// Mix64(root value) % k and shards never touch each other's items —
+  /// phase B is merge-free per shard. Protocol:
+  ///  1. BeginShardedBatch: routes the effective deltas into per-shard,
+  ///     per-atom queues and pre-creates every root item an insert delta
+  ///     will reach, so the shared root index is strictly read-only
+  ///     while workers run (main thread).
+  ///  2. RunShard(s): phase-A descents plus phase-B fix-ups for every
+  ///     depth below the root; root items get their weights recomputed
+  ///     but their root-slot fix-up deferred. Safe to call from k
+  ///     threads concurrently, one distinct shard each.
+  ///  3. FinishShardedBatch: replays the deferred root-level fit-list /
+  ///     running-sum fix-ups and root deletions in shard order — the
+  ///     root fit list and root index are the only structures shared
+  ///     across shards (main thread, after joining the workers).
+  void BeginShardedBatch(const PendingDelta* deltas, std::size_t n,
+                         std::size_t shards);
+  void RunShard(std::size_t s);
+  void FinishShardedBatch();
+
   /// Pre-sizes the root index for `n` distinct root values (bulk load).
   void ReserveRoot(std::size_t n) { root_index_.Reserve(n); }
 
@@ -192,10 +213,36 @@ class ComponentEngine {
   };
 
   /// One delta routed to a specific atom during a batch (phase A input).
+  /// In sharded mode the routing pass resolves (and for inserts,
+  /// creates) the root item up front and stores it here, so the worker's
+  /// descent never probes the shared root index — one root probe per
+  /// delta total, the same as the sequential pipeline.
   struct AtomDelta {
     const Tuple* tuple = nullptr;
+    Item* root = nullptr;   // pre-resolved root (sharded mode only)
     std::uint32_t seq = 0;  // original batch position (stable tie-break)
     bool insert = true;
+  };
+
+  /// Deferred root-level (depth-0) phase-B fix-up. The owning shard has
+  /// already recomputed the item's weights; FinishShardedBatch applies
+  /// the root-slot list/sum mutation against the recorded pre-batch
+  /// weights.
+  struct RootFixup {
+    Item* item = nullptr;
+    Weight pre_weight = 0;
+    Weight pre_weight_free = 0;
+  };
+
+  /// Everything one shard worker owns during a sharded batch.
+  /// Cache-line aligned: adjacent shards' vector headers are mutated on
+  /// every MarkDirty/push_back of concurrent workers, so letting them
+  /// share a line would coherence-ping-pong the phase-A/B hot loop on a
+  /// multi-core host.
+  struct alignas(64) ShardState {
+    std::vector<std::vector<AtomDelta>> atom_deltas;  // per atom index
+    std::vector<std::vector<DirtyItem>> dirty;        // per q-tree depth
+    std::vector<RootFixup> root_fixups;
   };
 
   void FreeSubtree(Item* it);
@@ -204,12 +251,28 @@ class ComponentEngine {
   bool MatchesAtom(const AtomMeta& am, const Tuple& t) const;
   void FlipLeafEntry(const AtomMeta& am, Item* parent_item, const Tuple& t,
                      bool insert);
-  void BatchDescend(const AtomMeta& am);
+  /// Routes `deltas` into rel_groups_ (per-relation index lists).
+  void RouteRelGroups(const PendingDelta* deltas, std::size_t n);
+  /// Phase A over one atom's delta list. `stripe` selects the ItemPool
+  /// stripe for fresh items; with `roots_premade` the level-0 probe is a
+  /// read-only Find (sharded mode — roots were created up front).
+  void BatchDescend(const AtomMeta& am,
+                    const std::vector<AtomDelta>& deltas,
+                    std::vector<std::vector<DirtyItem>>& dirty,
+                    std::size_t stripe, bool roots_premade);
   void BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
                      std::size_t nd, SmallVector<Item*, 8>& chain,
-                     SmallVector<Value, 8>& prev_key);
-  void FlushDirty();
-  void MarkDirty(Item* it, int depth);
+                     SmallVector<Value, 8>& prev_key,
+                     std::vector<std::vector<DirtyItem>>& dirty,
+                     std::size_t stripe, bool roots_premade);
+  /// Phase B over `dirty`, deepest level first. With `defer_roots` set,
+  /// depth-0 items only get their weights recomputed and are appended to
+  /// `defer_roots` (sharded mode); otherwise the root-slot fix-up runs
+  /// inline (sequential mode).
+  void FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
+                  std::size_t stripe, std::vector<RootFixup>* defer_roots);
+  void MarkDirty(Item* it, int depth,
+                 std::vector<std::vector<DirtyItem>>& dirty);
   void RecomputeWeights(Item* it, const NodeMeta& nm) const;
   void DumpItem(std::ostream& os, const Item* it, int indent) const;
   std::size_t CheckItemRec(const Item* it) const;
@@ -229,6 +292,11 @@ class ComponentEngine {
   std::vector<AtomDelta> batch_scratch_;
   std::vector<std::vector<std::uint32_t>> rel_groups_;  // RelId -> deltas
   std::vector<std::vector<DirtyItem>> dirty_;  // per q-tree depth
+
+  // Sharded pipeline state (scratch, reused across batches). Worker s
+  // only ever touches shards_[s] (and items under its own roots).
+  std::size_t num_shards_ = 0;  // of the batch in flight
+  std::vector<ShardState> shards_;
 };
 
 }  // namespace dyncq::core

@@ -1,7 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "core/cursor.h"
 #include "cq/qtree.h"
@@ -9,7 +13,69 @@
 
 namespace dyncq::core {
 
+// Parked shard workers. Run(fn) executes fn(s) for every worker s and
+// returns once all are done; between runs the workers wait on a
+// generation counter, so a sharded batch costs one condvar wakeup
+// instead of k thread spawns.
+class Engine::ShardPool {
+ public:
+  explicit ShardPool(std::size_t k) {
+    threads_.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      threads_.emplace_back([this, s] { Loop(s); });
+    }
+  }
+
+  ~ShardPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+  void Run(const std::function<void(std::size_t)>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    ++generation_;
+    pending_ = threads_.size();
+    wake_.notify_all();
+    done_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void Loop(std::size_t s) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t)>* fn = fn_;
+      lock.unlock();
+      (*fn)(s);
+      lock.lock();
+      if (--pending_ == 0) done_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
 Engine::Engine(Query q) : query_(std::move(q)), db_(query_.schema()) {}
+
+Engine::~Engine() = default;
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
   if (!IsQHierarchical(q)) {
@@ -93,24 +159,60 @@ bool Engine::Apply(const UpdateCmd& cmd) {
   return true;
 }
 
-std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds) {
+std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds,
+                               const BatchOptions& opts) {
   pending_.clear();
   pending_.reserve(cmds.size());
   constexpr std::size_t kLookahead = 8;
-  for (std::size_t i = 0; i < cmds.size(); ++i) {
-    if (i + kLookahead < cmds.size()) db_.Prefetch(cmds[i + kLookahead]);
-    const UpdateCmd& cmd = cmds[i];
-    if (!db_.Apply(cmd)) continue;  // no-op, absorbed
-    pending_.push_back(PendingDelta{cmd.rel, &cmd.tuple,
-                                    cmd.kind == UpdateKind::kInsert});
+  // In-batch fold: commands superseded by a later command on the same
+  // tuple never reach the database — an inverse insert/delete pair's
+  // dropped half costs zero relation probes. After the fold each tuple
+  // appears at most once in the effective list.
+  if (folder_.Fold(cmds, &kept_)) {
+    for (std::size_t i = 0; i < kept_.size(); ++i) {
+      if (i + kLookahead < kept_.size()) {
+        db_.Prefetch(cmds[kept_[i + kLookahead]]);
+      }
+      const UpdateCmd& cmd = cmds[kept_[i]];
+      if (!db_.Apply(cmd)) continue;  // no-op, absorbed
+      pending_.push_back(PendingDelta{cmd.rel, &cmd.tuple,
+                                      cmd.kind == UpdateKind::kInsert});
+    }
+  } else {
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      if (i + kLookahead < cmds.size()) db_.Prefetch(cmds[i + kLookahead]);
+      const UpdateCmd& cmd = cmds[i];
+      if (!db_.Apply(cmd)) continue;  // no-op, absorbed
+      pending_.push_back(PendingDelta{cmd.rel, &cmd.tuple,
+                                      cmd.kind == UpdateKind::kInsert});
+    }
   }
   if (pending_.empty()) return 0;
   BumpRevision();
   // Every component sees the full effective list; deltas whose relation
   // has no atom in a component are skipped inside its per-atom routing.
-  for (const auto& c : components_) {
-    c->ApplyBatch(pending_.data(), pending_.size());
+  const std::size_t k = opts.shards;
+  if (k <= 1) {
+    for (const auto& c : components_) {
+      c->ApplyBatch(pending_.data(), pending_.size());
+    }
+    return pending_.size();
   }
+
+  // Sharded path: route + root pre-creation on this thread, then one
+  // worker per shard runs phase A and the merge-free per-shard phase B
+  // across ALL components (component structures are disjoint), and the
+  // deferred root-level fix-ups replay sequentially after the join.
+  for (const auto& c : components_) {
+    c->BeginShardedBatch(pending_.data(), pending_.size(), k);
+  }
+  if (shard_pool_ == nullptr || shard_pool_->size() != k) {
+    shard_pool_ = std::make_unique<ShardPool>(k);
+  }
+  shard_pool_->Run([this](std::size_t s) {
+    for (const auto& c : components_) c->RunShard(s);
+  });
+  for (const auto& c : components_) c->FinishShardedBatch();
   return pending_.size();
 }
 

@@ -32,6 +32,8 @@ class Engine final : public DynamicQueryEngine {
   static Result<std::unique_ptr<Engine>> Create(const Query& q,
                                                 const Database& initial);
 
+  ~Engine() override;  // joins the shard worker pool, if one was started
+
   const Query& query() const override { return query_; }
   const Database& db() const override { return db_; }
 
@@ -48,10 +50,21 @@ class Engine final : public DynamicQueryEngine {
 
   bool Apply(const UpdateCmd& cmd) override;
 
-  /// Batched update pipeline: dedups no-ops through the database's set
-  /// semantics, bumps the revision once, and hands every component the
-  /// effective deltas for one shared-descent pass.
-  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) override;
+  /// Batched update pipeline: folds commands superseded within the batch
+  /// (BatchFolder — in-batch inverse pairs cost zero relation probes),
+  /// dedups the remaining no-ops through the database's set semantics,
+  /// bumps the revision once, and hands every component the effective
+  /// deltas. With `opts.shards == 1` the components run the sequential
+  /// shared-descent pass (the deterministic fallback); with `k > 1` the
+  /// phase-A descents are routed by root value onto `k` worker threads
+  /// with a merge-free per-shard phase B (see ComponentEngine's sharded
+  /// protocol) — equivalent final state, thread-count-dependent fit-list
+  /// order.
+  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds,
+                         const BatchOptions& opts) override;
+  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) override {
+    return ApplyBatch(cmds, BatchOptions{});
+  }
 
   /// Linear-time preprocessing (§6.4): reserves relations and root child
   /// indexes from the input sizes, then replays the initial database
@@ -89,6 +102,11 @@ class Engine final : public DynamicQueryEngine {
  private:
   explicit Engine(Query q);
 
+  /// Persistent shard workers: parked between batches so a sharded
+  /// ApplyBatch pays a wakeup, not k thread spawns. Lazily started by
+  /// the first `shards > 1` batch and resized if `shards` changes.
+  class ShardPool;
+
   /// Cursor for one component (range-restricted at the pivot).
   std::unique_ptr<Cursor> NewComponentCursor(std::size_t c,
                                              const Item* root_begin,
@@ -100,6 +118,9 @@ class Engine final : public DynamicQueryEngine {
   std::vector<std::unique_ptr<ComponentEngine>> components_;
   std::vector<std::vector<int>> comps_of_rel_;  // RelId -> component idxs
   std::vector<PendingDelta> pending_;  // batch scratch
+  BatchFolder folder_;                 // batch scratch
+  std::vector<std::uint32_t> kept_;    // batch scratch
+  std::unique_ptr<ShardPool> shard_pool_;
   bool has_free_component_ = false;  // some component has free vars
 };
 

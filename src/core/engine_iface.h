@@ -107,19 +107,43 @@ class DynamicQueryEngine {
   virtual bool Apply(const UpdateCmd& cmd) = 0;
 
   /// Applies a batch of updates and returns the number of effective
-  /// (database-changing) commands. Equivalent to applying the commands in
-  /// order one by one; engines with a real batch pipeline (core::Engine)
-  /// override this to dedup no-ops once, group deltas per relation/atom,
-  /// and share root-path descents. The default is the per-tuple fallback
-  /// used by the recompute / delta-IVM baselines. For in-batch net-delta
-  /// cancellation (inverse insert/delete pairs annihilating before any
-  /// relation probe) stage through UpdateBatch (core/session.h) instead.
-  virtual std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) {
+  /// (database-changing) commands. The final state is exactly the
+  /// ordered replay's, but commands superseded by a later command on the
+  /// same tuple are folded away first (BatchFolder, storage/update.h):
+  /// under set semantics the last command per key forces that tuple's
+  /// final presence, so an in-batch inverse insert/delete pair collapses
+  /// to its second half and the dropped half costs zero relation probes.
+  /// The returned count is the number of database-changing commands
+  /// after folding (every engine folds with the same rule, so the counts
+  /// stay comparable across engines). Engines with a real batch pipeline
+  /// (core::Engine) override this to additionally group deltas per
+  /// relation/atom, share root-path descents, and optionally shard phase
+  /// A across threads (BatchOptions.shards); the default is the
+  /// per-tuple fallback used by the recompute / delta-IVM baselines,
+  /// which applies sequentially regardless of `opts.shards`. For
+  /// unordered-intention semantics (inverse pairs annihilating entirely)
+  /// stage through UpdateBatch (core/session.h) instead.
+  virtual std::size_t ApplyBatch(std::span<const UpdateCmd> cmds,
+                                 const BatchOptions& opts) {
+    (void)opts;  // fallback engines have no sharded pipeline
+    BatchFolder folder;
+    std::vector<std::uint32_t> kept;
     std::size_t effective = 0;
-    for (const UpdateCmd& cmd : cmds) {
-      if (Apply(cmd)) ++effective;
+    if (folder.Fold(cmds, &kept)) {
+      for (std::uint32_t i : kept) {
+        if (Apply(cmds[i])) ++effective;
+      }
+    } else {
+      for (const UpdateCmd& cmd : cmds) {
+        if (Apply(cmd)) ++effective;
+      }
     }
     return effective;
+  }
+
+  /// Single-argument convenience: sequential (shards = 1) application.
+  virtual std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) {
+    return ApplyBatch(cmds, BatchOptions{});
   }
 
   /// Preloads an initial database (the paper's preprocessing phase).
@@ -176,6 +200,9 @@ class DynamicQueryEngine {
   /// pipeline when the engine has one).
   std::size_t ApplyAll(const UpdateStream& stream) {
     return ApplyBatch(std::span<const UpdateCmd>(stream));
+  }
+  std::size_t ApplyAll(const UpdateStream& stream, const BatchOptions& opts) {
+    return ApplyBatch(std::span<const UpdateCmd>(stream), opts);
   }
 
  protected:

@@ -21,21 +21,34 @@ ItemPool::ItemPool(std::vector<std::size_t> num_children,
       num_atoms_(std::move(num_atoms)) {
   DYNCQ_CHECK(num_children_.size() == num_atoms_.size());
   block_size_.resize(num_children_.size());
-  free_lists_.assign(num_children_.size(), nullptr);
   for (std::size_t n = 0; n < num_children_.size(); ++n) {
     std::size_t sz = ItemSlotsOffset(num_atoms_[n]) +
                      num_children_[n] * sizeof(ChildSlot);
     block_size_[n] = AlignUp(sz, alignof(Item));
   }
+  EnsureStripes(1);
 }
 
 ItemPool::~ItemPool() {
-  for (void* c : chunks_) ::operator delete(c);
+  for (const Stripe& s : stripes_) {
+    for (void* c : s.chunks) ::operator delete(c);
+  }
 }
 
-Item* ItemPool::Alloc(std::uint32_t n) {
+void ItemPool::EnsureStripes(std::size_t k) {
+  if (k <= stripes_.size()) return;
+  std::size_t old = stripes_.size();
+  stripes_.resize(k);
+  for (std::size_t s = old; s < k; ++s) {
+    stripes_[s].free_lists.assign(block_size_.size(), nullptr);
+  }
+}
+
+Item* ItemPool::Alloc(std::uint32_t n, std::size_t stripe) {
   DYNCQ_DCHECK(n < block_size_.size());
-  if (free_lists_[n] == nullptr) {
+  DYNCQ_DCHECK(stripe < stripes_.size());
+  Stripe& st = stripes_[stripe];
+  if (st.free_lists[n] == nullptr) {
     // Carve a new chunk into blocks for this node.
     std::size_t bs = block_size_[n];
     static_assert(alignof(Item) <= alignof(std::max_align_t),
@@ -43,13 +56,13 @@ Item* ItemPool::Alloc(std::uint32_t n) {
     char* mem = static_cast<char*>(::operator new(bs * kItemsPerChunk));
     for (std::size_t i = 0; i < kItemsPerChunk; ++i) {
       auto* fn = reinterpret_cast<FreeNode*>(mem + i * bs);
-      fn->next = free_lists_[n];
-      free_lists_[n] = fn;
+      fn->next = st.free_lists[n];
+      st.free_lists[n] = fn;
     }
-    chunks_.push_back(mem);
+    st.chunks.push_back(mem);
   }
-  FreeNode* fn = free_lists_[n];
-  free_lists_[n] = fn->next;
+  FreeNode* fn = st.free_lists[n];
+  st.free_lists[n] = fn->next;
 
   char* base = reinterpret_cast<char*>(fn);
   std::memset(base, 0, block_size_[n]);
@@ -59,11 +72,13 @@ Item* ItemPool::Alloc(std::uint32_t n) {
   for (std::size_t c = 0; c < num_children_[n]; ++c) {
     new (slots + c) ChildSlot();
   }
-  ++live_;
+  ++st.live;
   return it;
 }
 
-void ItemPool::Free(Item* it) {
+void ItemPool::Free(Item* it, std::size_t stripe) {
+  DYNCQ_DCHECK(stripe < stripes_.size());
+  Stripe& st = stripes_[stripe];
   std::uint32_t n = it->node;
   // Child slots own their child index's heap table; an item is only freed
   // once all children are gone, so the indexes are empty but may still
@@ -74,10 +89,9 @@ void ItemPool::Free(Item* it) {
   }
   it->~Item();
   auto* fn = reinterpret_cast<FreeNode*>(it);
-  fn->next = free_lists_[n];
-  free_lists_[n] = fn;
-  DYNCQ_DCHECK(live_ > 0);
-  --live_;
+  fn->next = st.free_lists[n];
+  st.free_lists[n] = fn;
+  --st.live;  // may go negative: items can be freed into another stripe
 }
 
 }  // namespace dyncq::core

@@ -3,6 +3,14 @@
 // All items of a q-tree node have the same block size (header + child
 // slots + atom counts), so a simple free-list pool per node gives O(1)
 // allocation with no per-item malloc churn on the update hot path.
+//
+// The pool is striped for the sharded batch pipeline: every stripe owns
+// its own per-node free lists and chunk list, so k shard workers can
+// Alloc/Free concurrently without locks as long as each worker sticks to
+// its own stripe. Blocks are interchangeable across stripes (the size is
+// a function of the node alone), so an item allocated from one stripe
+// may be freed into another — all that matters is that no two threads
+// touch the same stripe at the same time.
 #ifndef DYNCQ_CORE_ITEM_POOL_H_
 #define DYNCQ_CORE_ITEM_POOL_H_
 
@@ -16,7 +24,7 @@ namespace dyncq::core {
 class ItemPool {
  public:
   /// `num_children[n]` and `num_atoms[n]` give the array sizes for items
-  /// of q-tree node n.
+  /// of q-tree node n. Starts with one stripe (the sequential path).
   ItemPool(std::vector<std::size_t> num_children,
            std::vector<std::size_t> num_atoms);
   ~ItemPool();
@@ -24,25 +32,46 @@ class ItemPool {
   ItemPool(const ItemPool&) = delete;
   ItemPool& operator=(const ItemPool&) = delete;
 
-  /// Allocates a zero-initialized item for node `n`.
-  Item* Alloc(std::uint32_t n);
+  /// Ensures at least `k` stripes exist. Existing stripes keep their
+  /// free lists and chunks. Must not run concurrently with Alloc/Free.
+  void EnsureStripes(std::size_t k);
 
-  /// Returns an item to its node's free list.
-  void Free(Item* it);
+  std::size_t num_stripes() const { return stripes_.size(); }
 
-  std::size_t live_items() const { return live_; }
+  /// Allocates a zero-initialized item for node `n` from `stripe`.
+  /// Thread-safe across DISTINCT stripes only.
+  Item* Alloc(std::uint32_t n, std::size_t stripe = 0);
+
+  /// Returns an item to `stripe`'s free list for its node.
+  /// Thread-safe across DISTINCT stripes only.
+  void Free(Item* it, std::size_t stripe = 0);
+
+  /// Total live items across all stripes. Only meaningful while no
+  /// concurrent Alloc/Free runs (tests and bookkeeping call it between
+  /// batches). Per-stripe counts are signed deltas — an item may be
+  /// freed into a different stripe than it was allocated from — so only
+  /// the sum is a count.
+  std::size_t live_items() const {
+    std::int64_t n = 0;
+    for (const Stripe& s : stripes_) n += s.live;
+    return static_cast<std::size_t>(n);
+  }
 
  private:
   struct FreeNode {
     FreeNode* next;
   };
 
+  struct Stripe {
+    std::vector<FreeNode*> free_lists;  // per node
+    std::vector<void*> chunks;          // owned raw memory
+    std::int64_t live = 0;              // alloc/free delta (may be < 0)
+  };
+
   std::vector<std::size_t> num_children_;
   std::vector<std::size_t> num_atoms_;
   std::vector<std::size_t> block_size_;
-  std::vector<FreeNode*> free_lists_;   // per node
-  std::vector<void*> chunks_;           // owned raw memory
-  std::size_t live_ = 0;
+  std::vector<Stripe> stripes_;
 
   static constexpr std::size_t kItemsPerChunk = 64;
 };

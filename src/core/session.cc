@@ -42,7 +42,7 @@ std::size_t UpdateBatch::Commit() {
   }
   std::size_t effective = 0;
   if (!net.empty()) {
-    effective = engine_->ApplyBatch(std::span<const UpdateCmd>(net));
+    effective = engine_->ApplyBatch(std::span<const UpdateCmd>(net), opts_);
   }
   Abort();
   return effective;

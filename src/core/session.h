@@ -79,7 +79,8 @@ class UpdateBatch {
 
  private:
   friend class QuerySession;
-  explicit UpdateBatch(DynamicQueryEngine* engine) : engine_(engine) {}
+  UpdateBatch(DynamicQueryEngine* engine, BatchOptions opts)
+      : engine_(engine), opts_(opts) {}
 
   void Stage(UpdateCmd cmd);
   static Tuple KeyOf(const UpdateCmd& cmd) {
@@ -94,6 +95,7 @@ class UpdateBatch {
   };
 
   DynamicQueryEngine* engine_;
+  BatchOptions opts_;           // forwarded to the engine on Commit
   std::vector<Staged> staged_;  // staging order preserved for Commit
   OpenHashMap<Tuple, std::uint32_t, TupleHash> index_;  // key -> staged_ idx
   std::size_t live_ = 0;
@@ -130,14 +132,22 @@ class QuerySession {
   // ---- updates ----
   bool Apply(const UpdateCmd& cmd) { return engine_->Apply(cmd); }
   /// Ordered replay of `cmds` through the engine's batch pipeline.
-  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds) {
-    return engine_->ApplyBatch(cmds);
+  /// `opts.shards > 1` shards the phase-A descents across worker threads
+  /// on engines with a sharded pipeline (core::Engine); other engines
+  /// apply sequentially regardless.
+  std::size_t ApplyBatch(std::span<const UpdateCmd> cmds,
+                         const BatchOptions& opts = {}) {
+    return engine_->ApplyBatch(cmds, opts);
   }
-  std::size_t ApplyAll(const UpdateStream& stream) {
-    return engine_->ApplyAll(stream);
+  std::size_t ApplyAll(const UpdateStream& stream,
+                       const BatchOptions& opts = {}) {
+    return engine_->ApplyAll(stream, opts);
   }
-  /// Staged builder with the net-delta pre-pass (see UpdateBatch).
-  UpdateBatch NewBatch() { return UpdateBatch(engine_.get()); }
+  /// Staged builder with the net-delta pre-pass (see UpdateBatch);
+  /// `opts` is forwarded to the engine's batch pipeline on Commit().
+  UpdateBatch NewBatch(const BatchOptions& opts = {}) {
+    return UpdateBatch(engine_.get(), opts);
+  }
 
   // ---- reads ----
   Revision revision() const { return engine_->revision(); }

@@ -25,7 +25,6 @@ bool Relation::SlotEquals(std::size_t i, const Tuple& t) const {
 }
 
 std::size_t Relation::ProbeFor(const Tuple& t) const {
-  ++probes_;
   std::size_t i = static_cast<std::size_t>(Hash(t)) & (cap_ - 1);
   while (slots_[i * arity_] != 0 && !SlotEquals(i, t)) {
     i = (i + 1) & (cap_ - 1);
@@ -62,7 +61,8 @@ bool Relation::Insert(const Tuple& t) {
     Rehash(cap_ * 2);
   }
   std::size_t i = ProbeFor(t);
-  if (slots_[i * arity_] != 0) return false;
+  if (slots_[i * arity_] != 0) return false;  // no-op: probe not charged
+  ++probes_;
   std::memcpy(slots_.get() + i * arity_, t.data(),
               arity_ * sizeof(Value));
   ++size_;
@@ -79,7 +79,8 @@ bool Relation::Erase(const Tuple& t) {
   }
   if (cap_ == 0) return false;
   std::size_t i = ProbeFor(t);
-  if (slots_[i * arity_] == 0) return false;
+  if (slots_[i * arity_] == 0) return false;  // no-op: probe not charged
+  ++probes_;
   EraseSlot(i);
   return true;
 }

@@ -81,10 +81,15 @@ class Relation {
     std::size_t i_;
   };
 
-  /// Number of hash probes (Contains/Insert/Erase lookups) this relation
-  /// has ever run. Batch pipelines use the delta of this counter to
-  /// prove work was avoided (e.g. the UpdateBatch net-delta pre-pass
-  /// cancelling inverse pairs before any probe).
+  /// Number of hash probes charged to database-changing operations
+  /// (effective Insert/Erase). Batch pipelines use the delta of this
+  /// counter to prove work was avoided (e.g. the UpdateBatch net-delta
+  /// pre-pass cancelling inverse pairs before any probe, or the ordered
+  /// ApplyBatch fold dropping superseded commands). No-op commands —
+  /// re-inserting a present tuple, deleting an absent one, exactly what
+  /// StreamOptions.noop_ratio generates — short-circuit before a probe
+  /// is charged, as do read-only Contains lookups, so deliberate no-ops
+  /// in a stream do not pollute the zero-probe accounting.
   std::uint64_t probe_count() const { return probes_; }
 
   const_iterator begin() const { return const_iterator(this, 0); }

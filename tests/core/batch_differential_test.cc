@@ -118,6 +118,79 @@ TEST(BatchDifferentialTest, ConstantsAndRepeatedVariables) {
                   9);
 }
 
+// ---------------------------------------------------------------------------
+// Ordered-batch fold (satellite of the sharded-ingestion PR): commands
+// superseded within the batch never reach the database.
+// ---------------------------------------------------------------------------
+
+TEST(OrderedBatchFoldTest, InBatchInversePairsCostZeroProbes) {
+  // A batch of N insert-then-delete pairs on fresh tuples folds to N
+  // no-op deletes: zero relation probes are charged, the revision does
+  // not move, and the resident state is untouched.
+  Query q = MustParse("Q(x, y) :- R(x, y), S(x, z).");
+  auto e = core::Engine::Create(q);
+  ASSERT_TRUE(e.ok());
+  core::Engine& engine = *e.value();
+  engine.Apply(UpdateCmd::Insert(0, {500, 501}));  // resident state
+  engine.Apply(UpdateCmd::Insert(1, {500, 502}));
+
+  const std::uint64_t probes_before = engine.db().TotalRelationProbes();
+  const Revision rev_before = engine.revision();
+
+  UpdateStream batch;
+  for (Value v = 1; v <= 128; ++v) {
+    batch.push_back(UpdateCmd::Insert(0, {v, v + 1}));
+    batch.push_back(UpdateCmd::Delete(0, {v, v + 1}));
+    batch.push_back(UpdateCmd::Insert(1, {v, v + 2}));
+    batch.push_back(UpdateCmd::Delete(1, {v, v + 2}));
+  }
+  EXPECT_EQ(engine.ApplyBatch(std::span<const UpdateCmd>(batch)), 0u);
+  EXPECT_EQ(engine.db().TotalRelationProbes(), probes_before);
+  EXPECT_TRUE(engine.revision() == rev_before);
+  EXPECT_EQ(engine.Count(), Weight{1});
+  engine.component(0).CheckInvariants();
+}
+
+TEST(OrderedBatchFoldTest, FoldKeepsOrderedReplaySemantics) {
+  // Unlike UpdateBatch's unordered-intention annihilation, the ordered
+  // fold keeps the pair's FINAL command: "insert t; delete t" on a
+  // resident t must still delete t.
+  Query q = MustParse("Q(x) :- R(x).");
+  auto e = core::Engine::Create(q);
+  ASSERT_TRUE(e.ok());
+  core::Engine& engine = *e.value();
+  engine.Apply(UpdateCmd::Insert(0, {7}));
+
+  UpdateStream batch{UpdateCmd::Insert(0, {7}), UpdateCmd::Delete(0, {7})};
+  EXPECT_EQ(engine.ApplyBatch(std::span<const UpdateCmd>(batch)), 1u);
+  EXPECT_FALSE(engine.Answer());  // replay semantics: 7 is gone
+
+  // Conversely "delete t; insert t" on a resident t folds to a no-op
+  // re-insert: state unchanged and no probe charged.
+  engine.Apply(UpdateCmd::Insert(0, {9}));
+  const std::uint64_t probes_before = engine.db().TotalRelationProbes();
+  UpdateStream batch2{UpdateCmd::Delete(0, {9}), UpdateCmd::Insert(0, {9})};
+  EXPECT_EQ(engine.ApplyBatch(std::span<const UpdateCmd>(batch2)), 0u);
+  EXPECT_TRUE(engine.Answer());
+  EXPECT_EQ(engine.db().TotalRelationProbes(), probes_before);
+}
+
+TEST(OrderedBatchFoldTest, LaterCommandOnTupleSupersedesEarlierOnes) {
+  // Per-key fold keeps only the last command even across interleavings:
+  // [I a, I b, D a, D b, I a] nets to {a present, b absent}.
+  Query q = MustParse("Q(x) :- R(x).");
+  auto e = core::Engine::Create(q);
+  ASSERT_TRUE(e.ok());
+  core::Engine& engine = *e.value();
+  UpdateStream batch{UpdateCmd::Insert(0, {1}), UpdateCmd::Insert(0, {2}),
+                     UpdateCmd::Delete(0, {1}), UpdateCmd::Delete(0, {2}),
+                     UpdateCmd::Insert(0, {1})};
+  EXPECT_EQ(engine.ApplyBatch(std::span<const UpdateCmd>(batch)), 1u);
+  EXPECT_EQ(engine.Count(), Weight{1});
+  EXPECT_TRUE(engine.db().relation(0).Contains({1}));
+  EXPECT_FALSE(engine.db().relation(0).Contains({2}));
+}
+
 TEST(BatchDifferentialTest, LargeSingleBatchOnEmptyEngine) {
   // Whole-stream ingestion as one batch (the bulk-load path).
   Query q = MustParse("Q(x, y, z) :- R(x, y), S(y, z).");

@@ -6,6 +6,7 @@
 #include "storage/dictionary.h"
 #include "storage/relation.h"
 #include "storage/update.h"
+#include "workload/stream_gen.h"
 
 namespace dyncq {
 namespace {
@@ -20,6 +21,62 @@ TEST(RelationTest, InsertContainsErase) {
   EXPECT_TRUE(r.Erase({1, 2}));
   EXPECT_FALSE(r.Erase({1, 2}));
   EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationProbeAccountingTest, NoopOperationsChargeNoProbes) {
+  // probe_count measures probes spent on database-changing work: no-op
+  // re-inserts / absent-tuple deletes and read-only Contains lookups
+  // short-circuit before a probe is charged (the zero-probe batch tests
+  // rely on this accounting staying clean under deliberate no-ops).
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({3, 4}));
+  const std::uint64_t after_inserts = r.probe_count();
+  EXPECT_EQ(after_inserts, 2u);
+
+  EXPECT_FALSE(r.Insert({1, 2}));   // no-op re-insert
+  EXPECT_FALSE(r.Erase({9, 9}));    // no-op delete of an absent tuple
+  EXPECT_TRUE(r.Contains({1, 2}));  // read-only lookup
+  EXPECT_FALSE(r.Contains({5, 5}));
+  EXPECT_EQ(r.probe_count(), after_inserts);
+
+  EXPECT_TRUE(r.Erase({1, 2}));  // effective: charged
+  EXPECT_EQ(r.probe_count(), after_inserts + 1);
+}
+
+TEST(RelationProbeAccountingTest, NoopRatioStreamChargesNoProbes) {
+  // Regression: a StreamOptions.noop_ratio stream of deliberate no-ops
+  // (here: deletes of absent tuples — the generator has no live tuples,
+  // so every command it emits is one) must leave the database's probe
+  // accounting untouched.
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("R", 2).value();
+  schema->AddRelation("S", 1).value();
+  Database db(*schema);
+  // Resident tuples on values disjoint from the generator's domain.
+  for (Value v = 1001; v <= 1040; ++v) {
+    db.Insert(0, {v, v + 1});
+    db.Insert(1, {v});
+  }
+  const std::uint64_t probes_before = db.TotalRelationProbes();
+
+  workload::StreamOptions opts;
+  opts.seed = 5;
+  opts.domain_size = 100;
+  opts.noop_ratio = 1.0;
+  workload::StreamGenerator gen(
+      std::const_pointer_cast<const Schema>(schema), opts);
+  for (const UpdateCmd& cmd : gen.Take(400)) {
+    EXPECT_FALSE(db.Apply(cmd)) << UpdateToString(cmd, "R/S");
+  }
+  EXPECT_EQ(db.TotalRelationProbes(), probes_before);
+
+  // Re-inserting resident tuples (the generator's other no-op flavor) is
+  // equally free.
+  for (Value v = 1001; v <= 1040; ++v) {
+    EXPECT_FALSE(db.Apply(UpdateCmd::Insert(0, {v, v + 1})));
+  }
+  EXPECT_EQ(db.TotalRelationProbes(), probes_before);
 }
 
 TEST(RelationTest, ArityMismatchThrows) {
