@@ -84,6 +84,78 @@ void BM_RelationInsertContains(benchmark::State& state) {
 }
 BENCHMARK(BM_RelationInsertContains);
 
+// ---------------------------------------------------------------------
+// Relation probe micro: the swiss-table's per-probe cost by outcome at
+// 4k / 64k active-domain sizes (the per-command relation probe is the
+// dominant surviving cost of ordered-replay batches). Hits confirm one
+// H2 metadata match against tuple words; misses usually terminate on
+// the metadata group alone; erase+reinsert cycles the tombstone /
+// group-reclaim path. Report-only in the trajectory gate for now — see
+// E12_RELATION_PROBE in scripts/check_bench_trajectory.py, which the
+// next PR can promote to gated once this baseline has been committed.
+// ---------------------------------------------------------------------
+
+std::vector<Tuple> FillRelation(Relation* r, std::size_t n,
+                                std::uint64_t seed) {
+  // Distinct arity-2 tuples over an n-value domain ([1, n]: Value 0 is
+  // reserved engine-wide).
+  Rng rng(seed);
+  std::vector<Tuple> stored;
+  stored.reserve(n);
+  r->Reserve(n);
+  while (stored.size() < n) {
+    Tuple t{rng.Below(n) + 1, rng.Below(n) + 1};
+    if (r->Insert(t)) stored.push_back(t);
+  }
+  return stored;
+}
+
+void BM_RelationProbeHit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation r(2);
+  std::vector<Tuple> stored = FillRelation(&r, n, 11);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(stored[i]));
+    if (++i == stored.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelationProbeHit)->Arg(4096)->Arg(65536);
+
+void BM_RelationProbeMiss(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation r(2);
+  FillRelation(&r, n, 11);
+  // Probe tuples from the disjoint value range (n, 2n]: never stored.
+  Rng rng(12);
+  std::vector<Tuple> absent;
+  absent.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    absent.push_back(Tuple{n + rng.Below(n) + 1, n + rng.Below(n) + 1});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(absent[i]));
+    if (++i == absent.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelationProbeMiss)->Arg(4096)->Arg(65536);
+
+void BM_RelationProbeEraseInsert(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation r(2);
+  std::vector<Tuple> stored = FillRelation(&r, n, 11);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Steady-state churn: one effective erase + one effective reinsert
+    // per iteration, at constant live size.
+    benchmark::DoNotOptimize(r.Erase(stored[i]));
+    benchmark::DoNotOptimize(r.Insert(stored[i]));
+    if (++i == stored.size()) i = 0;
+  }
+}
+BENCHMARK(BM_RelationProbeEraseInsert)->Arg(4096)->Arg(65536);
+
 void BM_EngineUpdate(benchmark::State& state) {
   Query q = Parse("Q(x, y, z) :- R(x, y), S(x, z).");
   auto engine = core::Engine::Create(q);

@@ -35,6 +35,15 @@ import sys
 
 DEFAULT_GATE = r"\.(single|batch)_ns_per_update$"
 
+# Registered report-only, promotion candidate for the next PR: the E12
+# relation probe micro numbers (swiss-table hit/miss/erase-insert at
+# 4k/64k adom, bench/bench_e12_micro.cc). A gated metric needs a
+# committed same-host baseline to diff against, so they ride one PR
+# report-only; to promote, fold this pattern into DEFAULT_GATE (or pass
+# --gate-pattern "<DEFAULT_GATE>|<E12_RELATION_PROBE>") in the CI step
+# that compares BENCH_e12.json.
+E12_RELATION_PROBE = r"^BM_RelationProbe(Hit|Miss|EraseInsert)/\d+$"
+
 
 def load_metrics(path):
     """Returns ({name: float}, {unusable name: reason}) for either

@@ -47,8 +47,9 @@ class Database {
   /// tuples.
   void Reserve(RelId rel, std::size_t n);
 
-  /// Hints the hash bucket `cmd` will probe into cache; used by batch
-  /// loops to look ahead.
+  /// Hints the lines `cmd` will probe into cache (the relation's
+  /// metadata group first, then the first line of its tuple words — see
+  /// Relation::Prefetch); used by batch loops to look ahead.
   void Prefetch(const UpdateCmd& cmd) const {
     relations_[cmd.rel].Prefetch(cmd.tuple);
   }

@@ -1,42 +1,163 @@
 #include "storage/relation.h"
 
+#include <bit>
+#include <climits>
 #include <cstring>
+#include <new>
 
 #include "util/check.h"
+
+// Define DYNCQ_FORCE_SWAR_GROUP to compile the portable word-parallel
+// group scan on SSE2 hosts too (used to test the fallback on x86).
+#if defined(__SSE2__) && !defined(DYNCQ_FORCE_SWAR_GROUP)
+#define DYNCQ_GROUP_SSE2 1
+#include <emmintrin.h>
+#endif
 
 namespace dyncq {
 
 namespace {
 
+/// Largest power-of-two slot count representable in size_t; capacity
+/// requests beyond it are unrepresentable (DCHECK) and clamp here so
+/// release builds fail with a thrown allocation error instead of the
+/// previous overflow / infinite `c <<= 1` loop.
+constexpr std::size_t kMaxCapacity = (SIZE_MAX >> 1) + 1;
+
 std::size_t NormalizeCapacity(std::size_t n) {
-  std::size_t c = 8;
-  while (c < n) c <<= 1;
-  return c;
+  constexpr std::size_t kMinCapacity = 16;  // one metadata group
+  if (n <= kMinCapacity) return kMinCapacity;
+  DYNCQ_DCHECK(n <= kMaxCapacity);
+  if (n > kMaxCapacity) return kMaxCapacity;
+  return std::bit_ceil(n);
 }
+
+/// One 16-slot metadata group. Match* return a bitmask with bit i set
+/// for slot i of the group. SSE2 compares all 16 bytes in two
+/// instructions; the portable fallback runs the same comparisons
+/// word-parallel on two 64-bit halves (the zero-byte trick
+/// `(v - lows) & ~v & highs` is exact, and multiplying the 0x80 flags
+/// by 0x0002040810204081 packs them into the top byte, i.e. a scalar
+/// movemask).
+struct Group {
+#if defined(DYNCQ_GROUP_SSE2)
+  explicit Group(const std::uint8_t* p)
+      : ctrl(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))) {}
+
+  std::uint32_t Match(std::uint8_t h2) const {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(ctrl, _mm_set1_epi8(static_cast<char>(h2)))));
+  }
+  std::uint32_t MatchEmpty() const { return Match(0x80); }  // kMetaEmpty
+  /// Empty or tombstone: exactly the bytes with the high bit set.
+  std::uint32_t MatchEmptyOrDeleted() const {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(ctrl));
+  }
+
+  __m128i ctrl;
+#else
+  explicit Group(const std::uint8_t* p) {
+    std::memcpy(&lo, p, 8);
+    std::memcpy(&hi, p + 8, 8);
+  }
+
+  static std::uint64_t Broadcast(std::uint8_t b) {
+    return 0x0101010101010101ULL * b;
+  }
+  static std::uint64_t ZeroBytes(std::uint64_t v) {
+    return (v - 0x0101010101010101ULL) & ~v & 0x8080808080808080ULL;
+  }
+  static std::uint32_t PackHighBits(std::uint64_t m) {
+    return static_cast<std::uint32_t>(
+        ((m & 0x8080808080808080ULL) * 0x0002040810204081ULL) >> 56);
+  }
+
+  std::uint32_t Match(std::uint8_t h2) const {
+    const std::uint64_t b = Broadcast(h2);
+    return PackHighBits(ZeroBytes(lo ^ b)) |
+           (PackHighBits(ZeroBytes(hi ^ b)) << 8);
+  }
+  std::uint32_t MatchEmpty() const { return Match(0x80); }
+  std::uint32_t MatchEmptyOrDeleted() const {
+    return PackHighBits(lo) | (PackHighBits(hi) << 8);
+  }
+
+  std::uint64_t lo, hi;
+#endif
+};
 
 }  // namespace
 
-bool Relation::SlotEquals(std::size_t i, const Tuple& t) const {
+bool Relation::SlotEquals(std::size_t i, const Value* key) const {
   const Value* s = slots_.get() + i * arity_;
   for (std::size_t p = 0; p < arity_; ++p) {
-    if (s[p] != t[p]) return false;
+    if (s[p] != key[p]) return false;
   }
   return true;
 }
 
-std::size_t Relation::ProbeFor(const Tuple& t) const {
-  std::size_t i = static_cast<std::size_t>(Hash(t)) & (cap_ - 1);
-  while (slots_[i * arity_] != 0 && !SlotEquals(i, t)) {
-    i = (i + 1) & (cap_ - 1);
+std::size_t Relation::FindSlot(const Tuple& t, std::uint64_t h) const {
+  const std::uint8_t h2 = H2(h);
+  const std::size_t group_mask = num_groups() - 1;
+  std::size_t g = GroupFor(h);
+  while (true) {
+    Group grp(meta_.get() + g * kGroupWidth);
+    for (std::uint32_t m = grp.Match(h2); m != 0; m &= m - 1) {
+      const std::size_t i =
+          g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+      if (SlotEquals(i, t.data())) return i;
+    }
+    // An empty byte ends every probe sequence: occupancy is capped at
+    // 7/8, and a group's empty bytes never vanish between rehashes
+    // without the group being probed through while full.
+    if (grp.MatchEmpty() != 0) return kNoSlot;
+    g = (g + 1) & group_mask;
   }
-  return i;
+}
+
+Relation::ProbeResult Relation::FindOrPrepareInsert(
+    const Tuple& t, std::uint64_t h) const {
+  const std::uint8_t h2 = H2(h);
+  const std::size_t group_mask = num_groups() - 1;
+  std::size_t g = GroupFor(h);
+  std::size_t insert_slot = kNoSlot;
+  while (true) {
+    Group grp(meta_.get() + g * kGroupWidth);
+    for (std::uint32_t m = grp.Match(h2); m != 0; m &= m - 1) {
+      const std::size_t i =
+          g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+      if (SlotEquals(i, t.data())) return {i, true};
+    }
+    if (insert_slot == kNoSlot) {
+      const std::uint32_t m = grp.MatchEmptyOrDeleted();
+      if (m != 0) {
+        insert_slot =
+            g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+      }
+    }
+    if (grp.MatchEmpty() != 0) return {insert_slot, false};
+    g = (g + 1) & group_mask;
+  }
+}
+
+std::size_t Relation::FindInsertSlot(std::uint64_t h) const {
+  const std::size_t group_mask = num_groups() - 1;
+  std::size_t g = GroupFor(h);
+  while (true) {
+    Group grp(meta_.get() + g * kGroupWidth);
+    const std::uint32_t m = grp.MatchEmptyOrDeleted();
+    if (m != 0) {
+      return g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+    }
+    g = (g + 1) & group_mask;
+  }
 }
 
 bool Relation::Contains(const Tuple& t) const {
   DYNCQ_DCHECK(t.size() == arity_);
   if (arity_ == 0) return has_empty_tuple_;
   if (cap_ == 0) return false;
-  return slots_[ProbeFor(t) * arity_] != 0;
+  return FindSlot(t, Hash(t)) != kNoSlot;
 }
 
 bool Relation::Insert(const Tuple& t) {
@@ -47,23 +168,32 @@ bool Relation::Insert(const Tuple& t) {
     size_ = 1;
     return true;
   }
-  // Value 0 is the engine-wide empty-slot sentinel: both this table
-  // (first word) and the core engine's ChildIndex (any key position)
-  // would be corrupted by it, so reject it in every position.
+  // Value 0 is the engine-wide reserved sentinel: the core engine's
+  // ChildIndex would be corrupted by it in any key position, so it is
+  // rejected here even though this table's metadata layout no longer
+  // needs an in-slot sentinel.
   for (std::size_t p = 0; p < arity_; ++p) {
     DYNCQ_CHECK_MSG(t[p] != 0,
                     "value 0 is reserved (util/types.h) and cannot be "
                     "stored");
   }
-  if (cap_ == 0) {
-    Rehash(8);
-  } else if ((size_ + 1) * 4 >= cap_ * 3) {
-    Rehash(cap_ * 2);
+  if (cap_ == 0) Rehash(NormalizeCapacity(0));
+  const std::uint64_t h = Hash(t);
+  // Probe for presence BEFORE any growth decision: a duplicate insert
+  // must be side-effect-free (the pre-swiss table grew first and could
+  // allocate + rehash on a no-op at the load threshold).
+  ProbeResult pr = FindOrPrepareInsert(t, h);
+  if (pr.found) return false;  // no-op: probe not charged
+  bool into_empty = meta_[pr.slot] == kMetaEmpty;
+  if (into_empty && size_ + tombstones_ + 1 > MaxOccupancy(cap_)) {
+    Rehash(GrownCapacity());
+    pr.slot = FindInsertSlot(h);
+    into_empty = true;  // a fresh table has no tombstones
   }
-  std::size_t i = ProbeFor(t);
-  if (slots_[i * arity_] != 0) return false;  // no-op: probe not charged
   ++probes_;
-  std::memcpy(slots_.get() + i * arity_, t.data(),
+  if (!into_empty) --tombstones_;
+  meta_[pr.slot] = H2(h);
+  std::memcpy(slots_.get() + pr.slot * arity_, t.data(),
               arity_ * sizeof(Value));
   ++size_;
   return true;
@@ -78,33 +208,25 @@ bool Relation::Erase(const Tuple& t) {
     return true;
   }
   if (cap_ == 0) return false;
-  std::size_t i = ProbeFor(t);
-  if (slots_[i * arity_] == 0) return false;  // no-op: probe not charged
+  const std::size_t i = FindSlot(t, Hash(t));
+  if (i == kNoSlot) return false;  // no-op: probe not charged
   ++probes_;
-  EraseSlot(i);
-  return true;
-}
-
-/// Backward-shift deletion: closes the probe-sequence gap left at `i`.
-void Relation::EraseSlot(std::size_t i) {
-  slots_[i * arity_] = 0;
-  --size_;
-  const std::size_t mask = cap_ - 1;
-  std::size_t j = i;
-  while (true) {
-    j = (j + 1) & mask;
-    if (slots_[j * arity_] == 0) return;
-    std::size_t k = static_cast<std::size_t>(HashSlot(j)) & mask;
-    // The entry at j may move back to the hole at i iff its ideal slot k
-    // does not lie cyclically strictly between i and j.
-    bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
-    if (movable) {
-      std::memcpy(slots_.get() + i * arity_, slots_.get() + j * arity_,
-                  arity_ * sizeof(Value));
-      slots_[j * arity_] = 0;
-      i = j;
-    }
+  // Tombstone, unless the slot's group still has an empty byte: then no
+  // probe sequence has ever continued past this group since the last
+  // rehash (inserts stop at the first group with an empty byte, and a
+  // group that runs out of empty bytes can only regain them here, which
+  // requires one to still exist), so the slot can revert to empty and
+  // lookups keep terminating early. Low-churn tables stay tombstone-free
+  // this way; saturated ones amortize the purge into the next rehash.
+  const std::size_t group_base = (i / kGroupWidth) * kGroupWidth;
+  if (Group(meta_.get() + group_base).MatchEmpty() != 0) {
+    meta_[i] = kMetaEmpty;
+  } else {
+    meta_[i] = kMetaDeleted;
+    ++tombstones_;
   }
+  --size_;
+  return true;
 }
 
 void Relation::Clear() {
@@ -114,28 +236,65 @@ void Relation::Clear() {
     return;
   }
   if (cap_ > 0) {
-    std::memset(slots_.get(), 0, cap_ * arity_ * sizeof(Value));
+    std::memset(meta_.get(), kMetaEmpty, cap_);
   }
   size_ = 0;
+  tombstones_ = 0;
 }
 
 void Relation::Reserve(std::size_t n) {
   if (arity_ == 0) return;
-  std::size_t want = NormalizeCapacity(n * 4 / 3 + 1);
+  // The growth threshold trips on occupancy (live + tombstones), so the
+  // target counts current tombstones too: a Reserve(n)-backed fill of n
+  // live tuples then never rehashes mid-fill. Capacity keeps the target
+  // under 7/8: cap >= ceil(8*target/7), computed additively so nothing
+  // overflows before the representability check (the old `n * 4 / 3 + 1`
+  // wrapped near SIZE_MAX and then fed an infinite `c <<= 1` loop).
+  DYNCQ_DCHECK(n <= SIZE_MAX - tombstones_);  // unrepresentable request
+  const std::size_t target =
+      n <= SIZE_MAX - tombstones_ ? n + tombstones_ : SIZE_MAX;
+  std::size_t want = target + target / 7 + 1;
+  DYNCQ_DCHECK(want > target);  // unrepresentable request
+  if (want < target) want = kMaxCapacity;
+  want = NormalizeCapacity(want);
   if (want > cap_) Rehash(want);
 }
 
+std::size_t Relation::GrownCapacity() const {
+  if (size_ * 2 <= cap_) return cap_;  // purge tombstones in place
+  DYNCQ_DCHECK(cap_ <= kMaxCapacity / 2);
+  return cap_ < kMaxCapacity ? cap_ * 2 : cap_;
+}
+
 void Relation::Rehash(std::size_t new_cap) {
-  std::unique_ptr<Value[]> old = std::move(slots_);
-  std::size_t old_cap = cap_;
-  slots_ = std::make_unique<Value[]>(new_cap * arity_);  // zero = empty
+  // Allocate the new arrays BEFORE touching the published state: the
+  // clamp path for unrepresentable Reserve requests deliberately ends
+  // in a thrown allocation error in release builds, and that throw must
+  // leave the table intact (old contents, consistent cap_), not point a
+  // non-zero cap_ at null arrays. The word count is overflow-checked
+  // for the same reason — a wrapped multiply would "succeed" with a
+  // tiny allocation and corrupt the heap instead of throwing.
+  DYNCQ_DCHECK(arity_ > 0);  // nullary relations never rehash
+  DYNCQ_DCHECK(new_cap <= SIZE_MAX / arity_);
+  if (new_cap > SIZE_MAX / arity_) throw std::bad_alloc();
+  auto new_meta = std::make_unique<std::uint8_t[]>(new_cap);
+  std::memset(new_meta.get(), kMetaEmpty, new_cap);
+  // Slot words are gated by the metadata bytes, so they need no
+  // initialization.
+  auto new_slots = std::make_unique_for_overwrite<Value[]>(new_cap * arity_);
+  std::unique_ptr<std::uint8_t[]> old_meta = std::move(meta_);
+  std::unique_ptr<Value[]> old_slots = std::move(slots_);
+  const std::size_t old_cap = cap_;
+  meta_ = std::move(new_meta);
+  slots_ = std::move(new_slots);
   cap_ = new_cap;
-  const std::size_t mask = cap_ - 1;
+  tombstones_ = 0;
   for (std::size_t i = 0; i < old_cap; ++i) {
-    const Value* s = old.get() + i * arity_;
-    if (s[0] == 0) continue;
-    std::size_t j = static_cast<std::size_t>(HashWords(s, arity_)) & mask;
-    while (slots_[j * arity_] != 0) j = (j + 1) & mask;
+    if (!MetaIsFull(old_meta[i])) continue;
+    const Value* s = old_slots.get() + i * arity_;
+    const std::uint64_t h = HashWords(s, arity_);
+    const std::size_t j = FindInsertSlot(h);
+    meta_[j] = H2(h);
     std::memcpy(slots_.get() + j * arity_, s, arity_ * sizeof(Value));
   }
 }

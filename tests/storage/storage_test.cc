@@ -79,6 +79,78 @@ TEST(RelationProbeAccountingTest, NoopRatioStreamChargesNoProbes) {
   EXPECT_EQ(db.TotalRelationProbes(), probes_before);
 }
 
+TEST(RelationTest, NoopInsertIsSideEffectFreeAtEveryFillLevel) {
+  // Regression: the pre-swiss table decided growth BEFORE probing for
+  // presence, so a duplicate insert arriving exactly at the load-factor
+  // threshold allocated and rehashed — a side effect on a no-op,
+  // violating the class contract. Re-inserting a resident tuple after
+  // every effective insert sweeps the duplicate across every fill level
+  // (including each growth threshold): capacity, size, and probe_count
+  // must never move.
+  Relation r(2);
+  for (Value v = 1; v <= 600; ++v) {
+    ASSERT_TRUE(r.Insert({v, v + 1}));
+    const std::size_t cap = r.capacity();
+    const std::size_t size = r.size();
+    const std::uint64_t probes = r.probe_count();
+    ASSERT_FALSE(r.Insert({v, v + 1}));          // duplicate of the newest
+    ASSERT_FALSE(r.Insert({1, 2}));              // duplicate of the oldest
+    ASSERT_FALSE(r.Erase({v, 9999}));            // absent-tuple delete
+    ASSERT_EQ(r.capacity(), cap);
+    ASSERT_EQ(r.size(), size);
+    ASSERT_EQ(r.probe_count(), probes);
+  }
+}
+
+TEST(RelationTest, IteratorEqualityComparesOwningTable) {
+  // Regression: operator== compared only the slot index, so iterators
+  // into two different relations of equal capacity compared equal
+  // (e.g. a.begin() == b.end() on two empty tables).
+  Relation a(2);
+  Relation b(2);
+  EXPECT_FALSE(a.begin() == b.end());
+  EXPECT_FALSE(a.end() == b.end());
+  EXPECT_TRUE(a.begin() == a.end());  // both empty within ONE relation
+  a.Insert({1, 2});
+  b.Insert({1, 2});
+  EXPECT_FALSE(a.begin() == b.begin());
+  EXPECT_TRUE(a.begin() != b.begin());
+  EXPECT_TRUE(a.begin() == a.begin());
+  // The arity-0 iterator follows the same rule.
+  Relation n0(0);
+  Relation n1(0);
+  EXPECT_FALSE(n0.begin() == n1.begin());
+  EXPECT_FALSE(n0.end() == n1.end());
+  EXPECT_TRUE(n0.begin() == n0.end());
+  n0.Insert(Tuple());
+  EXPECT_TRUE(n0.begin() != n0.end());
+}
+
+TEST(RelationTest, ReserveSizesForAFillWithoutRehash) {
+  Relation r(2);
+  r.Reserve(100);
+  const std::size_t cap = r.capacity();
+  EXPECT_GT(cap, 0u);
+  for (Value v = 1; v <= 100; ++v) {
+    ASSERT_TRUE(r.Insert({v, v}));
+    ASSERT_EQ(r.capacity(), cap);  // pre-sized: the fill never rehashes
+  }
+  r.Reserve(10);  // shrinking reserve is a no-op
+  EXPECT_EQ(r.capacity(), cap);
+}
+
+#ifndef NDEBUG
+TEST(RelationTest, ReserveNearSizeMaxDchecksInsteadOfMisbehaving) {
+  // Regression: Reserve computed `n * 4 / 3 + 1` unchecked (wrapping
+  // near SIZE_MAX) and NormalizeCapacity looped `c <<= 1` until
+  // `c >= n` (spinning forever once the target exceeded the largest
+  // power of two). Unrepresentable requests now fail a DCHECK.
+  Relation r(2);
+  EXPECT_THROW(r.Reserve(SIZE_MAX), std::logic_error);
+  EXPECT_THROW(r.Reserve(SIZE_MAX / 2 + 2), std::logic_error);
+}
+#endif
+
 TEST(RelationTest, ArityMismatchThrows) {
   Relation r(2);
   EXPECT_THROW(r.Insert({1}), std::logic_error);
