@@ -227,6 +227,71 @@ void BM_EngineApplyBatchSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineApplyBatchSharded)->Arg(1000)->Arg(16000)->Arg(64000);
 
+// ---------------------------------------------------------------------
+// Structure micros: generalized leaf inlining + path compression (the
+// PR 5 tentpole) against the legacy layout, on the shapes they target.
+// Registered report-only in the trajectory gate — see
+// E12_STRUCTURE_MICROS in scripts/check_bench_trajectory.py for the
+// documented promotion path (same as the relation probes followed).
+// ---------------------------------------------------------------------
+
+void RunEngineChurn(benchmark::State& state, const char* text,
+                    const core::EngineTuning& tuning, std::size_t domain,
+                    std::size_t num_rels) {
+  Query q = Parse(text);
+  auto engine = core::Engine::Create(q, tuning);
+  DYNCQ_CHECK(engine.ok());
+  workload::StreamOptions opts;
+  opts.domain_size = domain;
+  opts.insert_ratio = 0.5;
+  workload::StreamGenerator gen(q.schema_ptr(), opts);
+  for (const UpdateCmd& c : gen.Take(4 * domain)) (*engine)->Apply(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    (*engine)->Apply(gen.Next(static_cast<RelId>(i++ % num_rels)));
+  }
+}
+
+core::EngineTuning StructureTuning(bool on) {
+  core::EngineTuning t;
+  t.inline_multi_leaves = on;
+  t.compress_paths = on;
+  return t;
+}
+
+// 3-level chain R(x), S(x,y), T(x,y,z): fanout-1 runs dominate, so the
+// compressed engine allocates one item per path instead of two and
+// walks one level fewer of hash probes.
+void BM_EngineUpdateChain3Compressed(benchmark::State& state) {
+  RunEngineChurn(state, "Q(x, y, z) :- R(x), S(x, y), T(x, y, z).",
+                 StructureTuning(true),
+                 static_cast<std::size_t>(state.range(0)), 3);
+}
+BENCHMARK(BM_EngineUpdateChain3Compressed)->Arg(4096)->Arg(65536);
+
+void BM_EngineUpdateChain3Legacy(benchmark::State& state) {
+  RunEngineChurn(state, "Q(x, y, z) :- R(x), S(x, y), T(x, y, z).",
+                 StructureTuning(false),
+                 static_cast<std::size_t>(state.range(0)), 3);
+}
+BENCHMARK(BM_EngineUpdateChain3Legacy)->Arg(4096)->Arg(65536);
+
+// k=2 leaf R(x,y), S(x,y): strided count records in the root tables vs
+// allocated leaf items.
+void BM_EngineUpdateMultiLeafStrided(benchmark::State& state) {
+  RunEngineChurn(state, "Q(x, y) :- R(x, y), S(x, y).",
+                 StructureTuning(true),
+                 static_cast<std::size_t>(state.range(0)), 2);
+}
+BENCHMARK(BM_EngineUpdateMultiLeafStrided)->Arg(4096)->Arg(65536);
+
+void BM_EngineUpdateMultiLeafLegacy(benchmark::State& state) {
+  RunEngineChurn(state, "Q(x, y) :- R(x, y), S(x, y).",
+                 StructureTuning(false),
+                 static_cast<std::size_t>(state.range(0)), 2);
+}
+BENCHMARK(BM_EngineUpdateMultiLeafLegacy)->Arg(4096)->Arg(65536);
+
 void BM_EngineCount(benchmark::State& state) {
   Query q = Parse("Q(x) :- R(x, y), S(x, z).");
   auto engine = core::Engine::Create(q);

@@ -35,14 +35,31 @@ import sys
 
 DEFAULT_GATE = r"\.(single|batch)_ns_per_update$"
 
-# Registered report-only, promotion candidate for the next PR: the E12
-# relation probe micro numbers (swiss-table hit/miss/erase-insert at
-# 4k/64k adom, bench/bench_e12_micro.cc). A gated metric needs a
-# committed same-host baseline to diff against, so they ride one PR
-# report-only; to promote, fold this pattern into DEFAULT_GATE (or pass
-# --gate-pattern "<DEFAULT_GATE>|<E12_RELATION_PROBE>") in the CI step
-# that compares BENCH_e12.json.
+# GATED since PR 5 (was report-only in PR 4, which committed the
+# same-host baseline): the E12 relation probe micro numbers (swiss-table
+# hit/miss/erase-insert at 4k/64k adom, bench/bench_e12_micro.cc). The
+# CI step that compares BENCH_e12.json selects this pattern via
+# --gate-preset e12; micro ns/op numbers are noisier than the e5
+# aggregates, so that step pairs the preset with a wider --max-regress.
 E12_RELATION_PROBE = r"^BM_RelationProbe(Hit|Miss|EraseInsert)/\d+$"
+
+# Registered report-only, promotion candidates for a later PR: the PR 5
+# structure micros (generalized leaf inlining + path compression vs the
+# legacy layout — BM_EngineUpdateChain3{Compressed,Legacy},
+# BM_EngineUpdateMultiLeaf{Strided,Legacy} at 4k/64k adom). Same
+# promotion path the relation probes followed: a gated metric needs a
+# committed same-host baseline to diff against, so they ride one PR
+# report-only; to promote, fold this pattern into the e12 preset below.
+E12_STRUCTURE_MICROS = (
+    r"^BM_EngineUpdate(Chain3(Compressed|Legacy)"
+    r"|MultiLeaf(Strided|Legacy))/\d+$")
+
+# --gate-preset: named gate patterns, so the CI steps reference the
+# constants above instead of duplicating regexes in ci.yml.
+GATE_PRESETS = {
+    "e5": DEFAULT_GATE,
+    "e12": E12_RELATION_PROBE,
+}
 
 
 def load_metrics(path):
@@ -92,14 +109,22 @@ def main():
     ap.add_argument("--max-regress", type=float, default=0.25,
                     help="maximum tolerated throughput regression (0.25 "
                          "= fresh may be at most 1/0.75x slower)")
-    ap.add_argument("--gate-pattern", default=DEFAULT_GATE,
+    ap.add_argument("--gate-pattern", default=None,
                     help="regex over metric names selecting gated "
-                         "ns-per-op metrics")
+                         "ns-per-op metrics (default: the e5 preset)")
+    ap.add_argument("--gate-preset", choices=sorted(GATE_PRESETS),
+                    default=None,
+                    help="named gate pattern (e5: update-path "
+                         "aggregates; e12: relation probe micros)")
     ap.add_argument("--report-only", action="store_true",
                     help="report all metrics, never fail")
     args = ap.parse_args()
     if not 0.0 <= args.max_regress < 1.0:
         ap.error(f"--max-regress must be in [0, 1), got {args.max_regress}")
+    if args.gate_pattern is not None and args.gate_preset is not None:
+        ap.error("--gate-pattern and --gate-preset are mutually exclusive")
+    if args.gate_pattern is None:
+        args.gate_pattern = GATE_PRESETS[args.gate_preset or "e5"]
 
     committed, committed_bad = load_metrics(args.committed)
     fresh, fresh_bad = load_metrics(args.fresh)

@@ -7,23 +7,41 @@
 // the update procedure (§6.4) descends one hash probe per level instead of
 // hashing the full prefix into a global per-node map.
 //
+// Entries are fixed-width records of 1 + stride 64-bit words:
+//
+//   [ key | payload word 0 | ... | payload word stride-1 ]
+//
+// The stride is a runtime property of the table (set once, while empty).
+// Three record shapes exist in the engine:
+//  * stride 1 (default): payload = the child Item* — the classic child
+//    index, or a unit-leaf presence table (payload word 1);
+//  * stride k+2 (strided leaf mode): a leaf node tracking k > 1 atoms
+//    stores its per-entry atom counts (k words, each 0/1 — a leaf count
+//    is a fully-determined expansion) plus intrusive fit-list links (two
+//    key words) directly in the parent's table, so no leaf Item is ever
+//    allocated (core/component_engine.cc, FlipLeafEntry);
+//  * ad hoc payloads in tests.
+//
 // Layout is a two-mode open-addressing table tuned for the fanout
 // distribution of real item trees (most items have a handful of children,
 // a few hubs have thousands):
-//  * inline mode: up to kInlineCap entries stored directly in the slot,
-//    scanned linearly — no heap allocation, no hashing;
+//  * inline mode: up to 8/(1+stride) records stored directly in the
+//    object, scanned linearly — no heap allocation, no hashing;
 //  * heap mode: a cache-line-aligned power-of-two linear-probe table with
 //    backward-shift deletion (no tombstones, so probe chains never rot
 //    under churn).
 //
 // Value 0 is the engine-wide reserved sentinel (util/types.h) and doubles
-// as the empty-slot marker, so the heap table needs no flags array and a
+// as the empty-record marker, so the table needs no flags array and a
 // zero-initialized ChildIndex is a valid empty one.
 #ifndef DYNCQ_CORE_CHILD_INDEX_H_
 #define DYNCQ_CORE_CHILD_INDEX_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <new>
 
 #include "util/check.h"
@@ -36,106 +54,184 @@ struct Item;
 
 class ChildIndex {
  public:
+  /// Stride-1 record view (key + one pointer payload). The layout of a
+  /// record with stride 1 is exactly this struct.
   struct Entry {
-    Value key = 0;  // 0 = empty slot
+    Value key = 0;  // 0 = empty record
     Item* item = nullptr;
   };
+  static_assert(sizeof(Entry) == 2 * sizeof(std::uint64_t));
 
+  /// Inline capacity in records at the default stride 1.
   static constexpr std::size_t kInlineCap = 4;
 
   ChildIndex() = default;
   ChildIndex(const ChildIndex&) = delete;
   ChildIndex& operator=(const ChildIndex&) = delete;
   ~ChildIndex() {
-    if (slots_ != nullptr) Deallocate(slots_, mask_ + 1);
+    if (slots_ != nullptr) Deallocate(slots_, (mask_ + 1) * rec_words_);
   }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Payload words per record. May only be changed while the table is
+  /// empty and has never spilled (the engine configures leaf slots right
+  /// after placement-constructing them).
+  std::size_t stride() const { return rec_words_ - 1; }
+  void set_stride(std::size_t payload_words) {
+    DYNCQ_DCHECK(size_ == 0 && slots_ == nullptr);
+    DYNCQ_DCHECK(payload_words >= 1);
+    rec_words_ = static_cast<std::uint32_t>(payload_words + 1);
+  }
+
   /// Hints the cache line holding `v`'s probe start into cache. Used to
   /// overlap the root-index miss with the database's own hash probes.
   void Prefetch(Value v) const {
     if (slots_ != nullptr) {
-      __builtin_prefetch(&slots_[Mix64(v) & mask_]);
+      __builtin_prefetch(&slots_[(Mix64(v) & mask_) * rec_words_]);
     }
   }
 
-  /// Child item with value `v`, or nullptr.
-  Item* Find(Value v) const {
+  /// Record for `v` (key at word 0, payload after), or nullptr. The
+  /// pointer is valid until the next mutation of this index. The loops
+  /// are strength-reduced to pointer increments (no per-step stride
+  /// multiply — this is the §6.4 descent's per-level probe).
+  std::uint64_t* FindRecord(Value v) {
     DYNCQ_DCHECK(v != 0);
+    const std::size_t rw = rec_words_;
     if (slots_ == nullptr) {
-      for (std::uint32_t i = 0; i < size_; ++i) {
-        if (inline_[i].key == v) return inline_[i].item;
+      std::uint64_t* rec = inline_;
+      std::uint64_t* end = inline_ + size_ * rw;
+      for (; rec != end; rec += rw) {
+        if (rec[0] == v) return rec;
       }
       return nullptr;
     }
     std::size_t i = Mix64(v) & mask_;
-    while (slots_[i].key != 0) {
-      if (slots_[i].key == v) return slots_[i].item;
-      i = (i + 1) & mask_;
+    std::uint64_t* rec = slots_ + i * rw;
+    while (true) {
+      if (rec[0] == v) return rec;
+      if (rec[0] == 0) return nullptr;
+      if (++i > mask_) {
+        i = 0;
+        rec = slots_;
+      } else {
+        rec += rw;
+      }
     }
-    return nullptr;
+  }
+  const std::uint64_t* FindRecord(Value v) const {
+    return const_cast<ChildIndex*>(this)->FindRecord(v);
   }
 
-  /// Slot for `v`, claiming an empty (nullptr-item) slot if absent. The
-  /// pointer is valid until the next mutation of this index.
-  Item** FindOrInsertSlot(Value v) {
+  /// Child item with value `v`, or nullptr (stride-1 view).
+  Item* Find(Value v) const {
+    const std::uint64_t* rec = FindRecord(v);
+    return rec != nullptr
+               ? reinterpret_cast<Item*>(static_cast<std::uintptr_t>(rec[1]))
+               : nullptr;
+  }
+
+  /// Record for `v`, claiming an empty (zero-payload) record if absent.
+  /// The pointer is valid until the next mutation of this index.
+  ///
+  /// The lookup probes BEFORE any growth decision: finding a present key
+  /// is side-effect free at every fill level, so previously returned
+  /// record pointers and live record cursors stay valid across repeated
+  /// finds — the table only rehashes when a new key is actually inserted.
+  std::uint64_t* FindOrInsertRecord(Value v) {
     DYNCQ_DCHECK(v != 0);
+    const std::size_t rw = rec_words_;
     if (slots_ == nullptr) {
-      for (std::uint32_t i = 0; i < size_; ++i) {
-        if (inline_[i].key == v) return &inline_[i].item;
+      std::uint64_t* rec = inline_;
+      std::uint64_t* end = inline_ + size_ * rw;
+      for (; rec != end; rec += rw) {
+        if (rec[0] == v) return rec;
       }
-      if (size_ < kInlineCap) {
-        inline_[size_] = Entry{v, nullptr};
-        return &inline_[size_++].item;
+      if (size_ < kInlineWords / rw) {
+        ++size_;
+        rec[0] = v;
+        std::memset(rec + 1, 0, (rw - 1) * sizeof(std::uint64_t));
+        return rec;
       }
-      GrowToHeap(2 * kInlineCap);
-    } else if ((size_ + 1) * 4 >= (mask_ + 1) * 3) {
-      GrowToHeap((mask_ + 1) * 2);
+      GrowToHeap(kInitialHeapRecords);
     }
     std::size_t i = Mix64(v) & mask_;
-    while (slots_[i].key != 0) {
-      if (slots_[i].key == v) return &slots_[i].item;
-      i = (i + 1) & mask_;
+    std::uint64_t* rec = slots_ + i * rw;
+    while (true) {
+      if (rec[0] == v) return rec;
+      if (rec[0] == 0) break;
+      if (++i > mask_) {
+        i = 0;
+        rec = slots_;
+      } else {
+        rec += rw;
+      }
     }
-    slots_[i].key = v;
+    // Not present: grow only now, on an actual insertion (a find of a
+    // present key at the load threshold must not rehash).
+    const std::size_t cap = mask_ + 1;
+    if (size_ + 1 >= cap - cap / 4) {  // 3/4 load, overflow-free
+      GrowToHeap(GrownCapacity(cap));
+      i = Mix64(v) & mask_;
+      rec = slots_ + i * rw;
+      while (rec[0] != 0) {
+        if (++i > mask_) {
+          i = 0;
+          rec = slots_;
+        } else {
+          rec += rw;
+        }
+      }
+    }
+    rec[0] = v;
     ++size_;
-    return &slots_[i].item;
+    return rec;  // payload already zero (empty records are all-zero)
+  }
+
+  /// Stride-1 view of FindOrInsertRecord: slot for `v`, claiming an empty
+  /// (nullptr-item) slot if absent.
+  Item** FindOrInsertSlot(Value v) {
+    DYNCQ_DCHECK(rec_words_ == 2);
+    return reinterpret_cast<Item**>(FindOrInsertRecord(v) + 1);
   }
 
   /// Removes `v`. Returns true iff it was present. After mass deletion a
   /// heap table shrinks back down (see MaybeShrink) so the worst-case
-  /// entry-cursor scan stays proportional to the live population.
+  /// record-cursor scan stays proportional to the live population.
   bool Erase(Value v) {
     DYNCQ_DCHECK(v != 0);
     if (slots_ == nullptr) {
       for (std::uint32_t i = 0; i < size_; ++i) {
-        if (inline_[i].key == v) {
-          inline_[i] = inline_[--size_];
-          inline_[size_] = Entry{};
+        std::uint64_t* rec = inline_ + i * rec_words_;
+        if (rec[0] == v) {
+          --size_;
+          std::uint64_t* last = inline_ + size_ * rec_words_;
+          if (rec != last) CopyRecord(rec, last);
+          ZeroRecord(last);
           return true;
         }
       }
       return false;
     }
     std::size_t i = Mix64(v) & mask_;
-    while (slots_[i].key != v) {
-      if (slots_[i].key == 0) return false;
+    while (slots_[i * rec_words_] != v) {
+      if (slots_[i * rec_words_] == 0) return false;
       i = (i + 1) & mask_;
     }
     // Backward-shift deletion: close the probe-sequence gap at i.
-    slots_[i] = Entry{};
+    ZeroRecord(slots_ + i * rec_words_);
     --size_;
     std::size_t j = i;
     while (true) {
       j = (j + 1) & mask_;
-      if (slots_[j].key == 0) break;
-      std::size_t k = Mix64(slots_[j].key) & mask_;
+      if (slots_[j * rec_words_] == 0) break;
+      std::size_t k = Mix64(slots_[j * rec_words_]) & mask_;
       bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
       if (movable) {
-        slots_[i] = slots_[j];
-        slots_[j] = Entry{};
+        CopyRecord(slots_ + i * rec_words_, slots_ + j * rec_words_);
+        ZeroRecord(slots_ + j * rec_words_);
         i = j;
       }
     }
@@ -143,135 +239,217 @@ class ChildIndex {
     return true;
   }
 
-  /// Pre-sizes the table for `n` entries (bulk-load path).
+  /// Drops every record and releases the heap table (back to inline
+  /// mode). The stride is kept.
+  void Clear() {
+    if (slots_ != nullptr) {
+      Deallocate(slots_, (mask_ + 1) * rec_words_);
+      slots_ = nullptr;
+      mask_ = 0;
+    }
+    std::memset(inline_, 0, sizeof(inline_));
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` records (bulk-load path). Overflow-safe:
+  /// a request no power-of-two capacity can represent is a DCHECK in
+  /// debug builds and clamps to the largest allocatable capacity in
+  /// release (the table then simply grows-by-rehash during the fill).
   void Reserve(std::size_t n) {
-    if (n <= kInlineCap && slots_ == nullptr) return;
-    std::size_t cap = 2 * kInlineCap;
-    while (n * 4 >= cap * 3) cap <<= 1;
+    if (slots_ == nullptr && n <= kInlineWords / rec_words_) return;
+    const std::size_t max_cap = MaxRecords();
+    std::size_t cap = slots_ != nullptr
+                          ? mask_ + 1
+                          : static_cast<std::size_t>(kInitialHeapRecords);
+    // Smallest power-of-two cap the insert threshold (3/4 load) never
+    // triggers growth for: n < cap - cap/4. All comparisons are
+    // division-based, so n near SIZE_MAX neither overflows nor spins;
+    // a request even the largest allocatable capacity cannot satisfy is
+    // a DCHECK failure in debug builds and clamps in release (the fill
+    // then simply grows-by-rehash until allocation fails cleanly —
+    // RehashHeap publishes no state before its allocation succeeds).
+    while (cap < max_cap && n >= cap - cap / 4) cap <<= 1;
+    DYNCQ_DCHECK_MSG(n < cap - cap / 4,
+                     "ChildIndex::Reserve request unrepresentable");
     if (slots_ == nullptr || cap > mask_ + 1) GrowToHeap(cap);
   }
 
-  /// Invokes fn(Value, Item*) for every entry (test/invariant hook; the
-  /// hot paths never iterate).
+  /// Invokes fn(Value, Item*) for every entry (stride-1 view; test and
+  /// invariant hook — the hot paths never iterate).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    ForEachRecord([&](const std::uint64_t* rec) {
+      fn(static_cast<Value>(rec[0]),
+         reinterpret_cast<Item*>(static_cast<std::uintptr_t>(rec[1])));
+    });
+  }
+
+  /// Invokes fn(const uint64_t* record) for every record.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
     if (slots_ == nullptr) {
       for (std::uint32_t i = 0; i < size_; ++i) {
-        fn(inline_[i].key, inline_[i].item);
+        fn(static_cast<const std::uint64_t*>(inline_ + i * rec_words_));
       }
       return;
     }
     for (std::size_t i = 0; i <= mask_; ++i) {
-      if (slots_[i].key != 0) fn(slots_[i].key, slots_[i].item);
+      const std::uint64_t* rec = slots_ + i * rec_words_;
+      if (rec[0] != 0) fn(rec);
     }
   }
 
-  /// Entry-cursor iteration for inline-leaf enumeration (core engine):
-  /// entries are stable between updates, so an enumerator may walk them
+  /// Record-cursor iteration for inline-leaf enumeration (core engine):
+  /// records are stable between updates, so an enumerator may walk them
   /// directly. Inline mode preserves insertion order; a spilled table
   /// yields its probe order.
-  const Entry* FirstEntry() const {
-    if (slots_ == nullptr) return size_ > 0 ? &inline_[0] : nullptr;
+  const std::uint64_t* FirstRecord() const {
+    if (slots_ == nullptr) return size_ > 0 ? inline_ : nullptr;
     return NextOccupied(slots_);
   }
-  const Entry* NextEntry(const Entry* e) const {
+  const std::uint64_t* NextRecord(const std::uint64_t* rec) const {
     if (slots_ == nullptr) {
-      ++e;
-      return e < inline_ + size_ ? e : nullptr;
+      rec += rec_words_;
+      return rec < inline_ + size_ * rec_words_ ? rec : nullptr;
     }
-    return NextOccupied(e + 1);
+    return NextOccupied(rec + rec_words_);
   }
 
-  /// Heap-table slot count (0 while in inline mode). Test/telemetry hook
-  /// for the shrink-on-low-load policy.
+  /// Stride-1 views of the record cursor.
+  const Entry* FirstEntry() const {
+    DYNCQ_DCHECK(rec_words_ == 2);
+    return reinterpret_cast<const Entry*>(FirstRecord());
+  }
+  const Entry* NextEntry(const Entry* e) const {
+    return reinterpret_cast<const Entry*>(
+        NextRecord(reinterpret_cast<const std::uint64_t*>(e)));
+  }
+
+  /// Heap-table record count (0 while in inline mode). Test/telemetry
+  /// hook for the shrink-on-low-load policy.
   std::size_t heap_capacity() const {
     return slots_ != nullptr ? mask_ + 1 : 0;
   }
 
  private:
   static constexpr std::size_t kCacheLine = 64;
+  static constexpr std::size_t kInlineWords = 8;        // 64-byte buffer
+  static constexpr std::size_t kInitialHeapRecords = 8;
 
-  const Entry* NextOccupied(const Entry* e) const {
-    const Entry* end = slots_ + mask_ + 1;
-    for (; e < end; ++e) {
-      if (e->key != 0) return e;
+  void CopyRecord(std::uint64_t* dst, const std::uint64_t* src) const {
+    std::memcpy(dst, src, rec_words_ * sizeof(std::uint64_t));
+  }
+  void ZeroRecord(std::uint64_t* rec) const {
+    std::memset(rec, 0, rec_words_ * sizeof(std::uint64_t));
+  }
+
+  /// Largest power-of-two record count whose word allocation is
+  /// representable (with headroom so cap*3-style arithmetic stays safe).
+  std::size_t MaxRecords() const {
+    return std::bit_floor(std::numeric_limits<std::size_t>::max() /
+                          (16 * sizeof(std::uint64_t)) /
+                          rec_words_);
+  }
+
+  /// Doubled capacity with a release clamp at the allocation ceiling (a
+  /// table genuinely that full fails operator new long before).
+  std::size_t GrownCapacity(std::size_t cap) const {
+    const std::size_t max_cap = MaxRecords();
+    DYNCQ_DCHECK_MSG(cap < max_cap, "ChildIndex capacity unrepresentable");
+    return cap < max_cap ? cap * 2 : max_cap;
+  }
+
+  const std::uint64_t* NextOccupied(const std::uint64_t* rec) const {
+    const std::uint64_t* end = slots_ + (mask_ + 1) * rec_words_;
+    for (; rec < end; rec += rec_words_) {
+      if (rec[0] != 0) return rec;
     }
     return nullptr;
   }
 
-  static Entry* Allocate(std::size_t cap) {
-    void* mem = ::operator new(cap * sizeof(Entry),
+  static std::uint64_t* Allocate(std::size_t words) {
+    void* mem = ::operator new(words * sizeof(std::uint64_t),
                                std::align_val_t{kCacheLine});
-    Entry* slots = static_cast<Entry*>(mem);
-    for (std::size_t i = 0; i < cap; ++i) slots[i] = Entry{};
+    std::uint64_t* slots = static_cast<std::uint64_t*>(mem);
+    std::memset(slots, 0, words * sizeof(std::uint64_t));
     return slots;
   }
 
-  static void Deallocate(Entry* slots, std::size_t cap) {
-    ::operator delete(slots, cap * sizeof(Entry),
+  static void Deallocate(std::uint64_t* slots, std::size_t words) {
+    ::operator delete(slots, words * sizeof(std::uint64_t),
                       std::align_val_t{kCacheLine});
   }
 
   /// Adaptive shrink-on-low-load: heap tables grown by a hub's past
   /// fanout would otherwise never give the memory back, and the spilled
-  /// unit-leaf entry cursor scans whole tables — so a mass deletion
+  /// inline-leaf record cursor scans whole tables — so a mass deletion
   /// would degrade the worst-case (not amortized) enumeration delay
   /// forever. Trigger at 1/8 load, rebuild at ~1/4..1/2 load (growth
   /// re-triggers at 3/4, so churn cannot thrash between the two).
   void MaybeShrink() {
     const std::size_t cap = mask_ + 1;
-    if (cap <= 2 * kInlineCap || size_ * 8 >= cap) return;
-    if (size_ <= kInlineCap) {
+    if (cap <= kInitialHeapRecords || size_ * 8 >= cap) return;
+    if (size_ <= kInlineWords / rec_words_) {
       ShrinkToInline();
       return;
     }
     std::size_t new_cap = cap;
-    while (new_cap > 2 * kInlineCap && size_ * 4 < new_cap) new_cap >>= 1;
+    while (new_cap > kInitialHeapRecords && size_ * 4 < new_cap) {
+      new_cap >>= 1;
+    }
     if (new_cap < cap) RehashHeap(new_cap);
   }
 
   void ShrinkToInline() {
-    Entry tmp[kInlineCap];
+    std::uint64_t tmp[kInlineWords];
     std::uint32_t n = 0;
     for (std::size_t i = 0; i <= mask_; ++i) {
-      if (slots_[i].key != 0) tmp[n++] = slots_[i];
+      const std::uint64_t* rec = slots_ + i * rec_words_;
+      if (rec[0] != 0) {
+        std::memcpy(tmp + n * rec_words_, rec,
+                    rec_words_ * sizeof(std::uint64_t));
+        ++n;
+      }
     }
     DYNCQ_DCHECK(n == size_);
-    Deallocate(slots_, mask_ + 1);
+    Deallocate(slots_, (mask_ + 1) * rec_words_);
     slots_ = nullptr;
     mask_ = 0;
-    for (std::uint32_t i = 0; i < kInlineCap; ++i) {
-      inline_[i] = i < n ? tmp[i] : Entry{};
-    }
+    std::memset(inline_, 0, sizeof(inline_));
+    std::memcpy(inline_, tmp, n * rec_words_ * sizeof(std::uint64_t));
   }
 
   void GrowToHeap(std::size_t new_cap) { RehashHeap(new_cap); }
 
-  /// Rebuilds the heap table at `new_cap` slots (grow or shrink).
+  /// Rebuilds the heap table at `new_cap` records (grow or shrink).
   void RehashHeap(std::size_t new_cap) {
-    Entry* fresh = Allocate(new_cap);
+    std::uint64_t* fresh = Allocate(new_cap * rec_words_);
     std::size_t new_mask = new_cap - 1;
-    auto reinsert = [&](const Entry& e) {
-      std::size_t i = Mix64(e.key) & new_mask;
-      while (fresh[i].key != 0) i = (i + 1) & new_mask;
-      fresh[i] = e;
+    auto reinsert = [&](const std::uint64_t* rec) {
+      std::size_t i = Mix64(rec[0]) & new_mask;
+      while (fresh[i * rec_words_] != 0) i = (i + 1) & new_mask;
+      std::memcpy(fresh + i * rec_words_, rec,
+                  rec_words_ * sizeof(std::uint64_t));
     };
     if (slots_ == nullptr) {
-      for (std::uint32_t i = 0; i < size_; ++i) reinsert(inline_[i]);
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        reinsert(inline_ + i * rec_words_);
+      }
     } else {
       for (std::size_t i = 0; i <= mask_; ++i) {
-        if (slots_[i].key != 0) reinsert(slots_[i]);
+        if (slots_[i * rec_words_] != 0) reinsert(slots_ + i * rec_words_);
       }
-      Deallocate(slots_, mask_ + 1);
+      Deallocate(slots_, (mask_ + 1) * rec_words_);
     }
     slots_ = fresh;
     mask_ = new_mask;
   }
 
-  Entry inline_[kInlineCap];     // used while slots_ == nullptr
-  Entry* slots_ = nullptr;       // heap table (nullptr = inline mode)
-  std::size_t mask_ = 0;         // heap capacity - 1
+  std::uint64_t inline_[kInlineWords] = {};  // used while slots_ == nullptr
+  std::uint64_t* slots_ = nullptr;  // heap table (nullptr = inline mode)
+  std::size_t mask_ = 0;            // heap record capacity - 1
   std::uint32_t size_ = 0;
+  std::uint32_t rec_words_ = 2;     // 1 key word + stride payload words
 };
 
 }  // namespace dyncq::core

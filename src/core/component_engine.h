@@ -37,10 +37,28 @@ struct PendingDelta {
   bool insert = true;
 };
 
+/// Structural tuning of the item forest. Both transformations are pure
+/// representation changes (enumeration results, counts, and invariants
+/// are bit-identical either way — the differential tests construct
+/// engines with them off to prove it); they exist as flags so the legacy
+/// layout stays testable, not as a user-facing knob.
+struct EngineTuning {
+  /// Leaf nodes tracking k > 1 atoms store stride-(k+2) count records in
+  /// the parent's ChildIndex (counts + fit links) instead of allocating
+  /// leaf Items. Single-atom leaves are always inlined (PR 1 behavior).
+  bool inline_multi_leaves = true;
+  /// Items of fanout-1 q-tree nodes whose single child's children are
+  /// all inlined leaves absorb that child into their own block while it
+  /// is the only child value (run record): splitting lazily when a
+  /// second value appears, re-merging when deletion drops back to one.
+  bool compress_paths = true;
+};
+
 class ComponentEngine {
  public:
   /// `query` must be connected and q-hierarchical; `tree` its q-tree.
-  ComponentEngine(Query query, QTree tree);
+  ComponentEngine(Query query, QTree tree,
+                  const EngineTuning& tuning = EngineTuning{});
 
   ComponentEngine(const ComponentEngine&) = delete;
   ComponentEngine& operator=(const ComponentEngine&) = delete;
@@ -137,12 +155,33 @@ class ComponentEngine {
     std::vector<int> parent_pos;      // doc position of parent (-1 = root)
     std::vector<int> slot_in_parent;  // child-slot index within parent item
     std::vector<int> head_doc_pos;    // head position -> doc position
-    std::vector<char> unit_leaf;      // position iterates index entries,
-                                      // not a fit list of items
+    // 0: regular item position (advanced along the parent's fit list);
+    // 1: unit-leaf position (stride-1 presence records, table scan —
+    //    every present record is fit);
+    // 2: strided-leaf position (stride-(k+2) count records, advanced
+    //    along the intrusive fit links — constant delay even when unfit
+    //    partial records dominate the table).
+    std::vector<char> leaf_kind;
+    std::vector<int> leaf_stride;     // payload words (kind 2 positions)
     std::vector<std::size_t> slot_off;  // byte offset of this position's
                                         // ChildSlot in the parent block
+    // Path compression: a kind-0 position whose parent q-tree node is
+    // fanout-1 may find its item absorbed into the parent item's run
+    // record instead of listed. The cursor then holds a tagged pointer
+    // to the record (bit 0 set; records are 16-aligned).
+    std::vector<char> absorbable;            // this position's node
+    std::vector<std::size_t> parent_rec_off; // record offset in the
+                                             // parent item's block
+    std::vector<std::size_t> rec_slot_off;   // this position's ChildSlot
+                                             // offset from the RECORD
+                                             // base (parent absorbable)
   };
   const EnumMeta& enum_meta() const { return enum_meta_; }
+
+  /// Byte offset of the absorbed child's value within a run record.
+  /// Layout (record base is 16-aligned): [weight 16B][weight_free 16B]
+  /// [value 8B][counts k*8B][pad][child slots].
+  static constexpr std::size_t kRunValueOff = 2 * sizeof(Weight);
 
   /// Number of items currently stored (linear in ||D|| by §6.2).
   std::size_t NumItems() const { return pool_.live_items(); }
@@ -172,13 +211,31 @@ class ComponentEngine {
     int num_children = 0;
     int num_tracked = 0;
     bool is_free = false;
-    // Leaf tracking exactly one atom: the tracked count of any of its
-    // items is 0/1 (the atom's variables are fully determined by the
-    // root path), so the "items" of this node are stored inline as bare
-    // presence entries in the parent's child index — no Item block, no
-    // extra cache line on the update walk.
+    // Inlined leaf: the tracked counts of this node's items are all 0/1
+    // (a leaf atom's variables are fully determined by the root path),
+    // so the "items" of this node are stored as records in the parent's
+    // child index — no Item block, no extra cache line on the update
+    // walk. leaf_stride is the record payload width: 1 for a single-atom
+    // leaf (bare presence, PR 1 behavior), num_tracked + 2 for k > 1
+    // (one count word per atom plus prev/next fit-list link keys).
     bool unit_leaf = false;
+    int leaf_stride = 0;
     int slot_in_parent = -1;
+    // Path compression. On the head side: items of this node may absorb
+    // their single child (absorb_child_node = the child's q-tree node,
+    // -1 otherwise) into the run record at run_rec_off. On the absorbed
+    // side: absorbable marks the node whose items may be represented as
+    // a record; run_counts_off / run_slots_off locate its arrays within
+    // the record, and run_rec_size is the record's full byte size.
+    int absorb_child_node = -1;
+    std::size_t run_rec_off = 0;
+    bool absorbable = false;
+    std::size_t run_counts_off = 0;
+    std::size_t run_slots_off = 0;
+    std::size_t run_rec_size = 0;
+    // Child slots holding strided-leaf tables: (slot index, payload
+    // stride) pairs AllocItem configures right after pool allocation.
+    std::vector<std::pair<int, int>> leaf_slot_strides;
   };
 
   struct AtomMeta {
@@ -195,10 +252,17 @@ class ComponentEngine {
     std::vector<std::size_t> level_slot_off;
     std::vector<std::pair<int, int>> eq_checks;       // args equal pairs
     std::vector<std::pair<int, Value>> const_checks;  // constant args
-    // The atom ends in a unit-leaf node below the root: the last level is
-    // a presence entry in the level-(d-2) item's child index.
+    // The atom ends in an inlined-leaf node below the root: the last
+    // level is a record in the level-(d-2) item's child index.
     bool leaf_inline = false;
-    bool leaf_free = false;  // the unit leaf is a free node
+    bool leaf_free = false;  // the inlined leaf is a free node
+    // The last materialized level of this walk is an absorbable node:
+    // the level-(nd-2) item may carry it as a run record instead of a
+    // child item (nd = number of materialized-or-absorbed levels).
+    bool tail_absorb = false;
+    // With tail_absorb && leaf_inline: the leaf ChildSlot's offset from
+    // the run-record base (used when the leaf's parent is absorbed).
+    std::size_t run_leaf_slot_off = 0;
   };
 
   /// A batch-touched item with its pre-batch weights (the values the
@@ -243,14 +307,59 @@ class ComponentEngine {
     std::vector<std::vector<AtomDelta>> atom_deltas;  // per atom index
     std::vector<std::vector<DirtyItem>> dirty;        // per q-tree depth
     std::vector<RootFixup> root_fixups;
+    // Path compression: heads whose child index dropped to one entry in
+    // phase B (re-merge candidates, applied after the batch) and every
+    // item freed this batch (a candidate that was itself freed later in
+    // the batch must be skipped, not dereferenced).
+    std::vector<Item*> merge_cands;
+    std::vector<Item*> freed_log;
   };
 
   void FreeSubtree(Item* it);
   void ApplyDelta(RelId rel, const Tuple& t, bool insert);
   void ApplyAtomDelta(const AtomMeta& am, const Tuple& t, bool insert);
   bool MatchesAtom(const AtomMeta& am, const Tuple& t) const;
-  void FlipLeafEntry(const AtomMeta& am, Item* parent_item, const Tuple& t,
+  void FlipLeafEntry(const AtomMeta& am, ChildSlot& slot, const Tuple& t,
                      bool insert);
+
+  /// Pool allocation plus per-node slot configuration (strided-leaf
+  /// tables get their record width set before first use).
+  Item* AllocItem(std::uint32_t n, std::size_t stripe = 0);
+
+  // ---- Path-compressed run records (fanout-1 nodes) -------------------
+  // A head item `it` (node with absorb_child_node >= 0) with run_len == 1
+  // carries its single child as a record at run_rec_off in its own block:
+  // [weight][weight_free][value][counts][child slots]. The child slots
+  // are live ChildSlot objects (constructed by CreateRun / moved by
+  // MergeRun, destroyed by DestroyRunSlots); a run_len == 0 head keeps
+  // the whole region zeroed.
+  char* RunRecBase(Item* it) const {
+    return reinterpret_cast<char*>(it) + node_meta_[it->node].run_rec_off;
+  }
+  const char* RunRecBase(const Item* it) const {
+    return reinterpret_cast<const char*>(it) +
+           node_meta_[it->node].run_rec_off;
+  }
+  /// Starts a fresh absorbed child with value `v` (zero counts/weights).
+  void CreateRun(Item* head, Value v);
+  /// Materializes the absorbed child as a real item in `head`'s child
+  /// index (run record moves into the new block, fit list rebuilt from
+  /// its weight). Called when a second child value appears.
+  Item* SplitRun(Item* head, std::size_t stripe);
+  /// Absorbs the single remaining child item back into `head`'s record
+  /// and frees it. Requires run_len == 0 and exactly one index entry.
+  void MergeRun(Item* head, std::size_t stripe);
+  /// Recomputes the absorbed child's weights from its counts and slot
+  /// sums and re-publishes them as head's child-slot running sums; drops
+  /// the record entirely once all its counts reach zero. No-op when
+  /// run_len == 0.
+  void MaintainRun(Item* head);
+  /// Destroys the record's ChildSlot objects and re-zeroes the region.
+  void DestroyRunSlots(Item* head);
+  /// Applies the deferred re-merges of a batch: every candidate that is
+  /// still alive (not in the freed logs) and still has exactly one child
+  /// is re-absorbed.
+  void RunMergePass();
   /// Routes `deltas` into rel_groups_ (per-relation index lists).
   void RouteRelGroups(const PendingDelta* deltas, std::size_t n);
   /// Phase A over one atom's delta list. `stripe` selects the ItemPool
@@ -268,17 +377,25 @@ class ComponentEngine {
   /// Phase B over `dirty`, deepest level first. With `defer_roots` set,
   /// depth-0 items only get their weights recomputed and are appended to
   /// `defer_roots` (sharded mode); otherwise the root-slot fix-up runs
-  /// inline (sequential mode).
+  /// inline (sequential mode). Re-merge candidates and freed items are
+  /// logged into `merge_cands` / `freed_log` for the post-batch
+  /// RunMergePass.
   void FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
-                  std::size_t stripe, std::vector<RootFixup>* defer_roots);
+                  std::size_t stripe, std::vector<RootFixup>* defer_roots,
+                  std::vector<Item*>* merge_cands,
+                  std::vector<Item*>* freed_log);
   void MarkDirty(Item* it, int depth,
                  std::vector<std::vector<DirtyItem>>& dirty);
   void RecomputeWeights(Item* it, const NodeMeta& nm) const;
   void DumpItem(std::ostream& os, const Item* it, int indent) const;
+  void DumpLeafSlot(std::ostream& os, const ChildSlot& slot, int child_node,
+                    int indent) const;
   std::size_t CheckItemRec(const Item* it) const;
+  void CheckLeafSlot(const ChildSlot& slot, const NodeMeta& lm) const;
 
   Query query_;
   QTree tree_;
+  EngineTuning tuning_;
   std::vector<NodeMeta> node_meta_;
   std::vector<AtomMeta> atom_meta_;
   std::vector<std::vector<int>> atoms_of_rel_;  // global RelId -> atom idxs
@@ -292,6 +409,8 @@ class ComponentEngine {
   std::vector<AtomDelta> batch_scratch_;
   std::vector<std::vector<std::uint32_t>> rel_groups_;  // RelId -> deltas
   std::vector<std::vector<DirtyItem>> dirty_;  // per q-tree depth
+  std::vector<Item*> seq_merge_cands_;         // sequential-batch scratch
+  std::vector<Item*> seq_freed_;
 
   // Sharded pipeline state (scratch, reused across batches). Worker s
   // only ever touches shards_[s] (and items under its own roots).

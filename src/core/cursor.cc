@@ -18,6 +18,26 @@ std::vector<Tuple> MaterializeResult(DynamicQueryEngine& engine) {
 
 namespace dyncq::core {
 
+namespace {
+
+// Path-compressed positions: an absorbable node's current "item" may be
+// its parent's run record. The cursor marks such a position by tagging
+// the record pointer's bit 0 (records are 16-aligned inside the parent
+// block; real Items are at least 8-aligned, so the bit is always free).
+inline bool RecTagged(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 1) != 0;
+}
+inline const char* RecUntag(const void* p) {
+  return reinterpret_cast<const char*>(reinterpret_cast<std::uintptr_t>(p) &
+                                       ~std::uintptr_t{1});
+}
+inline const void* RecTag(const char* p) {
+  return reinterpret_cast<const void*>(reinterpret_cast<std::uintptr_t>(p) |
+                                       1);
+}
+
+}  // namespace
+
 ComponentCursor::ComponentCursor(const ComponentEngine* ce,
                                  RevisionGuard guard,
                                  const Item* root_begin,
@@ -32,23 +52,50 @@ const ChildSlot& ComponentCursor::SlotOf(std::size_t pos) const {
   const auto& meta = ce_->enum_meta();
   int ppos = meta.parent_pos[pos];
   DYNCQ_DCHECK(ppos >= 0);
-  // A parent of any enumerated node is a regular item (unit leaves have
-  // no children); the slot address is a fixed offset into its block.
-  const Item* parent =
-      static_cast<const Item*>(cur_[static_cast<std::size_t>(ppos)]);
+  // A parent of any enumerated node is either a regular item (inlined
+  // leaves have no children) or an absorbed run record (tagged); the
+  // slot address is a fixed offset into the block / record either way.
+  const void* p = cur_[static_cast<std::size_t>(ppos)];
+  if (RecTagged(p)) {
+    return *reinterpret_cast<const ChildSlot*>(RecUntag(p) +
+                                               meta.rec_slot_off[pos]);
+  }
   return *reinterpret_cast<const ChildSlot*>(
-      reinterpret_cast<const char*>(parent) + meta.slot_off[pos]);
+      reinterpret_cast<const char*>(static_cast<const Item*>(p)) +
+      meta.slot_off[pos]);
 }
 
 const void* ComponentCursor::FirstOf(std::size_t pos) const {
-  const ChildSlot& slot = SlotOf(pos);
-  if (ce_->enum_meta().unit_leaf[pos]) {
-    const ChildIndex::Entry* e = slot.index.FirstEntry();
-    DYNCQ_DCHECK(e != nullptr);  // fit parents have entries
-    return e;
+  const auto& meta = ce_->enum_meta();
+  if (meta.absorbable[pos]) {
+    // The parent of an absorbable position is always a materialized item
+    // (heads are never absorbed themselves).
+    const Item* parent = static_cast<const Item*>(
+        cur_[static_cast<std::size_t>(meta.parent_pos[pos])]);
+    if (parent->run_len != 0) {
+      return RecTag(reinterpret_cast<const char*>(parent) +
+                    meta.parent_rec_off[pos]);
+    }
   }
-  DYNCQ_DCHECK(slot.head != nullptr);  // fit parents have non-empty lists
-  return slot.head;
+  const ChildSlot& slot = SlotOf(pos);
+  switch (meta.leaf_kind[pos]) {
+    case 1: {
+      const ChildIndex::Entry* e = slot.index.FirstEntry();
+      DYNCQ_DCHECK(e != nullptr);  // fit parents have entries
+      return e;
+    }
+    case 2: {
+      // Strided leaf: follow the intrusive fit links (head key stored in
+      // the slot's pointer fields) — constant delay even when unfit
+      // partial records dominate the table.
+      const Value h = LeafListKey(slot.head);
+      DYNCQ_DCHECK(h != 0);  // fit parents have fit records
+      return slot.index.FindRecord(h);
+    }
+    default:
+      DYNCQ_DCHECK(slot.head != nullptr);  // fit parents: non-empty lists
+      return slot.head;
+  }
 }
 
 const void* ComponentCursor::NextOf(std::size_t pos) const {
@@ -56,11 +103,22 @@ const void* ComponentCursor::NextOf(std::size_t pos) const {
     const Item* next = static_cast<const Item*>(cur_[0])->next;
     return next == root_end_ ? nullptr : next;
   }
-  if (ce_->enum_meta().unit_leaf[pos]) {
-    return SlotOf(pos).index.NextEntry(
-        static_cast<const ChildIndex::Entry*>(cur_[pos]));
+  const auto& meta = ce_->enum_meta();
+  switch (meta.leaf_kind[pos]) {
+    case 1:
+      return SlotOf(pos).index.NextEntry(
+          static_cast<const ChildIndex::Entry*>(cur_[pos]));
+    case 2: {
+      const std::uint64_t* rec =
+          static_cast<const std::uint64_t*>(cur_[pos]);
+      const Value n =
+          rec[static_cast<std::size_t>(meta.leaf_stride[pos])];
+      return n == 0 ? nullptr : SlotOf(pos).index.FindRecord(n);
+    }
+    default:
+      if (RecTagged(cur_[pos])) return nullptr;  // absorbed: single child
+      return static_cast<const Item*>(cur_[pos])->next;
   }
-  return static_cast<const Item*>(cur_[pos])->next;
 }
 
 void ComponentCursor::Emit(Tuple* out) const {
@@ -68,10 +126,16 @@ void ComponentCursor::Emit(Tuple* out) const {
   out->clear();
   for (int pos : meta.head_doc_pos) {
     const std::size_t p = static_cast<std::size_t>(pos);
-    out->push_back(
-        meta.unit_leaf[p]
-            ? static_cast<const ChildIndex::Entry*>(cur_[p])->key
-            : static_cast<const Item*>(cur_[p])->value);
+    if (meta.leaf_kind[p] != 0) {
+      // Inlined-leaf record (either stride): the key is word 0.
+      out->push_back(static_cast<Value>(
+          static_cast<const std::uint64_t*>(cur_[p])[0]));
+    } else if (RecTagged(cur_[p])) {
+      out->push_back(*reinterpret_cast<const Value*>(
+          RecUntag(cur_[p]) + ComponentEngine::kRunValueOff));
+    } else {
+      out->push_back(static_cast<const Item*>(cur_[p])->value);
+    }
   }
 }
 

@@ -78,6 +78,11 @@ Engine::Engine(Query q) : query_(std::move(q)), db_(query_.schema()) {}
 Engine::~Engine() = default;
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
+  return Create(q, EngineTuning{});
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Query& q,
+                                               const EngineTuning& tuning) {
   if (!IsQHierarchical(q)) {
     return Result<std::unique_ptr<Engine>>::Error(
         "query is not q-hierarchical: " + q.ToString());
@@ -102,7 +107,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
     }
     if (!comp.head().empty()) engine->has_free_component_ = true;
     engine->components_.push_back(std::make_unique<ComponentEngine>(
-        std::move(comp), std::move(tree.value())));
+        std::move(comp), std::move(tree.value()), tuning));
   }
   return engine;
 }

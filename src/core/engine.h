@@ -26,6 +26,13 @@ class Engine final : public DynamicQueryEngine {
   /// QuerySession (core/session.h) is the strategy-selecting front door.
   static Result<std::unique_ptr<Engine>> Create(const Query& q);
 
+  /// Same, with explicit structural tuning (leaf inlining and path
+  /// compression flags). The default tuning enables both; the override
+  /// exists for the differential tests that prove the transformations
+  /// are pure representation changes.
+  static Result<std::unique_ptr<Engine>> Create(const Query& q,
+                                                const EngineTuning& tuning);
+
   /// Preprocessing phase on an initial database: initializes the empty
   /// structure and replays |D0| inserts — linear total time by constant
   /// update time (paper §6.4).

@@ -27,6 +27,12 @@ namespace dyncq::core {
 
 struct Item;
 
+/// Shared by the item-block and run-record layout computations (the pool
+/// and the engine derive the same layout independently and cross-check).
+constexpr std::size_t AlignUp(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
 /// Per-child fit-list head/tail, running sums over list members, and the
 /// index of ALL child items (fit or not) keyed by their value. The index
 /// leads the struct so the top-down walk's first touch of a slot lands on
@@ -44,6 +50,13 @@ struct Item {
   Item* prev = nullptr;    // intrusive links within the parent's fit-list
   Item* next = nullptr;
   bool in_list = false;
+
+  // Path compression (fanout-1 q-tree nodes): 1 while this item absorbs
+  // its single child item into its own block's run record — the child's
+  // value, counts, weights, and child slots live at a fixed offset behind
+  // this item's own slots, and no child Item is allocated. 0 otherwise.
+  // See ComponentEngine's run-record helpers for the split/merge rules.
+  std::uint8_t run_len = 0;
 
   std::uint32_t node = 0;  // q-tree node index
   Value value = 0;         // own constant a
@@ -98,6 +111,21 @@ inline ChildSlot* ItemSlots(Item* it, std::size_t num_atoms) {
 inline const ChildSlot* ItemSlots(const Item* it, std::size_t num_atoms) {
   return reinterpret_cast<const ChildSlot*>(
       reinterpret_cast<const char*>(it) + ItemSlotsOffset(num_atoms));
+}
+
+/// Strided-leaf slots (leaf nodes tracking k > 1 atoms, inlined as
+/// count records in the parent's ChildIndex) keep their fit list as
+/// intrusive KEY links inside the records — no Items exist for them, so
+/// the slot's head/tail pointer fields store the head/tail record keys
+/// instead. These helpers are the only way those fields are accessed in
+/// that mode.
+static_assert(sizeof(std::uintptr_t) >= sizeof(Value),
+              "strided-leaf fit lists store Value keys in pointer fields");
+inline Value LeafListKey(const Item* p) {
+  return static_cast<Value>(reinterpret_cast<std::uintptr_t>(p));
+}
+inline Item* LeafListPtr(Value v) {
+  return reinterpret_cast<Item*>(static_cast<std::uintptr_t>(v));
 }
 
 /// Appends `it` to the tail of `slot`'s list (paper Figure 3 list order:

@@ -7,23 +7,24 @@
 
 namespace dyncq::core {
 
-namespace {
-
-std::size_t AlignUp(std::size_t n, std::size_t a) {
-  return (n + a - 1) / a * a;
-}
-
-}  // namespace
-
 ItemPool::ItemPool(std::vector<std::size_t> num_children,
-                   std::vector<std::size_t> num_atoms)
+                   std::vector<std::size_t> num_atoms,
+                   std::vector<std::size_t> extra_bytes)
     : num_children_(std::move(num_children)),
       num_atoms_(std::move(num_atoms)) {
   DYNCQ_CHECK(num_children_.size() == num_atoms_.size());
+  DYNCQ_CHECK(extra_bytes.empty() ||
+              extra_bytes.size() == num_atoms_.size());
   block_size_.resize(num_children_.size());
   for (std::size_t n = 0; n < num_children_.size(); ++n) {
     std::size_t sz = ItemSlotsOffset(num_atoms_[n]) +
                      num_children_[n] * sizeof(ChildSlot);
+    if (!extra_bytes.empty() && extra_bytes[n] != 0) {
+      // Run-record region: 16-aligned (it leads with a Weight) and fully
+      // behind the node's own arrays. Alloc's memset leaves it all-zero,
+      // which is the valid "no absorbed child" state.
+      sz = AlignUp(sz, 16) + extra_bytes[n];
+    }
     block_size_[n] = AlignUp(sz, alignof(Item));
   }
   EnsureStripes(1);

@@ -24,9 +24,13 @@ namespace dyncq::core {
 class ItemPool {
  public:
   /// `num_children[n]` and `num_atoms[n]` give the array sizes for items
-  /// of q-tree node n. Starts with one stripe (the sequential path).
+  /// of q-tree node n; `extra_bytes[n]` (empty = all zero) reserves a
+  /// 16-aligned run-record region behind the child slots for nodes whose
+  /// items may absorb their single child (path compression). Starts with
+  /// one stripe (the sequential path).
   ItemPool(std::vector<std::size_t> num_children,
-           std::vector<std::size_t> num_atoms);
+           std::vector<std::size_t> num_atoms,
+           std::vector<std::size_t> extra_bytes = {});
   ~ItemPool();
 
   ItemPool(const ItemPool&) = delete;
@@ -37,6 +41,11 @@ class ItemPool {
   void EnsureStripes(std::size_t k);
 
   std::size_t num_stripes() const { return stripes_.size(); }
+
+  /// Full block size of node `n`'s items (header + arrays + any run
+  /// record region). Lets the engine cross-check its independently
+  /// computed record offsets against what the pool actually allocates.
+  std::size_t block_size(std::uint32_t n) const { return block_size_[n]; }
 
   /// Allocates a zero-initialized item for node `n` from `stripe`.
   /// Thread-safe across DISTINCT stripes only.

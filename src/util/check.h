@@ -40,8 +40,12 @@ namespace dyncq::internal {
 #define DYNCQ_DCHECK(cond) \
   do {                     \
   } while (0)
+#define DYNCQ_DCHECK_MSG(cond, msg) \
+  do {                              \
+  } while (0)
 #else
 #define DYNCQ_DCHECK(cond) DYNCQ_CHECK(cond)
+#define DYNCQ_DCHECK_MSG(cond, msg) DYNCQ_CHECK_MSG(cond, msg)
 #endif
 
 #endif  // DYNCQ_UTIL_CHECK_H_

@@ -1,0 +1,158 @@
+// Randomized ChildIndex churn differential vs a std::unordered_map
+// oracle — the child-index analog of the relation layer's
+// relation_churn_test (PR 4). Covers, at every supported record stride:
+// insert/erase/find/reserve/clear cycles across the inline <-> heap
+// transitions, backward-shift deletion under clustered keys (dense
+// ranges that collide into long probe runs), shrink-on-low-load
+// triggering, and full-content audits through both the record cursor
+// and ForEachRecord. Runs in Release and under ASan/UBSan via the
+// standard ctest matrix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/child_index.h"
+#include "util/rng.h"
+
+namespace dyncq::core {
+namespace {
+
+using Payload = std::vector<std::uint64_t>;
+
+void AuditFullContent(const ChildIndex& idx,
+                      const std::unordered_map<Value, Payload>& ref,
+                      std::size_t stride, int step) {
+  // Via the record cursor (what the enumerator walks)...
+  std::unordered_map<Value, Payload> seen;
+  for (const std::uint64_t* rec = idx.FirstRecord(); rec != nullptr;
+       rec = idx.NextRecord(rec)) {
+    Payload p(rec + 1, rec + 1 + stride);
+    ASSERT_TRUE(seen.emplace(rec[0], std::move(p)).second)
+        << "duplicate key " << rec[0] << " at step " << step;
+  }
+  ASSERT_EQ(seen, ref) << "record-cursor audit failed at step " << step;
+  // ...and via ForEachRecord (what the invariant checker walks).
+  std::size_t n = 0;
+  idx.ForEachRecord([&](const std::uint64_t* rec) {
+    auto it = ref.find(rec[0]);
+    ASSERT_NE(it, ref.end()) << "step " << step;
+    for (std::size_t w = 0; w < stride; ++w) {
+      ASSERT_EQ(rec[1 + w], it->second[w]) << "step " << step;
+    }
+    ++n;
+  });
+  ASSERT_EQ(n, ref.size()) << "step " << step;
+}
+
+void RunChurn(std::size_t stride, std::uint64_t seed, int steps) {
+  SCOPED_TRACE("stride " + std::to_string(stride));
+  ChildIndex idx;
+  if (stride != 1) idx.set_stride(stride);
+  std::unordered_map<Value, Payload> ref;
+  Rng rng(seed);
+  std::size_t peak_cap = 0;
+
+  for (int step = 0; step < steps; ++step) {
+    // Clustered keys: dense blocks around a moving base produce the
+    // adjacent-hash runs that stress backward-shift deletion.
+    const Value base = 1 + 64 * rng.Below(8);
+    const Value v = base + rng.Below(96);
+    const double dice = rng.NextDouble();
+    if (dice < 0.50) {
+      std::uint64_t* rec = idx.FindOrInsertRecord(v);
+      ASSERT_EQ(rec[0], v);
+      auto [it, inserted] = ref.emplace(v, Payload(stride, 0));
+      if (inserted) {
+        for (std::size_t w = 0; w < stride; ++w) {
+          ASSERT_EQ(rec[1 + w], 0u) << "fresh payload must be zero, step "
+                                    << step;
+          rec[1 + w] = Mix64(v + w) | 1;
+          it->second[w] = rec[1 + w];
+        }
+      } else {
+        for (std::size_t w = 0; w < stride; ++w) {
+          ASSERT_EQ(rec[1 + w], it->second[w]) << "step " << step;
+        }
+      }
+    } else if (dice < 0.90) {
+      ASSERT_EQ(idx.Erase(v), ref.erase(v) > 0) << "step " << step;
+    } else if (dice < 0.93) {
+      // Reserve mid-churn must preserve contents (it rehashes).
+      idx.Reserve(ref.size() + rng.Below(64));
+    } else if (dice < 0.95) {
+      idx.Clear();
+      ref.clear();
+      ASSERT_EQ(idx.heap_capacity(), 0u);
+    } else {
+      // Point lookups of present and absent keys are side-effect free.
+      const std::size_t cap = idx.heap_capacity();
+      const std::uint64_t* rec = idx.FindRecord(v);
+      ASSERT_EQ(rec != nullptr, ref.count(v) != 0) << "step " << step;
+      ASSERT_EQ(idx.heap_capacity(), cap) << "find rehashed, step " << step;
+    }
+    ASSERT_EQ(idx.size(), ref.size()) << "step " << step;
+    peak_cap = std::max(peak_cap, idx.heap_capacity());
+    if (step % 512 == 0) AuditFullContent(idx, ref, stride, step);
+  }
+
+  // Mass deletion: the table must shrink (possibly back to inline) and
+  // stay fully consistent — the shrink-on-low-load policy is what keeps
+  // spilled-leaf enumeration delay proportional to the live population.
+  std::vector<Value> keys;
+  keys.reserve(ref.size());
+  for (const auto& [k, p] : ref) keys.push_back(k);
+  for (std::size_t i = 0; i + 8 < keys.size(); ++i) {
+    ASSERT_TRUE(idx.Erase(keys[i]));
+    ref.erase(keys[i]);
+  }
+  if (peak_cap >= 64) {
+    EXPECT_LT(idx.heap_capacity(), peak_cap)
+        << "mass deletion never triggered a shrink";
+  }
+  AuditFullContent(idx, ref, stride, steps);
+}
+
+TEST(ChildIndexChurnTest, Stride1) { RunChurn(1, 0xC0FFEE, 20000); }
+TEST(ChildIndexChurnTest, Stride3) { RunChurn(3, 0xBEEF, 20000); }
+TEST(ChildIndexChurnTest, Stride4) { RunChurn(4, 0xF00D, 20000); }
+TEST(ChildIndexChurnTest, Stride6) { RunChurn(6, 0xABCD, 12000); }
+
+TEST(ChildIndexChurnTest, InlineHeapBoundaryCycles) {
+  // Hammer the exact inline <-> heap transition population for each
+  // stride (inline capacity is 8 words / (1 + stride) records).
+  for (std::size_t stride : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE(stride);
+    ChildIndex idx;
+    if (stride != 1) idx.set_stride(stride);
+    const std::size_t inline_cap = 8 / (1 + stride);
+    Rng rng(99 + stride);
+    std::unordered_map<Value, Payload> ref;
+    for (int cycle = 0; cycle < 2000; ++cycle) {
+      const std::size_t target =
+          inline_cap + (rng.Below(3)) - 1;  // straddle the boundary
+      while (ref.size() < target) {
+        const Value v = 1 + rng.Below(32);
+        std::uint64_t* rec = idx.FindOrInsertRecord(v);
+        if (ref.emplace(v, Payload(stride, v)).second) {
+          for (std::size_t w = 0; w < stride; ++w) rec[1 + w] = v;
+        }
+      }
+      while (ref.size() > target / 2) {
+        const Value v = ref.begin()->first;
+        ASSERT_TRUE(idx.Erase(v));
+        ref.erase(v);
+      }
+      ASSERT_EQ(idx.size(), ref.size());
+      for (const auto& [k, p] : ref) {
+        const std::uint64_t* rec = idx.FindRecord(k);
+        ASSERT_NE(rec, nullptr);
+        ASSERT_EQ(rec[1], p[0]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyncq::core

@@ -167,6 +167,107 @@ TEST(ChildIndexTest, ShrinksAfterMassDeletion) {
   for (Value v = 100; v < 200; ++v) ASSERT_EQ(idx.Find(v), Marker(v));
 }
 
+TEST(ChildIndexTest, FindOfPresentKeyNeverRehashes) {
+  // Regression: FindOrInsertSlot decided growth BEFORE probing, so a
+  // lookup of a present key at the 75% load threshold rehashed the
+  // table — a side-effecting no-op that silently invalidated previously
+  // returned slot pointers and live entry cursors. The probe now comes
+  // first: at EVERY fill level, repeated finds of present keys must pin
+  // the capacity, keep outstanding slot pointers valid, and keep a live
+  // entry cursor walking the same records.
+  ChildIndex idx;
+  std::vector<Item**> slots;  // outstanding pointer per present key
+  for (Value v = 1; v <= 200; ++v) {
+    *idx.FindOrInsertSlot(v) = Marker(v);  // fresh: MAY rehash
+    // Take outstanding pointers after the legitimate insert...
+    slots.clear();
+    for (Value u = 1; u <= v; ++u) slots.push_back(idx.FindOrInsertSlot(u));
+    const std::size_t cap = idx.heap_capacity();
+    const ChildIndex::Entry* cursor = idx.FirstEntry();
+    // ...then re-find every present key several times, including at the
+    // exact load threshold the old code grew at.
+    for (int pass = 0; pass < 3; ++pass) {
+      for (Value u = 1; u <= v; ++u) {
+        Item** again = idx.FindOrInsertSlot(u);
+        ASSERT_EQ(*again, Marker(u)) << "fill " << v;
+        ASSERT_EQ(again, slots[static_cast<std::size_t>(u - 1)])
+            << "find of a present key moved its slot at fill " << v;
+      }
+    }
+    ASSERT_EQ(idx.heap_capacity(), cap)
+        << "find of a present key rehashed at fill level " << v;
+    ASSERT_EQ(idx.FirstEntry(), cursor)
+        << "entry cursor invalidated by a find at fill level " << v;
+    ASSERT_EQ(idx.size(), static_cast<std::size_t>(v));
+    // Every outstanding pointer still reads its own key's payload (the
+    // old bug left them dangling into a freed table once the spurious
+    // rehash ran).
+    for (Value u = 1; u <= v; ++u) {
+      ASSERT_EQ(*slots[static_cast<std::size_t>(u - 1)], Marker(u))
+          << "fill " << v;
+    }
+  }
+}
+
+#ifndef NDEBUG
+TEST(ChildIndexTest, ReserveNearSizeMaxDchecksInsteadOfSpinning) {
+  // Regression: Reserve's `while (n * 4 >= cap * 3) cap <<= 1` wrapped
+  // for n near SIZE_MAX/4 (the shift spun to zero and looped forever
+  // once cap*3 overflowed). Unrepresentable requests now fail a DCHECK
+  // (and clamp to the allocation ceiling in release builds).
+  ChildIndex idx;
+  EXPECT_THROW(idx.Reserve(SIZE_MAX), std::logic_error);
+  EXPECT_THROW(idx.Reserve(SIZE_MAX / 4), std::logic_error);
+  EXPECT_THROW(idx.Reserve(SIZE_MAX / 4 - 1), std::logic_error);
+}
+#endif
+
+TEST(ChildIndexTest, StridedRecordsRoundTrip) {
+  // Stride-4 records (the k=2 strided-leaf shape: two counts + two link
+  // words): payloads survive insert/find/erase and the record cursor.
+  ChildIndex idx;
+  idx.set_stride(4);
+  EXPECT_EQ(idx.stride(), 4u);
+  for (Value v = 1; v <= 100; ++v) {
+    std::uint64_t* rec = idx.FindOrInsertRecord(v);
+    ASSERT_EQ(rec[0], v);
+    for (int w = 1; w <= 4; ++w) {
+      ASSERT_EQ(rec[w], 0u) << "fresh payload must be zero";
+      rec[w] = v * 10 + static_cast<Value>(w);
+    }
+  }
+  ASSERT_EQ(idx.size(), 100u);
+  for (Value v = 1; v <= 100; ++v) {
+    const std::uint64_t* rec = idx.FindRecord(v);
+    ASSERT_NE(rec, nullptr);
+    for (int w = 1; w <= 4; ++w) ASSERT_EQ(rec[w], v * 10 + Value(w));
+  }
+  // Erase half (backward shift moves whole records).
+  for (Value v = 1; v <= 100; v += 2) ASSERT_TRUE(idx.Erase(v));
+  std::size_t seen = 0;
+  for (const std::uint64_t* rec = idx.FirstRecord(); rec != nullptr;
+       rec = idx.NextRecord(rec)) {
+    ASSERT_EQ(rec[0] % 2, 0u);
+    for (int w = 1; w <= 4; ++w) ASSERT_EQ(rec[w], rec[0] * 10 + Value(w));
+    ++seen;
+  }
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(ChildIndexTest, WideStrideSkipsInlineMode) {
+  // A stride too wide for the 64-byte inline buffer goes straight to the
+  // heap and still round-trips.
+  ChildIndex idx;
+  idx.set_stride(9);  // 10-word records > 8-word inline buffer
+  std::uint64_t* rec = idx.FindOrInsertRecord(7);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(idx.heap_capacity(), 0u);
+  rec[9] = 1234;
+  EXPECT_EQ(idx.FindRecord(7)[9], 1234u);
+  EXPECT_TRUE(idx.Erase(7));
+  EXPECT_EQ(idx.FindRecord(7), nullptr);
+}
+
 TEST(ChildIndexTest, ShrinkKeepsEntryCursorComplete) {
   ChildIndex idx;
   for (Value v = 1; v <= 1024; ++v) *idx.FindOrInsertSlot(v) = Marker(v);
