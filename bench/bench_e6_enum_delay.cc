@@ -18,7 +18,9 @@ void Run() {
 
   Query q = MustParse("Q(x, y, z) :- R(x, y), S(x, z).");
   TablePrinter t({"n (adom)", "|result|", "avg ns/tuple", "p99 ns",
-                  "max ns", "first-tuple ns", "recompute first-tuple ns"});
+                  "max ns", "first-tuple ns", "recompute first-tuple ns",
+                  "pinned avg ns/tuple"});
+  JsonWriter json;
 
   for (std::size_t n : {1000u, 4000u, 16000u, 64000u}) {
     workload::StreamOptions opts;
@@ -70,15 +72,64 @@ void Run() {
       rec_first_ns = per.ElapsedNs();
     }
 
+    // Epoch-pinned read: pin, let one update fork the pinned version
+    // off, then drain the snapshot cursor. The per-tuple delay over the
+    // detached forest should match the live cursor's — same walk, same
+    // item layout — and stay flat in n.
+    double pin_ns;
+    std::uint64_t epoch;
+    {
+      Timer per;
+      auto pin = engine->PinEpoch();
+      pin_ns = per.ElapsedNs();
+      DYNCQ_CHECK_MSG(pin.ok(), pin.error());
+      epoch = pin.value();
+    }
+    double fork_update_ns;
+    {
+      Timer per;
+      engine->Apply(gen.Next(0));  // first post-pin write pays the fork
+      fork_update_ns = per.ElapsedNs();
+    }
+    Samples snap_delays;
+    std::size_t snap_size = 0;
+    {
+      auto cur = engine->NewSnapshotCursor(epoch);
+      DYNCQ_CHECK_MSG(cur.ok(), cur.error());
+      Tuple tup;
+      while (true) {
+        Timer per;
+        bool more = cur.value()->Next(&tup) == CursorStatus::kOk;
+        snap_delays.Add(per.ElapsedNs());
+        if (!more) break;
+        ++snap_size;
+      }
+    }
+    DYNCQ_CHECK(engine->UnpinEpoch(epoch).ok());
+
     t.AddRow({std::to_string(engine->db().ActiveDomainSize()),
               std::to_string(result_size), FormatDouble(delays.Mean(), 1),
               FormatDouble(delays.Percentile(0.99), 1),
               FormatDouble(delays.Max(), 1), FormatDouble(first_ns, 1),
-              FormatDouble(rec_first_ns, 1)});
+              FormatDouble(rec_first_ns, 1),
+              FormatDouble(snap_delays.Mean(), 1)});
+
+    const std::string prefix = "enum.n" + std::to_string(n);
+    json.Add(prefix + ".avg_ns_per_tuple", delays.Mean());
+    json.Add(prefix + ".p99_ns", delays.Percentile(0.99));
+    json.Add(prefix + ".first_tuple_ns", first_ns);
+    // Report-only trajectory metric (check_bench_trajectory.py,
+    // E6_SNAPSHOT_READ): pinned-read delay over the forked version.
+    json.Add(prefix + ".e6_snapshot_read_ns", snap_delays.Mean());
+    json.Add(prefix + ".e6_snapshot_pin_ns", pin_ns);
+    json.Add(prefix + ".e6_snapshot_fork_update_ns", fork_update_ns);
+    json.Add(prefix + ".snapshot_result_size", snap_size);
   }
   t.Print();
-  std::cout << "\nExpected: dyncq delay columns flat in n; the recompute "
-               "baseline's first tuple scales with the evaluation cost.\n";
+  json.Write("BENCH_e6.json");
+  std::cout << "\nExpected: dyncq delay columns flat in n (pinned reads "
+               "included); the recompute baseline's first tuple scales "
+               "with the evaluation cost.\n";
 }
 
 }  // namespace

@@ -54,10 +54,19 @@ E12_STRUCTURE_MICROS = (
     r"^BM_EngineUpdate(Chain3(Compressed|Legacy)"
     r"|MultiLeaf(Strided|Legacy))/\d+$")
 
+# Registered report-only in PR 6 alongside the snapshot-cursor work: the
+# E6 pinned-read delay (enum.n<k>.e6_snapshot_read_ns from
+# bench_e6_enum_delay.cc — per-tuple delay draining a pinned snapshot
+# cursor after a write forked the pinned version off). The CI step pairs
+# this preset with --report-only; to promote, drop the flag once a
+# same-host committed baseline has ridden one PR.
+E6_SNAPSHOT_READ = r"\.e6_snapshot_read_ns$"
+
 # --gate-preset: named gate patterns, so the CI steps reference the
 # constants above instead of duplicating regexes in ci.yml.
 GATE_PRESETS = {
     "e5": DEFAULT_GATE,
+    "e6": E6_SNAPSHOT_READ,
     "e12": E12_RELATION_PROBE,
 }
 

@@ -35,6 +35,9 @@ class DeltaIvmEngine final : public DynamicQueryEngine {
     Capabilities caps;
     caps.constant_delay_enumeration = true;  // materialized result map
     caps.constant_time_count = true;
+    // snapshot_enumeration stays false: updates mutate the result map in
+    // place, so PinEpoch degrades to the base-class materialize-on-pin
+    // (one full drain into a VectorSnapshot).
     return caps;
   }
 

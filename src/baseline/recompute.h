@@ -21,7 +21,10 @@ class RecomputeEngine final : public DynamicQueryEngine {
   const Database& db() const override { return db_; }
 
   Capabilities capabilities() const override {
-    return Capabilities{};  // recomputation guarantees nothing dynamic
+    // Recomputation guarantees nothing dynamic. snapshot_enumeration
+    // stays false: PinEpoch works, but degrades to materialize-on-pin
+    // (the base-class default drains one cursor into a VectorSnapshot).
+    return Capabilities{};
   }
 
   bool Apply(const UpdateCmd& cmd) override;

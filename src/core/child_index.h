@@ -45,6 +45,7 @@
 #include <new>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/types.h"
 
@@ -368,6 +369,7 @@ class ChildIndex {
   }
 
   static std::uint64_t* Allocate(std::size_t words) {
+    DYNCQ_ALLOC_FAILPOINT();
     void* mem = ::operator new(words * sizeof(std::uint64_t),
                                std::align_val_t{kCacheLine});
     std::uint64_t* slots = static_cast<std::uint64_t*>(mem);

@@ -349,6 +349,101 @@ void ComponentEngine::FreeSubtree(Item* it) {
   pool_.Free(it);  // runs the slot destructors (index tables included)
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-pinned snapshot fork (docs/ARCHITECTURE.md, "Snapshot cursors").
+//
+// A pin is O(1): it records the root fit-list anchors. Only when the
+// first post-pin write arrives does the engine pay for the version — it
+// detaches the entire forest (the pinned cursors keep walking those
+// blocks, links intact) and rebuilds the live structure by replaying the
+// component's base tuples. The two forests are then disjoint, so the
+// single writer and any number of pinned readers never touch the same
+// memory again.
+// ---------------------------------------------------------------------------
+
+void ComponentEngine::CaptureSnapshot(ComponentSnapshot* out) const {
+  out->root_head = root_slot_.head;
+  out->root_tail = root_slot_.tail;
+  out->sum = root_slot_.sum;
+  out->sum_free = root_slot_.sum_free;
+  out->detached.clear();
+}
+
+void ComponentEngine::CollectSubtree(Item* it,
+                                     std::vector<Item*>* out) const {
+  const NodeMeta& nm = node_meta_[it->node];
+  const QTreeNode& tn = tree_.node(static_cast<int>(it->node));
+  ChildSlot* slots = reinterpret_cast<ChildSlot*>(
+      reinterpret_cast<char*>(it) + nm.slots_off);
+  for (int u = 0; u < nm.num_children; ++u) {
+    const int child = tn.children[static_cast<std::size_t>(u)];
+    if (node_meta_[static_cast<std::size_t>(child)].unit_leaf) continue;
+    slots[u].index.ForEach(
+        [this, out](Value, Item* ch) { CollectSubtree(ch, out); });
+  }
+  out->push_back(it);
+}
+
+void ComponentEngine::DetachAllItems(std::vector<Item*>* out) {
+  out->clear();
+  // Collection is read-only and completes before any mutation, so a
+  // bad_alloc from the vector leaves the live structure untouched.
+  root_index_.ForEach(
+      [this, out](Value, Item* it) { CollectSubtree(it, out); });
+  // Point of no return — everything below is noexcept.
+  pool_.Detach(out->size());
+  root_index_.Clear();
+  root_slot_.head = nullptr;
+  root_slot_.tail = nullptr;
+  root_slot_.sum = 0;
+  root_slot_.sum_free = 0;
+}
+
+void ComponentEngine::RebuildFromDatabase(const Database& db) {
+  root_index_.Reserve(db.ActiveDomainSize());
+  for (std::size_t r = 0; r < atoms_of_rel_.size(); ++r) {
+    if (atoms_of_rel_[r].empty()) continue;
+    const RelId rel = static_cast<RelId>(r);
+    for (const Tuple& t : db.relation(rel)) ApplyDelta(rel, t, true);
+  }
+}
+
+void ComponentEngine::RestoreDetached(ComponentSnapshot& snap) {
+  // Free the partial rebuild (if any): the rebuild's items are exactly
+  // what the root index currently reaches.
+  root_index_.ForEach([this](Value, Item* it) { FreeSubtree(it); });
+  root_index_.Clear();
+  // Re-attach the detached forest. Roots are the items of the q-tree
+  // root node (the only node without a parent); their subtree links were
+  // never touched, so re-registering the roots restores everything.
+  for (Item* it : snap.detached) {
+    if (tree_.node(static_cast<int>(it->node)).parent < 0) {
+      *root_index_.FindOrInsertSlot(it->value) = it;
+    }
+  }
+  root_slot_.head = const_cast<Item*>(snap.root_head);
+  root_slot_.tail = const_cast<Item*>(snap.root_tail);
+  root_slot_.sum = snap.sum;
+  root_slot_.sum_free = snap.sum_free;
+  // A rebuild that died mid-flight may strand a just-allocated block
+  // outside every free list; its memory stays owned by the pool's
+  // chunks. Reset the live count to what the restored structure holds.
+  pool_.SetLiveItemsForRollback(snap.detached.size());
+  snap.detached.clear();
+}
+
+void ComponentEngine::RetireDetached(std::uint64_t epoch,
+                                     std::vector<Item*>* items) {
+  // Run records own leaf index tables through ChildSlots the pool does
+  // not know about (they live behind the per-node slot array); release
+  // them here, mirroring FreeSubtree.
+  for (Item* it : *items) {
+    if (it->run_len != 0) DestroyRunSlots(it);
+  }
+  pool_.Retire(epoch, *items);
+  items->clear();
+}
+
 Item* ComponentEngine::AllocItem(std::uint32_t n, std::size_t stripe) {
   Item* it = pool_.Alloc(n, stripe);
   const NodeMeta& nm = node_meta_[n];

@@ -24,6 +24,7 @@
 #include "core/item_pool.h"
 #include "cq/qtree.h"
 #include "cq/query.h"
+#include "storage/database.h"
 #include "storage/tuple.h"
 #include "util/small_vector.h"
 
@@ -35,6 +36,21 @@ struct PendingDelta {
   RelId rel = kInvalidRel;
   const Tuple* tuple = nullptr;
   bool insert = true;
+};
+
+/// Captured per-component state of a pinned snapshot version (the core
+/// engine's snapshot payload). At pin time only the root fit-list
+/// head/tail and sums are recorded — O(1). When the first post-pin write
+/// arrives, the whole component forest is detached into `detached` (the
+/// items keep their fit-list and subtree links, so pinned cursors keep
+/// walking them with constant delay) and the live structure is rebuilt
+/// from the base tables.
+struct ComponentSnapshot {
+  const Item* root_head = nullptr;
+  const Item* root_tail = nullptr;
+  Weight sum = 0;       // Cstart at pin time (Boolean answer gate)
+  Weight sum_free = 0;  // C̃start at pin time
+  std::vector<Item*> detached;
 };
 
 /// Structural tuning of the item forest. Both transformations are pure
@@ -195,6 +211,43 @@ class ComponentEngine {
   /// reaches exactly the pool's live items.
   void CheckInvariants() const;
 
+  // ---- Epoch-pinned snapshot fork support (single writer; see
+  // docs/ARCHITECTURE.md "Snapshot cursors"). ----
+
+  /// O(1) pin-time capture: records the root fit-list anchors and sums.
+  /// `out->detached` stays empty until the version is forked off.
+  void CaptureSnapshot(ComponentSnapshot* out) const;
+
+  /// Fork step 1: moves EVERY item of the live forest into `out` (the
+  /// items keep all their links — pinned cursors still walk them) and
+  /// resets the live structure to empty. Collection completes before any
+  /// mutation, so a bad_alloc from the vector leaves the engine intact.
+  void DetachAllItems(std::vector<Item*>* out);
+
+  /// Fork step 2: rebuilds the live structure by replaying this
+  /// component's base tuples from `db` (the PRE-update database — the
+  /// fork runs before the triggering delta is applied anywhere).
+  void RebuildFromDatabase(const Database& db);
+
+  /// Fork rollback: frees whatever RebuildFromDatabase managed to build,
+  /// re-attaches `snap.detached` as the live structure, and restores the
+  /// root slot from the captured anchors.
+  void RestoreDetached(ComponentSnapshot& snap);
+
+  /// Retires a dead version's detached items at `epoch` (releases index
+  /// heap tables now, queues blocks for post-watermark reclamation).
+  /// Safe from a reader thread concurrently with the writer.
+  void RetireDetached(std::uint64_t epoch, std::vector<Item*>* items);
+
+  /// Returns retired blocks with epoch <= `watermark` to the free lists
+  /// (writer thread only).
+  void ReclaimRetired(std::uint64_t watermark) {
+    pool_.ReclaimThrough(watermark);
+  }
+
+  bool has_retired() const { return pool_.has_retired(); }
+  std::size_t retired_blocks() const { return pool_.retired_blocks(); }
+
  private:
   struct NodeMeta {
     std::vector<int> rep_slots;        // atom_counts slots of rep atoms
@@ -316,6 +369,9 @@ class ComponentEngine {
   };
 
   void FreeSubtree(Item* it);
+  /// FreeSubtree's read-only twin: appends every item of `it`'s subtree
+  /// (itself included) to `out` without touching the structure.
+  void CollectSubtree(Item* it, std::vector<Item*>* out) const;
   void ApplyDelta(RelId rel, const Tuple& t, bool insert);
   void ApplyAtomDelta(const AtomMeta& am, const Tuple& t, bool insert);
   bool MatchesAtom(const AtomMeta& am, const Tuple& t) const;

@@ -48,6 +48,18 @@ ComponentCursor::ComponentCursor(const ComponentEngine* ce,
   cur_.resize(ce->enum_meta().nodes.size(), nullptr);
 }
 
+ComponentCursor::ComponentCursor(FixedRootTag, const ComponentEngine* ce,
+                                 RevisionGuard guard, const Item* fixed_root)
+    : ce_(ce),
+      guard_(guard),
+      root_begin_(fixed_root),
+      root_end_(nullptr),
+      fixed_root_(true) {
+  DYNCQ_CHECK_MSG(!ce->query().head().empty(),
+                  "ComponentCursor requires free variables");
+  cur_.resize(ce->enum_meta().nodes.size(), nullptr);
+}
+
 const ChildSlot& ComponentCursor::SlotOf(std::size_t pos) const {
   const auto& meta = ce_->enum_meta();
   int ppos = meta.parent_pos[pos];
@@ -145,8 +157,9 @@ CursorStatus ComponentCursor::Next(Tuple* out) {
 
   if (!started_) {
     started_ = true;
-    const Item* root =
-        root_begin_ != nullptr ? root_begin_ : ce_->root_slot().head;
+    const Item* root = (fixed_root_ || root_begin_ != nullptr)
+                           ? root_begin_
+                           : ce_->root_slot().head;
     if (root == nullptr || root == root_end_) {
       done_ = true;
       return CursorStatus::kEnd;  // empty (range of the) result

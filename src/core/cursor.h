@@ -32,6 +32,14 @@ class ComponentCursor final : public Cursor {
                   const Item* root_begin = nullptr,
                   const Item* root_end = nullptr);
 
+  /// Pinned-snapshot variant: enumerates exactly the fit list anchored at
+  /// `fixed_root` (which may be nullptr — an empty pinned result — and is
+  /// never re-read from the live root slot). The guard should be the
+  /// never-invalidating default for snapshot use.
+  struct FixedRootTag {};
+  ComponentCursor(FixedRootTag, const ComponentEngine* ce,
+                  RevisionGuard guard, const Item* fixed_root);
+
   CursorStatus Next(Tuple* out) override;
   CursorStatus Reset() override;
 
@@ -43,8 +51,11 @@ class ComponentCursor final : public Cursor {
 
   const ComponentEngine* ce_;
   RevisionGuard guard_;
-  const Item* root_begin_;  // nullptr = root fit-list head
+  const Item* root_begin_;  // nullptr = root fit-list head (unless fixed)
   const Item* root_end_;    // exclusive; nullptr = to the end
+  // Pinned snapshots: root_begin_ is authoritative even when nullptr —
+  // the live root slot is never consulted (it may have moved on).
+  bool fixed_root_ = false;
   // Current Item* or ChildIndex::Entry* per document position.
   std::vector<const void*> cur_;
   bool started_ = false;

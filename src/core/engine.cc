@@ -10,6 +10,7 @@
 #include "core/cursor.h"
 #include "cq/qtree.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace dyncq::core {
 
@@ -73,9 +74,56 @@ class Engine::ShardPool {
   bool stop_ = false;
 };
 
+// A pinned structural version: per component, the root fit-list anchors
+// captured at pin time and (once the first post-pin write forked the
+// version off) the detached item forest the pinned cursors keep walking.
+// Every destruction path runs under the engine's snapshot mutex (registry
+// erasure, cursor unregistration, teardown), so Release's bookkeeping
+// needs no lock of its own.
+class Engine::CoreVersion final : public EngineSnapshot {
+ public:
+  CoreVersion(Engine* engine, std::uint64_t epoch)
+      : engine_(engine), epoch_(epoch), comps_(engine->components_.size()) {}
+
+  ~CoreVersion() override { Release(); }
+
+  // Engine teardown with snapshot cursors still open: retire the
+  // detached forests while the components (and their pools) are alive;
+  // the eventual destructor is then engine-independent.
+  void OnEngineTeardown() override { Release(); }
+
+  std::vector<ComponentSnapshot>& comps() { return comps_; }
+  const std::vector<ComponentSnapshot>& comps() const { return comps_; }
+
+ private:
+  void Release() {
+    if (engine_ == nullptr) return;
+    if (engine_->armed_version_ == this) {
+      // Dying before any write forked us off: disarm the write path.
+      engine_->armed_version_ = nullptr;
+      engine_->fork_armed_.store(false, std::memory_order_release);
+    }
+    for (std::size_t c = 0; c < comps_.size(); ++c) {
+      if (!comps_[c].detached.empty()) {
+        engine_->components_[c]->RetireDetached(epoch_, &comps_[c].detached);
+      }
+    }
+    engine_ = nullptr;
+  }
+
+  Engine* engine_;
+  const std::uint64_t epoch_;
+  std::vector<ComponentSnapshot> comps_;
+};
+
 Engine::Engine(Query q) : query_(std::move(q)), db_(query_.schema()) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Destroy registered versions while the components are alive: detached
+  // forests hold heap-grown child-index tables only their ChildSlot
+  // destructors release (the pool frees raw chunks, nothing else).
+  ClearSnapshotRegistry();
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
   return Create(q, EngineTuning{});
@@ -140,7 +188,139 @@ void Engine::Preload(const Database& initial) {
   ApplyBatch(stream);
 }
 
+void Engine::ForkIfPinned() {
+  if (!fork_armed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(snapshot_mutex());
+  CoreVersion* v = armed_version_;
+  if (v == nullptr) return;  // the armed version died since the gate
+  // Freeze the version: detach each component's forest into it (item
+  // links untouched — pinned cursors keep walking them) and rebuild the
+  // live structure by replaying the component's base tuples. db_ is
+  // still pre-update here, so the rebuild is exactly the pinned state.
+  std::vector<ComponentSnapshot>& comps = v->comps();
+  std::size_t done = 0;
+  bool detached_current = false;
+  try {
+    for (; done < components_.size(); ++done) {
+      detached_current = false;
+      components_[done]->DetachAllItems(&comps[done].detached);
+      detached_current = true;
+      components_[done]->RebuildFromDatabase(db_);
+    }
+  } catch (...) {
+    // Roll back to the pre-fork state: free partial rebuilds, re-attach
+    // the detached forests. The version stays armed — a retry after the
+    // allocation pressure clears forks again.
+    if (done < components_.size()) {
+      if (detached_current) {
+        components_[done]->RestoreDetached(comps[done]);
+      } else {
+        comps[done].detached.clear();  // collection died; nothing mutated
+      }
+    }
+    for (std::size_t c = 0; c < done; ++c) {
+      components_[c]->RestoreDetached(comps[c]);
+    }
+    throw;
+  }
+  armed_version_ = nullptr;
+  fork_armed_.store(false, std::memory_order_release);
+}
+
+void Engine::MaybeReclaimRetired() {
+  bool any = false;
+  for (const auto& c : components_) {
+    if (c->has_retired()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  // Retired forests belong exclusively to dead versions, so the
+  // conservative watermark is ordering hygiene rather than a correctness
+  // need: nothing at or past the oldest registered epoch is reclaimed
+  // while that epoch could be re-pinned (a spurious fork can leave a
+  // frozen version sharing the current epoch).
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  const std::uint64_t oldest = OldestPinnedEpoch();  // takes the mutex
+  if (oldest == 0) return;  // an epoch-0 version exists; nothing is older
+  const std::uint64_t wm = oldest == kNone ? kNone : oldest - 1;
+  for (const auto& c : components_) c->ReclaimRetired(wm);
+}
+
+void Engine::ReclaimAllRetired() {
+  for (const auto& c : components_) {
+    c->ReclaimRetired(~std::uint64_t{0});
+  }
+}
+
+std::size_t Engine::RetiredBlocks() const {
+  std::size_t n = 0;
+  for (const auto& c : components_) n += c->retired_blocks();
+  return n;
+}
+
+Result<std::shared_ptr<EngineSnapshot>> Engine::CaptureSnapshot() {
+  using R = Result<std::shared_ptr<EngineSnapshot>>;
+  DYNCQ_ALLOC_FAILPOINT();
+  if (sharded_batch_open_) {
+    return R::Error(
+        "PinEpoch: cannot pin while a sharded batch is open (pins must be "
+        "synchronized with writes)");
+  }
+  // At most one unfrozen version exists: a previously armed version was
+  // either forked off by the write that then bumped the revision, or it
+  // died (disarming); and a re-pin of a registered epoch never reaches
+  // CaptureSnapshot.
+  DYNCQ_CHECK(armed_version_ == nullptr);
+  auto v = std::make_shared<CoreVersion>(this, revision().value);
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    components_[c]->CaptureSnapshot(&v->comps()[c]);
+  }
+  armed_version_ = v.get();
+  fork_armed_.store(true, std::memory_order_release);
+  return R(std::shared_ptr<EngineSnapshot>(std::move(v)));
+}
+
+Result<std::unique_ptr<Cursor>> Engine::MakeSnapshotCursor(
+    const std::shared_ptr<EngineSnapshot>& snap) {
+  using R = Result<std::unique_ptr<Cursor>>;
+  auto* v = dynamic_cast<CoreVersion*>(snap.get());
+  if (v == nullptr) {
+    return R::Error("MakeSnapshotCursor: unrecognized snapshot payload");
+  }
+  const std::vector<ComponentSnapshot>& comps = v->comps();
+  // Default-constructed guards: pinned cursors never invalidate — writes
+  // fork the version out from under them instead of moving it. Boolean
+  // components gate on the sum captured at pin time.
+  if (components_.size() == 1 && !components_[0]->query().head().empty()) {
+    std::unique_ptr<Cursor> c = std::make_unique<ComponentCursor>(
+        ComponentCursor::FixedRootTag{}, components_[0].get(),
+        RevisionGuard{}, comps[0].root_head);
+    return R(std::move(c));
+  }
+  std::vector<std::unique_ptr<Cursor>> subs;
+  subs.reserve(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (components_[c]->query().head().empty()) {
+      subs.push_back(std::make_unique<BooleanGateCursor>(comps[c].sum > 0,
+                                                         RevisionGuard{}));
+    } else {
+      subs.push_back(std::make_unique<ComponentCursor>(
+          ComponentCursor::FixedRootTag{}, components_[c].get(),
+          RevisionGuard{}, comps[c].root_head));
+    }
+  }
+  std::unique_ptr<Cursor> p =
+      std::make_unique<ProductCursor>(std::move(subs), head_map_);
+  return R(std::move(p));
+}
+
 bool Engine::Apply(const UpdateCmd& cmd) {
+  // Pinned version bookkeeping first: the fork must see the pre-update
+  // database, and reclamation piggybacks on the write path.
+  ForkIfPinned();
+  MaybeReclaimRetired();
   // Latency pipeline: the update walk's dependent cache accesses (root
   // item, then deeper items) are requested in stages that overlap the
   // database's own hash work, so serial misses become parallel ones.
@@ -166,6 +346,8 @@ bool Engine::Apply(const UpdateCmd& cmd) {
 
 std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds,
                                const BatchOptions& opts) {
+  ForkIfPinned();  // before db_.Apply — the fork replays the pre-batch db
+  MaybeReclaimRetired();
   pending_.clear();
   pending_.reserve(cmds.size());
   constexpr std::size_t kLookahead = 8;
@@ -208,6 +390,14 @@ std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds,
   // worker per shard runs phase A and the merge-free per-shard phase B
   // across ALL components (component structures are disjoint), and the
   // deferred root-level fix-ups replay sequentially after the join.
+  // While the shard protocol is in flight the structure is mid-mutation
+  // across threads, so CaptureSnapshot refuses pins (scope-guarded in
+  // case a worker throws).
+  struct BatchOpenGuard {
+    bool& flag;
+    ~BatchOpenGuard() { flag = false; }
+  } batch_open_guard{sharded_batch_open_};
+  sharded_batch_open_ = true;
   for (const auto& c : components_) {
     c->BeginShardedBatch(pending_.data(), pending_.size(), k);
   }

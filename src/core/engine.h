@@ -4,6 +4,8 @@
 #ifndef DYNCQ_CORE_ENGINE_H_
 #define DYNCQ_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -52,6 +54,10 @@ class Engine final : public DynamicQueryEngine {
     // §6.3: root positions are independent per root item, so any
     // component with free variables can be range-partitioned.
     caps.partitionable = has_free_component_;
+    // Pins are O(1) root-anchor captures; the first post-pin write forks
+    // the pinned version off and pinned cursors keep walking it with
+    // constant delay (docs/ARCHITECTURE.md, "Snapshot cursors").
+    caps.snapshot_enumeration = true;
     return caps;
   }
 
@@ -106,8 +112,49 @@ class Engine final : public DynamicQueryEngine {
   /// Figure 3-style dump of every component's structure.
   void DumpStructure(std::ostream& os) const;
 
+  /// Item blocks sitting in retire lists awaiting reclamation
+  /// (test/telemetry hook; see ItemPool::retired_blocks).
+  std::size_t RetiredBlocks() const;
+
+  /// Forces the "sharded batch open" flag CaptureSnapshot rejects pins
+  /// under. The real flag is only ever set transiently inside ApplyBatch
+  /// (pins are externally synchronized with writes), so tests use this
+  /// to exercise the misuse error.
+  void SetShardedBatchOpenForTest(bool open) { sharded_batch_open_ = open; }
+
+ protected:
+  /// O(1) snapshot capture: records each component's root fit-list
+  /// anchors and arms the write path to fork the version off before the
+  /// next mutation. Invoked by PinEpoch with the snapshot mutex held.
+  Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot() override;
+
+  /// Builds constant-delay cursors over a pinned version's (possibly
+  /// detached) root fit lists. Invoked outside the snapshot mutex.
+  Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
+      const std::shared_ptr<EngineSnapshot>& snap) override;
+
+  void ReclaimAllRetired() override;
+
  private:
   explicit Engine(Query q);
+
+  /// The engine's snapshot payload: one ComponentSnapshot per component.
+  /// Defined in engine.cc; befriended so it can disarm the fork flag and
+  /// retire its detached forests on death.
+  class CoreVersion;
+  friend class CoreVersion;
+
+  /// Freezes the armed pinned version (if any) by detaching every
+  /// component's forest into it and rebuilding the live structures from
+  /// the pre-update database. Runs at the top of Apply/ApplyBatch,
+  /// BEFORE the database mutates. Strong exception safety: a thrown
+  /// bad_alloc rolls the detached forests back and rethrows, leaving
+  /// both the structure and the pinned version intact.
+  void ForkIfPinned();
+
+  /// Returns retired blocks older than the oldest pinned epoch to the
+  /// pool free lists (write path, writer thread only).
+  void MaybeReclaimRetired();
 
   /// Persistent shard workers: parked between batches so a sharded
   /// ApplyBatch pays a wakeup, not k thread spawns. Lazily started by
@@ -129,6 +176,15 @@ class Engine final : public DynamicQueryEngine {
   std::vector<std::uint32_t> kept_;    // batch scratch
   std::unique_ptr<ShardPool> shard_pool_;
   bool has_free_component_ = false;  // some component has free vars
+
+  // Snapshot fork state. fork_armed_ is the write path's lock-free fast
+  // gate; it may be cleared from a reader thread (the armed version's
+  // last reference dropped), hence atomic. armed_version_ is guarded by
+  // snapshot_mutex(): the at-most-one registered version whose epoch is
+  // current and whose forests are still the live ones.
+  std::atomic<bool> fork_armed_{false};
+  CoreVersion* armed_version_ = nullptr;  // guarded by snapshot_mutex()
+  bool sharded_batch_open_ = false;       // writer thread only
 };
 
 }  // namespace dyncq::core

@@ -15,7 +15,9 @@
 #define DYNCQ_CORE_ENGINE_IFACE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,11 +39,26 @@ struct Revision {
 };
 
 /// Typed outcome of a cursor step (replaces abort-on-stale-use).
+/// Snapshot cursors (opened with CursorOptions{.snapshot = true} or via
+/// NewSnapshotCursor) are pinned to a specific epoch and never report
+/// kInvalidated — writes fork the structure out from under them instead
+/// of moving it. Ordinary cursors keep the strict behavior below.
 enum class CursorStatus : std::uint8_t {
   kOk,           // a tuple was produced
   kEnd,          // end of enumeration (sticky; the paper's EOE message)
   kInvalidated,  // the engine's revision moved past the cursor's —
                  // results may have changed, open a fresh cursor
+};
+
+/// How a read should relate to concurrent writes.
+struct CursorOptions {
+  /// Pin the current epoch for the cursor's whole lifetime: the cursor
+  /// enumerates exactly the result as of its creation, with writes
+  /// proceeding underneath, and never reports kInvalidated. Engines with
+  /// the snapshot_enumeration capability preserve constant-delay
+  /// enumeration over the pinned structure; other engines degrade to
+  /// materialize-on-pin (the pin costs one result materialization).
+  bool snapshot = false;
 };
 
 /// Checks that the structure a cursor walks has not changed since the
@@ -90,6 +107,28 @@ struct Capabilities {
   /// ranges for parallel enumeration (§6.3: root positions are
   /// independent per root item).
   bool partitionable = false;
+  /// PinEpoch() is O(1) and pinned cursors keep constant-delay
+  /// enumeration over the pinned version while writes proceed (the
+  /// structure is preserved for the pin, not re-materialized). Engines
+  /// without this bit still support PinEpoch, but the pin itself costs
+  /// one full materialization of the result.
+  bool snapshot_enumeration = false;
+};
+
+/// Opaque per-epoch payload a pinned snapshot keeps alive: either a
+/// materialized result vector (the base-class default) or an engine's
+/// preserved structural version (core::Engine). Destroyed — under the
+/// engine's snapshot mutex — when the last pin and the last snapshot
+/// cursor of its epoch are gone.
+class EngineSnapshot {
+ public:
+  virtual ~EngineSnapshot() = default;
+
+  /// Called (under the snapshot mutex) when the owning engine tears down
+  /// while snapshot cursors still hold this version alive: release any
+  /// resources that need the engine's structures, and make the eventual
+  /// destructor engine-independent.
+  virtual void OnEngineTeardown() {}
 };
 
 class DynamicQueryEngine {
@@ -190,6 +229,47 @@ class DynamicQueryEngine {
 
   virtual std::string name() const = 0;
 
+  // ---- epoch-pinned snapshots -------------------------------------
+  //
+  // Threading contract (single-writer / multi-reader): PinEpoch must be
+  // externally synchronized with writes (pin between updates, exactly
+  // like opening an ordinary cursor). Once pinned, UnpinEpoch,
+  // NewSnapshotCursor, and the pinned cursors' Next/Reset/destruction
+  // are safe concurrently with the single writer. Snapshot cursors must
+  // be destroyed before the engine (the same lifetime contract all
+  // cursors have — their destructor unregisters from the engine).
+
+  /// Pins the current epoch and returns it. Repeated pins of one epoch
+  /// nest (each needs its own UnpinEpoch) up to a per-epoch limit;
+  /// exceeding it is a typed error, as is pinning mid-write (e.g. under
+  /// an open sharded batch). On failure — including an allocation
+  /// failure while capturing — no epoch is registered.
+  Result<std::uint64_t> PinEpoch();
+
+  /// Releases one pin of `epoch`. The epoch's snapshot is destroyed
+  /// (and its memory queued for reclamation) once its pins AND its open
+  /// snapshot cursors are both gone. Unpinning an epoch that is not
+  /// pinned is a typed error.
+  Status UnpinEpoch(std::uint64_t epoch);
+
+  /// Cursor over the result as of pinned `epoch`. The cursor itself
+  /// keeps the snapshot alive, so it stays valid after UnpinEpoch and
+  /// never reports kInvalidated. Errors if `epoch` is not registered.
+  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
+
+  /// Registered snapshot versions (pinned or still referenced by an
+  /// open snapshot cursor). Test/telemetry hook.
+  std::size_t num_pinned_epochs() const;
+
+  /// Explicit reclamation: releases all retired snapshot memory.
+  /// Reclaim-while-pinned is misuse — a typed error naming the
+  /// outstanding pins/cursors, with nothing released.
+  Status DropAllSnapshots();
+
+  /// Lowers the per-epoch pin limit (tests exercise the overflow path
+  /// without 2^32 pins).
+  void SetPinLimitForTest(std::uint32_t limit) { pin_limit_ = limit; }
+
   /// Revision of the maintained result; advanced by every effective
   /// update. All engines share this one counter type — cursors opened at
   /// an older revision report kInvalidated instead of walking stale
@@ -213,9 +293,79 @@ class DynamicQueryEngine {
   /// structure.
   RevisionGuard NewGuard() const { return RevisionGuard{&rev_, rev_}; }
 
+  /// Builds the snapshot payload for the current epoch. Invoked by
+  /// PinEpoch with the snapshot mutex held; a thrown std::bad_alloc is
+  /// converted into a typed error with no epoch registered. The default
+  /// is materialize-on-pin: drain a fresh cursor into a VectorSnapshot.
+  /// Engines with structural snapshots (core::Engine) override this to
+  /// an O(1) capture.
+  virtual Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot();
+
+  /// Builds a cursor over a snapshot this engine previously captured.
+  /// Invoked outside the snapshot mutex. The default enumerates a
+  /// VectorSnapshot.
+  virtual Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
+      const std::shared_ptr<EngineSnapshot>& snap);
+
+  /// Releases retired snapshot memory; called by DropAllSnapshots (under
+  /// the snapshot mutex) once no snapshot is registered. Default: the
+  /// materialized vectors died with their registry entries — nothing to
+  /// do.
+  virtual void ReclaimAllRetired() {}
+
+  /// Destroys every registered snapshot (calling OnEngineTeardown on
+  /// each first, so versions referenced by still-open cursors become
+  /// engine-independent). Derived engines whose snapshots reference
+  /// their structures MUST call this in their destructor, before those
+  /// structures die.
+  void ClearSnapshotRegistry();
+
+  /// The mutex guarding the snapshot registry. Derived engines guard
+  /// their own snapshot bookkeeping (e.g. which version a write must
+  /// fork) with the same mutex; CaptureSnapshot already runs under it.
+  std::mutex& snapshot_mutex() const { return snap_mu_; }
+
+  /// Oldest epoch any registered snapshot still holds, or UINT64_MAX
+  /// when none — everything retired at or before (oldest - 1) may be
+  /// reclaimed. Takes the snapshot mutex.
+  std::uint64_t OldestPinnedEpoch() const;
+
  private:
+  friend class SnapshotCursor;
+
+  struct SnapEntry {
+    std::uint32_t pins = 0;
+    std::uint32_t cursor_refs = 0;
+    std::shared_ptr<EngineSnapshot> snap;
+  };
+
+  /// Drops a snapshot cursor's reference (its shared_ptr is handed in so
+  /// the version's destructor runs under the snapshot mutex).
+  void ReleaseSnapshotCursorRef(std::uint64_t epoch,
+                                std::shared_ptr<EngineSnapshot> snap);
+
   std::uint64_t rev_ = 0;
+  mutable std::mutex snap_mu_;
+  std::map<std::uint64_t, SnapEntry> snaps_;  // guarded by snap_mu_
+  std::uint32_t pin_limit_ = 1u << 20;
 };
+
+/// Snapshot of a materialized result — the degradation every engine
+/// supports (snapshot_enumeration = false engines pin by materializing).
+class VectorSnapshot final : public EngineSnapshot {
+ public:
+  explicit VectorSnapshot(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+/// Cursor over a shared materialized result (never invalidates). Reused
+/// by the UCQ layer's materialize-on-pin snapshots.
+std::unique_ptr<Cursor> NewVectorSnapshotCursor(
+    std::shared_ptr<const std::vector<Tuple>> tuples);
 
 /// Bounds a maintained count to a sane up-front reserve size: a
 /// cross-product blowup must not turn into one giant allocation before

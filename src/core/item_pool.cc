@@ -4,6 +4,7 @@
 #include <new>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace dyncq::core {
 
@@ -54,6 +55,7 @@ Item* ItemPool::Alloc(std::uint32_t n, std::size_t stripe) {
     std::size_t bs = block_size_[n];
     static_assert(alignof(Item) <= alignof(std::max_align_t),
                   "pool relies on default-aligned operator new");
+    DYNCQ_ALLOC_FAILPOINT();
     char* mem = static_cast<char*>(::operator new(bs * kItemsPerChunk));
     for (std::size_t i = 0; i < kItemsPerChunk; ++i) {
       auto* fn = reinterpret_cast<FreeNode*>(mem + i * bs);
@@ -93,6 +95,55 @@ void ItemPool::Free(Item* it, std::size_t stripe) {
   fn->next = st.free_lists[n];
   st.free_lists[n] = fn;
   --st.live;  // may go negative: items can be freed into another stripe
+}
+
+void ItemPool::Retire(std::uint64_t epoch, const std::vector<Item*>& items) {
+  if (items.empty()) return;
+  // Destroy the child slots now: the version is dead, so its index heap
+  // tables must be released (nothing enumerates them anymore). The Item
+  // header is deliberately left constructed — ReclaimThrough reads
+  // it->node to route the block to its free list, and Item's members are
+  // all trivially destructible.
+  std::vector<Item*> blocks;
+  blocks.reserve(items.size());
+  for (Item* it : items) {
+    const std::uint32_t n = it->node;
+    ChildSlot* slots = ItemSlots(it, num_atoms_[n]);
+    for (std::size_t c = 0; c < num_children_[n]; ++c) {
+      slots[c].~ChildSlot();
+    }
+    blocks.push_back(it);
+  }
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back(RetireList{epoch, std::move(blocks)});
+  has_retired_.store(true, std::memory_order_relaxed);
+}
+
+void ItemPool::ReclaimThrough(std::uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    RetireList& rl = retired_[i];
+    if (rl.epoch > watermark) {
+      if (kept != i) retired_[kept] = std::move(rl);
+      ++kept;
+      continue;
+    }
+    for (Item* it : rl.blocks) {
+      auto* fn = reinterpret_cast<FreeNode*>(it);
+      fn->next = stripes_[0].free_lists[it->node];
+      stripes_[0].free_lists[it->node] = fn;
+    }
+  }
+  retired_.resize(kept);
+  if (kept == 0) has_retired_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t ItemPool::retired_blocks() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  std::size_t n = 0;
+  for (const RetireList& rl : retired_) n += rl.blocks.size();
+  return n;
 }
 
 }  // namespace dyncq::core

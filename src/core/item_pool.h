@@ -14,7 +14,10 @@
 #ifndef DYNCQ_CORE_ITEM_POOL_H_
 #define DYNCQ_CORE_ITEM_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/item.h"
@@ -66,6 +69,56 @@ class ItemPool {
     return static_cast<std::size_t>(n);
   }
 
+  // ---- epoch-pinned snapshot support (see docs/ARCHITECTURE.md) ----
+  //
+  // When a pinned snapshot version is forked off, the engine detaches
+  // the version's whole item set from the live structure: the blocks
+  // stay readable (pinned cursors keep walking them) but no longer count
+  // as live. When the version dies, its blocks are retired — child-slot
+  // destructors run (index heap tables must not outlive the version),
+  // but the blocks rejoin the free lists only once the writer reclaims
+  // past the version's epoch, so reclamation never races a reader that
+  // is still tearing its cursor down.
+
+  /// Removes `n` items from the live count without freeing them (writer
+  /// thread; the blocks remain reachable only through the snapshot).
+  void Detach(std::size_t n) { stripes_[0].live -= static_cast<std::int64_t>(n); }
+
+  /// Re-adds `n` detached items to the live count (fork rollback).
+  void Undetach(std::size_t n) { stripes_[0].live += static_cast<std::int64_t>(n); }
+
+  /// Fork-rollback repair: resets the live count to exactly `n` (all on
+  /// stripe 0). A partially failed rebuild may strand an allocated block
+  /// outside any free list; the block's memory stays owned by the pool's
+  /// chunks, and this restores the count the re-attached structure
+  /// implies.
+  void SetLiveItemsForRollback(std::size_t n) {
+    for (Stripe& s : stripes_) s.live = 0;
+    stripes_[0].live = static_cast<std::int64_t>(n);
+  }
+
+  /// Retires already-detached blocks at `epoch`: runs the child-slot
+  /// destructors (releasing grown index tables) and queues the blocks
+  /// for reclamation. Item headers stay readable (the node id routes the
+  /// block to its free list later). Safe to call from a reader thread
+  /// concurrently with the single writer's Alloc/Free — retire never
+  /// touches the free lists.
+  void Retire(std::uint64_t epoch, const std::vector<Item*>& items);
+
+  /// Returns every block retired at an epoch <= `watermark` to stripe
+  /// 0's free lists. Writer thread only (mutates free lists). Live
+  /// counts are untouched — Detach already removed these blocks.
+  void ReclaimThrough(std::uint64_t watermark);
+
+  /// Blocks currently sitting in retire lists (test/telemetry hook).
+  std::size_t retired_blocks() const;
+
+  /// Cheap write-path gate: true iff some retired blocks await
+  /// reclamation.
+  bool has_retired() const {
+    return has_retired_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct FreeNode {
     FreeNode* next;
@@ -77,10 +130,24 @@ class ItemPool {
     std::int64_t live = 0;              // alloc/free delta (may be < 0)
   };
 
+  /// One snapshot version's worth of retired blocks.
+  struct RetireList {
+    std::uint64_t epoch = 0;
+    std::vector<Item*> blocks;
+  };
+
   std::vector<std::size_t> num_children_;
   std::vector<std::size_t> num_atoms_;
   std::vector<std::size_t> block_size_;
   std::vector<Stripe> stripes_;
+
+  // Retire lists may be appended from a reader thread (last snapshot
+  // reference dropped) while the writer reclaims, hence the mutex; the
+  // atomic flag lets the write path skip the lock entirely when nothing
+  // is retired.
+  mutable std::mutex retire_mu_;
+  std::vector<RetireList> retired_;
+  std::atomic<bool> has_retired_{false};
 
   static constexpr std::size_t kItemsPerChunk = 64;
 };

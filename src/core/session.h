@@ -155,6 +155,26 @@ class QuerySession {
   bool Answer() { return engine_->Answer(); }
   std::unique_ptr<Cursor> NewCursor() { return engine_->NewCursor(); }
 
+  /// Options-taking cursor factory. With `opts.snapshot` the cursor is
+  /// pinned to the current epoch: it enumerates exactly the result as of
+  /// this call, survives subsequent writes (never kInvalidated), and
+  /// releases its snapshot when destroyed. Whether the pin is O(1) or a
+  /// full materialization is the snapshot_enumeration capability bit.
+  Result<std::unique_ptr<Cursor>> NewCursor(const CursorOptions& opts);
+
+  /// Drains a fresh cursor (snapshot or live per `opts`) into a vector.
+  /// Errors if a live drain is invalidated mid-way.
+  Result<std::vector<Tuple>> Materialize(const CursorOptions& opts = {});
+
+  // ---- epoch pinning (see DynamicQueryEngine's threading contract) ----
+  Result<std::uint64_t> PinEpoch() { return engine_->PinEpoch(); }
+  Status UnpinEpoch(std::uint64_t epoch) {
+    return engine_->UnpinEpoch(epoch);
+  }
+  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch) {
+    return engine_->NewSnapshotCursor(epoch);
+  }
+
   /// Splits the current result into at most `k` independent ranges (see
   /// DynamicQueryEngine::NewPartitions). Each cursor may be drained by a
   /// different thread; all are invalidated together by the next update.

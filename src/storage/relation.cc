@@ -6,6 +6,7 @@
 #include <new>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 // Define DYNCQ_FORCE_SWAR_GROUP to compile the portable word-parallel
 // group scan on SSE2 hosts too (used to test the fallback on x86).
@@ -277,6 +278,7 @@ void Relation::Rehash(std::size_t new_cap) {
   DYNCQ_DCHECK(arity_ > 0);  // nullary relations never rehash
   DYNCQ_DCHECK(new_cap <= SIZE_MAX / arity_);
   if (new_cap > SIZE_MAX / arity_) throw std::bad_alloc();
+  DYNCQ_ALLOC_FAILPOINT();
   auto new_meta = std::make_unique<std::uint8_t[]>(new_cap);
   std::memset(new_meta.get(), kMetaEmpty, new_cap);
   // Slot words are gated by the metadata bytes, so they need no

@@ -1,6 +1,7 @@
 #include "ucq/union_query.h"
 
 #include <bit>
+#include <new>
 
 #include "util/check.h"
 #include "util/hash.h"
@@ -145,13 +146,22 @@ bool UnionEngine::Answer() {
 namespace {
 
 /// Streams disjunct cursors in order, suppressing duplicates with a
-/// hash set of emitted tuples. Invalidation of any sub-cursor propagates.
+/// hash set of emitted tuples. Invalidation of any sub-cursor propagates
+/// from Next; Reset instead rebuilds the disjunct cursors against the
+/// owner's current revision (the old cursors can never become valid
+/// again — each disjunct engine has its own revision counter, so
+/// resetting stale sub-cursors one by one could neither succeed nor
+/// leave a consistent mix). One rebuild is attempted; if even the fresh
+/// cursors report stale (an update raced the reset, violating the
+/// single-writer contract), the cursor goes permanently dead instead of
+/// retrying forever or tearing half its state.
 class UnionCursor final : public Cursor {
  public:
-  explicit UnionCursor(std::vector<std::unique_ptr<Cursor>> subs)
-      : subs_(std::move(subs)) {}
+  UnionCursor(UnionEngine* owner, std::vector<std::unique_ptr<Cursor>> subs)
+      : owner_(owner), subs_(std::move(subs)) {}
 
   CursorStatus Next(Tuple* out) override {
+    if (dead_) return CursorStatus::kInvalidated;
     while (current_ < subs_.size()) {
       CursorStatus s = subs_[current_]->Next(out);
       if (s == CursorStatus::kInvalidated) return s;
@@ -165,25 +175,42 @@ class UnionCursor final : public Cursor {
   }
 
   CursorStatus Reset() override {
+    if (dead_) return CursorStatus::kInvalidated;
+    bool stale = false;
     for (auto& s : subs_) {
       if (s->Reset() == CursorStatus::kInvalidated) {
-        return CursorStatus::kInvalidated;
+        stale = true;
+        break;
       }
     }
+    if (stale) {
+      // Rebuild once: fresh cursors at the engines' current revisions.
+      subs_ = owner_->NewDisjunctCursors();
+      for (auto& s : subs_) {
+        if (s->Reset() == CursorStatus::kInvalidated) {
+          dead_ = true;  // raced by a writer mid-reset: stay dead
+          return CursorStatus::kInvalidated;
+        }
+      }
+    }
+    // seen_/current_ change only on success, so a failed reset leaves
+    // the cursor exactly as dead as it reported.
     seen_.Clear();
     current_ = 0;
     return CursorStatus::kOk;
   }
 
  private:
+  UnionEngine* owner_;
   std::vector<std::unique_ptr<Cursor>> subs_;
   OpenHashSet<Tuple, TupleHash> seen_;
   std::size_t current_ = 0;
+  bool dead_ = false;
 };
 
 }  // namespace
 
-std::unique_ptr<Cursor> UnionEngine::NewCursor() {
+std::vector<std::unique_ptr<Cursor>> UnionEngine::NewDisjunctCursors() {
   const std::size_t d = uq_.disjuncts().size();
   std::vector<std::unique_ptr<Cursor>> subs;
   subs.reserve(d);
@@ -191,7 +218,66 @@ std::unique_ptr<Cursor> UnionEngine::NewCursor() {
     subs.push_back(
         engines_[(std::size_t{1} << i) - 1].engine->NewCursor());
   }
-  return std::make_unique<UnionCursor>(std::move(subs));
+  return subs;
+}
+
+std::unique_ptr<Cursor> UnionEngine::NewCursor() {
+  return std::make_unique<UnionCursor>(this, NewDisjunctCursors());
+}
+
+Result<std::uint64_t> UnionEngine::PinEpoch() {
+  using R = Result<std::uint64_t>;
+  const std::uint64_t epoch = epoch_;
+  auto it = pinned_.find(epoch);
+  if (it != pinned_.end()) {
+    ++it->second.pins;
+    return epoch;
+  }
+  // Materialize-on-pin: drain one deduplicated union cursor. On any
+  // failure nothing is registered.
+  try {
+    auto tuples = std::make_shared<std::vector<Tuple>>();
+    auto cursor = NewCursor();
+    Tuple t;
+    CursorStatus s;
+    while ((s = cursor->Next(&t)) == CursorStatus::kOk) {
+      tuples->push_back(t);
+    }
+    if (s == CursorStatus::kInvalidated) {
+      return R::Error(
+          "PinEpoch: result changed while materializing the snapshot "
+          "(pins must be synchronized with writes)");
+    }
+    PinnedResult& entry = pinned_[epoch];
+    entry.pins = 1;
+    entry.tuples = std::move(tuples);
+  } catch (const std::bad_alloc&) {
+    return R::Error("PinEpoch: allocation failed while materializing");
+  }
+  return epoch;
+}
+
+Status UnionEngine::UnpinEpoch(std::uint64_t epoch) {
+  auto it = pinned_.find(epoch);
+  if (it == pinned_.end() || it->second.pins == 0) {
+    return Status::Error("UnpinEpoch: epoch " + std::to_string(epoch) +
+                         " is not pinned");
+  }
+  // Snapshot cursors co-own the materialized vector, so erasing the
+  // registry entry never invalidates them.
+  if (--it->second.pins == 0) pinned_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Cursor>> UnionEngine::NewSnapshotCursor(
+    std::uint64_t epoch) {
+  using R = Result<std::unique_ptr<Cursor>>;
+  auto it = pinned_.find(epoch);
+  if (it == pinned_.end()) {
+    return R::Error("NewSnapshotCursor: epoch " + std::to_string(epoch) +
+                    " is not pinned");
+  }
+  return R(NewVectorSnapshotCursor(it->second.tuples));
 }
 
 }  // namespace dyncq::ucq

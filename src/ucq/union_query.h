@@ -17,6 +17,8 @@
 #ifndef DYNCQ_UCQ_UNION_QUERY_H_
 #define DYNCQ_UCQ_UNION_QUERY_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,21 +77,55 @@ class UnionEngine {
   bool Answer();
 
   /// Enumerates the union without duplicates. Invalidation of any
-  /// disjunct's cursor propagates as CursorStatus::kInvalidated.
+  /// disjunct's cursor propagates as CursorStatus::kInvalidated. Reset
+  /// after an update rebuilds the disjunct cursors against the current
+  /// revision (one rebuild attempt; a cursor that cannot be rebuilt —
+  /// the engines moved again mid-reset — goes permanently dead and
+  /// reports kInvalidated from then on).
   std::unique_ptr<Cursor> NewCursor();
+
+  /// One fresh cursor per disjunct, in disjunct order, no dedup wrapper.
+  /// Building block of NewCursor and of UnionCursor's reset-rebuild.
+  std::vector<std::unique_ptr<Cursor>> NewDisjunctCursors();
 
   /// Revision of the union result (advanced by every effective update).
   Revision revision() const { return Revision{epoch_}; }
+
+  // ---- epoch-pinned snapshots (materialize-on-pin) ----
+  //
+  // UnionEngine is not a DynamicQueryEngine, so it carries its own small
+  // registry. A pin drains one deduplicated union cursor into a shared
+  // vector; snapshot cursors co-own that vector, so they stay valid
+  // after UnpinEpoch and never report kInvalidated.
+
+  /// Pins the current epoch (materializing the union result) and returns
+  /// it. Repeated pins of one epoch nest and share the materialization.
+  Result<std::uint64_t> PinEpoch();
+
+  /// Releases one pin. Unpinning an epoch that is not pinned is a typed
+  /// error.
+  Status UnpinEpoch(std::uint64_t epoch);
+
+  /// Cursor over the result as of pinned `epoch` (errors if not pinned).
+  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
+
+  std::size_t num_pinned_epochs() const { return pinned_.size(); }
 
   /// Strategy used for the subset-conjunction engine (diagnostics).
   core::EngineStrategy SubsetStrategy(std::size_t subset_mask) const;
 
  private:
+  struct PinnedResult {
+    std::uint32_t pins = 0;
+    std::shared_ptr<const std::vector<Tuple>> tuples;
+  };
+
   UnionQuery uq_;
   // engines_[mask - 1] maintains the conjunction of the disjuncts in
   // `mask` (singletons included: mask with one bit = the disjunct).
   std::vector<core::EngineChoice> engines_;
   std::uint64_t epoch_ = 0;
+  std::map<std::uint64_t, PinnedResult> pinned_;
 };
 
 }  // namespace dyncq::ucq

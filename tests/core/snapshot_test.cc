@@ -1,0 +1,457 @@
+// Epoch-pinned snapshot enumeration (docs/ARCHITECTURE.md, "Snapshot
+// cursors").
+//
+// PinEpoch captures the current result version; the first post-pin
+// write detaches the pinned forests and rebuilds the live structure, so
+// pinned cursors keep enumerating exactly the pre-pin result — with
+// constant delay on core::Engine, by materialization elsewhere — while
+// single-writer traffic (single updates, sequential batches, sharded
+// batches) proceeds. Non-snapshot cursors keep the strict kInvalidated
+// contract. Misuse (unpinning twice, pinning under an open sharded
+// batch, exceeding the pin limit, reclaiming while pinned) returns
+// typed util::Result errors. The threaded test at the bottom is the
+// TSan target: concurrent readers drain pinned cursors while the writer
+// churns through every write path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "baseline/recompute.h"
+#include "core/engine.h"
+#include "core/session.h"
+#include "storage/update.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq {
+namespace {
+
+using testing::MustParse;
+using testing::SameTupleSet;
+
+std::vector<Tuple> Drain(Cursor& cur) {
+  std::vector<Tuple> out;
+  Tuple t;
+  CursorStatus s;
+  while ((s = cur.Next(&t)) == CursorStatus::kOk) out.push_back(t);
+  EXPECT_EQ(s, CursorStatus::kEnd);
+  return out;
+}
+
+std::vector<Tuple> DrainSnapshot(DynamicQueryEngine& engine,
+                                 std::uint64_t epoch) {
+  auto cur = engine.NewSnapshotCursor(epoch);
+  EXPECT_TRUE(cur.ok()) << cur.error();
+  if (!cur.ok()) return {};
+  return Drain(*cur.value());
+}
+
+void CheckAllInvariants(const core::Engine& engine) {
+  for (std::size_t c = 0; c < engine.NumComponents(); ++c) {
+    engine.component(c).CheckInvariants();
+  }
+}
+
+core::Engine& MustCreate(std::unique_ptr<core::Engine>* slot,
+                         const Query& q) {
+  auto r = core::Engine::Create(q);
+  EXPECT_TRUE(r.ok()) << r.error();
+  *slot = std::move(r.value());
+  return **slot;
+}
+
+TEST(SnapshotTest, PinnedCursorSurvivesWritesNonSnapshotInvalidates) {
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, testing::paper::PhiETJoin());
+  const RelId e = engine.query().schema().FindRelation("E");
+  const RelId t = engine.query().schema().FindRelation("T");
+  engine.Apply(UpdateCmd::Insert(e, Tuple{1, 10}));
+  engine.Apply(UpdateCmd::Insert(e, Tuple{2, 10}));
+  engine.Apply(UpdateCmd::Insert(t, Tuple{10}));
+  const std::vector<Tuple> pre = MaterializeResult(engine);
+  ASSERT_EQ(pre.size(), 2u);
+
+  auto pin = engine.PinEpoch();
+  ASSERT_TRUE(pin.ok()) << pin.error();
+  auto snap_cur = engine.NewSnapshotCursor(pin.value());
+  ASSERT_TRUE(snap_cur.ok()) << snap_cur.error();
+  std::unique_ptr<Cursor> live_cur = engine.NewCursor();
+
+  // Writes that change the pre-pin result in both directions.
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Delete(e, Tuple{1, 10})));
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Insert(e, Tuple{3, 10})));
+
+  // The ordinary cursor honours the strict contract...
+  Tuple out;
+  EXPECT_EQ(live_cur->Next(&out), CursorStatus::kInvalidated);
+  EXPECT_EQ(live_cur->Reset(), CursorStatus::kInvalidated);
+  // ...while the pinned cursor enumerates exactly the pre-pin result,
+  // and Reset restarts it against the same pinned version.
+  EXPECT_TRUE(SameTupleSet(Drain(*snap_cur.value()), pre));
+  EXPECT_EQ(snap_cur.value()->Reset(), CursorStatus::kOk);
+  EXPECT_TRUE(SameTupleSet(Drain(*snap_cur.value()), pre));
+
+  // The live result moved on.
+  std::vector<Tuple> expected{Tuple{2, 10}, Tuple{3, 10}};
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(engine), expected));
+
+  snap_cur.value().reset();
+  EXPECT_TRUE(engine.UnpinEpoch(pin.value()).ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 0u);
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+  CheckAllInvariants(engine);
+}
+
+TEST(SnapshotTest, SnapshotCursorOutlivesItsPin) {
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, testing::paper::PhiETJoin());
+  const RelId e = engine.query().schema().FindRelation("E");
+  const RelId t = engine.query().schema().FindRelation("T");
+  engine.Apply(UpdateCmd::Insert(e, Tuple{1, 2}));
+  engine.Apply(UpdateCmd::Insert(t, Tuple{2}));
+  const std::vector<Tuple> pre = MaterializeResult(engine);
+
+  auto pin = engine.PinEpoch();
+  ASSERT_TRUE(pin.ok()) << pin.error();
+  auto cur = engine.NewSnapshotCursor(pin.value());
+  ASSERT_TRUE(cur.ok()) << cur.error();
+
+  // Unpinning does not tear the version down: the open cursor holds it.
+  ASSERT_TRUE(engine.UnpinEpoch(pin.value()).ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Delete(e, Tuple{1, 2})));
+  EXPECT_TRUE(SameTupleSet(Drain(*cur.value()), pre));
+
+  // The version dies with its last cursor; its forests become
+  // reclaimable retired memory.
+  cur.value().reset();
+  EXPECT_EQ(engine.num_pinned_epochs(), 0u);
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+  CheckAllInvariants(engine);
+}
+
+// The randomized differential: pinned cursors must reproduce exactly
+// their pre-pin materialization under mixed single/batch/sharded churn,
+// while fresh cursors track a recompute oracle fed the same commands.
+void RunSnapshotDifferential(const Query& q, std::uint64_t seed,
+                             std::size_t rounds, std::size_t domain) {
+  SCOPED_TRACE(q.ToString());
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, q);
+  baseline::RecomputeEngine oracle(q);
+  workload::StreamGenerator gen(
+      q.schema_ptr(),
+      {.seed = seed, .domain_size = domain, .insert_ratio = 0.7,
+       .noop_ratio = 0.1});
+
+  struct Held {
+    std::uint64_t epoch;
+    std::vector<Tuple> expected;
+  };
+  std::deque<Held> pins;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    SCOPED_TRACE(round);
+    // Pin the current version, remembering what it must enumerate.
+    auto pin = engine.PinEpoch();
+    ASSERT_TRUE(pin.ok()) << pin.error();
+    pins.push_back({pin.value(), MaterializeResult(engine)});
+
+    // Churn through a rotating write path.
+    UpdateStream cmds = gen.Take(40);
+    switch (round % 3) {
+      case 0:
+        for (const UpdateCmd& cmd : cmds) {
+          engine.Apply(cmd);
+          oracle.Apply(cmd);
+        }
+        break;
+      case 1:
+        engine.ApplyAll(cmds);
+        oracle.ApplyAll(cmds);
+        break;
+      default:
+        engine.ApplyAll(cmds, BatchOptions{.shards = 4});
+        oracle.ApplyAll(cmds);
+        break;
+    }
+
+    // Every held pin still enumerates its own frozen version.
+    for (const Held& h : pins) {
+      EXPECT_TRUE(SameTupleSet(DrainSnapshot(engine, h.epoch), h.expected));
+    }
+    // Fresh cursors see the oracle's current result.
+    EXPECT_TRUE(
+        SameTupleSet(MaterializeResult(engine), MaterializeResult(oracle)));
+    EXPECT_EQ(engine.Count(), oracle.Count());
+    CheckAllInvariants(engine);
+
+    // Keep at most three epochs pinned.
+    if (pins.size() > 3) {
+      ASSERT_TRUE(engine.UnpinEpoch(pins.front().epoch).ok());
+      pins.pop_front();
+    }
+  }
+
+  for (const Held& h : pins) {
+    EXPECT_TRUE(SameTupleSet(DrainSnapshot(engine, h.epoch), h.expected));
+    ASSERT_TRUE(engine.UnpinEpoch(h.epoch).ok());
+  }
+  EXPECT_EQ(engine.num_pinned_epochs(), 0u);
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+  CheckAllInvariants(engine);
+}
+
+TEST(SnapshotTest, DifferentialJoin) {
+  RunSnapshotDifferential(testing::paper::PhiETJoin(), 11, 24, 60);
+}
+
+TEST(SnapshotTest, DifferentialProjection) {
+  RunSnapshotDifferential(testing::paper::PhiETFreeY(), 12, 24, 50);
+}
+
+TEST(SnapshotTest, DifferentialExample61) {
+  RunSnapshotDifferential(testing::paper::Example61(), 13, 18, 12);
+}
+
+TEST(SnapshotTest, DifferentialProductOfComponents) {
+  RunSnapshotDifferential(MustParse("Q(x, y) :- A(x), B(y)."), 14, 20, 40);
+}
+
+TEST(SnapshotTest, DifferentialBooleanGate) {
+  // One free component gated by a Boolean one: the gate's truth value is
+  // captured at pin time.
+  RunSnapshotDifferential(MustParse("Q(x) :- A(x), E(y, z)."), 15, 20, 30);
+}
+
+TEST(SnapshotTest, EmptyPinStaysEmptyAndFullPinStaysFull) {
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, testing::paper::PhiETJoin());
+  const RelId e = engine.query().schema().FindRelation("E");
+  const RelId t = engine.query().schema().FindRelation("T");
+
+  // Pin an empty result; later inserts must not leak into it (the
+  // pinned cursor anchors on the captured — empty — root list, never on
+  // the live head).
+  auto empty_pin = engine.PinEpoch();
+  ASSERT_TRUE(empty_pin.ok()) << empty_pin.error();
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Insert(e, Tuple{1, 2})));
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Insert(t, Tuple{2})));
+  EXPECT_TRUE(DrainSnapshot(engine, empty_pin.value()).empty());
+  EXPECT_EQ(engine.Count(), Weight{1});
+
+  // Pin the now-nonempty result and delete everything live: the pinned
+  // version keeps the tuple.
+  const std::vector<Tuple> pre = MaterializeResult(engine);
+  auto full_pin = engine.PinEpoch();
+  ASSERT_TRUE(full_pin.ok()) << full_pin.error();
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Delete(e, Tuple{1, 2})));
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Delete(t, Tuple{2})));
+  EXPECT_EQ(engine.Count(), Weight{0});
+  EXPECT_TRUE(SameTupleSet(DrainSnapshot(engine, full_pin.value()), pre));
+  EXPECT_TRUE(DrainSnapshot(engine, empty_pin.value()).empty());
+
+  ASSERT_TRUE(engine.UnpinEpoch(empty_pin.value()).ok());
+  ASSERT_TRUE(engine.UnpinEpoch(full_pin.value()).ok());
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+  CheckAllInvariants(engine);
+}
+
+TEST(SnapshotTest, RepinningTheSameEpochSharesOneVersion) {
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, testing::paper::PhiETJoin());
+  const RelId e = engine.query().schema().FindRelation("E");
+  const RelId t = engine.query().schema().FindRelation("T");
+  engine.Apply(UpdateCmd::Insert(e, Tuple{1, 2}));
+  engine.Apply(UpdateCmd::Insert(t, Tuple{2}));
+  const std::vector<Tuple> pre = MaterializeResult(engine);
+
+  auto p1 = engine.PinEpoch();
+  auto p2 = engine.PinEpoch();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+
+  ASSERT_TRUE(engine.Apply(UpdateCmd::Delete(e, Tuple{1, 2})));
+  ASSERT_TRUE(engine.UnpinEpoch(p1.value()).ok());
+  // The second pin still holds the version.
+  EXPECT_TRUE(SameTupleSet(DrainSnapshot(engine, p2.value()), pre));
+  ASSERT_TRUE(engine.UnpinEpoch(p2.value()).ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 0u);
+}
+
+TEST(SnapshotTest, MisuseReturnsTypedErrors) {
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, testing::paper::PhiETJoin());
+  const RelId e = engine.query().schema().FindRelation("E");
+  engine.Apply(UpdateCmd::Insert(e, Tuple{1, 2}));
+
+  // Unpinning what was never pinned, and cursors on unknown epochs.
+  EXPECT_FALSE(engine.UnpinEpoch(999).ok());
+  EXPECT_FALSE(engine.NewSnapshotCursor(999).ok());
+
+  // Pinning mid-write (under an open sharded batch) is rejected.
+  engine.SetShardedBatchOpenForTest(true);
+  auto pin = engine.PinEpoch();
+  ASSERT_FALSE(pin.ok());
+  EXPECT_NE(pin.error().find("sharded batch"), std::string::npos)
+      << pin.error();
+  engine.SetShardedBatchOpenForTest(false);
+
+  // Pin-count overflow is a typed error, not a wrap-around.
+  engine.SetPinLimitForTest(2);
+  auto p1 = engine.PinEpoch();
+  auto p2 = engine.PinEpoch();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto p3 = engine.PinEpoch();
+  ASSERT_FALSE(p3.ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+
+  // Reclaim-while-pinned is refused with the pins intact.
+  EXPECT_FALSE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+
+  ASSERT_TRUE(engine.UnpinEpoch(p1.value()).ok());
+  ASSERT_TRUE(engine.UnpinEpoch(p2.value()).ok());
+  EXPECT_FALSE(engine.UnpinEpoch(p2.value()).ok());  // one too many
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+}
+
+TEST(SnapshotTest, SessionCursorOptionsOnCoreEngine) {
+  QuerySession session(testing::paper::PhiETJoin());
+  ASSERT_TRUE(session.capabilities().snapshot_enumeration);
+  const RelId e = session.query().schema().FindRelation("E");
+  const RelId t = session.query().schema().FindRelation("T");
+  session.Apply(UpdateCmd::Insert(e, Tuple{1, 2}));
+  session.Apply(UpdateCmd::Insert(t, Tuple{2}));
+  auto pre = session.Materialize();
+  ASSERT_TRUE(pre.ok()) << pre.error();
+
+  auto snap = session.NewCursor(CursorOptions{.snapshot = true});
+  ASSERT_TRUE(snap.ok()) << snap.error();
+  // The cursor owns its snapshot reference; no pin stays behind.
+  EXPECT_EQ(session.engine().num_pinned_epochs(), 1u);
+
+  session.Apply(UpdateCmd::Delete(e, Tuple{1, 2}));
+  EXPECT_TRUE(SameTupleSet(Drain(*snap.value()), pre.value()));
+
+  auto snap_mat = session.Materialize(CursorOptions{.snapshot = true});
+  ASSERT_TRUE(snap_mat.ok()) << snap_mat.error();
+  EXPECT_TRUE(snap_mat.value().empty());
+
+  snap.value().reset();
+  EXPECT_EQ(session.engine().num_pinned_epochs(), 0u);
+}
+
+TEST(SnapshotTest, SessionCursorOptionsOnMaterializingEngine) {
+  // Non-q-hierarchical: the session falls back to a baseline where the
+  // snapshot degrades to materialize-on-pin, with identical semantics.
+  QuerySession session(testing::paper::PhiSET());
+  ASSERT_FALSE(session.capabilities().snapshot_enumeration);
+  const RelId s = session.query().schema().FindRelation("S");
+  const RelId e = session.query().schema().FindRelation("E");
+  const RelId t = session.query().schema().FindRelation("T");
+  session.Apply(UpdateCmd::Insert(s, Tuple{1}));
+  session.Apply(UpdateCmd::Insert(e, Tuple{1, 2}));
+  session.Apply(UpdateCmd::Insert(t, Tuple{2}));
+  auto pre = session.Materialize();
+  ASSERT_TRUE(pre.ok()) << pre.error();
+
+  auto snap = session.NewCursor(CursorOptions{.snapshot = true});
+  ASSERT_TRUE(snap.ok()) << snap.error();
+  session.Apply(UpdateCmd::Delete(t, Tuple{2}));
+  EXPECT_TRUE(SameTupleSet(Drain(*snap.value()), pre.value()));
+  EXPECT_EQ(snap.value()->Reset(), CursorStatus::kOk);
+  EXPECT_TRUE(SameTupleSet(Drain(*snap.value()), pre.value()));
+  snap.value().reset();
+  EXPECT_EQ(session.engine().num_pinned_epochs(), 0u);
+}
+
+// The TSan target: three reader threads repeatedly drain (and reset)
+// snapshot cursors over two pinned epochs while the writer thread churns
+// through single updates, sequential batches, and sharded batches. Pins
+// and unpins stay on the writer thread, as the threading contract
+// requires; cursor creation/drain/destruction races freely with writes.
+TEST(SnapshotTest, ConcurrentReadersUnderChurn) {
+  Query q = testing::paper::PhiETJoin();
+  std::unique_ptr<core::Engine> holder;
+  core::Engine& engine = MustCreate(&holder, q);
+  workload::StreamGenerator gen(
+      q.schema_ptr(), {.seed = 99, .domain_size = 80, .insert_ratio = 0.8});
+  engine.ApplyAll(gen.Take(800));
+
+  const std::vector<Tuple> expected1 = MaterializeResult(engine);
+  auto pin1 = engine.PinEpoch();
+  ASSERT_TRUE(pin1.ok()) << pin1.error();
+  // Force one fork so the second pin captures a different version.
+  engine.ApplyAll(gen.Take(100));
+  const std::vector<Tuple> expected2 = MaterializeResult(engine);
+  auto pin2 = engine.PinEpoch();
+  ASSERT_TRUE(pin2.ok()) << pin2.error();
+
+  constexpr int kDrainsPerReader = 60;
+  std::atomic<int> mismatches{0};
+  auto reader = [&](std::uint64_t epoch, const std::vector<Tuple>* expect) {
+    const auto want = testing::AsSet(*expect);
+    for (int i = 0; i < kDrainsPerReader; ++i) {
+      auto cur = engine.NewSnapshotCursor(epoch);
+      if (!cur.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      std::vector<Tuple> got = Drain(*cur.value());
+      if (testing::AsSet(got) != want) mismatches.fetch_add(1);
+      if (i % 8 == 0) {
+        if (cur.value()->Reset() != CursorStatus::kOk ||
+            testing::AsSet(Drain(*cur.value())) != want) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::thread r1(reader, pin1.value(), &expected1);
+  std::thread r2(reader, pin2.value(), &expected2);
+  std::thread r3(reader, pin1.value(), &expected1);
+
+  // The single writer churns through every write path meanwhile.
+  for (int round = 0; round < 40; ++round) {
+    UpdateStream cmds = gen.Take(25);
+    switch (round % 3) {
+      case 0:
+        for (const UpdateCmd& cmd : cmds) engine.Apply(cmd);
+        break;
+      case 1:
+        engine.ApplyAll(cmds);
+        break;
+      default:
+        engine.ApplyAll(cmds, BatchOptions{.shards = 3});
+        break;
+    }
+  }
+
+  r1.join();
+  r2.join();
+  r3.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ASSERT_TRUE(engine.UnpinEpoch(pin1.value()).ok());
+  ASSERT_TRUE(engine.UnpinEpoch(pin2.value()).ok());
+  EXPECT_TRUE(engine.DropAllSnapshots().ok());
+  EXPECT_EQ(engine.RetiredBlocks(), 0u);
+  CheckAllInvariants(engine);
+}
+
+}  // namespace
+}  // namespace dyncq

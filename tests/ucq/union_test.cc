@@ -197,6 +197,90 @@ TEST(UnionEngineTest, SingleDisjunctDegeneratesToEngine) {
   EXPECT_EQ(engine.SubsetStrategy(1), core::EngineStrategy::kQTree);
 }
 
+TEST(UnionCursorTest, ResetRebuildsAfterUpdate) {
+  auto schema = TwoBinarySchema();
+  UnionQuery uq = MakeUnion(
+      schema, {"A(x, y) :- E(x, y).", "B(x, y) :- F(x, y)."});
+  UnionEngine engine(uq);
+  engine.Apply(UpdateCmd::Insert(0, {1, 2}));
+  engine.Apply(UpdateCmd::Insert(1, {3, 4}));
+
+  auto cur = engine.NewCursor();
+  Tuple t;
+  ASSERT_EQ(cur->Next(&t), CursorStatus::kOk);
+
+  // An update invalidates the in-flight pass...
+  engine.Apply(UpdateCmd::Insert(0, {5, 6}));
+  EXPECT_EQ(cur->Next(&t), CursorStatus::kInvalidated);
+
+  // ...but Reset recovers by rebuilding the disjunct cursors against
+  // the engines' current revisions (the old sub-cursors could never
+  // become valid again — each disjunct engine has its own counter).
+  ASSERT_EQ(cur->Reset(), CursorStatus::kOk);
+  std::vector<Tuple> got;
+  while (cur->Next(&t) == CursorStatus::kOk) got.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got, {{1, 2}, {3, 4}, {5, 6}}));
+
+  // A second round of invalidate-then-reset works the same way: the
+  // rebuild is per-Reset, not once-per-cursor.
+  engine.Apply(UpdateCmd::Delete(1, {3, 4}));
+  EXPECT_EQ(cur->Next(&t), CursorStatus::kEnd);  // kEnd is sticky
+  ASSERT_EQ(cur->Reset(), CursorStatus::kOk);
+  got.clear();
+  while (cur->Next(&t) == CursorStatus::kOk) got.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got, {{1, 2}, {5, 6}}));
+}
+
+TEST(UnionEngineTest, PinnedEpochSurvivesWrites) {
+  auto schema = TwoBinarySchema();
+  UnionQuery uq = MakeUnion(
+      schema, {"A(x, y) :- E(x, y).", "B(x, y) :- F(x, y)."});
+  UnionEngine engine(uq);
+  engine.Apply(UpdateCmd::Insert(0, {1, 2}));
+  engine.Apply(UpdateCmd::Insert(1, {1, 2}));  // overlap: dedup in snapshot
+  engine.Apply(UpdateCmd::Insert(1, {3, 4}));
+
+  auto pin = engine.PinEpoch();
+  ASSERT_TRUE(pin.ok()) << pin.error();
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+  // Repinning the same epoch shares the materialization.
+  auto pin2 = engine.PinEpoch();
+  ASSERT_TRUE(pin2.ok());
+  EXPECT_EQ(pin.value(), pin2.value());
+  EXPECT_EQ(engine.num_pinned_epochs(), 1u);
+
+  auto cur = engine.NewSnapshotCursor(pin.value());
+  ASSERT_TRUE(cur.ok()) << cur.error();
+
+  engine.Apply(UpdateCmd::Delete(0, {1, 2}));
+  engine.Apply(UpdateCmd::Delete(1, {1, 2}));
+  engine.Apply(UpdateCmd::Insert(0, {7, 8}));
+
+  // The snapshot enumerates the pre-pin union, deduplicated, and never
+  // invalidates — even after both its pins are released (the cursor
+  // co-owns the materialized vector).
+  ASSERT_TRUE(engine.UnpinEpoch(pin.value()).ok());
+  ASSERT_TRUE(engine.UnpinEpoch(pin2.value()).ok());
+  EXPECT_EQ(engine.num_pinned_epochs(), 0u);
+  EXPECT_FALSE(engine.UnpinEpoch(pin.value()).ok());  // typed error
+  EXPECT_FALSE(engine.NewSnapshotCursor(pin.value()).ok());
+
+  Tuple t;
+  std::vector<Tuple> got;
+  while (cur.value()->Next(&t) == CursorStatus::kOk) got.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got, {{1, 2}, {3, 4}}));
+  EXPECT_EQ(cur.value()->Reset(), CursorStatus::kOk);
+  got.clear();
+  while (cur.value()->Next(&t) == CursorStatus::kOk) got.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got, {{1, 2}, {3, 4}}));
+
+  // The live union moved on.
+  std::vector<Tuple> live;
+  auto fresh = engine.NewCursor();
+  while (fresh->Next(&t) == CursorStatus::kOk) live.push_back(t);
+  EXPECT_TRUE(SameTupleSet(live, {{3, 4}, {7, 8}}));
+}
+
 TEST(UnionEngineTest, BooleanUnion) {
   auto schema = TwoBinarySchema();
   UnionQuery uq = MakeUnion(
