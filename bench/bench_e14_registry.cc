@@ -1,0 +1,307 @@
+// E14 — multi-query serving (serve/query_registry.h).
+//
+// Three claims, measured honestly on whatever host runs this (CI is a
+// 1-CPU container; no parallelism is involved):
+//
+//  1. Routing: ns/delta scales with the queries a delta AFFECTS, not
+//     with the number REGISTERED. Sweep registered count 100 -> 100k
+//     (1M behind DYNCQ_E14_SCALE=full) over a relation-rich shared
+//     schema that keeps the per-delta fanout small, and compare
+//     ns/delta across the sweep.
+//  2. Engine-count scaling: same flatness when the DISTINCT engine
+//     count (not just registrations) grows 100 -> 10k.
+//  3. Dedup: on a duplicate-heavy mix (alpha-renamed/shuffled variants
+//     of a few shapes), canonicalization shares engines and cuts heap
+//     bytes per registered query by >= 5x vs dedup off.
+//
+// Sustained mixed traffic uses the workload generator's sliding-window
+// and flash-crowd temporal patterns (workload/stream_gen.h). Writes
+// BENCH_e14.json.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "bench_util.h"
+#include "serve/query_registry.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace dyncq::bench {
+namespace {
+
+using serve::QueryHandle;
+using serve::QueryRegistry;
+using serve::RegistryOptions;
+using workload::AlphaRenameShuffle;
+using workload::QueryGenOptions;
+using workload::RandomQHierarchicalQuery;
+using workload::SchemaPool;
+using workload::StreamGenerator;
+using workload::StreamOptions;
+using workload::TemporalPattern;
+
+/// Live heap bytes (allocator-cached free blocks excluded), so two
+/// successive measurements are comparable regardless of RSS retention.
+std::size_t HeapInUse() {
+#if defined(__GLIBC__) && __GLIBC_PREREQ(2, 33)
+  struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::size_t>(mi.uordblks) +
+         static_cast<std::size_t>(mi.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+QueryGenOptions ShapeOpts() {
+  QueryGenOptions opts;
+  opts.max_components = 1;
+  opts.max_component_vars = 4;
+  return opts;
+}
+
+struct SweepResult {
+  double ns_per_delta = 0;
+  double mean_affected = 0;
+  std::size_t engines = 0;
+  std::size_t relations = 0;
+  double heap_bytes_per_query = 0;
+};
+
+/// Registers `n` queries cycling over `distinct` random shapes (variants
+/// are alpha-renamed + shuffled, so dedup has to earn the collapse),
+/// then times `measure` single deltas round-robin over the relations.
+SweepResult RunSweep(std::size_t n, std::size_t distinct,
+                     std::size_t measure, std::uint64_t seed) {
+  Rng rng(seed);
+  SchemaPool pool(/*reuse_prob=*/0.25);
+  QueryGenOptions qopts = ShapeOpts();
+  std::vector<Query> shapes;
+  shapes.reserve(distinct);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    shapes.push_back(RandomQHierarchicalQuery(qopts, rng, &pool));
+  }
+
+  QueryRegistry reg(pool.schema);
+  const std::size_t heap0 = HeapInUse();
+  std::vector<QueryHandle> handles;
+  handles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto h = reg.Register(AlphaRenameShuffle(shapes[i % distinct], rng));
+    DYNCQ_CHECK_MSG(h.ok(), h.error());
+    handles.push_back(std::move(*h));
+  }
+  const std::size_t heap1 = HeapInUse();
+
+  const std::size_t nrels = pool.schema->NumRelations();
+  StreamOptions sopts;
+  sopts.seed = seed + 1;
+  sopts.domain_size = 1000;
+  sopts.insert_ratio = 0.7;
+  StreamGenerator gen(pool.schema, sopts);
+
+  // Warm the database (and every engine) before timing.
+  for (std::size_t i = 0; i < 4 * nrels; ++i) {
+    reg.ApplyDelta(gen.Next(static_cast<RelId>(i % nrels)));
+  }
+
+  // Pre-draw the measured commands so generator cost stays out of the
+  // timed loop.
+  std::vector<UpdateCmd> cmds;
+  cmds.reserve(measure);
+  for (std::size_t i = 0; i < measure; ++i) {
+    cmds.push_back(gen.Next(static_cast<RelId>(i % nrels)));
+  }
+  const auto stats0 = reg.stats();
+  Timer t;
+  for (const UpdateCmd& cmd : cmds) reg.ApplyDelta(cmd);
+  const double ns = t.ElapsedNs();
+  const auto& stats1 = reg.stats();
+
+  SweepResult r;
+  r.ns_per_delta = ns / static_cast<double>(measure);
+  const auto deltas = stats1.deltas_applied - stats0.deltas_applied;
+  r.mean_affected =
+      deltas == 0 ? 0.0
+                  : static_cast<double>(stats1.notifications -
+                                        stats0.notifications) /
+                        static_cast<double>(deltas);
+  r.engines = reg.NumEngines();
+  r.relations = nrels;
+  r.heap_bytes_per_query =
+      static_cast<double>(heap1 - heap0) / static_cast<double>(n);
+  return r;
+}
+
+void Run() {
+  Banner("E14", "multi-query serving: registry routing + dedup",
+         "per-delta cost tracks affected queries (O(1) each, Thm 3.2), "
+         "not registered count; structural dedup shares engines");
+
+  JsonWriter json;
+  const bool full = []() {
+    const char* s = std::getenv("DYNCQ_E14_SCALE");
+    return s != nullptr && std::string(s) == "full";
+  }();
+
+  // ---- 1. routing: registered-count sweep ---------------------------
+  std::vector<std::size_t> ns_registered = {100, 1000, 10000, 100000};
+  if (full) ns_registered.push_back(1000000);
+  TablePrinter routing({"registered", "engines", "relations", "ns/delta",
+                        "mean affected", "heap B/query"});
+  double ns_at_100 = 0, ns_at_top = 0, affected_at_top = 0;
+  for (std::size_t n : ns_registered) {
+    const std::size_t distinct = std::min<std::size_t>(n, 2048);
+    SweepResult r = RunSweep(n, distinct, 10000, /*seed=*/101);
+    if (n == 100) ns_at_100 = r.ns_per_delta;
+    ns_at_top = r.ns_per_delta;
+    affected_at_top = r.mean_affected;
+    const std::string tag = "routing.n" + std::to_string(n);
+    json.Add(tag + ".ns_per_delta", r.ns_per_delta);
+    json.Add(tag + ".mean_affected", r.mean_affected);
+    json.Add(tag + ".engines", r.engines);
+    json.Add(tag + ".heap_bytes_per_query", r.heap_bytes_per_query);
+    routing.AddRow({std::to_string(n), std::to_string(r.engines),
+                    std::to_string(r.relations),
+                    FormatDouble(r.ns_per_delta, 0),
+                    FormatDouble(r.mean_affected, 2),
+                    FormatDouble(r.heap_bytes_per_query, 0)});
+  }
+  routing.Print();
+  const double routing_ratio = ns_at_top / ns_at_100;
+  json.Add("routing.ratio_top_vs_100", routing_ratio);
+  json.Add("routing.top_mean_affected", affected_at_top);
+  std::cout << "ns/delta at " << ns_registered.back() << " registered vs "
+            << "100 registered: " << FormatDouble(routing_ratio, 2)
+            << "x (target <= 3x, mean affected "
+            << FormatDouble(affected_at_top, 2) << " <= 10)\n\n";
+
+  // ---- 2. engine-count sweep (all shapes distinct) ------------------
+  TablePrinter engines({"registered", "engines", "ns/delta",
+                        "mean affected"});
+  double e_ns_100 = 0, e_ns_top = 0;
+  for (std::size_t n : {std::size_t{100}, std::size_t{1000},
+                        std::size_t{10000}}) {
+    SweepResult r = RunSweep(n, /*distinct=*/n, 10000, /*seed=*/202);
+    if (n == 100) e_ns_100 = r.ns_per_delta;
+    e_ns_top = r.ns_per_delta;
+    const std::string tag = "engines.n" + std::to_string(n);
+    json.Add(tag + ".ns_per_delta", r.ns_per_delta);
+    json.Add(tag + ".engines", r.engines);
+    json.Add(tag + ".mean_affected", r.mean_affected);
+    engines.AddRow({std::to_string(n), std::to_string(r.engines),
+                    FormatDouble(r.ns_per_delta, 0),
+                    FormatDouble(r.mean_affected, 2)});
+  }
+  engines.Print();
+  json.Add("engines.ratio_10k_vs_100", e_ns_top / e_ns_100);
+  std::cout << "ns/delta at 10k distinct engines vs 100: "
+            << FormatDouble(e_ns_top / e_ns_100, 2) << "x\n\n";
+
+  // ---- 3. dedup: heap bytes per registered query --------------------
+  // Duplicate-heavy mix: 20k registrations drawn from 64 shapes.
+  {
+    constexpr std::size_t kShapes = 64;
+    constexpr std::size_t kRegs = 20000;
+    double bytes_per[2] = {0, 0};  // [dedup on, dedup off]
+    std::size_t engines_ct[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      Rng rng(303);
+      SchemaPool pool(/*reuse_prob=*/0.25);
+      QueryGenOptions qopts = ShapeOpts();
+      std::vector<Query> shapes;
+      for (std::size_t i = 0; i < kShapes; ++i) {
+        shapes.push_back(RandomQHierarchicalQuery(qopts, rng, &pool));
+      }
+      RegistryOptions ropts;
+      ropts.dedup = (mode == 0);
+      QueryRegistry reg(pool.schema, ropts);
+      const std::size_t heap0 = HeapInUse();
+      std::vector<QueryHandle> handles;
+      handles.reserve(kRegs);
+      for (std::size_t i = 0; i < kRegs; ++i) {
+        auto h = reg.Register(AlphaRenameShuffle(shapes[i % kShapes], rng));
+        DYNCQ_CHECK_MSG(h.ok(), h.error());
+        handles.push_back(std::move(*h));
+      }
+      bytes_per[mode] = static_cast<double>(HeapInUse() - heap0) /
+                        static_cast<double>(kRegs);
+      engines_ct[mode] = reg.NumEngines();
+    }
+    const double ratio =
+        bytes_per[0] > 0 ? bytes_per[1] / bytes_per[0] : 0.0;
+    json.Add("dedup.bytes_per_query_on", bytes_per[0]);
+    json.Add("dedup.bytes_per_query_off", bytes_per[1]);
+    json.Add("dedup.engines_on", engines_ct[0]);
+    json.Add("dedup.engines_off", engines_ct[1]);
+    json.Add("dedup.memory_ratio", ratio);
+    std::cout << "dedup on:  " << engines_ct[0] << " engines, "
+              << FormatDouble(bytes_per[0], 0) << " B/query\n"
+              << "dedup off: " << engines_ct[1] << " engines, "
+              << FormatDouble(bytes_per[1], 0) << " B/query\n"
+              << "memory ratio: " << FormatDouble(ratio, 1)
+              << "x (target >= 5x)\n\n";
+  }
+
+  // ---- 4. sustained mixed traffic (temporal patterns) ---------------
+  {
+    Rng rng(404);
+    SchemaPool pool(/*reuse_prob=*/0.5);
+    QueryGenOptions qopts = ShapeOpts();
+    // Draw every query BEFORE constructing the registry: the pool grows
+    // the schema, and the registry freezes it at construction.
+    std::vector<Query> queries;
+    for (std::size_t i = 0; i < 256; ++i) {
+      queries.push_back(RandomQHierarchicalQuery(qopts, rng, &pool));
+    }
+    QueryRegistry reg(pool.schema);
+    std::vector<QueryHandle> handles;
+    for (const Query& q : queries) {
+      auto h = reg.Register(q);
+      DYNCQ_CHECK_MSG(h.ok(), h.error());
+      handles.push_back(std::move(*h));
+    }
+    TablePrinter sustained({"pattern", "ns/cmd (batched)"});
+    for (auto [pattern, name] :
+         {std::pair{TemporalPattern::kSlidingWindow, "sliding_window"},
+          std::pair{TemporalPattern::kFlashCrowd, "flash_crowd"}}) {
+      StreamOptions sopts;
+      sopts.seed = 405;
+      sopts.domain_size = 500;
+      sopts.pattern = pattern;
+      sopts.window = 256;
+      sopts.flash_period = 2048;
+      sopts.flash_len = 256;
+      sopts.flash_hot_values = 8;
+      StreamGenerator gen(pool.schema, sopts);
+      constexpr std::size_t kBatches = 100;
+      constexpr std::size_t kBatch = 512;
+      // Warm-up pass fills the windows / passes the first flash.
+      reg.ApplyBatch(gen.Take(4096));
+      Timer t;
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        reg.ApplyBatch(gen.Take(kBatch));
+      }
+      const double ns_per_cmd =
+          t.ElapsedNs() / static_cast<double>(kBatches * kBatch);
+      json.Add(std::string("sustained.") + name + ".ns_per_cmd",
+               ns_per_cmd);
+      sustained.AddRow({name, FormatDouble(ns_per_cmd, 0)});
+    }
+    sustained.Print();
+  }
+
+  json.Write("BENCH_e14.json");
+  std::cout << "Expected: flat ns/delta across the registered sweep "
+               "(routing), flat across the engine sweep, >= 5x dedup "
+               "memory ratio.\n";
+}
+
+}  // namespace
+}  // namespace dyncq::bench
+
+int main() { dyncq::bench::Run(); }

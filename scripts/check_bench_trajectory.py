@@ -62,12 +62,24 @@ E12_STRUCTURE_MICROS = (
 # same-host committed baseline has ridden one PR.
 E6_SNAPSHOT_READ = r"\.e6_snapshot_read_ns$"
 
+# Registered report-only in PR 7 with the serving layer
+# (bench/bench_e14_registry.cc): the registry routing sweep (per-delta
+# dispatch cost as registered queries grow — routing.n*.ns_per_delta)
+# and the sustained batch streams (sustained.*.ns_per_cmd). Same
+# promotion path as the E12 micros: the CI step pairs this preset with
+# --report-only for one PR so a same-host baseline lands in
+# BENCH_e14.json; to promote, drop the flag. The dedup/engine *ratios*
+# in that file stay report-only forever — they compare configurations
+# within one run, not against a trajectory.
+E14_REGISTRY = r"\.(ns_per_delta|ns_per_cmd)$"
+
 # --gate-preset: named gate patterns, so the CI steps reference the
 # constants above instead of duplicating regexes in ci.yml.
 GATE_PRESETS = {
     "e5": DEFAULT_GATE,
     "e6": E6_SNAPSHOT_READ,
     "e12": E12_RELATION_PROBE,
+    "e14": E14_REGISTRY,
 }
 
 

@@ -195,13 +195,13 @@ ComponentEngine::ComponentEngine(Query query, QTree tree,
   dirty_.resize(static_cast<std::size_t>(max_depth) + 1);
 
   // Atom metadata.
-  atoms_of_rel_.resize(query_.schema().NumRelations());
   atom_meta_.resize(query_.NumAtoms());
   for (std::size_t ai = 0; ai < query_.NumAtoms(); ++ai) {
     const Atom& atom = query_.atoms()[ai];
     AtomMeta& am = atom_meta_[ai];
     am.rel = atom.rel;
-    atoms_of_rel_[atom.rel].push_back(static_cast<int>(ai));
+    atoms_of_rel_.FindOrInsert(atom.rel).push_back(static_cast<int>(ai));
+    am.rel_group = atoms_of_rel_.IndexOf(atom.rel);
 
     std::vector<int> path = tree_.AtomPathNodes(static_cast<int>(ai));
     am.d = static_cast<int>(path.size());
@@ -401,9 +401,8 @@ void ComponentEngine::DetachAllItems(std::vector<Item*>* out) {
 
 void ComponentEngine::RebuildFromDatabase(const Database& db) {
   root_index_.Reserve(db.ActiveDomainSize());
-  for (std::size_t r = 0; r < atoms_of_rel_.size(); ++r) {
-    if (atoms_of_rel_[r].empty()) continue;
-    const RelId rel = static_cast<RelId>(r);
+  for (const auto& [rel, atom_idxs] : atoms_of_rel_) {
+    (void)atom_idxs;
     for (const Tuple& t : db.relation(rel)) ApplyDelta(rel, t, true);
   }
 }
@@ -659,7 +658,6 @@ void ComponentEngine::PrefetchWalk(RelId rel, const Tuple& t) const {
 }
 
 void ComponentEngine::ApplyDelta(RelId rel, const Tuple& t, bool insert) {
-  DYNCQ_DCHECK(rel < atoms_of_rel_.size());
   for (int ai : atoms_of_rel_[rel]) {
     ApplyAtomDelta(atom_meta_[static_cast<std::size_t>(ai)], t, insert);
   }
@@ -906,9 +904,10 @@ void ComponentEngine::RouteRelGroups(const PendingDelta* deltas,
   }
   for (auto& g : rel_groups_) g.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    const RelId r = deltas[i].rel;
-    if (r < atoms_of_rel_.size() && !atoms_of_rel_[r].empty()) {
-      rel_groups_[r].push_back(static_cast<std::uint32_t>(i));
+    const int gi = atoms_of_rel_.IndexOf(deltas[i].rel);
+    if (gi >= 0) {
+      rel_groups_[static_cast<std::size_t>(gi)].push_back(
+          static_cast<std::uint32_t>(i));
     }
   }
 }
@@ -919,7 +918,7 @@ void ComponentEngine::ApplyBatch(const PendingDelta* deltas, std::size_t n) {
   bool touched = false;
   for (const AtomMeta& am : atom_meta_) {
     batch_scratch_.clear();
-    for (std::uint32_t i : rel_groups_[am.rel]) {
+    for (std::uint32_t i : rel_groups_[static_cast<std::size_t>(am.rel_group)]) {
       if (MatchesAtom(am, *deltas[i].tuple)) {
         batch_scratch_.push_back(
             AtomDelta{deltas[i].tuple, nullptr, i, deltas[i].insert});
@@ -974,7 +973,7 @@ void ComponentEngine::BeginShardedBatch(const PendingDelta* deltas,
   RouteRelGroups(deltas, n);
   for (std::size_t ai = 0; ai < atom_meta_.size(); ++ai) {
     const AtomMeta& am = atom_meta_[ai];
-    for (std::uint32_t i : rel_groups_[am.rel]) {
+    for (std::uint32_t i : rel_groups_[static_cast<std::size_t>(am.rel_group)]) {
       if (!MatchesAtom(am, *deltas[i].tuple)) continue;
       const Tuple& t = *deltas[i].tuple;
       const Value v = t[static_cast<std::size_t>(am.read_pos[0])];

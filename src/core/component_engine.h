@@ -26,6 +26,7 @@
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/tuple.h"
+#include "util/rel_map.h"
 #include "util/small_vector.h"
 
 namespace dyncq::core {
@@ -293,6 +294,7 @@ class ComponentEngine {
 
   struct AtomMeta {
     RelId rel = kInvalidRel;
+    int rel_group = -1;              // dense index of rel in atoms_of_rel_
     int d = 0;                       // path length
     std::vector<int> level_node;     // q-tree node per level
     std::vector<int> level_slot;     // atom_counts slot per level
@@ -454,7 +456,10 @@ class ComponentEngine {
   EngineTuning tuning_;
   std::vector<NodeMeta> node_meta_;
   std::vector<AtomMeta> atom_meta_;
-  std::vector<std::vector<int>> atoms_of_rel_;  // global RelId -> atom idxs
+  // Routing tables keyed by the handful of relations this component's
+  // atoms touch — sparse on purpose: the schema may be a huge shared
+  // multi-query one (see util/rel_map.h).
+  RelMap<std::vector<int>> atoms_of_rel_;  // rel -> atom idxs
   EnumMeta enum_meta_;
   ItemPool pool_;
   ChildIndex root_index_;  // root-variable value -> root item
@@ -463,7 +468,8 @@ class ComponentEngine {
   // Batch pipeline state (scratch, reused across batches).
   std::uint64_t batch_epoch_ = 0;
   std::vector<AtomDelta> batch_scratch_;
-  std::vector<std::vector<std::uint32_t>> rel_groups_;  // RelId -> deltas
+  // Indexed by atoms_of_rel_'s dense order (AtomMeta::rel_group).
+  std::vector<std::vector<std::uint32_t>> rel_groups_;  // rel group -> deltas
   std::vector<std::vector<DirtyItem>> dirty_;  // per q-tree depth
   std::vector<Item*> seq_merge_cands_;         // sequential-batch scratch
   std::vector<Item*> seq_freed_;

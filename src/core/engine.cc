@@ -116,7 +116,14 @@ class Engine::CoreVersion final : public EngineSnapshot {
   std::vector<ComponentSnapshot> comps_;
 };
 
-Engine::Engine(Query q) : query_(std::move(q)), db_(query_.schema()) {}
+Engine::Engine(Query q, Database* shared) : query_(std::move(q)) {
+  if (shared == nullptr) {
+    owned_db_ = std::make_unique<Database>(query_.schema());
+    db_ = owned_db_.get();
+  } else {
+    db_ = shared;
+  }
+}
 
 Engine::~Engine() {
   // Destroy registered versions while the components are alive: detached
@@ -131,15 +138,38 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Query& q) {
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Query& q,
                                                const EngineTuning& tuning) {
+  return Build(q, nullptr, tuning);
+}
+
+Result<std::unique_ptr<Engine>> Engine::CreateShared(
+    const Query& q, Database* shared, const EngineTuning& tuning) {
+  using R = Result<std::unique_ptr<Engine>>;
+  DYNCQ_CHECK(shared != nullptr);
+  // RelIds in incoming deltas are the shared schema's, so the query's
+  // schema must assign the same ids (a prefix match; the shared schema
+  // may have relations the query never mentions).
+  if (&q.schema() != &shared->schema() &&
+      !q.schema().IsPrefixOf(shared->schema())) {
+    return R::Error("CreateShared: query schema is not a prefix of the "
+                    "shared database's schema");
+  }
+  auto engine = Build(q, shared, tuning);
+  if (!engine.ok()) return engine;
+  if (shared->NumTuples() > 0) (*engine)->SyncFromStorage();
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Build(const Query& q,
+                                              Database* shared,
+                                              const EngineTuning& tuning) {
   if (!IsQHierarchical(q)) {
     return Result<std::unique_ptr<Engine>>::Error(
         "query is not q-hierarchical: " + q.ToString());
   }
-  auto engine = std::unique_ptr<Engine>(new Engine(q));
+  auto engine = std::unique_ptr<Engine>(new Engine(q, shared));
 
   ComponentSplit split = SplitConnectedComponents(engine->query_);
   engine->head_map_ = std::move(split.head_map);
-  engine->comps_of_rel_.resize(engine->query_.schema().NumRelations());
   for (std::size_t c = 0; c < split.components.size(); ++c) {
     Query& comp = split.components[c];
     auto tree = QTree::Build(comp);
@@ -147,7 +177,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Query& q,
       return Result<std::unique_ptr<Engine>>::Error(tree.error());
     }
     for (const Atom& a : comp.atoms()) {
-      auto& lst = engine->comps_of_rel_[a.rel];
+      auto& lst = engine->comps_of_rel_.FindOrInsert(a.rel);
       if (std::find(lst.begin(), lst.end(), static_cast<int>(c)) ==
           lst.end()) {
         lst.push_back(static_cast<int>(c));
@@ -169,13 +199,26 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Query& q,
 }
 
 void Engine::Preload(const Database& initial) {
+  if (&initial == db_) {
+    // Preloading from the engine's own storage: the replay below would
+    // iterate each relation while inserting into it (iterator
+    // invalidation). If the structure already holds items it is in
+    // lockstep with storage (every write path maintains both), so there
+    // is nothing to do; otherwise build it from the resident tuples —
+    // storage is already in place.
+    if (NumItems() == 0) SyncFromStorage();
+    return;
+  }
+  DYNCQ_CHECK_MSG(owned_db_ != nullptr,
+                  "Preload: shared-storage engines are fed through their "
+                  "registry's write protocol");
   // §6.4 linear-time preprocessing: size every hash structure up front so
   // the replay never rehashes, then push the whole initial database
   // through the batch pipeline.
   UpdateStream stream;
   stream.reserve(initial.NumTuples());
   for (RelId r = 0; r < initial.schema().NumRelations(); ++r) {
-    db_.Reserve(r, initial.relation(r).size());
+    db_->Reserve(r, initial.relation(r).size());
     for (const Tuple& t : initial.relation(r)) {
       stream.push_back(UpdateCmd::Insert(r, t));
     }
@@ -186,6 +229,64 @@ void Engine::Preload(const Database& initial) {
     c->ReserveRoot(initial.ActiveDomainSize());
   }
   ApplyBatch(stream);
+}
+
+void Engine::SyncFromStorage() {
+  DYNCQ_CHECK_MSG(NumItems() == 0,
+                  "SyncFromStorage: structure already built (any processed "
+                  "tuple materializes items)");
+  // Copy this query's base tuples out first: relation iterators
+  // materialize tuples by value, and PendingDelta borrows tuple storage.
+  std::vector<std::pair<RelId, Tuple>> base;
+  // Only this query's relations — the shared database may hold many
+  // foreign ones (the query's schema is a prefix of the database's, so
+  // every subscribed RelId is valid there).
+  for (const auto& [r, comps] : comps_of_rel_) {
+    (void)comps;
+    for (const Tuple& t : db_->relation(r)) base.emplace_back(r, t);
+  }
+  if (base.empty()) return;
+  for (const auto& c : components_) {
+    c->ReserveRoot(db_->ActiveDomainSize());
+  }
+  pending_.clear();
+  pending_.reserve(base.size());
+  for (const auto& [r, t] : base) {
+    pending_.push_back(PendingDelta{r, &t, true});
+  }
+  BumpRevision();
+  for (const auto& c : components_) {
+    c->ApplyBatch(pending_.data(), pending_.size());
+  }
+  pending_.clear();  // drop dangling borrows of `base`
+}
+
+void Engine::PrepareSharedWrite() {
+  ForkIfPinned();
+  MaybeReclaimRetired();
+}
+
+void Engine::ApplySharedDelta(const PendingDelta& d) {
+  DYNCQ_DCHECK(owned_db_ == nullptr);
+  for (int c : comps_of_rel_[d.rel]) {
+    components_[static_cast<std::size_t>(c)]->PrefetchWalk(d.rel, *d.tuple);
+  }
+  BumpRevision();
+  for (int c : comps_of_rel_[d.rel]) {
+    auto& comp = components_[static_cast<std::size_t>(c)];
+    if (d.insert) {
+      comp->OnInsert(d.rel, *d.tuple);
+    } else {
+      comp->OnDelete(d.rel, *d.tuple);
+    }
+  }
+}
+
+void Engine::ApplySharedDeltas(const PendingDelta* deltas, std::size_t n) {
+  DYNCQ_DCHECK(owned_db_ == nullptr);
+  if (n == 0) return;
+  BumpRevision();
+  for (const auto& c : components_) c->ApplyBatch(deltas, n);
 }
 
 void Engine::ForkIfPinned() {
@@ -205,7 +306,7 @@ void Engine::ForkIfPinned() {
       detached_current = false;
       components_[done]->DetachAllItems(&comps[done].detached);
       detached_current = true;
-      components_[done]->RebuildFromDatabase(db_);
+      components_[done]->RebuildFromDatabase(*db_);
     }
   } catch (...) {
     // Roll back to the pre-fork state: free partial rebuilds, re-attach
@@ -317,6 +418,9 @@ Result<std::unique_ptr<Cursor>> Engine::MakeSnapshotCursor(
 }
 
 bool Engine::Apply(const UpdateCmd& cmd) {
+  DYNCQ_CHECK_MSG(owned_db_ != nullptr,
+                  "Apply: shared-storage engines are fed through their "
+                  "registry's write protocol");
   // Pinned version bookkeeping first: the fork must see the pre-update
   // database, and reclamation piggybacks on the write path.
   ForkIfPinned();
@@ -328,7 +432,7 @@ bool Engine::Apply(const UpdateCmd& cmd) {
     components_[static_cast<std::size_t>(c)]->PrefetchDelta(cmd.rel,
                                                             cmd.tuple);
   }
-  if (!db_.Apply(cmd)) return false;  // no-op update
+  if (!db_->Apply(cmd)) return false;  // no-op update
   BumpRevision();
   for (int c : comps_of_rel_[cmd.rel]) {
     components_[static_cast<std::size_t>(c)]->PrefetchWalk(cmd.rel,
@@ -346,7 +450,10 @@ bool Engine::Apply(const UpdateCmd& cmd) {
 
 std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds,
                                const BatchOptions& opts) {
-  ForkIfPinned();  // before db_.Apply — the fork replays the pre-batch db
+  DYNCQ_CHECK_MSG(owned_db_ != nullptr,
+                  "ApplyBatch: shared-storage engines are fed through their "
+                  "registry's write protocol");
+  ForkIfPinned();  // before the db applies — the fork replays the pre-batch db
   MaybeReclaimRetired();
   pending_.clear();
   pending_.reserve(cmds.size());
@@ -358,18 +465,18 @@ std::size_t Engine::ApplyBatch(std::span<const UpdateCmd> cmds,
   if (folder_.Fold(cmds, &kept_)) {
     for (std::size_t i = 0; i < kept_.size(); ++i) {
       if (i + kLookahead < kept_.size()) {
-        db_.Prefetch(cmds[kept_[i + kLookahead]]);
+        db_->Prefetch(cmds[kept_[i + kLookahead]]);
       }
       const UpdateCmd& cmd = cmds[kept_[i]];
-      if (!db_.Apply(cmd)) continue;  // no-op, absorbed
+      if (!db_->Apply(cmd)) continue;  // no-op, absorbed
       pending_.push_back(PendingDelta{cmd.rel, &cmd.tuple,
                                       cmd.kind == UpdateKind::kInsert});
     }
   } else {
     for (std::size_t i = 0; i < cmds.size(); ++i) {
-      if (i + kLookahead < cmds.size()) db_.Prefetch(cmds[i + kLookahead]);
+      if (i + kLookahead < cmds.size()) db_->Prefetch(cmds[i + kLookahead]);
       const UpdateCmd& cmd = cmds[i];
-      if (!db_.Apply(cmd)) continue;  // no-op, absorbed
+      if (!db_->Apply(cmd)) continue;  // no-op, absorbed
       pending_.push_back(PendingDelta{cmd.rel, &cmd.tuple,
                                       cmd.kind == UpdateKind::kInsert});
     }

@@ -16,6 +16,7 @@
 #include "cq/analysis.h"
 #include "cq/query.h"
 #include "storage/database.h"
+#include "util/rel_map.h"
 #include "util/result.h"
 
 namespace dyncq::core {
@@ -41,10 +42,31 @@ class Engine final : public DynamicQueryEngine {
   static Result<std::unique_ptr<Engine>> Create(const Query& q,
                                                 const Database& initial);
 
+  /// Shared-storage mode (serve/query_registry.h): the engine reads
+  /// `*shared` — owned by the caller, which must keep it (and its
+  /// schema) alive and apply every base-table update through it exactly
+  /// once — and keeps only its item forests private. Requires the
+  /// query's schema to be a prefix of the shared database's (see
+  /// Schema::IsPrefixOf); RelIds must agree because deltas arrive with
+  /// the shared schema's ids. If `*shared` is non-empty the structure
+  /// is built from its current contents (SyncFromStorage).
+  ///
+  /// In this mode the single-owner write paths (Apply / ApplyBatch /
+  /// Preload of a foreign database) are misuse and throw: the registry
+  /// owns the write order. Writers drive the engine with
+  /// PrepareSharedWrite + ApplySharedDelta(s) instead.
+  static Result<std::unique_ptr<Engine>> CreateShared(
+      const Query& q, Database* shared,
+      const EngineTuning& tuning = EngineTuning{});
+
   ~Engine() override;  // joins the shard worker pool, if one was started
 
   const Query& query() const override { return query_; }
-  const Database& db() const override { return db_; }
+  const Database& db() const override { return *db_; }
+
+  /// True when the engine reads a caller-owned shared Database
+  /// (CreateShared) instead of its own.
+  bool shares_storage() const { return owned_db_ == nullptr; }
 
   Capabilities capabilities() const override {
     Capabilities caps;
@@ -81,8 +103,43 @@ class Engine final : public DynamicQueryEngine {
 
   /// Linear-time preprocessing (§6.4): reserves relations and root child
   /// indexes from the input sizes, then replays the initial database
-  /// through the batch pipeline.
+  /// through the batch pipeline. Passing the engine's OWN database
+  /// (`&initial == &db()`) builds the structure from the storage already
+  /// in place via SyncFromStorage — the naive replay would iterate the
+  /// relations while inserting into them.
   void Preload(const Database& initial) override;
+
+  // ---- shared-storage write protocol (CreateShared engines) ----------
+  //
+  // The owner of the shared Database applies each update once and drives
+  // every affected engine through these three calls, in this order:
+  //
+  //   1. PrepareSharedWrite()   on each affected engine — BEFORE the
+  //      database mutates (a pinned snapshot forks by rebuilding from
+  //      the pre-update database);
+  //   2. the one Database::Apply;
+  //   3. ApplySharedDelta / ApplySharedDeltas on each affected engine
+  //      with the effective deltas (no-ops filtered by step 2).
+  //
+  // The tuples PendingDelta borrows must outlive the call.
+
+  /// Pinned-version bookkeeping that must precede a mutation of the
+  /// shared database: fork any armed snapshot off the pre-update state
+  /// and reclaim retired blocks.
+  void PrepareSharedWrite();
+
+  /// Routes one effective delta to the affected components (the
+  /// single-update path of §6.2: O(1) for q-hierarchical queries).
+  void ApplySharedDelta(const PendingDelta& d);
+
+  /// Batched variant: one revision bump, then every component sees the
+  /// full effective list through its batch pipeline.
+  void ApplySharedDeltas(const PendingDelta* deltas, std::size_t n);
+
+  /// Builds the structure from the shared database's current contents
+  /// (the preprocessing phase when registration finds data already
+  /// loaded). Requires an empty structure.
+  void SyncFromStorage();
 
   Weight Count() override;
   bool Answer() override;
@@ -136,7 +193,14 @@ class Engine final : public DynamicQueryEngine {
   void ReclaimAllRetired() override;
 
  private:
-  explicit Engine(Query q);
+  /// `shared == nullptr` allocates a private database over the query's
+  /// schema; otherwise the engine reads the caller's.
+  Engine(Query q, Database* shared);
+
+  /// Common factory body behind Create / CreateShared.
+  static Result<std::unique_ptr<Engine>> Build(const Query& q,
+                                               Database* shared,
+                                               const EngineTuning& tuning);
 
   /// The engine's snapshot payload: one ComponentSnapshot per component.
   /// Defined in engine.cc; befriended so it can disarm the fork flag and
@@ -167,10 +231,17 @@ class Engine final : public DynamicQueryEngine {
                                              const Item* root_end);
 
   Query query_;
-  Database db_;
+  // Storage: owned_db_ is null in shared mode (CreateShared), where db_
+  // points at the caller's database. Database holds a reference to its
+  // schema and is immovable, hence the pointer indirection even when
+  // owned.
+  std::unique_ptr<Database> owned_db_;
+  Database* db_ = nullptr;
   std::vector<std::pair<int, int>> head_map_;
   std::vector<std::unique_ptr<ComponentEngine>> components_;
-  std::vector<std::vector<int>> comps_of_rel_;  // RelId -> component idxs
+  // Sparse on purpose: keyed by the query's own relations, not the full
+  // (possibly huge shared) schema — see util/rel_map.h.
+  RelMap<std::vector<int>> comps_of_rel_;  // rel -> component idxs
   std::vector<PendingDelta> pending_;  // batch scratch
   BatchFolder folder_;                 // batch scratch
   std::vector<std::uint32_t> kept_;    // batch scratch

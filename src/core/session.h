@@ -107,6 +107,16 @@ class UpdateBatch {
 /// query (q-tree, q-tree on the core, or delta-IVM — construction never
 /// fails for a valid CQ) and exposes the four paper routines plus
 /// partitioned enumeration and staged batches.
+///
+/// Ownership note: a session's engine owns a PRIVATE Database — the
+/// session is the sole writer and `db()` reflects exactly the updates
+/// applied through it. This single-owner shape is a convenience, not an
+/// engine requirement: to serve MANY standing queries over one shared
+/// Database (storage stored once, deltas fanned out only to affected
+/// engines, structurally identical queries deduplicated behind one
+/// engine), register them with a serve::QueryRegistry instead, which
+/// drives shared-storage engines (core::Engine::CreateShared) through
+/// its write protocol.
 class QuerySession {
  public:
   /// Opens a session on an empty database.

@@ -1,0 +1,194 @@
+#include "cq/canonical.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dyncq {
+
+namespace {
+
+// Canonical-id encoding of the atom multiset: one string per atom
+// ("r<rel>(v<id>,c<val>,...)"), sorted — atom order and variable names
+// never reach the key.
+std::string EncodeAtoms(const Query& q, const std::vector<int>& canon_of) {
+  std::vector<std::string> parts;
+  parts.reserve(q.NumAtoms());
+  for (const Atom& a : q.atoms()) {
+    std::string s = "r" + std::to_string(a.rel) + "(";
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+      if (i > 0) s += ",";
+      const Term& t = a.args[i];
+      if (t.IsVar()) {
+        s += "v" + std::to_string(canon_of[t.var]);
+      } else {
+        s += "c" + std::to_string(t.constant);
+      }
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out = "A" + std::to_string(q.Arity()) + ";V" +
+                    std::to_string(q.NumVars()) + ";";
+  for (const std::string& p : parts) {
+    out += p;
+    out += ";";
+  }
+  return out;
+}
+
+// One refinement round: each variable's signature is its current color
+// plus the multiset of atoms it occurs in, each atom described relative
+// to the variable ("*" marks its own positions, other arguments by
+// color/constant). The description is invariant under variable renaming
+// and atom reordering, so refinement never separates variables an
+// isomorphism could map onto each other.
+std::vector<std::string> RoundSignatures(const Query& q,
+                                         const std::vector<int>& color) {
+  const std::size_t n = q.NumVars();
+  std::vector<std::vector<std::string>> occ(n);
+  for (const Atom& a : q.atoms()) {
+    for (const Term& t : a.args) {
+      if (!t.IsVar()) continue;
+      const VarId v = t.var;
+      std::string s = "r" + std::to_string(a.rel) + "(";
+      for (std::size_t i = 0; i < a.args.size(); ++i) {
+        if (i > 0) s += ",";
+        const Term& u = a.args[i];
+        if (u.IsConst()) {
+          s += "c" + std::to_string(u.constant);
+        } else if (u.var == v) {
+          s += "*";
+        } else {
+          s += "#" + std::to_string(color[u.var]);
+        }
+      }
+      s += ")";
+      // A variable repeated in one atom would otherwise record the atom
+      // once per occurrence — dedup below keeps the multiset meaningful
+      // (the "*" marks already encode the repetition pattern).
+      occ[v].push_back(std::move(s));
+    }
+  }
+  std::vector<std::string> sigs(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(occ[v].begin(), occ[v].end());
+    occ[v].erase(std::unique(occ[v].begin(), occ[v].end()), occ[v].end());
+    std::string s = "@" + std::to_string(color[v]) + "|";
+    for (const std::string& o : occ[v]) {
+      s += o;
+      s += "|";
+    }
+    sigs[v] = std::move(s);
+  }
+  return sigs;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& q, const CanonicalOptions& opts) {
+  const std::size_t n = q.NumVars();
+  DYNCQ_CHECK(n > 0);
+
+  // Initial coloring: head variables are pinned — each gets the
+  // singleton color of its head position (query equality fixes the head
+  // pointwise) — and all existential variables share one color.
+  const std::size_t k = q.head().size();
+  std::vector<int> color(n, static_cast<int>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    color[q.head()[i]] = static_cast<int>(i);
+  }
+
+  // Iterated refinement to a fixpoint: re-rank (signature) tuples each
+  // round. Including the old color in the signature makes each round a
+  // pure split, so the class count is non-decreasing and n rounds
+  // suffice.
+  std::size_t num_colors = 0;
+  for (std::size_t round = 0; round <= n; ++round) {
+    std::vector<std::string> sigs = RoundSignatures(q, color);
+    std::vector<std::string> sorted = sigs;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (std::size_t v = 0; v < n; ++v) {
+      color[v] = static_cast<int>(
+          std::lower_bound(sorted.begin(), sorted.end(), sigs[v]) -
+          sorted.begin());
+    }
+    if (sorted.size() == num_colors) break;  // fixpoint
+    num_colors = sorted.size();
+  }
+
+  // Canonical ids: head variables take their head position; existential
+  // refinement classes (ordered by final color) take the next id block.
+  std::vector<int> canon_of(n, -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    canon_of[q.head()[i]] = static_cast<int>(i);
+  }
+  std::vector<std::pair<int, VarId>> exist;  // (color, var)
+  for (std::size_t v = 0; v < n; ++v) {
+    if (canon_of[v] < 0) exist.emplace_back(color[v], static_cast<VarId>(v));
+  }
+  std::sort(exist.begin(), exist.end());
+
+  // Group existential variables into tied classes.
+  std::vector<std::vector<VarId>> classes;
+  for (std::size_t i = 0; i < exist.size(); ++i) {
+    if (i == 0 || exist[i].first != exist[i - 1].first) classes.push_back({});
+    classes.back().push_back(exist[i].second);
+  }
+
+  // Leaf count of the exhaustive tie search: product of class
+  // factorials, saturating at the cap.
+  std::size_t leaves = 1;
+  for (const auto& cls : classes) {
+    for (std::size_t m = 2; m <= cls.size(); ++m) {
+      if (leaves > opts.max_tie_leaves / m) {
+        leaves = opts.max_tie_leaves + 1;
+        break;
+      }
+      leaves *= m;
+    }
+    if (leaves > opts.max_tie_leaves) break;
+  }
+
+  int next_id = static_cast<int>(k);
+  if (leaves <= 1 || leaves > opts.max_tie_leaves) {
+    // No ties, or past the search cap. Assign in class order with the
+    // variable index as tiebreak — past the cap this is deterministic
+    // but not renaming-invariant (a missed dedup, never a false one).
+    for (const auto& cls : classes) {
+      for (VarId v : cls) canon_of[v] = next_id++;
+    }
+    return EncodeAtoms(q, canon_of);
+  }
+
+  // Exhaustive minimum over all class-preserving assignments: any
+  // isomorphism between structurally identical queries maps refinement
+  // classes onto each other, so both sides minimize over the same
+  // assignment set and arrive at the same key.
+  for (auto& cls : classes) std::sort(cls.begin(), cls.end());
+  std::string best;
+  std::vector<std::vector<VarId>> perm = classes;
+  // Odometer over per-class permutations via next_permutation.
+  while (true) {
+    int id = static_cast<int>(k);
+    for (const auto& cls : perm) {
+      for (VarId v : cls) canon_of[v] = id++;
+    }
+    std::string enc = EncodeAtoms(q, canon_of);
+    if (best.empty() || enc < best) best = std::move(enc);
+    // Advance: lowest class first; a class that wraps carries over.
+    std::size_t c = 0;
+    for (; c < perm.size(); ++c) {
+      if (std::next_permutation(perm[c].begin(), perm[c].end())) break;
+      // wrapped back to sorted order; carry to the next class
+    }
+    if (c == perm.size()) break;  // full odometer wrap: done
+  }
+  return best;
+}
+
+}  // namespace dyncq

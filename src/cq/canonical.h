@@ -1,0 +1,46 @@
+// Canonical forms of conjunctive queries under structural identity.
+//
+// Two queries are *structurally identical* when a bijective renaming of
+// their existential variables (head variables are pinned pointwise —
+// k-ary query equality fixes the output order) plus a reordering of
+// their atoms maps one onto the other. CanonicalQueryKey computes a key
+// with
+//
+//   key(q1) == key(q2)  <=>  q1 and q2 are structurally identical
+//
+// for queries over the same schema. Structural identity implies
+// homomorphic equivalence (the renaming is a homomorphism both ways),
+// so deduplicating on the key is always sound; the converse does not
+// hold (hom-equivalent queries may differ structurally, e.g. by a
+// redundant atom) — those keep separate keys by design.
+//
+// The algorithm is color refinement over the variable co-occurrence
+// structure, with an exhaustive minimum-encoding search over refinement
+// ties. Cost is query-size-only; the tie search is capped (see
+// CanonicalOptions) and falls back to a deterministic — but no longer
+// renaming-invariant — order on pathological symmetric queries, which
+// degrades dedup recall, never soundness.
+#ifndef DYNCQ_CQ_CANONICAL_H_
+#define DYNCQ_CQ_CANONICAL_H_
+
+#include <string>
+
+#include "cq/query.h"
+
+namespace dyncq {
+
+struct CanonicalOptions {
+  /// Upper bound on the number of complete variable orderings the tie
+  /// search may encode (product of factorials of tied refinement
+  /// classes). Beyond it the key is still sound but may miss dedups.
+  std::size_t max_tie_leaves = 1u << 16;
+};
+
+/// Canonical structural key of `q`. Keys are only comparable between
+/// queries over the same schema (relations are encoded by RelId).
+std::string CanonicalQueryKey(const Query& q,
+                              const CanonicalOptions& opts = {});
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_CQ_CANONICAL_H_

@@ -30,6 +30,16 @@ const RelationSchema& Schema::relation(RelId id) const {
   return relations_[id];
 }
 
+bool Schema::IsPrefixOf(const Schema& other) const {
+  if (relations_.size() > other.relations_.size()) return false;
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    const RelationSchema& a = relations_[i];
+    const RelationSchema& b = other.relations_[i];
+    if (a.arity != b.arity || a.name != b.name) return false;
+  }
+  return true;
+}
+
 std::string Schema::ToString() const {
   std::string out;
   for (std::size_t i = 0; i < relations_.size(); ++i) {

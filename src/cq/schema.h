@@ -34,6 +34,13 @@ class Schema {
 
   const std::vector<RelationSchema>& relations() const { return relations_; }
 
+  /// True iff `other` extends this schema: every relation of *this*
+  /// appears in `other` at the same RelId with the same name and arity.
+  /// The check sharing a Database across queries built against distinct
+  /// but compatible schema objects rests on (RelIds in both number the
+  /// same relations; see core::Engine::CreateShared).
+  bool IsPrefixOf(const Schema& other) const;
+
   std::string ToString() const;
 
  private:

@@ -87,6 +87,12 @@ void Database::Clear() {
 }
 
 void Database::EnsureAdom() const {
+  // Two reader threads may both find the counts stale (e.g. two engines
+  // sharing this database each sizing a bulk load from |adom|); without
+  // the lock both would rebuild the mutable map concurrently — a data
+  // race in a const method. Writers don't take the lock: updates are
+  // externally synchronized against reads and only set adom_stale_.
+  std::lock_guard<std::mutex> lock(*adom_mu_);
   if (!adom_stale_) return;
   adom_counts_.Clear();
   for (const Relation& r : relations_) {

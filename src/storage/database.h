@@ -4,6 +4,8 @@
 #define DYNCQ_STORAGE_DATABASE_H_
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,6 +76,10 @@ class Database {
   /// Maintained lazily: updates only mark the cached reference counts
   /// stale (keeping per-update hash work off the streaming hot path) and
   /// the first adom query after a change rebuilds them in O(||D||).
+  /// Safe for concurrent READERS (the rebuild is serialized internally;
+  /// see EnsureAdom) — multiple engines sharing one database may size
+  /// their preprocessing from |adom| at once. Writes still require the
+  /// usual external synchronization against reads.
   std::size_t ActiveDomainSize() const {
     EnsureAdom();
     return adom_counts_.size();
@@ -95,7 +101,12 @@ class Database {
   const Schema& schema_;
   std::vector<Relation> relations_;
   // Reference counts: value -> number of tuple positions holding it.
-  // Rebuilt on demand (see ActiveDomainSize).
+  // Rebuilt on demand (see ActiveDomainSize). The mutex serializes the
+  // const-method lazy rebuild between concurrent readers; writers only
+  // flip adom_stale_ and are externally synchronized against reads.
+  // Heap-held so Database stays movable (moves are externally
+  // synchronized like writes).
+  std::unique_ptr<std::mutex> adom_mu_ = std::make_unique<std::mutex>();
   mutable OpenHashMap<Value, std::uint64_t, U64Hash> adom_counts_;
   mutable bool adom_stale_ = false;
 };

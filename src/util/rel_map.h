@@ -1,0 +1,76 @@
+// Sparse RelId -> payload map for per-engine routing state.
+//
+// Engines registered against a shared multi-query schema (serve/
+// query_registry.h) see a Schema with one relation per registered shape
+// — easily tens of thousands — while any single query touches a
+// handful. Indexing routing tables by raw RelId would cost O(|schema|)
+// memory PER ENGINE (quadratic across a registry); this map stores only
+// the touched relations and resolves lookups with a linear scan, which
+// for the handful of entries a query has is faster than hashing.
+#ifndef DYNCQ_UTIL_REL_MAP_H_
+#define DYNCQ_UTIL_REL_MAP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dyncq {
+
+template <typename T>
+class RelMap {
+ public:
+  using Entry = std::pair<RelId, T>;
+
+  /// Payload for `rel`, default-constructed on first use. Entries keep
+  /// insertion order and are never removed, so IndexOf results and
+  /// references stay stable across later inserts only up to the usual
+  /// vector reallocation — build fully before caching either.
+  T& FindOrInsert(RelId rel) {
+    for (Entry& e : entries_) {
+      if (e.first == rel) return e.second;
+    }
+    entries_.emplace_back(rel, T{});
+    return entries_.back().second;
+  }
+
+  const T* Find(RelId rel) const {
+    for (const Entry& e : entries_) {
+      if (e.first == rel) return &e.second;
+    }
+    return nullptr;
+  }
+
+  /// Dense position of `rel`'s entry (insertion order), -1 when absent.
+  int IndexOf(RelId rel) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].first == rel) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Read access for hot loops: absent relations yield a shared empty
+  /// payload, so `for (x : map[rel])` needs no existence check.
+  const T& operator[](RelId rel) const {
+    const T* p = Find(rel);
+    return p != nullptr ? *p : Empty();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  static const T& Empty() {
+    static const T kEmpty{};
+    return kEmpty;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dyncq
+
+#endif  // DYNCQ_UTIL_REL_MAP_H_

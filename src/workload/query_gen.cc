@@ -12,24 +12,26 @@ namespace dyncq::workload {
 namespace {
 
 /// Shared state while emitting one query's atoms into a schema/builder.
+/// All relation bookkeeping lives in the SchemaPool so queries drawn
+/// through one pool share (and grow) one schema; the single-query entry
+/// points wrap a local pool.
 struct Emitter {
   const QueryGenOptions& opts;
   Rng& rng;
-  Schema* schema;
-  // Existing relations by arity (for self-join reuse).
-  std::vector<std::vector<RelId>> rels_by_arity;
-  int next_rel = 0;
+  SchemaPool* pool;
 
   RelId RelationForArity(std::size_t arity) {
-    if (rels_by_arity.size() <= arity) rels_by_arity.resize(arity + 1);
-    auto& pool = rels_by_arity[arity];
-    if (!pool.empty() && rng.Chance(opts.reuse_rel_prob)) {
-      return pool[rng.Below(pool.size())];
+    if (pool->rels_by_arity.size() <= arity) {
+      pool->rels_by_arity.resize(arity + 1);
     }
-    auto added = schema->AddRelation("R" + std::to_string(next_rel++),
-                                     arity);
+    auto& existing = pool->rels_by_arity[arity];
+    if (!existing.empty() && rng.Chance(pool->reuse_prob)) {
+      return existing[rng.Below(existing.size())];
+    }
+    auto added = pool->schema->AddRelation(
+        "R" + std::to_string(pool->next_rel++), arity);
     DYNCQ_CHECK_MSG(added.ok(), added.error());
-    pool.push_back(added.value());
+    existing.push_back(added.value());
     return added.value();
   }
 
@@ -66,12 +68,17 @@ struct Emitter {
 }  // namespace
 
 Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng) {
-  auto schema = std::make_shared<Schema>();
-  // Builder shares the schema object; we fill the schema as we go. The
-  // shared_ptr aliasing keeps it alive for the query.
-  QueryBuilder b(schema);
+  SchemaPool local(opts.reuse_rel_prob);
+  return RandomQHierarchicalQuery(opts, rng, &local);
+}
+
+Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng,
+                               SchemaPool* pool) {
+  // Builder shares the pool's schema object; we fill the schema as we
+  // go. The shared_ptr aliasing keeps it alive for the query.
+  QueryBuilder b(pool->schema);
   b.SetName("G");
-  Emitter em{opts, rng, schema.get(), {}, 0};
+  Emitter em{opts, rng, pool};
 
   std::vector<VarId> head;
   int components =
@@ -152,6 +159,11 @@ Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng) {
 }
 
 Query RandomCQ(const QueryGenOptions& opts, Rng& rng) {
+  SchemaPool local(opts.reuse_rel_prob);
+  return RandomCQ(opts, rng, &local);
+}
+
+Query RandomCQ(const QueryGenOptions& opts, Rng& rng, SchemaPool* pool) {
   // Draw raw atoms over abstract variable indices first; only variables
   // that actually occur get declared (the builder rejects unused ones).
   struct RawArg {
@@ -191,10 +203,9 @@ Query RandomCQ(const QueryGenOptions& opts, Rng& rng) {
     }
   }
 
-  auto schema = std::make_shared<Schema>();
-  QueryBuilder b(schema);
+  QueryBuilder b(pool->schema);
   b.SetName("C");
-  Emitter em{opts, rng, schema.get(), {}, 0};
+  Emitter em{opts, rng, pool};
 
   std::vector<VarId> var_of(static_cast<std::size_t>(nv), kInvalidVar);
   for (int v = 0; v < nv; ++v) {
@@ -227,6 +238,50 @@ Query RandomCQ(const QueryGenOptions& opts, Rng& rng) {
   Result<Query> q = b.Build();
   DYNCQ_CHECK_MSG(q.ok(), "RandomCQ built an invalid query: " + q.error());
   return q.value();
+}
+
+Query AlphaRenameShuffle(const Query& q, Rng& rng) {
+  const std::size_t n = q.NumVars();
+  // Random declaration order: variable ids are assigned by first b.Var
+  // call, so declaring along a random permutation renumbers everything.
+  std::vector<VarId> decl(n);
+  for (std::size_t i = 0; i < n; ++i) decl[i] = static_cast<VarId>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(decl[i - 1], decl[rng.Below(i)]);
+  }
+  QueryBuilder b(q.schema_ptr());
+  b.SetName(q.name());
+  std::vector<VarId> new_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    new_of[decl[i]] = b.Var("w" + std::to_string(i));
+  }
+
+  // Atoms in a random order.
+  std::vector<std::size_t> order(q.NumAtoms());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  for (std::size_t idx : order) {
+    const Atom& a = q.atoms()[idx];
+    std::vector<Term> args;
+    args.reserve(a.args.size());
+    for (const Term& t : a.args) {
+      args.push_back(t.IsVar() ? Term::Var(new_of[t.var]) : t);
+    }
+    b.AddAtom(a.rel, std::move(args));
+  }
+
+  // The head keeps its output order — only the variable identities
+  // change (k-ary query equality fixes the head pointwise).
+  std::vector<VarId> head;
+  head.reserve(q.head().size());
+  for (VarId v : q.head()) head.push_back(new_of[v]);
+  b.SetHead(head);
+  Result<Query> out = b.Build();
+  DYNCQ_CHECK_MSG(out.ok(),
+                  "AlphaRenameShuffle built an invalid query: " + out.error());
+  return out.value();
 }
 
 }  // namespace dyncq::workload

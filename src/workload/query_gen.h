@@ -10,6 +10,9 @@
 #ifndef DYNCQ_WORKLOAD_QUERY_GEN_H_
 #define DYNCQ_WORKLOAD_QUERY_GEN_H_
 
+#include <memory>
+#include <vector>
+
 #include "cq/query.h"
 #include "util/rng.h"
 
@@ -27,12 +30,46 @@ struct QueryGenOptions {
   std::size_t max_constant = 6;
 };
 
+/// A growable schema shared by many generated queries — the multi-query
+/// workload shape (serve/query_registry.h): every query drawn through
+/// one pool aliases the same Schema object, so they can all be
+/// registered against one shared Database. `reuse_prob` governs how
+/// often a new atom reuses an existing relation of its arity instead of
+/// declaring a fresh one — low values spread queries across many
+/// relations (small per-delta fanout), high values pile them onto few
+/// (hot relations). Freeze the pool (stop generating) before building a
+/// Database over its schema.
+struct SchemaPool {
+  explicit SchemaPool(double reuse_prob = 0.5)
+      : schema(std::make_shared<Schema>()), reuse_prob(reuse_prob) {}
+
+  std::shared_ptr<Schema> schema;
+  double reuse_prob;
+  std::vector<std::vector<RelId>> rels_by_arity;
+  int next_rel = 0;
+};
+
 /// A random q-hierarchical query (checked against Definition 3.1 before
 /// returning).
 Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng);
 
+/// Same, drawing relations from (and growing) a shared schema pool.
+Query RandomQHierarchicalQuery(const QueryGenOptions& opts, Rng& rng,
+                               SchemaPool* pool);
+
 /// A random unconstrained CQ (any hierarchy class).
 Query RandomCQ(const QueryGenOptions& opts, Rng& rng);
+
+/// Same, over a shared schema pool.
+Query RandomCQ(const QueryGenOptions& opts, Rng& rng, SchemaPool* pool);
+
+/// A structurally identical variant of `q`: existential (and head)
+/// variables renamed along a random permutation with fresh names, atoms
+/// emitted in a random order, head semantics (and output order)
+/// unchanged, same schema object. Canonicalization (cq/canonical.h)
+/// must map `q` and every variant to the same key — the property the
+/// registry's dedup tests pivot on.
+Query AlphaRenameShuffle(const Query& q, Rng& rng);
 
 }  // namespace dyncq::workload
 

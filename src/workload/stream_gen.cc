@@ -14,9 +14,18 @@ StreamGenerator::StreamGenerator(std::shared_ptr<const Schema> schema,
   }
   live_.resize(schema_->NumRelations());
   live_index_.resize(schema_->NumRelations());
+  if (opts_.pattern == TemporalPattern::kSlidingWindow) {
+    DYNCQ_CHECK(opts_.window >= 1);
+    fifo_.resize(schema_->NumRelations());
+  }
+  if (opts_.pattern == TemporalPattern::kFlashCrowd) {
+    DYNCQ_CHECK(opts_.flash_period >= 1);
+    DYNCQ_CHECK(opts_.flash_hot_values >= 1);
+  }
 }
 
 Value StreamGenerator::RandomValue() {
+  if (in_flash_) return hot_values_[rng_.Below(hot_values_.size())];
   if (zipf_ != nullptr) return zipf_->Sample(rng_);
   return rng_.Range(1, opts_.domain_size);
 }
@@ -29,7 +38,61 @@ Tuple StreamGenerator::RandomTuple(RelId rel) {
   return t;
 }
 
+UpdateCmd StreamGenerator::InsertFresh(RelId rel) {
+  Tuple t = RandomTuple(rel);
+  auto [slot, inserted] = live_index_[rel].Insert(t, live_[rel].size());
+  if (inserted) {
+    live_[rel].push_back(t);
+    if (opts_.pattern == TemporalPattern::kSlidingWindow) {
+      fifo_[rel].push_back(t);
+    }
+  }
+  return UpdateCmd::Insert(rel, t);
+}
+
+UpdateCmd StreamGenerator::DeleteLiveAt(RelId rel, std::size_t pos) {
+  Tuple t = live_[rel][pos];
+  Tuple& last = live_[rel].back();
+  if (pos + 1 != live_[rel].size()) {
+    *live_index_[rel].Find(last) = pos;
+    live_[rel][pos] = last;
+  }
+  live_[rel].pop_back();
+  live_index_[rel].Erase(t);
+  return UpdateCmd::Delete(rel, t);
+}
+
+void StreamGenerator::TickFlash() {
+  const std::uint64_t phase = tick_ % opts_.flash_period;
+  if (phase == 0) {
+    // A fresh set of values goes viral. Drawn from the base
+    // distribution (not yet hot) so Zipf skew compounds with the burst.
+    in_flash_ = false;
+    hot_values_.clear();
+    for (std::size_t i = 0; i < opts_.flash_hot_values; ++i) {
+      hot_values_.push_back(RandomValue());
+    }
+  }
+  in_flash_ = phase < opts_.flash_len;
+  ++tick_;
+}
+
 UpdateCmd StreamGenerator::Next(RelId rel) {
+  if (opts_.pattern == TemporalPattern::kFlashCrowd) TickFlash();
+
+  if (opts_.pattern == TemporalPattern::kSlidingWindow) {
+    // Expiry first: past the window, the oldest arrival leaves before
+    // the next one lands, so the live set never exceeds `window`.
+    if (live_[rel].size() >= opts_.window) {
+      Tuple oldest = std::move(fifo_[rel].front());
+      fifo_[rel].pop_front();
+      std::size_t* pos = live_index_[rel].Find(oldest);
+      DYNCQ_DCHECK(pos != nullptr);  // expiry is the only delete source
+      return DeleteLiveAt(rel, *pos);
+    }
+    return InsertFresh(rel);
+  }
+
   if (opts_.noop_ratio > 0.0 && rng_.Chance(opts_.noop_ratio)) {
     if (!live_[rel].empty() && rng_.Chance(0.5)) {
       // Re-insert a tuple that is already present.
@@ -42,25 +105,9 @@ UpdateCmd StreamGenerator::Next(RelId rel) {
   }
   bool do_insert =
       live_[rel].empty() || rng_.Chance(opts_.insert_ratio);
-  if (do_insert) {
-    Tuple t = RandomTuple(rel);
-    auto [slot, inserted] = live_index_[rel].Insert(t, live_[rel].size());
-    if (inserted) {
-      live_[rel].push_back(t);
-    }
-    return UpdateCmd::Insert(rel, t);
-  }
+  if (do_insert) return InsertFresh(rel);
   // Delete a uniformly random live tuple (swap-remove for O(1)).
-  std::size_t pos = rng_.Below(live_[rel].size());
-  Tuple t = live_[rel][pos];
-  Tuple& last = live_[rel].back();
-  if (pos + 1 != live_[rel].size()) {
-    *live_index_[rel].Find(last) = pos;
-    live_[rel][pos] = last;
-  }
-  live_[rel].pop_back();
-  live_index_[rel].Erase(t);
-  return UpdateCmd::Delete(rel, t);
+  return DeleteLiveAt(rel, rng_.Below(live_[rel].size()));
 }
 
 UpdateStream StreamGenerator::Take(std::size_t count) {

@@ -2,6 +2,7 @@
 #ifndef DYNCQ_WORKLOAD_STREAM_GEN_H_
 #define DYNCQ_WORKLOAD_STREAM_GEN_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -12,6 +13,24 @@
 #include "util/rng.h"
 
 namespace dyncq::workload {
+
+/// Temporal shape of the stream (ROADMAP "scenario diversity").
+enum class TemporalPattern {
+  /// Stationary insert/delete mix; deletes pick uniformly among live
+  /// tuples (the original behavior).
+  kChurn,
+  /// Sliding window: tuples are inserted "now" and deleted once the
+  /// relation's live set exceeds `window` — every delete removes the
+  /// OLDEST live insert, so the database is always the last W arrivals.
+  /// Models retention windows; `insert_ratio` is ignored (expiry drives
+  /// the deletes).
+  kSlidingWindow,
+  /// Flash crowd: every `flash_period` commands a fresh set of
+  /// `flash_hot_values` values goes viral and the next `flash_len`
+  /// commands draw their tuples from it exclusively; between bursts the
+  /// stream is kChurn. Models hot keys defeating uniform sharding.
+  kFlashCrowd,
+};
 
 struct StreamOptions {
   std::uint64_t seed = 42;
@@ -25,6 +44,15 @@ struct StreamOptions {
   /// live tuple or delete of an absent one) — models at-least-once
   /// delivery and exercises the engines' set-semantics dedup paths.
   double noop_ratio = 0.0;
+
+  TemporalPattern pattern = TemporalPattern::kChurn;
+  /// kSlidingWindow: live tuples per relation before the oldest expires.
+  std::size_t window = 1024;
+  /// kFlashCrowd: commands between burst starts / burst length /
+  /// size of the viral value set.
+  std::size_t flash_period = 4096;
+  std::size_t flash_len = 512;
+  std::size_t flash_hot_values = 8;
 };
 
 /// Stateful generator producing a realistic insert/delete mix: deletes
@@ -49,6 +77,9 @@ class StreamGenerator {
  private:
   Tuple RandomTuple(RelId rel);
   Value RandomValue();
+  UpdateCmd InsertFresh(RelId rel);
+  UpdateCmd DeleteLiveAt(RelId rel, std::size_t pos);
+  void TickFlash();
 
   std::shared_ptr<const Schema> schema_;
   StreamOptions opts_;
@@ -58,6 +89,14 @@ class StreamGenerator {
   // O(1) removal (swap-with-last).
   std::vector<std::vector<Tuple>> live_;
   std::vector<OpenHashMap<Tuple, std::size_t, TupleHash>> live_index_;
+  // kSlidingWindow: per-relation FIFO of live tuples in insert order.
+  // Only effective inserts are pushed and only expiry deletes, so every
+  // live tuple appears exactly once and the front is always live.
+  std::vector<std::deque<Tuple>> fifo_;
+  // kFlashCrowd state.
+  std::uint64_t tick_ = 0;
+  bool in_flash_ = false;
+  std::vector<Value> hot_values_;
 };
 
 }  // namespace dyncq::workload

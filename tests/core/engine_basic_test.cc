@@ -241,6 +241,28 @@ TEST(EngineTest, CountMatchesEnumerationLength) {
   }
 }
 
+TEST(EngineTest, PreloadFromOwnStorageRebuildsInPlace) {
+  // Regression: Preload(engine.db()) used to replay each relation into
+  // itself while iterating it. The self-alias is a no-op when the
+  // structure already tracks storage (every write path maintains both),
+  // and must leave a fully maintainable engine behind.
+  Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
+  auto e = MakeEngine(q);
+  e->Apply(UpdateCmd::Insert(0, {1, 2}));
+  e->Apply(UpdateCmd::Insert(0, {3, 2}));
+  e->Apply(UpdateCmd::Insert(1, {2}));
+  ASSERT_EQ(e->Count(), Weight{2});
+  e->Preload(e->db());
+  EXPECT_EQ(e->Count(), Weight{2});
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(*e), {{1, 2}, {3, 2}}));
+  for (std::size_t c = 0; c < e->NumComponents(); ++c) {
+    e->component(c).CheckInvariants();
+  }
+  e->Apply(UpdateCmd::Delete(0, {1, 2}));
+  e->Apply(UpdateCmd::Insert(0, {5, 2}));
+  EXPECT_TRUE(SameTupleSet(MaterializeResult(*e), {{3, 2}, {5, 2}}));
+}
+
 TEST(EngineTest, InterleavedInsertDeleteChurn) {
   Query q = MustParse("Q(x, y) :- E(x, y), T(y).");
   auto e = MakeEngine(q);

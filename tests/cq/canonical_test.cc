@@ -1,0 +1,180 @@
+// Canonicalization property tests (cq/canonical.h).
+//
+// The contract the registry's structural dedup pivots on:
+//  * invariance — alpha-renamed, atom-shuffled variants of one query
+//    share its key;
+//  * soundness — equal keys imply homomorphic equivalence (cross-checked
+//    against cq/homomorphism.h on random pairs);
+//  * discrimination — structurally distinct (non-equivalent) queries
+//    over one schema get distinct keys.
+#include "cq/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+#include "workload/query_gen.h"
+
+namespace dyncq {
+namespace {
+
+using workload::AlphaRenameShuffle;
+using workload::QueryGenOptions;
+using workload::RandomCQ;
+using workload::RandomQHierarchicalQuery;
+using workload::SchemaPool;
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.error();
+  return q.value();
+}
+
+TEST(CanonicalTest, HandWrittenVariantsShareAKey) {
+  // Same shape, different existential names and atom order.
+  Query a = Parse("Q(x) :- R(x, y), S(y), R(x, z).");
+  Query b = Parse("Q(x) :- R(x, u), R(x, w), S(u).");
+  // Keys are schema-relative; the parser declares relations in first-use
+  // order, which matches here (R then S).
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, HeadOrderIsPartOfTheKey) {
+  Query a = Parse("Q(x, y) :- R(x, y).");
+  Query b = Parse("Q(y, x) :- R(x, y).");  // transposed output
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, FreeVsExistentialDiffer) {
+  Query a = Parse("Q(x) :- R(x, y).");
+  Query b = Parse("Q() :- R(x, y).");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, ConstantsAreDistinguished) {
+  Query a = Parse("Q(x) :- R(x, 1).");
+  Query b = Parse("Q(x) :- R(x, 2).");
+  Query c = Parse("Q(x) :- R(x, y).");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));
+}
+
+TEST(CanonicalTest, RedundantAtomKeepsItsOwnKey) {
+  // Hom-equivalent but structurally different: dedup is structural by
+  // design (the key must not collapse queries with different atom
+  // multisets, even when Chandra-Merlin says they agree).
+  Query a = Parse("Q(x) :- R(x, y).");
+  Query b = Parse("Q(x) :- R(x, y), R(x, z).");
+  ASSERT_TRUE(AreHomEquivalent(a, b));
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, SymmetricTiesStillCanonicalize) {
+  // y and z are indistinguishable under refinement (a genuine automorphism)
+  // — the tie search must still give variants one key.
+  Query a = Parse("Q(x) :- R(x, y), R(x, z), S(y), S(z).");
+  // Keep R as the first-used relation so both parses agree on RelIds.
+  Query b = Parse("Q(x) :- R(x, q), S(p), S(q), R(x, p).");
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, RandomVariantsShareAKey) {
+  Rng rng(11);
+  QueryGenOptions opts;
+  for (int i = 0; i < 300; ++i) {
+    Query q = RandomQHierarchicalQuery(opts, rng);
+    const std::string key = CanonicalQueryKey(q);
+    for (int v = 0; v < 4; ++v) {
+      Query variant = AlphaRenameShuffle(q, rng);
+      ASSERT_EQ(key, CanonicalQueryKey(variant))
+          << q.ToString() << " vs " << variant.ToString();
+      // The variant really is the same query.
+      ASSERT_TRUE(AreHomEquivalent(q, variant));
+    }
+  }
+}
+
+TEST(CanonicalTest, RandomCQVariantsShareAKey) {
+  // Beyond the q-hierarchical class: cyclic / hard shapes canonicalize
+  // the same way (the registry dedups fallback engines too).
+  Rng rng(12);
+  QueryGenOptions opts;
+  for (int i = 0; i < 300; ++i) {
+    Query q = RandomCQ(opts, rng);
+    const std::string key = CanonicalQueryKey(q);
+    for (int v = 0; v < 3; ++v) {
+      ASSERT_EQ(key, CanonicalQueryKey(AlphaRenameShuffle(q, rng)))
+          << q.ToString();
+    }
+  }
+}
+
+TEST(CanonicalTest, EqualKeysImplyEquivalence) {
+  // Soundness sweep: draw many queries over ONE schema pool (keys are
+  // only comparable within a schema) and cross-check every key
+  // collision against the homomorphism machinery.
+  Rng rng(13);
+  QueryGenOptions opts;
+  opts.max_component_vars = 3;  // small shapes collide often
+  opts.max_components = 1;
+  SchemaPool pool(/*reuse_prob=*/0.9);
+  std::vector<Query> queries;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 120; ++i) {
+    queries.push_back(RandomQHierarchicalQuery(opts, rng, &pool));
+    keys.push_back(CanonicalQueryKey(queries.back()));
+  }
+  int collisions = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (std::size_t j = i + 1; j < queries.size(); ++j) {
+      if (keys[i] != keys[j]) continue;
+      ++collisions;
+      ASSERT_EQ(queries[i].Arity(), queries[j].Arity());
+      ASSERT_TRUE(AreHomEquivalent(queries[i], queries[j]))
+          << queries[i].ToString() << " vs " << queries[j].ToString();
+    }
+  }
+  // The sweep must actually exercise the property.
+  EXPECT_GT(collisions, 0);
+}
+
+TEST(CanonicalTest, NonEquivalentPairsGetDistinctKeys) {
+  // Contrapositive of soundness, checked directly: whenever the oracle
+  // says non-equivalent, the keys must differ.
+  Rng rng(14);
+  QueryGenOptions opts;
+  opts.max_component_vars = 3;
+  opts.max_components = 1;
+  SchemaPool pool(/*reuse_prob=*/0.9);
+  std::vector<Query> queries;
+  for (int i = 0; i < 80; ++i) {
+    queries.push_back(RandomQHierarchicalQuery(opts, rng, &pool));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (std::size_t j = i + 1; j < queries.size(); ++j) {
+      if (queries[i].Arity() != queries[j].Arity()) continue;
+      if (!AreHomEquivalent(queries[i], queries[j])) {
+        ASSERT_NE(CanonicalQueryKey(queries[i]),
+                  CanonicalQueryKey(queries[j]))
+            << queries[i].ToString() << " vs " << queries[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(CanonicalTest, TieSearchCapFallsBackSoundly) {
+  // Force the cap to zero leaves: keys are still produced and identical
+  // queries (same variable numbering) still match; variants may miss
+  // the dedup, which is the documented degradation.
+  Query q = Parse("Q(x) :- R(x, y), R(x, z), S(y), S(z).");
+  CanonicalOptions opts;
+  opts.max_tie_leaves = 1;
+  EXPECT_EQ(CanonicalQueryKey(q, opts), CanonicalQueryKey(q, opts));
+  EXPECT_FALSE(CanonicalQueryKey(q, opts).empty());
+}
+
+}  // namespace
+}  // namespace dyncq

@@ -11,9 +11,13 @@
 // slack for allocator noise) of the post-warmup high-water mark, i.e.
 // pinned versions must not leak.
 //
-// Runtime is bounded by DYNCQ_SOAK_SECONDS (default 120). The binary is
-// registered as a ctest only under -DDYNCQ_SOAK_TESTS=ON, label "soak";
-// it is not part of the tier-1 suite.
+// Runtime is bounded by DYNCQ_SOAK_SECONDS (default 120), and the
+// temporal shape of the churn by DYNCQ_SOAK_PATTERN: "churn" (default,
+// stationary Zipfian mix), "window" (sliding retention window — every
+// delete expires the oldest live tuple, a delete-heavy steady state),
+// or "flash" (periodic hot-value bursts hammering a few subtrees). The
+// binary is registered as a ctest only under -DDYNCQ_SOAK_TESTS=ON,
+// label "soak"; it is not part of the tier-1 suite.
 #include <unistd.h>
 
 #include <cstdint>
@@ -22,6 +26,7 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -108,31 +113,56 @@ int main() {
   }
   core::Engine& engine = *engine_r.value();
 
-  // Warm up with a pure-insert Zipfian stream to steady-state size, then
-  // take the RSS baseline. The churn generator below is balanced
-  // (insert_ratio 0.5, deletes always hit its own live tuples), so the
-  // live structure random-walks around the warmed size instead of
-  // trending — any sustained RSS growth is pinned-version leakage, not
-  // data growth.
-  {
+  // Warm up to steady-state size, then take the RSS baseline. Every
+  // pattern keeps the live structure bounded afterwards — balanced
+  // churn random-walks around the warmed size, the sliding window holds
+  // exactly `window` tuples per relation, flash bursts are balanced
+  // churn with a hot value set — so any sustained RSS growth is
+  // pinned-version leakage, not data growth.
+  const char* pat_env = std::getenv("DYNCQ_SOAK_PATTERN");
+  const std::string pattern = pat_env != nullptr ? pat_env : "churn";
+  std::unique_ptr<workload::StreamGenerator> gen;
+  if (pattern == "window") {
+    // One generator end to end: its FIFO must cover the warm-up inserts
+    // so expiry targets them; Take(150000) fills both relations to the
+    // window and from then on every insert expires the oldest tuple.
+    gen = std::make_unique<workload::StreamGenerator>(
+        q.value().schema_ptr(),
+        workload::StreamOptions{
+            .seed = 20260808,
+            .domain_size = 4000,
+            .zipf_s = 1.1,
+            .pattern = workload::TemporalPattern::kSlidingWindow,
+            .window = 20000});
+    engine.ApplyAll(gen->Take(150000));
+  } else {
+    // Pure-insert warm-up, then balanced churn (optionally with flash
+    // bursts): Zipfian hot values concentrate updates on a few
+    // subtrees, so the same roots are detached, rebuilt, and retired
+    // over and over.
     workload::StreamGenerator warm(q.value().schema_ptr(),
                                    {.seed = 20260807,
                                     .domain_size = 4000,
                                     .insert_ratio = 1.0,
                                     .zipf_s = 1.1});
     engine.ApplyAll(warm.Take(150000));
+    workload::StreamOptions gopts{.seed = 20260808,
+                                  .domain_size = 4000,
+                                  .insert_ratio = 0.5,
+                                  .zipf_s = 1.1};
+    if (pattern == "flash") {
+      gopts.pattern = workload::TemporalPattern::kFlashCrowd;
+      gopts.flash_period = 4096;
+      gopts.flash_len = 512;
+      gopts.flash_hot_values = 8;
+    }
+    gen = std::make_unique<workload::StreamGenerator>(
+        q.value().schema_ptr(), gopts);
   }
-  // Zipfian churn: hot values concentrate updates on a few subtrees, so
-  // the same roots are detached, rebuilt, and retired over and over.
-  workload::StreamGenerator gen(q.value().schema_ptr(),
-                                {.seed = 20260808,
-                                 .domain_size = 4000,
-                                 .insert_ratio = 0.5,
-                                 .zipf_s = 1.1});
   const std::size_t baseline_rss = CurrentRssBytes();
-  std::printf("warmed: count=%llu rss=%.1f MiB budget=%lds\n",
+  std::printf("warmed: count=%llu rss=%.1f MiB budget=%lds pattern=%s\n",
               static_cast<unsigned long long>(engine.Count()),
-              baseline_rss / (1024.0 * 1024.0), seconds);
+              baseline_rss / (1024.0 * 1024.0), seconds, pattern.c_str());
 
   struct Held {
     std::uint64_t epoch;
@@ -158,7 +188,7 @@ int main() {
     }
 
     // Churn through a rotating write path.
-    UpdateStream cmds = gen.Take(2000);
+    UpdateStream cmds = gen->Take(2000);
     switch (rounds % 3) {
       case 0:
         for (const UpdateCmd& cmd : cmds) engine.Apply(cmd);

@@ -1,6 +1,10 @@
 // Tests for relations, databases (active domain, updates), dictionary.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <thread>
+#include <vector>
+
 #include "cq/schema.h"
 #include "storage/database.h"
 #include "storage/dictionary.h"
@@ -227,6 +231,35 @@ TEST_F(DatabaseTest, ClearResets) {
   db.Clear();
   EXPECT_EQ(db.NumTuples(), 0u);
   EXPECT_EQ(db.ActiveDomainSize(), 0u);
+}
+
+TEST_F(DatabaseTest, ConcurrentAdomReadersOnStaleCounts) {
+  // Regression: the active-domain counts are rebuilt lazily on first
+  // read after a write. With one database shared by many engines
+  // (serve::QueryRegistry), several readers can hit the stale counts at
+  // once — the rebuild must be serialized (TSan-clean) and every reader
+  // must see the same answer.
+  Database db(schema_);
+  for (Value v = 1; v <= 200; ++v) {
+    db.Insert(0, {v, v + 1000});
+    db.Insert(1, {v});
+  }
+  // Writes only mark the counts stale; the rebuild happens below, in
+  // whichever reader thread takes the lock first.
+  std::vector<std::thread> readers;
+  std::array<std::size_t, 4> sizes{};
+  std::array<bool, 4> hits{};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    readers.emplace_back([&db, &sizes, &hits, i] {
+      sizes[i] = db.ActiveDomainSize();
+      hits[i] = db.InActiveDomain(1100) && !db.InActiveDomain(5000);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], 400u) << "reader " << i;
+    EXPECT_TRUE(hits[i]) << "reader " << i;
+  }
 }
 
 TEST(DictionaryTest, InternLookupSpell) {
