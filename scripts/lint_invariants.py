@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: one place for the conventions that keep the
+codebase analyzable but that neither the compiler nor clang-tidy checks.
+
+Rules (each with an explicit, reasoned allowlist):
+
+  raw-mutex        Concurrency primitives outside src/util/ must go
+                   through util::Mutex / util::MutexLock / util::CondVar
+                   (src/util/mutex.h) so every lock site carries Clang
+                   thread-safety annotations. A naked std::mutex is
+                   invisible to -Wthread-safety.
+  naked-new       src/core is pool-managed memory (core/item_pool.h):
+                   item blocks come from ItemPool, everything else from
+                   standard containers / smart pointers. A naked
+                   new/delete there is either a leak-in-waiting or an
+                   allocation the pool accounting can't see. Placement
+                   new is allowed (it constructs into pool memory).
+  result-api       Fallible public APIs in src/core and src/serve
+                   headers return util::Result<T> / Status, not bool —
+                   a bool loses the reason and invites unchecked calls.
+                   Boolean *answers* (Apply's "did it change", Answer,
+                   Contains) are not fallible and are out of scope: the
+                   rule keys on constructor-ish verb prefixes.
+  no-assert        DYNCQ_CHECK / DYNCQ_DCHECK (util/check.h), never
+                   assert(): checks must throw (the fault-injection
+                   tests catch them) and must not vanish under NDEBUG
+                   in release builds. static_assert is fine.
+  no-ambient-rng   rand()/srand()/time()/std::random_device make runs
+                   irreproducible. Workload generators (src/workload/)
+                   own seeded deterministic RNGs; everything else takes
+                   seeds or data as parameters.
+
+Usage:
+  python3 scripts/lint_invariants.py [--root DIR]
+
+Exits 0 when clean, 1 with one "path:line: [rule] message" per finding.
+tests/scripts/lint_invariants_selftest.py unit-tests every rule against
+inline pass/fail fixtures; CI and ctest run both (see CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Callable, NamedTuple
+
+
+class Violation(NamedTuple):
+    path: str  # repo-relative, '/'-separated
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+def strip_code(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so rule regexes only ever see code. (A lexer-shaped
+    regex pass, not a C++ parser — good enough for these rules.)"""
+
+    def blank(m: re.Match) -> str:
+        s = m.group(0)
+        if s.startswith("//"):
+            return ""
+        if s.startswith("/*"):
+            # Keep newlines so line numbers survive.
+            return "".join(c if c == "\n" else " " for c in s)
+        return '""' if s.startswith('"') else "' '"
+
+    pattern = re.compile(
+        r'//[^\n]*'
+        r'|/\*.*?\*/'
+        r'|"(?:[^"\\\n]|\\.)*"'
+        r"|'(?:[^'\\\n]|\\.)*'",
+        re.DOTALL,
+    )
+    return pattern.sub(blank, text)
+
+
+# ---------------------------------------------------------------- rules
+#
+# A rule is (name, applies(path) predicate, check(path, stripped_text)
+# generator of (line, message)). Paths are repo-relative POSIX strings.
+
+_RAW_MUTEX = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+
+# util/mutex.h IS the wrapper: the one place a std::mutex may live.
+RAW_MUTEX_ALLOWLIST = {
+    "src/util/mutex.h",
+}
+
+
+def check_raw_mutex(path: str, text: str):
+    if path in RAW_MUTEX_ALLOWLIST:
+        return
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _RAW_MUTEX.search(line):
+            yield (
+                lineno,
+                "raw std:: concurrency primitive; use util::Mutex / "
+                "util::MutexLock / util::CondVar (src/util/mutex.h) so the "
+                "lock site is visible to -Wthread-safety",
+            )
+
+
+# Non-placement `new` (placement new is `new (addr) T...`), any `delete`,
+# and the raw allocator calls.
+_NAKED_NEW = re.compile(r"\bnew\b(?!\s*\()")
+_NAKED_DELETE = re.compile(r"\bdelete\b")
+_OPERATOR_NEW_DELETE = re.compile(r"::operator\s+(?:new|delete)\b")
+
+# (path, regex that must match the offending line) -> why it is allowed.
+NAKED_NEW_ALLOWLIST = [
+    (
+        "src/core/item_pool.cc",
+        re.compile(r"::operator\s+(?:new|delete)"),
+        "the pool's own chunk allocator: this IS the managed allocation",
+    ),
+    (
+        "src/core/child_index.h",
+        re.compile(r"::operator\s+(?:new|delete)"),
+        "over-aligned heap table storage with explicit sized delete",
+    ),
+    (
+        "src/core/engine.cc",
+        re.compile(r"std::unique_ptr<Engine>\(new Engine\("),
+        "private-constructor factory; the unique_ptr takes ownership on "
+        "the same line",
+    ),
+]
+
+
+def check_naked_new(path: str, text: str):
+    if not path.startswith("src/core/"):
+        return
+    allow = [rx for p, rx, _ in NAKED_NEW_ALLOWLIST if p == path]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("#"):
+            continue  # preprocessor (e.g. `#include <new>`)
+        # Deleted special members are declarations, not deallocations.
+        line = re.sub(r"=\s*delete\b", "", line)
+        hit = (
+            _NAKED_NEW.search(line)
+            or _NAKED_DELETE.search(line)
+            or _OPERATOR_NEW_DELETE.search(line)
+        )
+        if not hit:
+            continue
+        if any(rx.search(line) for rx in allow):
+            continue
+        yield (
+            lineno,
+            "naked new/delete in src/core; item memory is pool-managed "
+            "(core/item_pool.h) — use the pool, a container, or a smart "
+            "pointer (or extend the allowlist with a reason)",
+        )
+
+
+# Verb prefixes that name fallible construction/acquisition. Boolean
+# answers (Apply, Answer, Contains, Is*/Has*) are deliberately absent.
+_FALLIBLE_BOOL = re.compile(
+    r"\bbool\s+(?:Create|Build|Make|Open|Load|Parse|Register|Capture|"
+    r"Pin|Unpin|Sync|Materialize)\w*\s*\("
+)
+
+RESULT_API_ALLOWLIST: list[tuple[str, re.Pattern]] = [
+    # (path, line regex) -> add entries here with a trailing comment
+    # explaining why bool is the right return type.
+]
+
+
+def check_result_api(path: str, text: str):
+    if not (
+        (path.startswith("src/core/") or path.startswith("src/serve/"))
+        and path.endswith(".h")
+    ):
+        return
+    allow = [rx for p, rx in RESULT_API_ALLOWLIST if p == path]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FALLIBLE_BOOL.search(line) and not any(
+            rx.search(line) for rx in allow
+        ):
+            yield (
+                lineno,
+                "fallible API returns bool; return util::Result<T> or "
+                "Status (util/result.h) so the failure carries its reason",
+            )
+
+
+_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+
+def check_no_assert(path: str, text: str):
+    del path
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _ASSERT.search(line):
+            yield (
+                lineno,
+                "assert() vanishes under NDEBUG; use DYNCQ_CHECK / "
+                "DYNCQ_DCHECK (util/check.h)",
+            )
+
+
+_AMBIENT_RNG = re.compile(
+    r"(?<![A-Za-z0-9_])(?:rand|srand|time)\s*\(|\bstd::random_device\b"
+)
+
+
+def check_no_ambient_rng(path: str, text: str):
+    if path.startswith("src/workload/"):
+        return  # generators own their (seeded, deterministic) RNGs
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _AMBIENT_RNG.search(line):
+            yield (
+                lineno,
+                "ambient nondeterminism (rand/srand/time/random_device); "
+                "take a seed or the data as a parameter instead",
+            )
+
+
+class Rule(NamedTuple):
+    name: str
+    check: Callable
+
+
+RULES = [
+    Rule("raw-mutex", check_raw_mutex),
+    Rule("naked-new", check_naked_new),
+    Rule("result-api", check_result_api),
+    Rule("no-assert", check_no_assert),
+    Rule("no-ambient-rng", check_no_ambient_rng),
+]
+
+
+def lint_text(path: str, raw_text: str) -> list[Violation]:
+    """Lints one file's contents; `path` must be repo-relative POSIX."""
+    text = strip_code(raw_text)
+    out = []
+    for rule in RULES:
+        for lineno, message in rule.check(path, text) or ():
+            out.append(Violation(path, lineno, rule.name, message))
+    return out
+
+
+def lint_tree(root: pathlib.Path) -> list[Violation]:
+    violations = []
+    for sub in ("src",):
+        for ext in ("*.h", "*.cc"):
+            for f in sorted((root / sub).rglob(ext)):
+                rel = f.relative_to(root).as_posix()
+                violations += lint_text(rel, f.read_text(encoding="utf-8"))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's grandparent)",
+    )
+    args = parser.parse_args(argv)
+
+    violations = lint_tree(args.root)
+    for v in sorted(violations):
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)")
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,9 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
@@ -11,6 +9,8 @@
 #include "cq/qtree.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dyncq::core {
 
@@ -28,50 +28,52 @@ class Engine::ShardPool {
   }
 
   ~ShardPool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    wake_.notify_all();
+    mu_.Lock();
+    stop_ = true;
+    mu_.Unlock();
+    wake_.NotifyAll();
     for (auto& t : threads_) t.join();
   }
 
   std::size_t size() const { return threads_.size(); }
 
   void Run(const std::function<void(std::size_t)>& fn) {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     fn_ = &fn;
     ++generation_;
     pending_ = threads_.size();
-    wake_.notify_all();
-    done_.wait(lock, [this] { return pending_ == 0; });
+    wake_.NotifyAll();
+    // Explicit condition loop (not a wait-predicate lambda): the
+    // analysis sees the guarded pending_ read under the held mu_.
+    while (pending_ != 0) done_.Wait(&mu_);
     fn_ = nullptr;
   }
 
  private:
   void Loop(std::size_t s) {
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mu_);
+    mu_.Lock();
     while (true) {
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      while (!stop_ && generation_ == seen) wake_.Wait(&mu_);
+      if (stop_) break;
       seen = generation_;
       const std::function<void(std::size_t)>* fn = fn_;
-      lock.unlock();
+      mu_.Unlock();
       (*fn)(s);
-      lock.lock();
-      if (--pending_ == 0) done_.notify_one();
+      mu_.Lock();
+      if (--pending_ == 0) done_.NotifyOne();
     }
+    mu_.Unlock();
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
+  util::Mutex mu_;
+  util::CondVar wake_;
+  util::CondVar done_;
   std::vector<std::thread> threads_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
+  const std::function<void(std::size_t)>* fn_ DYNCQ_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ DYNCQ_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ DYNCQ_GUARDED_BY(mu_) = 0;
+  bool stop_ DYNCQ_GUARDED_BY(mu_) = false;
 };
 
 // A pinned structural version: per component, the root fit-list anchors
@@ -89,7 +91,8 @@ class Engine::CoreVersion final : public EngineSnapshot {
 
   // Engine teardown with snapshot cursors still open: retire the
   // detached forests while the components (and their pools) are alive;
-  // the eventual destructor is then engine-independent.
+  // the eventual destructor is then engine-independent. Called by
+  // ClearSnapshotRegistry under snap_mu_.
   void OnEngineTeardown() override { Release(); }
 
   std::vector<ComponentSnapshot>& comps() { return comps_; }
@@ -98,6 +101,12 @@ class Engine::CoreVersion final : public EngineSnapshot {
  private:
   void Release() {
     if (engine_ == nullptr) return;
+    // Every destruction path arrives with the engine's snapshot
+    // registry lock held (registry erasure, cursor unregistration, and
+    // teardown all lock before dropping their reference), but the
+    // REQUIRES contract cannot flow through std::map / shared_ptr
+    // internals or virtual dispatch — assert the capability instead.
+    engine_->snap_mu_.AssertHeld();
     if (engine_->armed_version_ == this) {
       // Dying before any write forked us off: disarm the write path.
       engine_->armed_version_ = nullptr;
@@ -291,7 +300,7 @@ void Engine::ApplySharedDeltas(const PendingDelta* deltas, std::size_t n) {
 
 void Engine::ForkIfPinned() {
   if (!fork_armed_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(snapshot_mutex());
+  util::MutexLock lock(&snap_mu_);
   CoreVersion* v = armed_version_;
   if (v == nullptr) return;  // the armed version died since the gate
   // Freeze the version: detach each component's forest into it (item
@@ -363,6 +372,10 @@ std::size_t Engine::RetiredBlocks() const {
 
 Result<std::shared_ptr<EngineSnapshot>> Engine::CaptureSnapshot() {
   using R = Result<std::shared_ptr<EngineSnapshot>>;
+  // Only PinEpoch calls this, under snap_mu_ (the base declaration says
+  // DYNCQ_REQUIRES(snap_mu_)); attributes don't transfer to overrides,
+  // so re-establish the capability for the armed_version_ writes below.
+  snap_mu_.AssertHeld();
   DYNCQ_ALLOC_FAILPOINT();
   if (sharded_batch_open_) {
     return R::Error(

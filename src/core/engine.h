@@ -18,6 +18,7 @@
 #include "storage/database.h"
 #include "util/rel_map.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace dyncq::core {
 
@@ -183,6 +184,9 @@ class Engine final : public DynamicQueryEngine {
   /// O(1) snapshot capture: records each component's root fit-list
   /// anchors and arms the write path to fork the version off before the
   /// next mutation. Invoked by PinEpoch with the snapshot mutex held.
+  /// (The REQUIRES contract lives on the base declaration — attributes
+  /// are not inherited by overrides, so the body re-establishes the
+  /// capability with snap_mu_.AssertHeld().)
   Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot() override;
 
   /// Builds constant-delay cursors over a pinned version's (possibly
@@ -250,12 +254,18 @@ class Engine final : public DynamicQueryEngine {
 
   // Snapshot fork state. fork_armed_ is the write path's lock-free fast
   // gate; it may be cleared from a reader thread (the armed version's
-  // last reference dropped), hence atomic. armed_version_ is guarded by
-  // snapshot_mutex(): the at-most-one registered version whose epoch is
-  // current and whose forests are still the live ones.
+  // last reference dropped), hence atomic and deliberately unguarded.
+  // armed_version_ is the at-most-one registered version whose epoch is
+  // current and whose forests are still the live ones; the GUARDED_BY
+  // makes the write path prove it holds the snapshot registry lock
+  // before dereferencing a pointer a reader thread may disarm.
   std::atomic<bool> fork_armed_{false};
-  CoreVersion* armed_version_ = nullptr;  // guarded by snapshot_mutex()
-  bool sharded_batch_open_ = false;       // writer thread only
+  CoreVersion* armed_version_ DYNCQ_GUARDED_BY(snap_mu_) = nullptr;
+  // Writer-thread-only (set transiently inside a sharded ApplyBatch;
+  // pins are externally synchronized with writes, so CaptureSnapshot —
+  // which runs under snap_mu_ on the writer's call stack — reads it
+  // race-free). Not a lock contract, hence no annotation: TSan owns it.
+  bool sharded_batch_open_ = false;
 };
 
 }  // namespace dyncq::core

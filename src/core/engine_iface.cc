@@ -79,7 +79,7 @@ class SnapshotCursor final : public Cursor {
 Result<std::uint64_t> DynamicQueryEngine::PinEpoch() {
   using R = Result<std::uint64_t>;
   const std::uint64_t epoch = revision().value;
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   auto it = snaps_.find(epoch);
   if (it != snaps_.end()) {
     if (it->second.pins >= pin_limit_) {
@@ -91,24 +91,25 @@ Result<std::uint64_t> DynamicQueryEngine::PinEpoch() {
     return epoch;
   }
   // First pin of this epoch: capture. A failed capture (typed error or
-  // thrown bad_alloc) registers nothing — no epoch leaks.
-  Result<std::shared_ptr<EngineSnapshot>> snap = [&] {
-    try {
-      return CaptureSnapshot();
-    } catch (const std::bad_alloc&) {
-      return Result<std::shared_ptr<EngineSnapshot>>::Error(
-          "PinEpoch: allocation failed while capturing the snapshot");
-    }
-  }();
-  if (!snap.ok()) return snap.status();
-  SnapEntry& entry = snaps_[epoch];
-  entry.pins = 1;
-  entry.snap = std::move(snap.value());
-  return epoch;
+  // thrown bad_alloc, from the capture or the registry insertion)
+  // registers nothing — no epoch leaks. Plain try/catch rather than an
+  // immediately-invoked lambda: a lambda body is analyzed as a separate
+  // function, which would hide the held snap_mu_ from the
+  // DYNCQ_REQUIRES check on CaptureSnapshot.
+  try {
+    Result<std::shared_ptr<EngineSnapshot>> snap = CaptureSnapshot();
+    if (!snap.ok()) return snap.status();
+    SnapEntry& entry = snaps_[epoch];
+    entry.pins = 1;
+    entry.snap = std::move(snap.value());
+    return epoch;
+  } catch (const std::bad_alloc&) {
+    return R::Error("PinEpoch: allocation failed while capturing the snapshot");
+  }
 }
 
 Status DynamicQueryEngine::UnpinEpoch(std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   auto it = snaps_.find(epoch);
   if (it == snaps_.end() || it->second.pins == 0) {
     return Status::Error("UnpinEpoch: epoch " + std::to_string(epoch) +
@@ -125,7 +126,7 @@ Result<std::unique_ptr<Cursor>> DynamicQueryEngine::NewSnapshotCursor(
   using R = Result<std::unique_ptr<Cursor>>;
   std::shared_ptr<EngineSnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    util::MutexLock lock(&snap_mu_);
     auto it = snaps_.find(epoch);
     if (it == snaps_.end()) {
       return R::Error("NewSnapshotCursor: epoch " + std::to_string(epoch) +
@@ -145,7 +146,7 @@ Result<std::unique_ptr<Cursor>> DynamicQueryEngine::NewSnapshotCursor(
 
 void DynamicQueryEngine::ReleaseSnapshotCursorRef(
     std::uint64_t epoch, std::shared_ptr<EngineSnapshot> snap) {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   auto it = snaps_.find(epoch);
   if (it != snaps_.end() && it->second.cursor_refs > 0) {
     if (--it->second.cursor_refs == 0 && it->second.pins == 0) {
@@ -156,12 +157,12 @@ void DynamicQueryEngine::ReleaseSnapshotCursorRef(
 }
 
 std::size_t DynamicQueryEngine::num_pinned_epochs() const {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   return snaps_.size();
 }
 
 Status DynamicQueryEngine::DropAllSnapshots() {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   if (!snaps_.empty()) {
     std::size_t pins = 0, cursors = 0;
     for (const auto& [epoch, entry] : snaps_) {
@@ -179,13 +180,13 @@ Status DynamicQueryEngine::DropAllSnapshots() {
 }
 
 std::uint64_t DynamicQueryEngine::OldestPinnedEpoch() const {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   if (snaps_.empty()) return ~std::uint64_t{0};
   return snaps_.begin()->first;  // std::map: ascending keys
 }
 
 void DynamicQueryEngine::ClearSnapshotRegistry() {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  util::MutexLock lock(&snap_mu_);
   for (auto& [epoch, entry] : snaps_) {
     if (entry.snap != nullptr) entry.snap->OnEngineTeardown();
   }

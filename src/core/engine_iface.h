@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,7 +24,9 @@
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/update.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace dyncq {
@@ -267,8 +268,14 @@ class DynamicQueryEngine {
   Status DropAllSnapshots();
 
   /// Lowers the per-epoch pin limit (tests exercise the overflow path
-  /// without 2^32 pins).
-  void SetPinLimitForTest(std::uint32_t limit) { pin_limit_ = limit; }
+  /// without 2^32 pins). Takes the snapshot mutex: PinEpoch reads the
+  /// limit under it, so an unguarded write here would race a concurrent
+  /// pin (a -Wthread-safety finding — the annotation sweep caught the
+  /// original lock-free write).
+  void SetPinLimitForTest(std::uint32_t limit) {
+    util::MutexLock lock(&snap_mu_);
+    pin_limit_ = limit;
+  }
 
   /// Revision of the maintained result; advanced by every effective
   /// update. All engines share this one counter type — cursors opened at
@@ -294,12 +301,14 @@ class DynamicQueryEngine {
   RevisionGuard NewGuard() const { return RevisionGuard{&rev_, rev_}; }
 
   /// Builds the snapshot payload for the current epoch. Invoked by
-  /// PinEpoch with the snapshot mutex held; a thrown std::bad_alloc is
-  /// converted into a typed error with no epoch registered. The default
-  /// is materialize-on-pin: drain a fresh cursor into a VectorSnapshot.
-  /// Engines with structural snapshots (core::Engine) override this to
-  /// an O(1) capture.
-  virtual Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot();
+  /// PinEpoch with the snapshot mutex held (the annotation makes the
+  /// contract compiler-checked for overrides too); a thrown
+  /// std::bad_alloc is converted into a typed error with no epoch
+  /// registered. The default is materialize-on-pin: drain a fresh
+  /// cursor into a VectorSnapshot. Engines with structural snapshots
+  /// (core::Engine) override this to an O(1) capture.
+  virtual Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot()
+      DYNCQ_REQUIRES(snap_mu_);
 
   /// Builds a cursor over a snapshot this engine previously captured.
   /// Invoked outside the snapshot mutex. The default enumerates a
@@ -311,7 +320,7 @@ class DynamicQueryEngine {
   /// the snapshot mutex) once no snapshot is registered. Default: the
   /// materialized vectors died with their registry entries — nothing to
   /// do.
-  virtual void ReclaimAllRetired() {}
+  virtual void ReclaimAllRetired() DYNCQ_REQUIRES(snap_mu_) {}
 
   /// Destroys every registered snapshot (calling OnEngineTeardown on
   /// each first, so versions referenced by still-open cursors become
@@ -323,12 +332,26 @@ class DynamicQueryEngine {
   /// The mutex guarding the snapshot registry. Derived engines guard
   /// their own snapshot bookkeeping (e.g. which version a write must
   /// fork) with the same mutex; CaptureSnapshot already runs under it.
-  std::mutex& snapshot_mutex() const { return snap_mu_; }
+  /// Annotated as an alias of snap_mu_, so locking through the accessor
+  /// satisfies DYNCQ_GUARDED_BY(snap_mu_) / DYNCQ_REQUIRES(snap_mu_).
+  /// (Returning a mutable Mutex& from a const method is the standard
+  /// shape for lock members — the mutex is synchronization state, not
+  /// logical state.)
+  util::Mutex& snapshot_mutex() const DYNCQ_RETURN_CAPABILITY(snap_mu_) {
+    return snap_mu_;
+  }
 
   /// Oldest epoch any registered snapshot still holds, or UINT64_MAX
   /// when none — everything retired at or before (oldest - 1) may be
   /// reclaimed. Takes the snapshot mutex.
   std::uint64_t OldestPinnedEpoch() const;
+
+  /// Guards the snapshot registry (snaps_, pin_limit_) and, in derived
+  /// engines, their fork bookkeeping (core::Engine::armed_version_).
+  /// Lock hierarchy: snap_mu_ may be held while taking an ItemPool's
+  /// retire_mu_ (version death retires its forest), never the reverse
+  /// — see docs/ARCHITECTURE.md, "Concurrency contracts".
+  mutable util::Mutex snap_mu_;
 
  private:
   friend class SnapshotCursor;
@@ -345,9 +368,8 @@ class DynamicQueryEngine {
                                 std::shared_ptr<EngineSnapshot> snap);
 
   std::uint64_t rev_ = 0;
-  mutable std::mutex snap_mu_;
-  std::map<std::uint64_t, SnapEntry> snaps_;  // guarded by snap_mu_
-  std::uint32_t pin_limit_ = 1u << 20;
+  std::map<std::uint64_t, SnapEntry> snaps_ DYNCQ_GUARDED_BY(snap_mu_);
+  std::uint32_t pin_limit_ DYNCQ_GUARDED_BY(snap_mu_) = 1u << 20;
 };
 
 /// Snapshot of a materialized result — the degradation every engine

@@ -114,13 +114,13 @@ void ItemPool::Retire(std::uint64_t epoch, const std::vector<Item*>& items) {
     }
     blocks.push_back(it);
   }
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  util::MutexLock lock(&retire_mu_);
   retired_.push_back(RetireList{epoch, std::move(blocks)});
   has_retired_.store(true, std::memory_order_relaxed);
 }
 
 void ItemPool::ReclaimThrough(std::uint64_t watermark) {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  util::MutexLock lock(&retire_mu_);
   std::size_t kept = 0;
   for (std::size_t i = 0; i < retired_.size(); ++i) {
     RetireList& rl = retired_[i];
@@ -140,7 +140,7 @@ void ItemPool::ReclaimThrough(std::uint64_t watermark) {
 }
 
 std::size_t ItemPool::retired_blocks() const {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  util::MutexLock lock(&retire_mu_);
   std::size_t n = 0;
   for (const RetireList& rl : retired_) n += rl.blocks.size();
   return n;

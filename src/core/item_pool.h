@@ -17,10 +17,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/item.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dyncq::core {
 
@@ -142,11 +143,20 @@ class ItemPool {
   std::vector<Stripe> stripes_;
 
   // Retire lists may be appended from a reader thread (last snapshot
-  // reference dropped) while the writer reclaims, hence the mutex; the
-  // atomic flag lets the write path skip the lock entirely when nothing
-  // is retired.
-  mutable std::mutex retire_mu_;
-  std::vector<RetireList> retired_;
+  // reference dropped) while the writer reclaims, hence the mutex.
+  // Lock hierarchy: retire_mu_ is a leaf — it is taken with the
+  // engine's snap_mu_ already held (version death under the snapshot
+  // registry lock retires its forest here) and never acquires anything
+  // itself. Alloc/Free/stripes_ stay unannotated on purpose: their
+  // safety argument is stripe ownership (one thread per stripe during a
+  // sharded batch), which is a TSan-checked protocol, not a lock.
+  mutable util::Mutex retire_mu_;
+  std::vector<RetireList> retired_ DYNCQ_GUARDED_BY(retire_mu_);
+  // Relaxed write-path gate, deliberately NOT guarded: the writer polls
+  // it lock-free before deciding to take retire_mu_ at all (see
+  // has_retired()). Readers set it under the mutex (Retire), so a
+  // relaxed false negative only defers reclamation to the next write —
+  // the contract the annotation sweep documents rather than forbids.
   std::atomic<bool> has_retired_{false};
 
   static constexpr std::size_t kItemsPerChunk = 64;

@@ -22,6 +22,7 @@ QueryRegistry::~QueryRegistry() = default;
 
 Result<QueryHandle> QueryRegistry::Register(const Query& q) {
   using R = Result<QueryHandle>;
+  util::MutexLock lock(&mu_);
   if (q.schema_ptr().get() != schema_.get() &&
       !q.schema().IsPrefixOf(*schema_)) {
     return R::Error(
@@ -135,6 +136,7 @@ void QueryRegistry::RemovePostings(Entry* e) {
 }
 
 void QueryRegistry::Unregister(Entry* e) {
+  util::MutexLock lock(&mu_);
   DYNCQ_CHECK(e->refs > 0);
   --e->refs;
   --registered_;
@@ -144,6 +146,7 @@ void QueryRegistry::Unregister(Entry* e) {
 }
 
 bool QueryRegistry::ApplyDelta(const UpdateCmd& cmd) {
+  util::MutexLock lock(&mu_);
   DYNCQ_CHECK_MSG(cmd.rel < by_rel_.size(),
                   "ApplyDelta: relation id outside the registry schema");
   auto& subs = by_rel_[cmd.rel];
@@ -172,53 +175,55 @@ bool QueryRegistry::ApplyDelta(const UpdateCmd& cmd) {
   return true;
 }
 
+void QueryRegistry::ApplyOneLocked(const UpdateCmd& cmd, std::uint64_t stamp,
+                                   std::size_t* effective) {
+  DYNCQ_CHECK_MSG(cmd.rel < by_rel_.size(),
+                  "ApplyBatch: relation id outside the registry schema");
+  auto& subs = by_rel_[cmd.rel];
+  // Write prologue before the FIRST mutation of any relation an
+  // engine subscribes to: at that point the database still matches
+  // the engine's pre-batch structure (earlier commands in this batch
+  // touched only relations it does not read), so a pinned fork
+  // rebuilds the correct version. ForkIfPinned self-disarms, making
+  // repeats cheap, but the stamp also bounds bookkeeping to once per
+  // engine per batch.
+  for (Entry* e : subs) {
+    if (e->batch_stamp != stamp) {
+      e->batch_stamp = stamp;
+      e->pending.clear();
+      touched_.push_back(e);
+      if (e->shared != nullptr) e->shared->PrepareSharedWrite();
+    }
+  }
+  if (!db_.Apply(cmd)) return;  // no-op, absorbed
+  ++*effective;
+  ++stats_.deltas_applied;
+  for (Entry* e : subs) {
+    ++stats_.notifications;
+    if (e->shared != nullptr) {
+      // Queued for the engine's batch pipeline; borrows the caller's
+      // tuple storage, which outlives this call.
+      e->pending.push_back(core::PendingDelta{
+          cmd.rel, &cmd.tuple, cmd.kind == UpdateKind::kInsert});
+    } else {
+      e->engine->Apply(cmd);  // fallback: ordered per-command replay
+    }
+  }
+}
+
 std::size_t QueryRegistry::ApplyBatch(std::span<const UpdateCmd> cmds) {
+  util::MutexLock lock(&mu_);
   const std::uint64_t stamp = ++batch_seq_;
   touched_.clear();
   std::size_t effective = 0;
-
-  auto apply_one = [&](const UpdateCmd& cmd) {
-    DYNCQ_CHECK_MSG(cmd.rel < by_rel_.size(),
-                    "ApplyBatch: relation id outside the registry schema");
-    auto& subs = by_rel_[cmd.rel];
-    // Write prologue before the FIRST mutation of any relation an
-    // engine subscribes to: at that point the database still matches
-    // the engine's pre-batch structure (earlier commands in this batch
-    // touched only relations it does not read), so a pinned fork
-    // rebuilds the correct version. ForkIfPinned self-disarms, making
-    // repeats cheap, but the stamp also bounds bookkeeping to once per
-    // engine per batch.
-    for (Entry* e : subs) {
-      if (e->batch_stamp != stamp) {
-        e->batch_stamp = stamp;
-        e->pending.clear();
-        touched_.push_back(e);
-        if (e->shared != nullptr) e->shared->PrepareSharedWrite();
-      }
-    }
-    if (!db_.Apply(cmd)) return;  // no-op, absorbed
-    ++effective;
-    ++stats_.deltas_applied;
-    for (Entry* e : subs) {
-      ++stats_.notifications;
-      if (e->shared != nullptr) {
-        // Queued for the engine's batch pipeline; borrows the caller's
-        // tuple storage, which outlives this call.
-        e->pending.push_back(core::PendingDelta{
-            cmd.rel, &cmd.tuple, cmd.kind == UpdateKind::kInsert});
-      } else {
-        e->engine->Apply(cmd);  // fallback: ordered per-command replay
-      }
-    }
-  };
 
   // Same in-batch fold as the engines (storage/update.h): superseded
   // commands never reach storage or any subscriber, and the effective
   // count stays comparable with the single-session pipelines.
   if (folder_.Fold(cmds, &kept_)) {
-    for (std::uint32_t i : kept_) apply_one(cmds[i]);
+    for (std::uint32_t i : kept_) ApplyOneLocked(cmds[i], stamp, &effective);
   } else {
-    for (const UpdateCmd& cmd : cmds) apply_one(cmd);
+    for (const UpdateCmd& cmd : cmds) ApplyOneLocked(cmd, stamp, &effective);
   }
 
   for (Entry* e : touched_) {
@@ -231,6 +236,7 @@ std::size_t QueryRegistry::ApplyBatch(std::span<const UpdateCmd> cmds) {
 }
 
 std::size_t QueryRegistry::RetiredBlocks() const {
+  util::MutexLock lock(&mu_);
   std::size_t n = 0;
   for (const auto& [key, e] : entries_) {
     if (e->shared != nullptr) n += e->shared->RetiredBlocks();

@@ -29,7 +29,13 @@
 // Register/Unregister/ApplyDelta/ApplyBatch are writer-side and must be
 // externally synchronized; handle reads (Count/cursors/pinned
 // snapshots) follow the DynamicQueryEngine contract of the backing
-// engine. Handles must not outlive their registry.
+// engine. Handles must not outlive their registry. The registry mutex
+// `mu_` makes that contract compiler-checkable (every access to the
+// routing/dedup state must hold it) and additionally makes the counter
+// introspection (NumRegistered/NumEngines/stats) safe against a
+// concurrent writer. Lock hierarchy: mu_ is held while driving engine
+// write prologues, which take each engine's snap_mu_ and then the item
+// pools' retire_mu_ — never the reverse.
 #ifndef DYNCQ_SERVE_QUERY_REGISTRY_H_
 #define DYNCQ_SERVE_QUERY_REGISTRY_H_
 
@@ -45,7 +51,9 @@
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/update.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace dyncq::serve {
 
@@ -111,11 +119,23 @@ class QueryRegistry {
   const Database& db() const { return db_; }
 
   /// Live registrations (handles not yet released).
-  std::size_t NumRegistered() const { return registered_; }
+  std::size_t NumRegistered() const {
+    util::MutexLock lock(&mu_);
+    return registered_;
+  }
   /// Distinct backing engines (== NumRegistered() when dedup is off or
   /// every shape is unique).
-  std::size_t NumEngines() const { return entries_.size(); }
-  const RegistryStats& stats() const { return stats_; }
+  std::size_t NumEngines() const {
+    util::MutexLock lock(&mu_);
+    return entries_.size();
+  }
+  /// Returned BY VALUE: the annotation sweep caught the previous
+  /// const-reference return — a reference into mutex-guarded state that
+  /// the caller would read after the lock (had there been one) dropped.
+  RegistryStats stats() const {
+    util::MutexLock lock(&mu_);
+    return stats_;
+  }
 
   /// Sum of RetiredBlocks() over shared-storage engines (leak checks).
   std::size_t RetiredBlocks() const;
@@ -144,21 +164,36 @@ class QueryRegistry {
   };
 
   void Unregister(Entry* e);
-  void AddPostings(Entry* e, const Query& maintained);
-  void RemovePostings(Entry* e);
+  void AddPostings(Entry* e, const Query& maintained) DYNCQ_REQUIRES(mu_);
+  void RemovePostings(Entry* e) DYNCQ_REQUIRES(mu_);
+
+  /// One folded batch command: write prologues, the storage apply, and
+  /// per-subscriber queueing. A member function rather than ApplyBatch's
+  /// old local lambda — a lambda body is analyzed as its own function,
+  /// which would hide the held mu_ from the guarded accesses inside.
+  void ApplyOneLocked(const UpdateCmd& cmd, std::uint64_t stamp,
+                      std::size_t* effective) DYNCQ_REQUIRES(mu_);
 
   std::shared_ptr<const Schema> schema_;
   RegistryOptions opts_;
+  // Guards the routing/dedup state and the counters below. NOT db_:
+  // the shared database is read lock-free by the engines' read surface
+  // (cursors, Count), whose safety is the external reads-vs-writes
+  // synchronization of the engine contract, not a registry lock.
+  mutable util::Mutex mu_;
   Database db_;  // declared after schema_: engines rebuild from it last
-  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
-  std::vector<std::vector<Entry*>> by_rel_;  // RelId -> subscribers
-  std::size_t registered_ = 0;
-  std::uint64_t next_unique_ = 0;  // key source when dedup is off
-  std::uint64_t batch_seq_ = 0;
-  std::vector<Entry*> touched_;  // batch scratch
-  BatchFolder folder_;           // batch scratch
-  std::vector<std::uint32_t> kept_;
-  RegistryStats stats_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+      DYNCQ_GUARDED_BY(mu_);
+  std::vector<std::vector<Entry*>> by_rel_  // RelId -> subscribers
+      DYNCQ_GUARDED_BY(mu_);
+  std::size_t registered_ DYNCQ_GUARDED_BY(mu_) = 0;
+  // Key source when dedup is off.
+  std::uint64_t next_unique_ DYNCQ_GUARDED_BY(mu_) = 0;
+  std::uint64_t batch_seq_ DYNCQ_GUARDED_BY(mu_) = 0;
+  std::vector<Entry*> touched_ DYNCQ_GUARDED_BY(mu_);  // batch scratch
+  BatchFolder folder_ DYNCQ_GUARDED_BY(mu_);           // batch scratch
+  std::vector<std::uint32_t> kept_ DYNCQ_GUARDED_BY(mu_);
+  RegistryStats stats_ DYNCQ_GUARDED_BY(mu_);
 };
 
 /// A registered standing query: QuerySession-style read surface over

@@ -51,18 +51,19 @@ void Database::Reserve(RelId rel, std::size_t n) {
   r.Reserve(r.size() + n);
   // Each inserted tuple contributes arity() candidate constants to the
   // active domain.
-  adom_counts_.Reserve(adom_counts_.size() + n * r.arity());
+  util::MutexLock lock(&adom_->mu);
+  adom_->counts.Reserve(adom_->counts.size() + n * r.arity());
 }
 
 bool Database::Insert(RelId rel, const Tuple& t) {
   if (!relation(rel).Insert(t)) return false;
-  adom_stale_ = true;
+  adom_->stale.store(true, std::memory_order_relaxed);
   return true;
 }
 
 bool Database::Delete(RelId rel, const Tuple& t) {
   if (!relation(rel).Erase(t)) return false;
-  adom_stale_ = true;
+  adom_->stale.store(true, std::memory_order_relaxed);
   return true;
 }
 
@@ -82,25 +83,40 @@ std::size_t Database::SizeD() const {
 
 void Database::Clear() {
   for (Relation& r : relations_) r.Clear();
-  adom_counts_.Clear();
-  adom_stale_ = false;
+  util::MutexLock lock(&adom_->mu);
+  adom_->counts.Clear();
+  adom_->stale.store(false, std::memory_order_relaxed);
 }
 
-void Database::EnsureAdom() const {
+std::size_t Database::ActiveDomainSize() const {
+  // The lock covers both the rebuild and the read: dropping it between
+  // the two would let a concurrent reader's rebuild (after a writer
+  // re-staled the counts) rehash the map under this reader's feet.
+  util::MutexLock lock(&adom_->mu);
+  EnsureAdomLocked();
+  return adom_->counts.size();
+}
+
+bool Database::InActiveDomain(Value v) const {
+  util::MutexLock lock(&adom_->mu);
+  EnsureAdomLocked();
+  return adom_->counts.Contains(v);
+}
+
+void Database::EnsureAdomLocked() const {
   // Two reader threads may both find the counts stale (e.g. two engines
   // sharing this database each sizing a bulk load from |adom|); without
-  // the lock both would rebuild the mutable map concurrently — a data
-  // race in a const method. Writers don't take the lock: updates are
-  // externally synchronized against reads and only set adom_stale_.
-  std::lock_guard<std::mutex> lock(*adom_mu_);
-  if (!adom_stale_) return;
-  adom_counts_.Clear();
+  // the lock both would rebuild the map concurrently — a data race in a
+  // const method. Writers don't take the lock: updates are externally
+  // synchronized against reads and only set the relaxed stale flag.
+  if (!adom_->stale.load(std::memory_order_relaxed)) return;
+  adom_->counts.Clear();
   for (const Relation& r : relations_) {
     for (const Tuple& t : r) {
-      for (Value v : t) ++adom_counts_.FindOrInsert(v);
+      for (Value v : t) ++adom_->counts.FindOrInsert(v);
     }
   }
-  adom_stale_ = false;
+  adom_->stale.store(false, std::memory_order_relaxed);
 }
 
 std::string Database::ToString() const {

@@ -3,9 +3,9 @@
 #ifndef DYNCQ_STORAGE_DATABASE_H_
 #define DYNCQ_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +13,9 @@
 #include "storage/relation.h"
 #include "storage/update.h"
 #include "util/hash.h"
+#include "util/mutex.h"
 #include "util/open_hash_map.h"
+#include "util/thread_annotations.h"
 
 namespace dyncq {
 
@@ -76,39 +78,48 @@ class Database {
   /// Maintained lazily: updates only mark the cached reference counts
   /// stale (keeping per-update hash work off the streaming hot path) and
   /// the first adom query after a change rebuilds them in O(||D||).
-  /// Safe for concurrent READERS (the rebuild is serialized internally;
-  /// see EnsureAdom) — multiple engines sharing one database may size
-  /// their preprocessing from |adom| at once. Writes still require the
-  /// usual external synchronization against reads.
-  std::size_t ActiveDomainSize() const {
-    EnsureAdom();
-    return adom_counts_.size();
-  }
+  /// Safe for concurrent READERS (rebuild and read both run under the
+  /// adom mutex; see EnsureAdomLocked) — multiple engines sharing one
+  /// database may size their preprocessing from |adom| at once. Writes
+  /// still require the usual external synchronization against reads.
+  std::size_t ActiveDomainSize() const;
 
   /// True if `v` occurs somewhere in the database.
-  bool InActiveDomain(Value v) const {
-    EnsureAdom();
-    return adom_counts_.Contains(v);
-  }
+  bool InActiveDomain(Value v) const;
 
   void Clear();
 
   std::string ToString() const;
 
  private:
-  void EnsureAdom() const;
+  // Active-domain reference counts (value -> number of tuple positions
+  // holding it), rebuilt on demand — see ActiveDomainSize. The mutex
+  // serializes the const-method lazy rebuild between concurrent readers
+  // AND covers every read of the rebuilt map: the annotation sweep
+  // caught the previous shape (rebuild locked, the .size()/.Contains()
+  // read after it unlocked) as a read outside the capability. The whole
+  // state lives in one heap-held struct so Database stays movable and
+  // the GUARDED_BY names a member of the same struct (moves are
+  // externally synchronized like writes).
+  struct AdomState {
+    util::Mutex mu;
+    OpenHashMap<Value, std::uint64_t, U64Hash> counts DYNCQ_GUARDED_BY(mu);
+    // Write-path gate, deliberately NOT guarded: Insert/Delete are the
+    // engine's per-update hot path (E5-gated at tens of ns) and must not
+    // take a mutex — they flip this flag with a relaxed store. Writers
+    // are externally synchronized against adom readers, so the only
+    // concurrency on the flag is reader-vs-reader under `mu`, where
+    // relaxed loads suffice.
+    std::atomic<bool> stale{false};
+  };
+
+  /// Rebuilds `adom_->counts` if stale. Callers keep holding the lock
+  /// across their subsequent read of the map.
+  void EnsureAdomLocked() const DYNCQ_REQUIRES(adom_->mu);
 
   const Schema& schema_;
   std::vector<Relation> relations_;
-  // Reference counts: value -> number of tuple positions holding it.
-  // Rebuilt on demand (see ActiveDomainSize). The mutex serializes the
-  // const-method lazy rebuild between concurrent readers; writers only
-  // flip adom_stale_ and are externally synchronized against reads.
-  // Heap-held so Database stays movable (moves are externally
-  // synchronized like writes).
-  std::unique_ptr<std::mutex> adom_mu_ = std::make_unique<std::mutex>();
-  mutable OpenHashMap<Value, std::uint64_t, U64Hash> adom_counts_;
-  mutable bool adom_stale_ = false;
+  std::unique_ptr<AdomState> adom_ = std::make_unique<AdomState>();
 };
 
 }  // namespace dyncq

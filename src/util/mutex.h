@@ -1,0 +1,97 @@
+// Annotated mutual-exclusion primitives.
+//
+// Every mutex in src/ goes through these wrappers (enforced by
+// scripts/lint_invariants.py): util::Mutex carries Clang's capability
+// attribute, so state declared DYNCQ_GUARDED_BY(mu_) is rejected at
+// compile time when accessed without the lock — the locking contracts
+// that used to live in comments become -Werror=thread-safety findings.
+// Under GCC the attributes are no-ops and Mutex is a thin std::mutex.
+//
+// Condition variables: CondVar::Wait deliberately takes no predicate
+// lambda. A lambda body is analyzed as its own function, so guarded
+// reads inside `cv.wait(lock, [&]{ return guarded_; })` would be flagged
+// as unlocked even though the wait holds the mutex. Write the standard
+// explicit loop instead — the analysis sees the guarded reads under the
+// held capability:
+//
+//   mu_.Lock();
+//   while (!ready_) cv_.Wait(&mu_);   // ready_ DYNCQ_GUARDED_BY(mu_)
+//   ...
+//   mu_.Unlock();
+#ifndef DYNCQ_UTIL_MUTEX_H_
+#define DYNCQ_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace dyncq::util {
+
+class DYNCQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DYNCQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() DYNCQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() DYNCQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this mutex is held here without acquiring it —
+  /// for bodies the REQUIRES contract can't reach syntactically (virtual
+  /// overrides called under the lock, destructors reached through
+  /// type-erased std:: internals). Each use must cite which caller holds
+  /// the lock; it is a documented assumption, not a check.
+  void AssertHeld() const DYNCQ_ASSERT_CAPABILITY(this) {}
+
+  // BasicLockable spelling, so CondVar (condition_variable_any) can
+  // release/reacquire the mutex itself — no naked std::unique_lock at
+  // call sites, and scoped waits keep their annotations.
+  void lock() DYNCQ_ACQUIRE() { mu_.lock(); }
+  void unlock() DYNCQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock (the std::lock_guard of the annotated world). Declared as a
+/// scoped capability: construction acquires `*mu`, destruction releases.
+class DYNCQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DYNCQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DYNCQ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable over util::Mutex. Wait atomically releases the
+/// mutex and reacquires it before returning; spurious wakeups are
+/// possible, so callers loop on their (guarded) condition as shown in
+/// the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) DYNCQ_REQUIRES(mu) { cv_.wait(*mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any: waits on the annotated Mutex directly
+  // (BasicLockable), so no unannotated std::unique_lock leaks into the
+  // call sites. The slight size cost over std::condition_variable only
+  // matters on park/wake paths, never per-update.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dyncq::util
+
+#endif  // DYNCQ_UTIL_MUTEX_H_

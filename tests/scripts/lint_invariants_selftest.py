@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/lint_invariants.py: every rule is exercised
+with at least one fixture that must FIRE and one that must PASS,
+including the comment/string stripping and each allowlist entry.
+
+Run directly (python3 tests/scripts/lint_invariants_selftest.py) or via
+ctest (target lint_invariants_selftest).
+"""
+
+import importlib.util
+import pathlib
+import sys
+import unittest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "scripts"
+    / "lint_invariants.py"
+)
+_spec = importlib.util.spec_from_file_location("lint_invariants", _SCRIPT)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def rules_hit(path: str, text: str) -> set:
+    return {v.rule for v in lint.lint_text(path, text)}
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_line_comment_removed(self):
+        self.assertNotIn("std::mutex", lint.strip_code("int x; // std::mutex"))
+
+    def test_block_comment_keeps_line_numbers(self):
+        text = "a\n/* std::mutex\nspans lines */\nb"
+        stripped = lint.strip_code(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("mutex", stripped)
+
+    def test_string_literal_blanked(self):
+        out = lint.strip_code('Error("delete walk hit a missing item");')
+        self.assertNotIn("delete", out)
+
+    def test_code_survives(self):
+        self.assertIn("std::mutex mu_;", lint.strip_code("std::mutex mu_;"))
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_fires_on_raw_mutex(self):
+        for snippet in (
+            "std::mutex mu_;",
+            "std::lock_guard<std::mutex> lock(mu_);",
+            "std::unique_lock<std::mutex> lk(mu_);",
+            "std::condition_variable cv_;",
+            "std::condition_variable_any cv_;",
+            "std::shared_mutex smu_;",
+        ):
+            self.assertIn(
+                "raw-mutex", rules_hit("src/core/foo.h", snippet), snippet
+            )
+
+    def test_passes_on_wrapper_use(self):
+        self.assertEqual(
+            set(), rules_hit("src/core/foo.cc", "util::MutexLock l(&mu_);")
+        )
+
+    def test_allowlisted_in_wrapper_header(self):
+        self.assertEqual(
+            set(), rules_hit("src/util/mutex.h", "std::mutex mu_;")
+        )
+
+    def test_commented_mention_passes(self):
+        self.assertEqual(
+            set(), rules_hit("src/core/foo.h", "// like std::mutex but annotated")
+        )
+
+
+class NakedNewTest(unittest.TestCase):
+    def test_fires_in_core(self):
+        self.assertIn(
+            "naked-new", rules_hit("src/core/foo.cc", "Item* it = new Item;")
+        )
+        self.assertIn(
+            "naked-new", rules_hit("src/core/foo.cc", "delete it;")
+        )
+        self.assertIn(
+            "naked-new",
+            rules_hit("src/core/foo.cc", "void* p = ::operator new(64);"),
+        )
+
+    def test_placement_new_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit("src/core/foo.cc", "new (slots + c) ChildSlot();"),
+        )
+
+    def test_deleted_member_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit("src/core/foo.h", "Foo(const Foo&) = delete;"),
+        )
+
+    def test_include_new_header_passes(self):
+        self.assertEqual(set(), rules_hit("src/core/foo.cc", "#include <new>"))
+
+    def test_outside_core_not_scanned(self):
+        self.assertEqual(
+            set(), rules_hit("src/util/foo.cc", "int* p = new int;")
+        )
+
+    def test_allowlist_pool_chunk_allocator(self):
+        self.assertEqual(
+            set(),
+            rules_hit(
+                "src/core/item_pool.cc",
+                "char* mem = static_cast<char*>(::operator new(bs * k));",
+            ),
+        )
+
+    def test_allowlist_private_ctor_factory(self):
+        self.assertEqual(
+            set(),
+            rules_hit(
+                "src/core/engine.cc",
+                "auto engine = std::unique_ptr<Engine>(new Engine(q, shared));",
+            ),
+        )
+
+    def test_allowlist_is_per_file(self):
+        # The same line outside its allowlisted file must still fire.
+        self.assertIn(
+            "naked-new",
+            rules_hit(
+                "src/core/other.cc",
+                "char* mem = static_cast<char*>(::operator new(bs * k));",
+            ),
+        )
+
+
+class ResultApiTest(unittest.TestCase):
+    def test_fires_on_fallible_bool(self):
+        for snippet in (
+            "bool CreateEngine(const Query& q);",
+            "static bool ParseQuery(const std::string& s, Query* out);",
+            "bool RegisterQuery(const Query& q);",
+        ):
+            self.assertIn(
+                "result-api", rules_hit("src/core/foo.h", snippet), snippet
+            )
+            self.assertIn(
+                "result-api", rules_hit("src/serve/foo.h", snippet), snippet
+            )
+
+    def test_boolean_answers_pass(self):
+        for snippet in (
+            "bool Apply(const UpdateCmd& cmd) override;",
+            "bool Answer() override;",
+            "bool Contains(Value v) const;",
+            "bool IsQHierarchical(const Query& q);",
+        ):
+            self.assertEqual(
+                set(), rules_hit("src/core/foo.h", snippet), snippet
+            )
+
+    def test_result_return_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit(
+                "src/core/foo.h",
+                "static Result<std::unique_ptr<Engine>> Create(const Query&);",
+            ),
+        )
+
+    def test_only_core_and_serve_headers(self):
+        snippet = "bool CreateThing();"
+        self.assertEqual(set(), rules_hit("src/util/foo.h", snippet))
+        self.assertEqual(set(), rules_hit("src/core/foo.cc", snippet))
+
+
+class NoAssertTest(unittest.TestCase):
+    def test_fires_on_assert(self):
+        self.assertIn(
+            "no-assert", rules_hit("src/core/foo.cc", "assert(x > 0);")
+        )
+
+    def test_static_assert_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit("src/core/foo.h", "static_assert(sizeof(T) == 8);"),
+        )
+
+    def test_check_macro_passes(self):
+        self.assertEqual(
+            set(), rules_hit("src/core/foo.cc", "DYNCQ_CHECK(x > 0);")
+        )
+
+
+class NoAmbientRngTest(unittest.TestCase):
+    def test_fires_on_ambient_sources(self):
+        for snippet in (
+            "int r = rand();",
+            "srand(42);",
+            "std::time_t t = time(nullptr);",
+            "std::random_device rd;",
+        ):
+            self.assertIn(
+                "no-ambient-rng",
+                rules_hit("src/core/foo.cc", snippet),
+                snippet,
+            )
+
+    def test_workload_generators_allowed(self):
+        self.assertEqual(
+            set(), rules_hit("src/workload/gen.cc", "std::random_device rd;")
+        )
+
+    def test_seeded_rng_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit("src/core/foo.cc", "SplitMix64 rng(seed);"),
+        )
+
+    def test_identifier_suffix_passes(self):
+        # runtime(...) / updatetime(...) must not match `time(`.
+        self.assertEqual(
+            set(), rules_hit("src/core/foo.cc", "double t = runtime(x);")
+        )
+
+
+class TreeTest(unittest.TestCase):
+    def test_in_tree_src_is_clean(self):
+        root = _SCRIPT.parent.parent
+        violations = lint.lint_tree(root)
+        self.assertEqual(
+            [], violations, "\n".join(str(v) for v in violations)
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

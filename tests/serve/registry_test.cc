@@ -367,6 +367,25 @@ TEST(RegistryTest, StatsCountOnlyAffectedSubscribers) {
   EXPECT_EQ(reg.stats().notifications, expected_notifications);
 }
 
+TEST(RegistryTest, StatsReturnsASnapshotNotALiveReference) {
+  // stats() returns by value: the counters are mutex-guarded, and the
+  // old const-reference return handed callers a pointer into guarded
+  // state they could read while a writer advanced it. A held snapshot
+  // must therefore stay frozen as the registry moves on.
+  Query q = Parse("Q(x) :- R(x, y).");
+  QueryRegistry reg(q.schema_ptr());
+  auto h = reg.Register(q);
+  ASSERT_TRUE(h.ok()) << h.error();
+
+  ASSERT_TRUE(reg.ApplyDelta(UpdateCmd::Insert(0, {1, 2})));
+  const RegistryStats snap = reg.stats();
+  EXPECT_EQ(snap.deltas_applied, 1u);
+
+  ASSERT_TRUE(reg.ApplyDelta(UpdateCmd::Insert(0, {3, 4})));
+  EXPECT_EQ(snap.deltas_applied, 1u);  // the snapshot is frozen
+  EXPECT_EQ(reg.stats().deltas_applied, 2u);
+}
+
 TEST(RegistryTest, SlidingWindowAndFlashCrowdStreams) {
   // The new temporal patterns drive the registry differential too —
   // windows exercise delete-heavy steady state, flash crowds hammer one

@@ -1,0 +1,13 @@
+// negcompile: acquiring a capability already held must be rejected by
+// -Werror=thread-safety (the analysis tracks the lockset through
+// Lock/Unlock pairs).
+#include "util/mutex.h"
+
+int main() {
+  dyncq::util::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // BAD: already held
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// negcompile: writing a DYNCQ_GUARDED_BY member without holding its
+// mutex must be rejected by -Werror=thread-safety.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++n_; }  // BAD: no lock held
+
+ private:
+  dyncq::util::Mutex mu_;
+  int n_ DYNCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// negcompile: calling a DYNCQ_REQUIRES function without the capability
+// must be rejected by -Werror=thread-safety.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Widget {
+ public:
+  void MutateLocked() DYNCQ_REQUIRES(mu_) { ++n_; }
+  void Mutate() { MutateLocked(); }  // BAD: mu_ not held at the call
+
+ private:
+  dyncq::util::Mutex mu_;
+  int n_ DYNCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.Mutate();
+  return 0;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the thread-safety annotations.
+
+Proves the analysis actually FIRES: each bad-*.cc case must fail to
+compile under Clang's -Werror=thread-safety with a thread-safety
+diagnostic, and the control case must compile clean. Annotations that
+silently stopped applying (a broken macro, a wrapper regression) turn
+every contract in src/ into dead comments — this is the test that
+notices.
+
+The analysis only exists in Clang. Under any other compiler the cases
+are skipped with exit 77 (ctest SKIP_RETURN_CODE): the annotations are
+no-op macros there, so there is nothing to prove. CI's static-analysis
+job provides the Clang run.
+
+Usage:
+  run_negcompile.py --compiler <cxx> --src <repo>/src \
+      --case <file.cc> --expect fail|pass
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+SKIP = 77
+
+
+def compiler_is_clang(cxx: str) -> bool:
+    try:
+        out = subprocess.run(
+            [cxx, "--version"], capture_output=True, text=True, timeout=60
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return "clang" in (out.stdout + out.stderr).lower()
+
+
+def main() -> int:
+    p = argparse.ArgumentParser()
+    p.add_argument("--compiler", required=True)
+    p.add_argument("--src", required=True, help="the repo's src/ include dir")
+    p.add_argument("--case", dest="case_file", required=True)
+    p.add_argument("--expect", choices=("fail", "pass"), required=True)
+    args = p.parse_args()
+
+    if not compiler_is_clang(args.compiler):
+        print(
+            f"SKIP: {args.compiler} is not Clang; the thread-safety "
+            "analysis (and these cases) need it"
+        )
+        return SKIP
+
+    case = pathlib.Path(args.case_file)
+    cmd = [
+        args.compiler,
+        "-fsyntax-only",
+        "-std=gnu++20",
+        "-Wthread-safety",
+        "-Werror=thread-safety",
+        f"-I{args.src}",
+        str(case),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    stderr = proc.stderr
+
+    if args.expect == "pass":
+        if proc.returncode == 0:
+            print(f"PASS: {case.name} compiled clean, as required")
+            return 0
+        print(f"FAIL: control case {case.name} did not compile:\n{stderr}")
+        return 1
+
+    # expect == "fail": must be rejected, and specifically by the
+    # thread-safety analysis (an unrelated syntax error would be a
+    # broken fixture, not a proof).
+    if proc.returncode != 0 and "thread-safety" in stderr:
+        print(f"PASS: {case.name} rejected by -Werror=thread-safety")
+        return 0
+    if proc.returncode == 0:
+        print(
+            f"FAIL: {case.name} compiled, but must be rejected — the "
+            "analysis is not firing"
+        )
+    else:
+        print(
+            f"FAIL: {case.name} failed for a reason other than "
+            f"thread-safety:\n{stderr}"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

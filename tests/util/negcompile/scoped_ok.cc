@@ -1,0 +1,48 @@
+// negcompile CONTROL: idiomatic annotated locking must compile CLEAN
+// under -Werror=thread-safety. If this case fails, the macros or the
+// wrapper are broken — and every "expected failure" in this directory
+// becomes meaningless, so the driver runs it first.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    dyncq::util::MutexLock lock(&mu_);
+    ++n_;
+  }
+
+  int Get() const {
+    dyncq::util::MutexLock lock(&mu_);
+    return n_;
+  }
+
+  void BumpManually() {
+    mu_.Lock();
+    ++n_;
+    mu_.Unlock();
+  }
+
+  void WaitNonZero() {
+    mu_.Lock();
+    while (n_ == 0) cv_.Wait(&mu_);
+    mu_.Unlock();
+  }
+
+ private:
+  mutable dyncq::util::Mutex mu_;
+  dyncq::util::CondVar cv_;
+  int n_ DYNCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  c.BumpManually();
+  c.WaitNonZero();
+  return c.Get() == 3 ? 0 : 1;
+}
