@@ -12,6 +12,7 @@
 
 #include "baseline/delta_ivm.h"
 #include "core/engine.h"
+#include "core/item_pool.h"
 #include "cq/parser.h"
 #include "storage/relation.h"
 #include "util/check.h"
@@ -291,6 +292,55 @@ void BM_EngineUpdateMultiLeafLegacy(benchmark::State& state) {
                  static_cast<std::size_t>(state.range(0)), 2);
 }
 BENCHMARK(BM_EngineUpdateMultiLeafLegacy)->Arg(4096)->Arg(65536);
+
+// ---------------------------------------------------------------------
+// Hive ItemPool micros: the allocator under the whole item forest.
+// Steady-state churn exercises the skipfield free-run alloc/free path
+// at a fixed live size; the reclaim sawtooth fills hundreds of blocks
+// and drains them, timing the fill+drain cycle whose cost includes
+// returning emptied blocks to the reuse pool (the delete-storm shape).
+// Registered report-only — see E12_POOL_MICROS in
+// scripts/check_bench_trajectory.py for the promotion path.
+// ---------------------------------------------------------------------
+
+void BM_ItemPoolChurn(benchmark::State& state) {
+  // One q-tree node shape, one tracked atom, one child slot.
+  core::ItemPool pool({1}, {1});
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ItemHandle> live;
+  live.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) live.push_back(pool.Alloc(0)->self);
+  Rng rng(7);
+  for (auto _ : state) {
+    // Free a random live slot and refill: erased runs form and collapse
+    // mid-block, the worst case for the skipfield bookkeeping.
+    const std::size_t pick = rng.Below(live.size());
+    pool.Free(pool.Resolve(live[pick]));
+    live[pick] = pool.Alloc(0)->self;
+  }
+}
+BENCHMARK(BM_ItemPoolChurn)->Arg(4096)->Arg(65536);
+
+void BM_PoolBlockReclaim(benchmark::State& state) {
+  core::ItemPool pool({1}, {1});
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ItemHandle> live;
+  live.reserve(n);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < n; ++k) {
+      live.push_back(pool.Alloc(0)->self);
+    }
+    for (const core::ItemHandle h : live) pool.Free(pool.Resolve(h));
+    live.clear();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * n));
+  // The number must measure a pool that actually reclaims: after the
+  // final drain, at most the kept-hot head block may remain active.
+  DYNCQ_CHECK(pool.GetStats().active_blocks <= 1);
+}
+BENCHMARK(BM_PoolBlockReclaim)->Arg(4096)->Arg(65536);
 
 void BM_EngineCount(benchmark::State& state) {
   Query q = Parse("Q(x) :- R(x, y), S(x, z).");

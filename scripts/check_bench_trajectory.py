@@ -43,16 +43,24 @@ DEFAULT_GATE = r"\.(single|batch)_ns_per_update$"
 # aggregates, so that step pairs the preset with a wider --max-regress.
 E12_RELATION_PROBE = r"^BM_RelationProbe(Hit|Miss|EraseInsert)/\d+$"
 
-# Registered report-only, promotion candidates for a later PR: the PR 5
-# structure micros (generalized leaf inlining + path compression vs the
-# legacy layout — BM_EngineUpdateChain3{Compressed,Legacy},
-# BM_EngineUpdateMultiLeaf{Strided,Legacy} at 4k/64k adom). Same
-# promotion path the relation probes followed: a gated metric needs a
-# committed same-host baseline to diff against, so they ride one PR
-# report-only; to promote, fold this pattern into the e12 preset below.
+# GATED since PR 9 (rode report-only from PR 5 while the committed
+# baseline aged — the same promotion path the relation probes took):
+# the structure micros (generalized leaf inlining + path compression vs
+# the legacy layout — BM_EngineUpdateChain3{Compressed,Legacy},
+# BM_EngineUpdateMultiLeaf{Strided,Legacy} at 4k/64k adom). Folded into
+# the e12 preset below; CI pairs that preset with --max-regress 0.5,
+# the micro-suite tolerance.
 E12_STRUCTURE_MICROS = (
     r"^BM_EngineUpdate(Chain3(Compressed|Legacy)"
     r"|MultiLeaf(Strided|Legacy))/\d+$")
+
+# Registered report-only with the PR 9 hive ItemPool: the allocator
+# micros (BM_ItemPoolChurn — skipfield alloc/free churn at fixed live
+# size; BM_PoolBlockReclaim — the fill+drain sawtooth including block
+# reclamation, reported per alloc/free op). Promotion path as above:
+# ride one PR report-only while the committed baseline ages, then fold
+# into the e12 preset.
+E12_POOL_MICROS = r"^BM_(ItemPoolChurn|PoolBlockReclaim)/\d+$"
 
 # Registered report-only in PR 6 alongside the snapshot-cursor work: the
 # E6 pinned-read delay (enum.n<k>.e6_snapshot_read_ns from
@@ -83,7 +91,7 @@ E14_REGISTRY = r"\.(ns_per_delta|ns_per_cmd)$"
 GATE_PRESETS = {
     "e5": DEFAULT_GATE,
     "e6": E6_SNAPSHOT_READ,
-    "e12": E12_RELATION_PROBE,
+    "e12": f"(?:{E12_RELATION_PROBE})|(?:{E12_STRUCTURE_MICROS})",
     "e14": E14_REGISTRY,
 }
 

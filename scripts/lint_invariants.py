@@ -29,6 +29,28 @@ Rules (each with an explicit, reasoned allowlist):
                    irreproducible. Workload generators (src/workload/)
                    own seeded deterministic RNGs; everything else takes
                    seeds or data as parameters.
+  include-hygiene  In-repo headers are included as `#include "dir/file.h"`,
+                   repo-relative from src/ — never with `../`/`./` path
+                   hops (they break when a file moves) and never with a
+                   bare same-directory name (ambiguous under -I). Angle
+                   brackets are reserved for system/third-party headers,
+                   so an angle include of a repo directory is a layering
+                   smell.
+  header-guard     Headers under src/ carry a named include guard
+                   DYNCQ_<PATH>_H_ (e.g. src/core/cursor.h ->
+                   DYNCQ_CORE_CURSOR_H_), not `#pragma once`: the name
+                   encodes the canonical path, so a stale copy or a
+                   wrong-directory include shows up as a guard mismatch
+                   here instead of silent double-inclusion weirdness.
+  stored-item-ptr  src/core headers must not declare stored `Item*`
+                   state — no pointer members, no containers of Item*.
+                   Items live in the hive ItemPool and are named by
+                   generation-checked ItemHandles (core/handle.h);
+                   a stored raw pointer dodges the generation check and
+                   resurrects the use-after-free class the handles
+                   exist to kill. Transient locals in .cc files are out
+                   of scope (they are resolved from a handle and die
+                   within the call).
 
 Usage:
   python3 scripts/lint_invariants.py [--root DIR]
@@ -223,9 +245,137 @@ def check_no_ambient_rng(path: str, text: str):
             )
 
 
+_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+_REPO_DIRS = (
+    "baseline/", "core/", "cq/", "omv/", "serve/", "storage/", "ucq/",
+    "util/", "workload/",
+)
+
+
+def check_include_hygiene(path: str, text: str):
+    # Runs on RAW text (see Rule.raw): strip_code blanks string literals,
+    # which would erase the quoted include path. The line-anchored regex
+    # keeps commented-out includes from matching.
+    del path
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _INCLUDE.match(line)
+        if not m:
+            continue
+        quote, target = m.group(1), m.group(2)
+        if quote == '"':
+            if target.startswith(("./", "../")):
+                yield (
+                    lineno,
+                    f'relative include "{target}"; in-repo includes are '
+                    "repo-relative from src/ (e.g. \"core/engine.h\")",
+                )
+            elif "/" not in target:
+                yield (
+                    lineno,
+                    f'bare same-directory include "{target}"; spell the '
+                    "repo-relative path from src/ so the dependency is "
+                    "explicit",
+                )
+        elif target.startswith(_REPO_DIRS):
+            yield (
+                lineno,
+                f"angle-bracket include <{target}> of a repo header; use "
+                'quotes ("...") — angle brackets are for system headers',
+            )
+
+
+def _expected_guard(path: str) -> str:
+    # src/core/cursor.h -> DYNCQ_CORE_CURSOR_H_
+    rel = path[len("src/"):] if path.startswith("src/") else path
+    return "DYNCQ_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper() + "_"
+
+
+_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+_IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+
+
+def check_header_guard(path: str, text: str):
+    if not path.endswith(".h"):
+        return
+    expected = _expected_guard(path)
+    first_ifndef = None  # (lineno, name)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _PRAGMA_ONCE.match(line):
+            yield (
+                lineno,
+                f"#pragma once; use the named include guard {expected} "
+                "so the guard encodes the canonical path",
+            )
+        if first_ifndef is None:
+            m = _IFNDEF.match(line)
+            if m:
+                first_ifndef = (lineno, m.group(1))
+    if first_ifndef is None:
+        yield (1, f"missing include guard; expected #ifndef {expected}")
+    elif first_ifndef[1] != expected:
+        yield (
+            first_ifndef[0],
+            f"include guard {first_ifndef[1]} does not match the "
+            f"canonical path; expected {expected}",
+        )
+
+
+# Stored Item* state: a pointer member declaration (`Item* name;` /
+# `Item* name = ...;` — a function name would be followed by `(`) or an
+# Item* template argument in any position (vector<Item*>,
+# SmallVector<Item*, N>, map values `..., Item*>`), spotted as `Item*`
+# directly followed by `,` or `>`. Casts like static_cast<Item*> are
+# resolution, not storage.
+_ITEM_PTR_MEMBER = re.compile(r"\bItem\s*\*\s*\w+\s*(?:=[^;]*)?;")
+_ITEM_PTR_CONTAINER = re.compile(
+    r"(?<!cast<)(?<!cast<const )\bItem\s*\*\s*[,>]"
+)
+
+# (path, line regex, why it is allowed). All three structs are per-batch
+# scratch: the pointers are resolved from handles at the top of one
+# Apply/FinishShardedBatch call and consumed before it returns — they
+# never outlive the batch, so no stale-handle window exists.
+STORED_ITEM_PTR_ALLOWLIST = [
+    (
+        "src/core/component_engine.h",
+        re.compile(r"\bItem\s*\*\s*(?:item|root)\s*=\s*nullptr\s*;"),
+        "DirtyItem/AtomDelta/RootFixup transient batch scratch",
+    ),
+    (
+        "src/core/component_engine.h",
+        re.compile(r"SmallVector<Item\s*\*\s*,\s*8>\s*&\s*chain"),
+        "descent-chain scratch passed by reference within one update",
+    ),
+]
+
+
+def check_stored_item_ptr(path: str, text: str):
+    if not (path.startswith("src/core/") and path.endswith(".h")):
+        return
+    allow = [rx for p, rx, _ in STORED_ITEM_PTR_ALLOWLIST if p == path]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not (
+            _ITEM_PTR_MEMBER.search(line)
+            or _ITEM_PTR_CONTAINER.search(line)
+        ):
+            continue
+        if any(rx.search(line) for rx in allow):
+            continue
+        yield (
+            lineno,
+            "stored Item* in a src/core header; store an ItemHandle "
+            "(core/handle.h) and Resolve at the use site so stale names "
+            "fail the generation check instead of reading freed memory",
+        )
+
+
 class Rule(NamedTuple):
     name: str
     check: Callable
+    # True: the check sees the file's raw text (needed when the evidence
+    # lives inside string-ish tokens that strip_code would blank, e.g.
+    # quoted include paths). False: comments/strings are stripped first.
+    raw: bool = False
 
 
 RULES = [
@@ -234,6 +384,9 @@ RULES = [
     Rule("result-api", check_result_api),
     Rule("no-assert", check_no_assert),
     Rule("no-ambient-rng", check_no_ambient_rng),
+    Rule("include-hygiene", check_include_hygiene, raw=True),
+    Rule("header-guard", check_header_guard),
+    Rule("stored-item-ptr", check_stored_item_ptr),
 ]
 
 
@@ -242,7 +395,8 @@ def lint_text(path: str, raw_text: str) -> list[Violation]:
     text = strip_code(raw_text)
     out = []
     for rule in RULES:
-        for lineno, message in rule.check(path, text) or ():
+        source = raw_text if rule.raw else text
+        for lineno, message in rule.check(path, source) or ():
             out.append(Violation(path, lineno, rule.name, message))
     return out
 

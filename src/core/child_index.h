@@ -13,8 +13,9 @@
 //
 // The stride is a runtime property of the table (set once, while empty).
 // Three record shapes exist in the engine:
-//  * stride 1 (default): payload = the child Item* — the classic child
-//    index, or a unit-leaf presence table (payload word 1);
+//  * stride 1 (default): payload = the child ItemHandle bits (the pool
+//    name of the child item, core/handle.h) — the classic child index,
+//    or a unit-leaf presence table (payload word 1);
 //  * stride k+2 (strided leaf mode): a leaf node tracking k > 1 atoms
 //    stores its per-entry atom counts (k words, each 0/1 — a leaf count
 //    is a fully-determined expansion) plus intrusive fit-list links (two
@@ -51,15 +52,14 @@
 
 namespace dyncq::core {
 
-struct Item;
-
 class ChildIndex {
  public:
-  /// Stride-1 record view (key + one pointer payload). The layout of a
-  /// record with stride 1 is exactly this struct.
+  /// Stride-1 record view (key + one payload word — ItemHandle bits in
+  /// the engine's child indexes, a presence marker in unit-leaf tables).
+  /// The layout of a record with stride 1 is exactly this struct.
   struct Entry {
     Value key = 0;  // 0 = empty record
-    Item* item = nullptr;
+    std::uint64_t payload = 0;
   };
   static_assert(sizeof(Entry) == 2 * sizeof(std::uint64_t));
 
@@ -126,12 +126,12 @@ class ChildIndex {
     return const_cast<ChildIndex*>(this)->FindRecord(v);
   }
 
-  /// Child item with value `v`, or nullptr (stride-1 view).
-  Item* Find(Value v) const {
+  /// Payload word for `v`, or 0 (stride-1 view). In the engine's child
+  /// indexes the payload is the child's ItemHandle bits, so 0 ("no
+  /// record") and the null handle coincide.
+  std::uint64_t Find(Value v) const {
     const std::uint64_t* rec = FindRecord(v);
-    return rec != nullptr
-               ? reinterpret_cast<Item*>(static_cast<std::uintptr_t>(rec[1]))
-               : nullptr;
+    return rec != nullptr ? rec[1] : 0;
   }
 
   /// Record for `v`, claiming an empty (zero-payload) record if absent.
@@ -191,11 +191,11 @@ class ChildIndex {
     return rec;  // payload already zero (empty records are all-zero)
   }
 
-  /// Stride-1 view of FindOrInsertRecord: slot for `v`, claiming an empty
-  /// (nullptr-item) slot if absent.
-  Item** FindOrInsertSlot(Value v) {
+  /// Stride-1 view of FindOrInsertRecord: payload word for `v`, claiming
+  /// an empty (zero-payload) record if absent.
+  std::uint64_t* FindOrInsertSlot(Value v) {
     DYNCQ_DCHECK(rec_words_ == 2);
-    return reinterpret_cast<Item**>(FindOrInsertRecord(v) + 1);
+    return FindOrInsertRecord(v) + 1;
   }
 
   /// Removes `v`. Returns true iff it was present. After mass deletion a
@@ -275,14 +275,12 @@ class ChildIndex {
     if (slots_ == nullptr || cap > mask_ + 1) GrowToHeap(cap);
   }
 
-  /// Invokes fn(Value, Item*) for every entry (stride-1 view; test and
+  /// Invokes fn(Value, payload) for every entry (stride-1 view; test and
   /// invariant hook — the hot paths never iterate).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    ForEachRecord([&](const std::uint64_t* rec) {
-      fn(static_cast<Value>(rec[0]),
-         reinterpret_cast<Item*>(static_cast<std::uintptr_t>(rec[1])));
-    });
+    ForEachRecord(
+        [&](const std::uint64_t* rec) { fn(static_cast<Value>(rec[0]), rec[1]); });
   }
 
   /// Invokes fn(const uint64_t* record) for every record.

@@ -329,7 +329,9 @@ ComponentEngine::ComponentEngine(Query query, QTree tree,
 }
 
 ComponentEngine::~ComponentEngine() {
-  root_index_.ForEach([this](Value, Item* it) { FreeSubtree(it); });
+  root_index_.ForEach([this](Value, std::uint64_t bits) {
+    FreeSubtree(pool_.Resolve(ItemHandle::FromBits(bits)));
+  });
 }
 
 void ComponentEngine::FreeSubtree(Item* it) {
@@ -343,8 +345,9 @@ void ComponentEngine::FreeSubtree(Item* it) {
   for (int u = 0; u < nm.num_children; ++u) {
     const int child = tn.children[static_cast<std::size_t>(u)];
     if (node_meta_[static_cast<std::size_t>(child)].unit_leaf) continue;
-    slots[u].index.ForEach(
-        [this](Value, Item* ch) { FreeSubtree(ch); });
+    slots[u].index.ForEach([this](Value, std::uint64_t bits) {
+      FreeSubtree(pool_.Resolve(ItemHandle::FromBits(bits)));
+    });
   }
   pool_.Free(it);  // runs the slot destructors (index tables included)
 }
@@ -362,39 +365,41 @@ void ComponentEngine::FreeSubtree(Item* it) {
 // ---------------------------------------------------------------------------
 
 void ComponentEngine::CaptureSnapshot(ComponentSnapshot* out) const {
-  out->root_head = root_slot_.head;
-  out->root_tail = root_slot_.tail;
+  out->root_head = SlotHead(root_slot_);
+  out->root_tail = SlotTail(root_slot_);
   out->sum = root_slot_.sum;
   out->sum_free = root_slot_.sum_free;
   out->detached.clear();
 }
 
-void ComponentEngine::CollectSubtree(Item* it,
-                                     std::vector<Item*>* out) const {
+void ComponentEngine::CollectSubtree(const Item* it,
+                                     std::vector<ItemHandle>* out) const {
   const NodeMeta& nm = node_meta_[it->node];
   const QTreeNode& tn = tree_.node(static_cast<int>(it->node));
-  ChildSlot* slots = reinterpret_cast<ChildSlot*>(
-      reinterpret_cast<char*>(it) + nm.slots_off);
+  const ChildSlot* slots = reinterpret_cast<const ChildSlot*>(
+      reinterpret_cast<const char*>(it) + nm.slots_off);
   for (int u = 0; u < nm.num_children; ++u) {
     const int child = tn.children[static_cast<std::size_t>(u)];
     if (node_meta_[static_cast<std::size_t>(child)].unit_leaf) continue;
-    slots[u].index.ForEach(
-        [this, out](Value, Item* ch) { CollectSubtree(ch, out); });
+    slots[u].index.ForEach([this, out](Value, std::uint64_t bits) {
+      CollectSubtree(pool_.Resolve(ItemHandle::FromBits(bits)), out);
+    });
   }
-  out->push_back(it);
+  out->push_back(it->self);
 }
 
-void ComponentEngine::DetachAllItems(std::vector<Item*>* out) {
+void ComponentEngine::DetachAllItems(std::vector<ItemHandle>* out) {
   out->clear();
   // Collection is read-only and completes before any mutation, so a
   // bad_alloc from the vector leaves the live structure untouched.
-  root_index_.ForEach(
-      [this, out](Value, Item* it) { CollectSubtree(it, out); });
+  root_index_.ForEach([this, out](Value, std::uint64_t bits) {
+    CollectSubtree(pool_.Resolve(ItemHandle::FromBits(bits)), out);
+  });
   // Point of no return — everything below is noexcept.
   pool_.Detach(out->size());
   root_index_.Clear();
-  root_slot_.head = nullptr;
-  root_slot_.tail = nullptr;
+  root_slot_.head = 0;
+  root_slot_.tail = 0;
   root_slot_.sum = 0;
   root_slot_.sum_free = 0;
 }
@@ -410,33 +415,37 @@ void ComponentEngine::RebuildFromDatabase(const Database& db) {
 void ComponentEngine::RestoreDetached(ComponentSnapshot& snap) {
   // Free the partial rebuild (if any): the rebuild's items are exactly
   // what the root index currently reaches.
-  root_index_.ForEach([this](Value, Item* it) { FreeSubtree(it); });
+  root_index_.ForEach([this](Value, std::uint64_t bits) {
+    FreeSubtree(pool_.Resolve(ItemHandle::FromBits(bits)));
+  });
   root_index_.Clear();
   // Re-attach the detached forest. Roots are the items of the q-tree
   // root node (the only node without a parent); their subtree links were
   // never touched, so re-registering the roots restores everything.
-  for (Item* it : snap.detached) {
+  for (ItemHandle h : snap.detached) {
+    const Item* it = pool_.Resolve(h);
     if (tree_.node(static_cast<int>(it->node)).parent < 0) {
-      *root_index_.FindOrInsertSlot(it->value) = it;
+      *root_index_.FindOrInsertSlot(it->value) = h.bits();
     }
   }
-  root_slot_.head = const_cast<Item*>(snap.root_head);
-  root_slot_.tail = const_cast<Item*>(snap.root_tail);
+  root_slot_.head = snap.root_head.bits();
+  root_slot_.tail = snap.root_tail.bits();
   root_slot_.sum = snap.sum;
   root_slot_.sum_free = snap.sum_free;
   // A rebuild that died mid-flight may strand a just-allocated block
   // outside every free list; its memory stays owned by the pool's
-  // chunks. Reset the live count to what the restored structure holds.
+  // blocks. Reset the live count to what the restored structure holds.
   pool_.SetLiveItemsForRollback(snap.detached.size());
   snap.detached.clear();
 }
 
 void ComponentEngine::RetireDetached(std::uint64_t epoch,
-                                     std::vector<Item*>* items) {
+                                     std::vector<ItemHandle>* items) {
   // Run records own leaf index tables through ChildSlots the pool does
   // not know about (they live behind the per-node slot array); release
   // them here, mirroring FreeSubtree.
-  for (Item* it : *items) {
+  for (ItemHandle h : *items) {
+    Item* it = pool_.Resolve(h);
     if (it->run_len != 0) DestroyRunSlots(it);
   }
   pool_.Retire(epoch, *items);
@@ -493,7 +502,7 @@ Item* ComponentEngine::SplitRun(Item* head, std::size_t stripe) {
   char* rec = RunRecBase(head);
   Item* it = AllocItem(static_cast<std::uint32_t>(hm.absorb_child_node),
                        stripe);
-  it->parent = head;
+  it->parent = head->self;
   it->value = *reinterpret_cast<Value*>(rec + kRunValueOff);
   it->weight = reinterpret_cast<Weight*>(rec)[0];
   it->weight_free = reinterpret_cast<Weight*>(rec)[1];
@@ -510,10 +519,10 @@ Item* ComponentEngine::SplitRun(Item* head, std::size_t stripe) {
   head->run_len = 0;
   ChildSlot& vslot = *reinterpret_cast<ChildSlot*>(
       reinterpret_cast<char*>(head) + hm.slots_off);
-  Item** slot = vslot.index.FindOrInsertSlot(it->value);
-  DYNCQ_DCHECK(*slot == nullptr);
-  *slot = it;
-  if (it->weight > 0) ListPushBack(vslot, it);
+  std::uint64_t* slot = vslot.index.FindOrInsertSlot(it->value);
+  DYNCQ_DCHECK(*slot == 0);
+  *slot = it->self.bits();
+  if (it->weight > 0) ListPushBack(pool_, vslot, it);
   // The slot's running sums are unchanged: the child's weight is the
   // same whether it lives as a record or an item.
   return it;
@@ -527,8 +536,8 @@ void ComponentEngine::MergeRun(Item* head, std::size_t stripe) {
       reinterpret_cast<char*>(head) + hm.slots_off);
   DYNCQ_DCHECK(head->run_len == 0 && vslot.index.size() == 1);
   const std::uint64_t* r0 = vslot.index.FirstRecord();
-  Item* child = reinterpret_cast<Item*>(static_cast<std::uintptr_t>(r0[1]));
-  if (child->in_list) ListRemove(vslot, child);
+  Item* child = pool_.Resolve(ItemHandle::FromBits(r0[1]));
+  if (child->in_list) ListRemove(pool_, vslot, child);
   char* rec = RunRecBase(head);  // all-zero while run_len == 0
   reinterpret_cast<Weight*>(rec)[0] = child->weight;
   reinterpret_cast<Weight*>(rec)[1] = child->weight_free;
@@ -608,14 +617,17 @@ void ComponentEngine::RunMergePass() {
     for (ShardState& sh : shards_) sh.freed_log.clear();
     return;
   }
-  std::unordered_set<const Item*> freed(seq_freed_.begin(),
-                                        seq_freed_.end());
+  std::unordered_set<std::uint64_t> freed;
+  for (ItemHandle h : seq_freed_) freed.insert(h.bits());
   for (const ShardState& sh : shards_) {
-    freed.insert(sh.freed_log.begin(), sh.freed_log.end());
+    for (ItemHandle h : sh.freed_log) freed.insert(h.bits());
   }
-  auto run = [&](std::vector<Item*>& cands) {
-    for (Item* head : cands) {
-      if (freed.count(head) != 0) continue;  // candidate died later on
+  auto run = [&](std::vector<ItemHandle>& cands) {
+    for (ItemHandle hh : cands) {
+      // A candidate that died later in the batch must be skipped before
+      // resolving: its handle is stale by construction.
+      if (freed.count(hh.bits()) != 0) continue;
+      Item* head = pool_.Resolve(hh);
       const NodeMeta& hm = node_meta_[head->node];
       ChildSlot& vslot = *reinterpret_cast<ChildSlot*>(
           reinterpret_cast<char*>(head) + hm.slots_off);
@@ -648,8 +660,8 @@ void ComponentEngine::PrefetchWalk(RelId rel, const Tuple& t) const {
   for (int ai : atoms_of_rel_[rel]) {
     const AtomMeta& am = atom_meta_[static_cast<std::size_t>(ai)];
     if (!MatchesAtom(am, t)) continue;
-    const Item* root = root_index_.Find(
-        t[static_cast<std::size_t>(am.read_pos[0])]);
+    const Item* root = pool_.Resolve(ItemHandle::FromBits(
+        root_index_.Find(t[static_cast<std::size_t>(am.read_pos[0])])));
     if (root == nullptr) continue;
     const char* base = reinterpret_cast<const char*>(root);
     __builtin_prefetch(base + am.level_count_off[0]);
@@ -692,17 +704,19 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
                      ->index;
     Item* it;
     if (insert) {
-      Item** slot = idx.FindOrInsertSlot(v);
-      if (*slot == nullptr) {
+      std::uint64_t* slot = idx.FindOrInsertSlot(v);
+      if (*slot == 0) {
         Item* fresh = AllocItem(
             static_cast<std::uint32_t>(am.level_node[sj]));
         fresh->value = v;
-        fresh->parent = parent;
-        *slot = fresh;
+        if (parent != nullptr) fresh->parent = parent->self;
+        *slot = fresh->self.bits();
+        it = fresh;
+      } else {
+        it = pool_.Resolve(ItemHandle::FromBits(*slot));
       }
-      it = *slot;
     } else {
-      it = idx.Find(v);
+      it = pool_.Resolve(ItemHandle::FromBits(idx.Find(v)));
       DYNCQ_CHECK_MSG(it != nullptr, "delete walk hit a missing item");
     }
     __builtin_prefetch(reinterpret_cast<char*>(it) +
@@ -745,15 +759,17 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
         rec = RunRecBase(head);
       }
       if (rec == nullptr) {
-        Item** slot = vslot.index.FindOrInsertSlot(v);
-        if (*slot == nullptr) {
+        std::uint64_t* slot = vslot.index.FindOrInsertSlot(v);
+        if (*slot == 0) {
           Item* fresh = AllocItem(
               static_cast<std::uint32_t>(am.level_node[st]));
           fresh->value = v;
-          fresh->parent = head;
-          *slot = fresh;
+          fresh->parent = head->self;
+          *slot = fresh->self.bits();
+          chain.push_back(fresh);
+        } else {
+          chain.push_back(pool_.Resolve(ItemHandle::FromBits(*slot)));
         }
-        chain.push_back(*slot);
       }
     } else {
       if (head->run_len != 0) {
@@ -762,7 +778,7 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
             "delete walk hit a missing item");
         rec = RunRecBase(head);
       } else {
-        Item* it = vslot.index.Find(v);
+        Item* it = pool_.Resolve(ItemHandle::FromBits(vslot.index.Find(v)));
         DYNCQ_CHECK_MSG(it != nullptr, "delete walk hit a missing item");
         chain.push_back(it);
       }
@@ -831,9 +847,9 @@ void ComponentEngine::ApplyAtomDelta(const AtomMeta& am, const Tuple& t,
                     nm.parent_slot_off)
               : root_slot_;
     if (old_c == 0 && it->weight > 0) {
-      ListPushBack(pslot, it);
+      ListPushBack(pool_, pslot, it);
     } else if (old_c > 0 && it->weight == 0) {
-      ListRemove(pslot, it);
+      ListRemove(pool_, pslot, it);
     }
     pslot.sum += it->weight - old_c;  // unsigned wrap-around is exact here
     if (nm.is_free) pslot.sum_free += it->weight_free - old_ct;
@@ -962,6 +978,10 @@ void ComponentEngine::BeginShardedBatch(const PendingDelta* deltas,
   ++batch_epoch_;
   num_shards_ = shards;
   pool_.EnsureStripes(shards);
+  // Workers may free items whose blocks belong to another stripe (an
+  // item allocated by an earlier batch's routing); the pool defers the
+  // slot recycling of those frees until EndConcurrent.
+  pool_.BeginConcurrent();
   if (shards_.size() < shards) {
     std::size_t old = shards_.size();
     shards_.resize(shards);
@@ -984,19 +1004,20 @@ void ComponentEngine::BeginShardedBatch(const PendingDelta* deltas,
       // root probe per delta either way.
       Item* root;
       if (deltas[i].insert) {
-        Item** slot = root_index_.FindOrInsertSlot(v);
-        if (*slot == nullptr) {
+        std::uint64_t* slot = root_index_.FindOrInsertSlot(v);
+        if (*slot == 0) {
           // The fresh item comes from its owner's stripe; its counts
           // stay zero until that shard's phase A runs.
           Item* fresh = AllocItem(
               static_cast<std::uint32_t>(am.level_node[0]), s);
           fresh->value = v;
-          fresh->parent = nullptr;
-          *slot = fresh;
+          *slot = fresh->self.bits();
+          root = fresh;
+        } else {
+          root = pool_.Resolve(ItemHandle::FromBits(*slot));
         }
-        root = *slot;
       } else {
-        root = root_index_.Find(v);
+        root = pool_.Resolve(ItemHandle::FromBits(root_index_.Find(v)));
         DYNCQ_CHECK_MSG(root != nullptr,
                         "sharded delete routed to a missing root");
       }
@@ -1020,14 +1041,18 @@ void ComponentEngine::RunShard(std::size_t s) {
 }
 
 void ComponentEngine::FinishShardedBatch() {
+  // Workers are joined: leave concurrent mode and fold the deferred
+  // cross-stripe frees back into their blocks before the root pass
+  // (which may free and reallocate root slots itself).
+  pool_.EndConcurrent();
   for (std::size_t s = 0; s < num_shards_; ++s) {
     for (const RootFixup& f : shards_[s].root_fixups) {
       Item* it = f.item;
       const NodeMeta& nm = node_meta_[it->node];
       if (!it->in_list && it->weight > 0) {
-        ListPushBack(root_slot_, it);
+        ListPushBack(pool_, root_slot_, it);
       } else if (it->in_list && it->weight == 0) {
-        ListRemove(root_slot_, it);
+        ListRemove(pool_, root_slot_, it);
       }
       root_slot_.sum += it->weight - f.pre_weight;  // unsigned wrap exact
       if (nm.is_free) {
@@ -1052,7 +1077,9 @@ void ComponentEngine::FinishShardedBatch() {
         // Log the free: a root freed here may be a pending re-merge
         // candidate recorded by its shard's phase B (only eligible
         // heads can be candidates, so only those reach the log).
-        if (nm.absorb_child_node >= 0) shards_[s].freed_log.push_back(it);
+        if (nm.absorb_child_node >= 0) {
+          shards_[s].freed_log.push_back(it->self);
+        }
         pool_.Free(it, s);
       }
     }
@@ -1093,8 +1120,9 @@ void ComponentEngine::BatchDescend(const AtomMeta& am,
             static_cast<std::size_t>(am.read_pos[0])]);
       }
       for (std::size_t i = base; i < end; ++i) {
-        const Item* root = root_index_.Find((*deltas[i].tuple)[
-            static_cast<std::size_t>(am.read_pos[0])]);
+        const Item* root = pool_.Resolve(
+            ItemHandle::FromBits(root_index_.Find((*deltas[i].tuple)[
+                static_cast<std::size_t>(am.read_pos[0])])));
         if (root == nullptr) continue;
         // Only the two lines the descent itself needs — the weight
         // fix-up lines are prefetched by FlushDirty's own lookahead, and
@@ -1147,17 +1175,19 @@ void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
                        am.level_slot_off[j])
                        ->index;
       if (ad.insert) {
-        Item** slot = idx.FindOrInsertSlot(v);
-        if (*slot == nullptr) {
+        std::uint64_t* slot = idx.FindOrInsertSlot(v);
+        if (*slot == 0) {
           Item* fresh = AllocItem(
               static_cast<std::uint32_t>(am.level_node[j]), stripe);
           fresh->value = v;
-          fresh->parent = parent;
-          *slot = fresh;
+          if (parent != nullptr) fresh->parent = parent->self;
+          *slot = fresh->self.bits();
+          it = fresh;
+        } else {
+          it = pool_.Resolve(ItemHandle::FromBits(*slot));
         }
-        it = *slot;
       } else {
-        it = idx.Find(v);
+        it = pool_.Resolve(ItemHandle::FromBits(idx.Find(v)));
         DYNCQ_CHECK_MSG(it != nullptr, "batch walk hit a missing item");
       }
     }
@@ -1213,15 +1243,17 @@ void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
         rec = RunRecBase(head);
       }
       if (rec == nullptr) {
-        Item** slot = vslot.index.FindOrInsertSlot(v);
-        if (*slot == nullptr) {
+        std::uint64_t* slot = vslot.index.FindOrInsertSlot(v);
+        if (*slot == 0) {
           Item* fresh = AllocItem(
               static_cast<std::uint32_t>(am.level_node[nd]), stripe);
           fresh->value = v;
-          fresh->parent = head;
-          *slot = fresh;
+          fresh->parent = head->self;
+          *slot = fresh->self.bits();
+          tail_item = fresh;
+        } else {
+          tail_item = pool_.Resolve(ItemHandle::FromBits(*slot));
         }
-        tail_item = *slot;
       }
     } else {
       if (head->run_len != 0) {
@@ -1230,7 +1262,8 @@ void ComponentEngine::BatchOneDelta(const AtomMeta& am, const AtomDelta& ad,
             "batch walk hit a missing item");
         rec = RunRecBase(head);
       } else {
-        tail_item = vslot.index.Find(v);
+        tail_item =
+            pool_.Resolve(ItemHandle::FromBits(vslot.index.Find(v)));
         DYNCQ_CHECK_MSG(tail_item != nullptr,
                         "batch walk hit a missing item");
       }
@@ -1276,19 +1309,19 @@ namespace {
 
 /// Appends record `rec` (already fit) to the slot's intrusive fit list.
 /// Links are record KEYS (payload words k and k+1), so backward-shift
-/// moves and rehashes never invalidate them; head/tail keys live in the
-/// slot's (otherwise unused) head/tail pointer fields.
+/// moves and rehashes never invalidate them; the head/tail keys live in
+/// the slot's (otherwise unused) head/tail name fields.
 void LeafFitLink(ChildSlot& slot, std::uint64_t* rec, int k) {
   const Value v = rec[0];
-  const Value tail = LeafListKey(slot.tail);
+  const Value tail = slot.tail;
   rec[1 + k] = tail;
   rec[2 + k] = 0;
   if (tail != 0) {
     slot.index.FindRecord(tail)[2 + k] = v;
   } else {
-    slot.head = LeafListPtr(v);
+    slot.head = v;
   }
-  slot.tail = LeafListPtr(v);
+  slot.tail = v;
 }
 
 /// Unlinks record `rec` from the slot's fit list.
@@ -1298,12 +1331,12 @@ void LeafFitUnlink(ChildSlot& slot, std::uint64_t* rec, int k) {
   if (p != 0) {
     slot.index.FindRecord(p)[2 + k] = n;
   } else {
-    slot.head = LeafListPtr(n);
+    slot.head = n;
   }
   if (n != 0) {
     slot.index.FindRecord(n)[1 + k] = p;
   } else {
-    slot.tail = LeafListPtr(p);
+    slot.tail = p;
   }
   rec[1 + k] = rec[2 + k] = 0;
 }
@@ -1325,9 +1358,9 @@ void ComponentEngine::FlipLeafEntry(const AtomMeta& am, ChildSlot& slot,
       am.read_pos[static_cast<std::size_t>(am.d - 1)])];
   if (lm.leaf_stride == 1) {
     if (insert) {
-      Item** entry = slot.index.FindOrInsertSlot(v);
-      DYNCQ_DCHECK(*entry == nullptr);
-      *entry = reinterpret_cast<Item*>(std::uintptr_t{1});
+      std::uint64_t* entry = slot.index.FindOrInsertSlot(v);
+      DYNCQ_DCHECK(*entry == 0);
+      *entry = 1;  // presence marker (any non-zero payload)
       slot.sum += 1;
       if (am.leaf_free) slot.sum_free += 1;
     } else {
@@ -1370,8 +1403,8 @@ void ComponentEngine::FlipLeafEntry(const AtomMeta& am, ChildSlot& slot,
 void ComponentEngine::FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
                                  std::size_t stripe,
                                  std::vector<RootFixup>* defer_roots,
-                                 std::vector<Item*>* merge_cands,
-                                 std::vector<Item*>* freed_log) {
+                                 std::vector<ItemHandle>* merge_cands,
+                                 std::vector<ItemHandle>* freed_log) {
   constexpr std::size_t kLookahead = 8;
   for (std::size_t depth = dirty.size(); depth-- > 0;) {
     std::vector<DirtyItem>& level = dirty[depth];
@@ -1407,16 +1440,16 @@ void ComponentEngine::FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
       RecomputeWeights(it, nm);
 
       // Steps 3/4 (+4a) against the PRE-batch membership and sums.
+      Item* parent = pool_.Resolve(it->parent);
       ChildSlot& pslot =
-          it->parent != nullptr
+          parent != nullptr
               ? *reinterpret_cast<ChildSlot*>(
-                    reinterpret_cast<char*>(it->parent) +
-                    nm.parent_slot_off)
+                    reinterpret_cast<char*>(parent) + nm.parent_slot_off)
               : root_slot_;
       if (!it->in_list && it->weight > 0) {
-        ListPushBack(pslot, it);
+        ListPushBack(pool_, pslot, it);
       } else if (it->in_list && it->weight == 0) {
-        ListRemove(pslot, it);
+        ListRemove(pool_, pslot, it);
       }
       pslot.sum += it->weight - d.pre_weight;  // unsigned wrap is exact
       if (nm.is_free) pslot.sum_free += it->weight_free - d.pre_weight_free;
@@ -1432,14 +1465,13 @@ void ComponentEngine::FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
       }
       if (all_zero) {
         DYNCQ_DCHECK(!it->in_list && it->weight == 0);
-        Item* parent = it->parent;
         const std::uint32_t freed_node = it->node;
         ChildIndex& idx = parent != nullptr ? pslot.index : root_index_;
         bool erased = idx.Erase(it->value);
         DYNCQ_CHECK(erased);
         // Only absorb-eligible heads can be pending merge candidates, so
         // only their frees need to reach the merge pass's freed set.
-        if (nm.absorb_child_node >= 0) freed_log->push_back(it);
+        if (nm.absorb_child_node >= 0) freed_log->push_back(it->self);
         pool_.Free(it, stripe);
         // Re-merge candidate: the erase left the parent with a single
         // materialized child of an absorbable node. Deferred to the
@@ -1449,7 +1481,7 @@ void ComponentEngine::FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
             node_meta_[parent->node].absorb_child_node ==
                 static_cast<int>(freed_node) &&
             parent->run_len == 0 && pslot.index.size() == 1) {
-          merge_cands->push_back(parent);
+          merge_cands->push_back(parent->self);
         }
       }
     }
@@ -1483,7 +1515,8 @@ void ComponentEngine::Dump(std::ostream& os) const {
     os << "  C~start = " << U128ToString(root_slot_.sum_free);
   }
   os << "\n";
-  for (const Item* it = root_slot_.head; it != nullptr; it = it->next) {
+  for (const Item* it = pool_.Resolve(SlotHead(root_slot_)); it != nullptr;
+       it = pool_.Resolve(it->next)) {
     DumpItem(os, it, 1);
   }
 }
@@ -1497,7 +1530,7 @@ void ComponentEngine::DumpLeafSlot(std::ostream& os, const ChildSlot& slot,
     os << "[" << query_.VarName(cn.var) << " = " << key << "]  C = 1\n";
   };
   if (cm.leaf_stride == 1) {
-    slot.index.ForEach([&](Value key, Item*) { line(key); });
+    slot.index.ForEach([&](Value key, std::uint64_t) { line(key); });
     return;
   }
   // Strided leaf: only fit records are results (an unfit partial record
@@ -1551,7 +1584,8 @@ void ComponentEngine::DumpItem(std::ostream& os, const Item* it,
       }
       continue;
     }
-    for (const Item* c = slots[u].head; c != nullptr; c = c->next) {
+    for (const Item* c = pool_.Resolve(SlotHead(slots[u])); c != nullptr;
+         c = pool_.Resolve(c->next)) {
       DumpItem(os, c, indent + 1);
     }
   }
@@ -1562,14 +1596,13 @@ void ComponentEngine::CheckLeafSlot(const ChildSlot& slot,
   if (lm.leaf_stride == 1) {
     // Presence entries: weight and count are identically 1, so the sums
     // are plain cardinalities and no fit list exists.
-    DYNCQ_CHECK_MSG(slot.head == nullptr && slot.tail == nullptr,
+    DYNCQ_CHECK_MSG(slot.head == 0 && slot.tail == 0,
                     "unit-leaf slot must not keep a fit list");
     std::size_t entries = 0;
-    slot.index.ForEach([&](Value key, Item* payload) {
+    slot.index.ForEach([&](Value key, std::uint64_t payload) {
       DYNCQ_CHECK_MSG(key != 0, "unit-leaf entry with sentinel key");
-      DYNCQ_CHECK_MSG(
-          payload == reinterpret_cast<Item*>(std::uintptr_t{1}),
-          "unit-leaf entry payload must be the presence marker");
+      DYNCQ_CHECK_MSG(payload == 1,
+                      "unit-leaf entry payload must be the presence marker");
       ++entries;
     });
     DYNCQ_CHECK_MSG(slot.sum == Weight{entries},
@@ -1608,7 +1641,7 @@ void ComponentEngine::CheckLeafSlot(const ChildSlot& slot,
   }
   std::size_t walked = 0;
   Value prev = 0;
-  for (Value v = LeafListKey(slot.head); v != 0;) {
+  for (Value v = slot.head; v != 0;) {
     const std::uint64_t* rec = slot.index.FindRecord(v);
     DYNCQ_CHECK_MSG(rec != nullptr, "strided-leaf fit link to missing key");
     DYNCQ_CHECK_MSG(LeafRecFit(rec + 1, k),
@@ -1622,7 +1655,7 @@ void ComponentEngine::CheckLeafSlot(const ChildSlot& slot,
   }
   DYNCQ_CHECK_MSG(walked == fit,
                   "strided-leaf fit list misses fit records");
-  DYNCQ_CHECK_MSG(LeafListKey(slot.tail) == prev,
+  DYNCQ_CHECK_MSG(slot.tail == prev,
                   "strided-leaf fit list tail diverged");
 }
 
@@ -1665,7 +1698,7 @@ std::size_t ComponentEngine::CheckItemRec(const Item* it) const {
         // weights.
         DYNCQ_CHECK_MSG(cs.index.empty(),
                         "compressed head still holds index entries");
-        DYNCQ_CHECK_MSG(cs.head == nullptr && cs.tail == nullptr,
+        DYNCQ_CHECK_MSG(cs.head == 0 && cs.tail == 0,
                         "compressed head still keeps a fit list");
         const char* rec = RunRecBase(it);
         DYNCQ_CHECK_MSG(
@@ -1716,7 +1749,8 @@ std::size_t ComponentEngine::CheckItemRec(const Item* it) const {
     // Fit list: members are exactly the fit children; sums match.
     Weight sum = 0, sum_free = 0;
     std::size_t fit_listed = 0;
-    for (const Item* ch = cs.head; ch != nullptr; ch = ch->next) {
+    for (const Item* ch = pool_.Resolve(SlotHead(cs)); ch != nullptr;
+         ch = pool_.Resolve(ch->next)) {
       DYNCQ_CHECK_MSG(ch->weight > 0, "unfit item found in a fit list");
       DYNCQ_CHECK_MSG(ch->in_list, "listed item not flagged in_list");
       sum += ch->weight;
@@ -1729,13 +1763,17 @@ std::size_t ComponentEngine::CheckItemRec(const Item* it) const {
                       "running sum C~^i_u diverged");
     }
 
-    // Child index: keys/back-pointers consistent; fit members coincide
+    // Child index: keys/back-handles consistent; fit members coincide
     // with the list population.
     std::size_t fit_indexed = 0;
-    cs.index.ForEach([&](Value key, Item* ch) {
-      DYNCQ_CHECK_MSG(ch != nullptr, "child index holds a null item");
+    cs.index.ForEach([&](Value key, std::uint64_t bits) {
+      const Item* ch = pool_.Resolve(ItemHandle::FromBits(bits));
+      DYNCQ_CHECK_MSG(ch != nullptr, "child index holds a null handle");
+      DYNCQ_CHECK_MSG(ch->self == ItemHandle::FromBits(bits),
+                      "child index handle != item's own name");
       DYNCQ_CHECK_MSG(ch->value == key, "child index key != item value");
-      DYNCQ_CHECK_MSG(ch->parent == it, "child item parent pointer wrong");
+      DYNCQ_CHECK_MSG(ch->parent == it->self,
+                      "child item parent handle wrong");
       DYNCQ_CHECK_MSG(ch->node == static_cast<std::uint32_t>(child_node),
                       "child item indexed under the wrong q-tree node");
       DYNCQ_CHECK_MSG(ch->in_list == (ch->weight > 0),
@@ -1768,7 +1806,8 @@ void ComponentEngine::CheckInvariants() const {
   const bool root_free = node_meta_[0].is_free;
   Weight start = 0, start_free = 0;
   std::size_t fit_listed = 0;
-  for (const Item* it = root_slot_.head; it != nullptr; it = it->next) {
+  for (const Item* it = pool_.Resolve(SlotHead(root_slot_)); it != nullptr;
+       it = pool_.Resolve(it->next)) {
     DYNCQ_CHECK_MSG(it->weight > 0, "unfit item found in the root list");
     start += it->weight;
     if (root_free) start_free += it->weight_free;
@@ -1782,10 +1821,13 @@ void ComponentEngine::CheckInvariants() const {
 
   std::size_t reached = 0;
   std::size_t fit_indexed = 0;
-  root_index_.ForEach([&](Value key, Item* it) {
-    DYNCQ_CHECK_MSG(it != nullptr, "root index holds a null item");
+  root_index_.ForEach([&](Value key, std::uint64_t bits) {
+    const Item* it = pool_.Resolve(ItemHandle::FromBits(bits));
+    DYNCQ_CHECK_MSG(it != nullptr, "root index holds a null handle");
+    DYNCQ_CHECK_MSG(it->self == ItemHandle::FromBits(bits),
+                    "root index handle != item's own name");
     DYNCQ_CHECK_MSG(it->value == key, "root index key != item value");
-    DYNCQ_CHECK_MSG(it->parent == nullptr, "root item has a parent");
+    DYNCQ_CHECK_MSG(!it->parent, "root item has a parent");
     DYNCQ_CHECK_MSG(it->node == 0, "root index holds a non-root item");
     DYNCQ_CHECK_MSG(it->in_list == (it->weight > 0),
                     "fit root item missing from list (or vice versa)");

@@ -47,11 +47,11 @@ struct PendingDelta {
 /// walking them with constant delay) and the live structure is rebuilt
 /// from the base tables.
 struct ComponentSnapshot {
-  const Item* root_head = nullptr;
-  const Item* root_tail = nullptr;
+  ItemHandle root_head;  // root fit-list anchors at pin time
+  ItemHandle root_tail;
   Weight sum = 0;       // Cstart at pin time (Boolean answer gate)
   Weight sum_free = 0;  // C̃start at pin time
-  std::vector<Item*> detached;
+  std::vector<ItemHandle> detached;
 };
 
 /// Structural tuning of the item forest. Both transformations are pure
@@ -156,6 +156,10 @@ class ComponentEngine {
 
   const ChildSlot& root_slot() const { return root_slot_; }
 
+  /// The component's item pool: cursors and tests resolve the handles
+  /// the structure stores (fit links, index payloads) through it.
+  const ItemPool& pool() const { return pool_; }
+
   /// Child slot `u` of `it` (inspection hook — the slot array's offset
   /// depends on the item's q-tree node).
   const ChildSlot& item_child_slot(const Item* it, int u) const {
@@ -223,7 +227,7 @@ class ComponentEngine {
   /// items keep all their links — pinned cursors still walk them) and
   /// resets the live structure to empty. Collection completes before any
   /// mutation, so a bad_alloc from the vector leaves the engine intact.
-  void DetachAllItems(std::vector<Item*>* out);
+  void DetachAllItems(std::vector<ItemHandle>* out);
 
   /// Fork step 2: rebuilds the live structure by replaying this
   /// component's base tuples from `db` (the PRE-update database — the
@@ -236,9 +240,11 @@ class ComponentEngine {
   void RestoreDetached(ComponentSnapshot& snap);
 
   /// Retires a dead version's detached items at `epoch` (releases index
-  /// heap tables now, queues blocks for post-watermark reclamation).
-  /// Safe from a reader thread concurrently with the writer.
-  void RetireDetached(std::uint64_t epoch, std::vector<Item*>* items);
+  /// heap tables now and bumps the slot generations — any later use of a
+  /// handle into the version is a typed stale-handle failure — then
+  /// queues the slots for post-watermark reclamation). Safe from a
+  /// reader thread concurrently with the writer.
+  void RetireDetached(std::uint64_t epoch, std::vector<ItemHandle>* items);
 
   /// Returns retired blocks with epoch <= `watermark` to the free lists
   /// (writer thread only).
@@ -365,15 +371,15 @@ class ComponentEngine {
     // Path compression: heads whose child index dropped to one entry in
     // phase B (re-merge candidates, applied after the batch) and every
     // item freed this batch (a candidate that was itself freed later in
-    // the batch must be skipped, not dereferenced).
-    std::vector<Item*> merge_cands;
-    std::vector<Item*> freed_log;
+    // the batch must be skipped, not resolved — its handle is stale).
+    std::vector<ItemHandle> merge_cands;
+    std::vector<ItemHandle> freed_log;
   };
 
   void FreeSubtree(Item* it);
   /// FreeSubtree's read-only twin: appends every item of `it`'s subtree
   /// (itself included) to `out` without touching the structure.
-  void CollectSubtree(Item* it, std::vector<Item*>* out) const;
+  void CollectSubtree(const Item* it, std::vector<ItemHandle>* out) const;
   void ApplyDelta(RelId rel, const Tuple& t, bool insert);
   void ApplyAtomDelta(const AtomMeta& am, const Tuple& t, bool insert);
   bool MatchesAtom(const AtomMeta& am, const Tuple& t) const;
@@ -440,8 +446,8 @@ class ComponentEngine {
   /// RunMergePass.
   void FlushDirty(std::vector<std::vector<DirtyItem>>& dirty,
                   std::size_t stripe, std::vector<RootFixup>* defer_roots,
-                  std::vector<Item*>* merge_cands,
-                  std::vector<Item*>* freed_log);
+                  std::vector<ItemHandle>* merge_cands,
+                  std::vector<ItemHandle>* freed_log);
   void MarkDirty(Item* it, int depth,
                  std::vector<std::vector<DirtyItem>>& dirty);
   void RecomputeWeights(Item* it, const NodeMeta& nm) const;
@@ -471,8 +477,8 @@ class ComponentEngine {
   // Indexed by atoms_of_rel_'s dense order (AtomMeta::rel_group).
   std::vector<std::vector<std::uint32_t>> rel_groups_;  // rel group -> deltas
   std::vector<std::vector<DirtyItem>> dirty_;  // per q-tree depth
-  std::vector<Item*> seq_merge_cands_;         // sequential-batch scratch
-  std::vector<Item*> seq_freed_;
+  std::vector<ItemHandle> seq_merge_cands_;    // sequential-batch scratch
+  std::vector<ItemHandle> seq_freed_;
 
   // Sharded pipeline state (scratch, reused across batches). Worker s
   // only ever touches shards_[s] (and items under its own roots).

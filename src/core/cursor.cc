@@ -20,44 +20,57 @@ namespace dyncq::core {
 
 namespace {
 
-// Path-compressed positions: an absorbable node's current "item" may be
-// its parent's run record. The cursor marks such a position by tagging
-// the record pointer's bit 0 (records are 16-aligned inside the parent
-// block; real Items are at least 8-aligned, so the bit is always free).
-inline bool RecTagged(const void* p) {
-  return (reinterpret_cast<std::uintptr_t>(p) & 1) != 0;
+// Position encoding for regular (non-inlined) document positions:
+//   (ItemHandle bits << 1)  — the current item, resolved via the pool;
+//   (run-record ptr  |  1)  — an absorbable node standing on its
+//                             parent's path-compression run record.
+// Records are 16-aligned inside the parent block, so bit 0 is free;
+// handle bits occupy at most 48 bits, so the shift never overflows.
+// Inlined-leaf positions store ChildIndex entry/record pointers verbatim.
+inline bool RecTagged(std::uint64_t v) { return (v & 1) != 0; }
+inline const char* RecUntag(std::uint64_t v) {
+  return reinterpret_cast<const char*>(
+      static_cast<std::uintptr_t>(v & ~std::uint64_t{1}));
 }
-inline const char* RecUntag(const void* p) {
-  return reinterpret_cast<const char*>(reinterpret_cast<std::uintptr_t>(p) &
-                                       ~std::uintptr_t{1});
+inline std::uint64_t RecTag(const char* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)) | 1;
 }
-inline const void* RecTag(const char* p) {
-  return reinterpret_cast<const void*>(reinterpret_cast<std::uintptr_t>(p) |
-                                       1);
+inline std::uint64_t ItemPos(ItemHandle h) { return h.bits() << 1; }
+inline ItemHandle PosItem(std::uint64_t v) {
+  return ItemHandle::FromBits(v >> 1);
+}
+inline const void* PosPtr(std::uint64_t v) {
+  return reinterpret_cast<const void*>(static_cast<std::uintptr_t>(v));
+}
+inline std::uint64_t PtrPos(const void* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
 }
 
 }  // namespace
 
 ComponentCursor::ComponentCursor(const ComponentEngine* ce,
                                  RevisionGuard guard,
-                                 const Item* root_begin,
-                                 const Item* root_end)
-    : ce_(ce), guard_(guard), root_begin_(root_begin), root_end_(root_end) {
+                                 ItemHandle root_begin,
+                                 ItemHandle root_end)
+    : ce_(ce),
+      guard_(guard),
+      root_begin_(root_begin.bits()),
+      root_end_(root_end.bits()) {
   DYNCQ_CHECK_MSG(!ce->query().head().empty(),
                   "ComponentCursor requires free variables");
-  cur_.resize(ce->enum_meta().nodes.size(), nullptr);
+  cur_.resize(ce->enum_meta().nodes.size(), 0);
 }
 
 ComponentCursor::ComponentCursor(FixedRootTag, const ComponentEngine* ce,
-                                 RevisionGuard guard, const Item* fixed_root)
+                                 RevisionGuard guard, ItemHandle fixed_root)
     : ce_(ce),
       guard_(guard),
-      root_begin_(fixed_root),
-      root_end_(nullptr),
+      root_begin_(fixed_root.bits()),
+      root_end_(0),
       fixed_root_(true) {
   DYNCQ_CHECK_MSG(!ce->query().head().empty(),
                   "ComponentCursor requires free variables");
-  cur_.resize(ce->enum_meta().nodes.size(), nullptr);
+  cur_.resize(ce->enum_meta().nodes.size(), 0);
 }
 
 const ChildSlot& ComponentCursor::SlotOf(std::size_t pos) const {
@@ -66,24 +79,24 @@ const ChildSlot& ComponentCursor::SlotOf(std::size_t pos) const {
   DYNCQ_DCHECK(ppos >= 0);
   // A parent of any enumerated node is either a regular item (inlined
   // leaves have no children) or an absorbed run record (tagged); the
-  // slot address is a fixed offset into the block / record either way.
-  const void* p = cur_[static_cast<std::size_t>(ppos)];
+  // slot address is a fixed offset into the item / record either way.
+  const std::uint64_t p = cur_[static_cast<std::size_t>(ppos)];
   if (RecTagged(p)) {
     return *reinterpret_cast<const ChildSlot*>(RecUntag(p) +
                                                meta.rec_slot_off[pos]);
   }
   return *reinterpret_cast<const ChildSlot*>(
-      reinterpret_cast<const char*>(static_cast<const Item*>(p)) +
+      reinterpret_cast<const char*>(ce_->pool().Resolve(PosItem(p))) +
       meta.slot_off[pos]);
 }
 
-const void* ComponentCursor::FirstOf(std::size_t pos) const {
+std::uint64_t ComponentCursor::FirstOf(std::size_t pos) const {
   const auto& meta = ce_->enum_meta();
   if (meta.absorbable[pos]) {
     // The parent of an absorbable position is always a materialized item
     // (heads are never absorbed themselves).
-    const Item* parent = static_cast<const Item*>(
-        cur_[static_cast<std::size_t>(meta.parent_pos[pos])]);
+    const Item* parent = ce_->pool().Resolve(
+        PosItem(cur_[static_cast<std::size_t>(meta.parent_pos[pos])]));
     if (parent->run_len != 0) {
       return RecTag(reinterpret_cast<const char*>(parent) +
                     meta.parent_rec_off[pos]);
@@ -94,42 +107,42 @@ const void* ComponentCursor::FirstOf(std::size_t pos) const {
     case 1: {
       const ChildIndex::Entry* e = slot.index.FirstEntry();
       DYNCQ_DCHECK(e != nullptr);  // fit parents have entries
-      return e;
+      return PtrPos(e);
     }
     case 2: {
       // Strided leaf: follow the intrusive fit links (head key stored in
-      // the slot's pointer fields) — constant delay even when unfit
+      // the slot's link fields) — constant delay even when unfit
       // partial records dominate the table.
-      const Value h = LeafListKey(slot.head);
+      const Value h = slot.head;
       DYNCQ_DCHECK(h != 0);  // fit parents have fit records
-      return slot.index.FindRecord(h);
+      return PtrPos(slot.index.FindRecord(h));
     }
     default:
-      DYNCQ_DCHECK(slot.head != nullptr);  // fit parents: non-empty lists
-      return slot.head;
+      DYNCQ_DCHECK(slot.head != 0);  // fit parents: non-empty lists
+      return slot.head << 1;         // head stores ItemHandle bits
   }
 }
 
-const void* ComponentCursor::NextOf(std::size_t pos) const {
+std::uint64_t ComponentCursor::NextOf(std::size_t pos) const {
   if (pos == 0) {
-    const Item* next = static_cast<const Item*>(cur_[0])->next;
-    return next == root_end_ ? nullptr : next;
+    const ItemHandle next = ce_->pool().Resolve(PosItem(cur_[0]))->next;
+    return next.bits() == root_end_ ? 0 : ItemPos(next);
   }
   const auto& meta = ce_->enum_meta();
   switch (meta.leaf_kind[pos]) {
     case 1:
-      return SlotOf(pos).index.NextEntry(
-          static_cast<const ChildIndex::Entry*>(cur_[pos]));
+      return PtrPos(SlotOf(pos).index.NextEntry(
+          static_cast<const ChildIndex::Entry*>(PosPtr(cur_[pos]))));
     case 2: {
       const std::uint64_t* rec =
-          static_cast<const std::uint64_t*>(cur_[pos]);
+          static_cast<const std::uint64_t*>(PosPtr(cur_[pos]));
       const Value n =
           rec[static_cast<std::size_t>(meta.leaf_stride[pos])];
-      return n == 0 ? nullptr : SlotOf(pos).index.FindRecord(n);
+      return n == 0 ? 0 : PtrPos(SlotOf(pos).index.FindRecord(n));
     }
     default:
-      if (RecTagged(cur_[pos])) return nullptr;  // absorbed: single child
-      return static_cast<const Item*>(cur_[pos])->next;
+      if (RecTagged(cur_[pos])) return 0;  // absorbed: single child
+      return ItemPos(ce_->pool().Resolve(PosItem(cur_[pos]))->next);
   }
 }
 
@@ -141,12 +154,12 @@ void ComponentCursor::Emit(Tuple* out) const {
     if (meta.leaf_kind[p] != 0) {
       // Inlined-leaf record (either stride): the key is word 0.
       out->push_back(static_cast<Value>(
-          static_cast<const std::uint64_t*>(cur_[p])[0]));
+          static_cast<const std::uint64_t*>(PosPtr(cur_[p]))[0]));
     } else if (RecTagged(cur_[p])) {
       out->push_back(*reinterpret_cast<const Value*>(
           RecUntag(cur_[p]) + ComponentEngine::kRunValueOff));
     } else {
-      out->push_back(static_cast<const Item*>(cur_[p])->value);
+      out->push_back(ce_->pool().Resolve(PosItem(cur_[p]))->value);
     }
   }
 }
@@ -157,14 +170,14 @@ CursorStatus ComponentCursor::Next(Tuple* out) {
 
   if (!started_) {
     started_ = true;
-    const Item* root = (fixed_root_ || root_begin_ != nullptr)
-                           ? root_begin_
-                           : ce_->root_slot().head;
-    if (root == nullptr || root == root_end_) {
+    const std::uint64_t root = (fixed_root_ || root_begin_ != 0)
+                                   ? root_begin_
+                                   : ce_->root_slot().head;
+    if (root == 0 || root == root_end_) {
       done_ = true;
       return CursorStatus::kEnd;  // empty (range of the) result
     }
-    cur_[0] = root;
+    cur_[0] = root << 1;
     for (std::size_t mu = 1; mu < cur_.size(); ++mu) {
       cur_[mu] = FirstOf(mu);
     }
@@ -174,9 +187,9 @@ CursorStatus ComponentCursor::Next(Tuple* out) {
 
   // Algorithm 1: advance the deepest (in document order) position that is
   // not last in its list; reset everything after it to first positions.
-  const void* next = nullptr;
+  std::uint64_t next = 0;
   std::size_t j = cur_.size();
-  while (j > 0 && (next = NextOf(j - 1)) == nullptr) --j;
+  while (j > 0 && (next = NextOf(j - 1)) == 0) --j;
   if (j == 0) {
     done_ = true;
     return CursorStatus::kEnd;

@@ -16,48 +16,52 @@ namespace dyncq::core {
 /// Algorithm 1 over one connected component with free variables: walks
 /// the free-prefix subtree in document order; O(k) work per tuple.
 ///
-/// A document position holds either the current Item (regular nodes,
-/// advanced along the parent's fit list) or the current presence entry in
-/// the parent's child index (unit-leaf nodes, advanced by entry cursor —
-/// every present entry is fit). Entries are stable between updates, and
-/// the revision guard turns use across updates into kInvalidated.
+/// A document position holds either the current item (regular nodes,
+/// advanced along the parent's fit list; stored as ItemHandle bits so the
+/// pool may relocate block directories underneath) or the current
+/// presence entry in the parent's child index (unit-leaf nodes, advanced
+/// by entry cursor — every present entry is fit). Entries are stable
+/// between updates, and the revision guard turns use across updates into
+/// kInvalidated.
 ///
 /// Root positions are independent per root item (§6.3), so a cursor may
 /// be restricted to a contiguous range [root_begin, root_end) of the root
-/// fit list; nullptr/nullptr means the whole list. Partitioned cursors
-/// over disjoint ranges jointly enumerate exactly the component result.
+/// fit list; null/null means the whole list. Partitioned cursors over
+/// disjoint ranges jointly enumerate exactly the component result.
 class ComponentCursor final : public Cursor {
  public:
   ComponentCursor(const ComponentEngine* ce, RevisionGuard guard,
-                  const Item* root_begin = nullptr,
-                  const Item* root_end = nullptr);
+                  ItemHandle root_begin = ItemHandle(),
+                  ItemHandle root_end = ItemHandle());
 
   /// Pinned-snapshot variant: enumerates exactly the fit list anchored at
-  /// `fixed_root` (which may be nullptr — an empty pinned result — and is
+  /// `fixed_root` (which may be null — an empty pinned result — and is
   /// never re-read from the live root slot). The guard should be the
   /// never-invalidating default for snapshot use.
   struct FixedRootTag {};
   ComponentCursor(FixedRootTag, const ComponentEngine* ce,
-                  RevisionGuard guard, const Item* fixed_root);
+                  RevisionGuard guard, ItemHandle fixed_root);
 
   CursorStatus Next(Tuple* out) override;
   CursorStatus Reset() override;
 
  private:
   const ChildSlot& SlotOf(std::size_t pos) const;
-  const void* FirstOf(std::size_t pos) const;
-  const void* NextOf(std::size_t pos) const;
+  std::uint64_t FirstOf(std::size_t pos) const;
+  std::uint64_t NextOf(std::size_t pos) const;
   void Emit(Tuple* out) const;
 
   const ComponentEngine* ce_;
   RevisionGuard guard_;
-  const Item* root_begin_;  // nullptr = root fit-list head (unless fixed)
-  const Item* root_end_;    // exclusive; nullptr = to the end
-  // Pinned snapshots: root_begin_ is authoritative even when nullptr —
-  // the live root slot is never consulted (it may have moved on).
+  std::uint64_t root_begin_;  // handle bits; 0 = live head (unless fixed)
+  std::uint64_t root_end_;    // handle bits, exclusive; 0 = to the end
+  // Pinned snapshots: root_begin_ is authoritative even when null — the
+  // live root slot is never consulted (it may have moved on).
   bool fixed_root_ = false;
-  // Current Item* or ChildIndex::Entry* per document position.
-  std::vector<const void*> cur_;
+  // Per document position: regular nodes hold (ItemHandle bits << 1) or
+  // a tagged run-record pointer (ptr | 1); inlined-leaf nodes hold the
+  // current index entry / record pointer verbatim.
+  std::vector<std::uint64_t> cur_;
   bool started_ = false;
   bool done_ = false;
 };

@@ -545,8 +545,8 @@ bool Engine::Answer() {
 }
 
 std::unique_ptr<Cursor> Engine::NewComponentCursor(std::size_t c,
-                                                   const Item* root_begin,
-                                                   const Item* root_end) {
+                                                   ItemHandle root_begin,
+                                                   ItemHandle root_end) {
   RevisionGuard guard = NewGuard();
   const ComponentEngine* ce = components_[c].get();
   if (ce->query().head().empty()) {
@@ -558,12 +558,12 @@ std::unique_ptr<Cursor> Engine::NewComponentCursor(std::size_t c,
 std::unique_ptr<Cursor> Engine::NewCursor() {
   if (components_.size() == 1 && !components_[0]->query().head().empty()) {
     // Single non-Boolean component: its head order is the query's.
-    return NewComponentCursor(0, nullptr, nullptr);
+    return NewComponentCursor(0, ItemHandle(), ItemHandle());
   }
   std::vector<std::unique_ptr<Cursor>> subs;
   subs.reserve(components_.size());
   for (std::size_t c = 0; c < components_.size(); ++c) {
-    subs.push_back(NewComponentCursor(c, nullptr, nullptr));
+    subs.push_back(NewComponentCursor(c, ItemHandle(), ItemHandle()));
   }
   return std::make_unique<ProductCursor>(std::move(subs), head_map_);
 }
@@ -589,9 +589,10 @@ Result<std::vector<std::unique_ptr<Cursor>>> Engine::NewPartitions(
   std::size_t roots = 0;
   for (std::size_t c = 0; c < components_.size(); ++c) {
     if (components_[c]->query().head().empty()) continue;
+    const ItemPool& pool = components_[c]->pool();
     std::size_t n = 0;
-    for (const Item* it = components_[c]->root_slot().head; it != nullptr;
-         it = it->next) {
+    for (ItemHandle h = SlotHead(components_[c]->root_slot()); h;
+         h = pool.Resolve(h)->next) {
       ++n;
     }
     if (n > roots) {
@@ -608,12 +609,12 @@ Result<std::vector<std::unique_ptr<Cursor>>> Engine::NewPartitions(
   const std::size_t parts = std::min(k, roots);
   const std::size_t base = roots / parts;
   std::size_t extra = roots % parts;  // first `extra` ranges get one more
-  const Item* begin = ce.root_slot().head;
+  ItemHandle begin = SlotHead(ce.root_slot());
   for (std::size_t p = 0; p < parts; ++p) {
     std::size_t len = base + (extra > 0 ? 1 : 0);
     if (extra > 0) --extra;
-    const Item* end = begin;
-    for (std::size_t i = 0; i < len; ++i) end = end->next;
+    ItemHandle end = begin;
+    for (std::size_t i = 0; i < len; ++i) end = ce.pool().Resolve(end)->next;
 
     if (components_.size() == 1) {
       out.push_back(NewComponentCursor(0, begin, end));
@@ -621,8 +622,10 @@ Result<std::vector<std::unique_ptr<Cursor>>> Engine::NewPartitions(
       std::vector<std::unique_ptr<Cursor>> subs;
       subs.reserve(components_.size());
       for (std::size_t c = 0; c < components_.size(); ++c) {
-        subs.push_back(c == pivot ? NewComponentCursor(c, begin, end)
-                                  : NewComponentCursor(c, nullptr, nullptr));
+        subs.push_back(c == pivot
+                           ? NewComponentCursor(c, begin, end)
+                           : NewComponentCursor(c, ItemHandle(),
+                                                ItemHandle()));
       }
       out.push_back(
           std::make_unique<ProductCursor>(std::move(subs), head_map_));

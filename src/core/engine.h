@@ -231,8 +231,8 @@ class Engine final : public DynamicQueryEngine {
 
   /// Cursor for one component (range-restricted at the pivot).
   std::unique_ptr<Cursor> NewComponentCursor(std::size_t c,
-                                             const Item* root_begin,
-                                             const Item* root_end);
+                                             ItemHandle root_begin,
+                                             ItemHandle root_end);
 
   Query query_;
   // Storage: owned_db_ is null in shared mode (CreateShared), where db_

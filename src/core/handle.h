@@ -1,0 +1,102 @@
+// ItemHandle: the pool-relative name of an Item.
+//
+// The hive ItemPool (core/item_pool.h) places items in fixed-capacity
+// 64-slot blocks and publishes a flat block directory, so an item is
+// fully named by (block id, slot): a 32-bit index resolved with one
+// directory load and a shift+add — no division, no chain of
+// indirections. Every structure that used to store an `Item*` (child
+// index payloads, fit-list links, cursors, snapshot retire lists)
+// stores an ItemHandle instead; `scripts/lint_invariants.py` enforces
+// this for src/core/.
+//
+// Checked builds (DYNCQ_CHECKED_HANDLES, default-on outside NDEBUG)
+// widen the handle with the 16-bit slot generation observed at
+// allocation. The pool bumps a slot's generation on Free and on Retire,
+// so dereferencing a stale handle becomes a typed DYNCQ_CHECK failure
+// ("stale ItemHandle") instead of a silent read of whatever occupies
+// the slot now. Release handles stay 4 bytes; the generations are still
+// maintained (the pool's explicit checked accessors let release-mode
+// tests observe them), they are just not carried in the handle.
+#ifndef DYNCQ_CORE_HANDLE_H_
+#define DYNCQ_CORE_HANDLE_H_
+
+#include <cstdint>
+
+#ifndef DYNCQ_CHECKED_HANDLES
+#ifdef NDEBUG
+#define DYNCQ_CHECKED_HANDLES 0
+#else
+#define DYNCQ_CHECKED_HANDLES 1
+#endif
+#endif
+
+namespace dyncq::core {
+
+class ItemHandle {
+ public:
+  /// log2 of the pool's block capacity: the low 6 bits of the index are
+  /// the slot, the rest the block id. Block id 0 is never allocated, so
+  /// index 0 (the default) is the null handle.
+  static constexpr unsigned kSlotBits = 6;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  constexpr ItemHandle() = default;
+
+#if DYNCQ_CHECKED_HANDLES
+  constexpr ItemHandle(std::uint32_t idx, std::uint16_t gen)
+      : idx_(idx), gen_(gen) {}
+#else
+  constexpr explicit ItemHandle(std::uint32_t idx) : idx_(idx) {}
+#endif
+
+  /// (block id << kSlotBits) | slot; 0 for the null handle.
+  constexpr std::uint32_t idx() const { return idx_; }
+  constexpr std::uint32_t block() const { return idx_ >> kSlotBits; }
+  constexpr std::uint32_t slot() const { return idx_ & kSlotMask; }
+
+  constexpr explicit operator bool() const { return idx_ != 0; }
+
+  /// The handle as a single word, for storage in 64-bit payload fields
+  /// (child-index records, ChildSlot head/tail). bits() == 0 iff null.
+  constexpr std::uint64_t bits() const {
+#if DYNCQ_CHECKED_HANDLES
+    return static_cast<std::uint64_t>(idx_) |
+           (static_cast<std::uint64_t>(gen_) << 32);
+#else
+    return idx_;
+#endif
+  }
+
+  static constexpr ItemHandle FromBits(std::uint64_t b) {
+#if DYNCQ_CHECKED_HANDLES
+    return ItemHandle(static_cast<std::uint32_t>(b),
+                      static_cast<std::uint16_t>(b >> 32));
+#else
+    return ItemHandle(static_cast<std::uint32_t>(b));
+#endif
+  }
+
+#if DYNCQ_CHECKED_HANDLES
+  constexpr std::uint16_t gen() const { return gen_; }
+#endif
+
+  /// Handles compare by full identity (index and, in checked builds,
+  /// generation): two names for the same slot across a free/realloc
+  /// cycle are deliberately unequal there.
+  friend constexpr bool operator==(ItemHandle a, ItemHandle b) {
+    return a.bits() == b.bits();
+  }
+  friend constexpr bool operator!=(ItemHandle a, ItemHandle b) {
+    return a.bits() != b.bits();
+  }
+
+ private:
+  std::uint32_t idx_ = 0;
+#if DYNCQ_CHECKED_HANDLES
+  std::uint16_t gen_ = 0;
+#endif
+};
+
+}  // namespace dyncq::core
+
+#endif  // DYNCQ_CORE_HANDLE_H_

@@ -13,14 +13,22 @@
 //  * intrusive prev/next links for its own membership in the parent's
 //    fit-list (an item is in the list iff it is "fit", i.e. C^i > 0).
 //
+// Items live in the hive ItemPool (core/item_pool.h) and name each other
+// by ItemHandle (core/handle.h), never by pointer: the header links
+// (parent, fit-list prev/next) and every external reference are handles
+// resolved through the pool's flat block directory. `self` is the item's
+// own handle, stamped at allocation, so code holding a resolved Item*
+// can store its name without a reverse lookup.
+//
 // Items are allocated as a single block: the Item header followed by the
-// ChildSlot array and the atom-count array (sizes fixed per q-tree node).
+// atom-count array and the ChildSlot array (sizes fixed per q-tree node).
 #ifndef DYNCQ_CORE_ITEM_H_
 #define DYNCQ_CORE_ITEM_H_
 
 #include <cstdint>
 
 #include "core/child_index.h"
+#include "core/handle.h"
 #include "util/types.h"
 
 namespace dyncq::core {
@@ -37,18 +45,28 @@ constexpr std::size_t AlignUp(std::size_t n, std::size_t a) {
 /// index of ALL child items (fit or not) keyed by their value. The index
 /// leads the struct so the top-down walk's first touch of a slot lands on
 /// the inline entries' cache line.
+///
+/// head/tail are 64-bit name fields with two modes, exactly one of which
+/// a slot ever uses:
+///  * regular child lists: ItemHandle bits of the list head/tail
+///    (ItemHandle::FromBits / bits(); 0 = empty list);
+///  * strided-leaf slots (leaf nodes tracking k > 1 atoms, inlined as
+///    count records in this index): the head/tail record KEYS of the
+///    intrusive fit-list links kept inside the records themselves — no
+///    leaf Items exist, so there is nothing to name by handle.
 struct ChildSlot {
-  ChildIndex index;     // value b -> child item [u, α a, b]
-  Item* head = nullptr;
-  Item* tail = nullptr;
-  Weight sum = 0;       // C^i_u  = Σ_{i' ∈ L^i_u} C^{i'}
-  Weight sum_free = 0;  // C̃^i_u = Σ_{i' ∈ L^i_u} C̃^{i'}
+  ChildIndex index;          // value b -> child item [u, α a, b]
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  Weight sum = 0;            // C^i_u  = Σ_{i' ∈ L^i_u} C^{i'}
+  Weight sum_free = 0;       // C̃^i_u = Σ_{i' ∈ L^i_u} C̃^{i'}
 };
 
 struct Item {
-  Item* parent = nullptr;  // parent item ([v,α,a] -> [v',α',a'] one level up)
-  Item* prev = nullptr;    // intrusive links within the parent's fit-list
-  Item* next = nullptr;
+  ItemHandle self;    // this item's own pool name (set by ItemPool::Alloc)
+  ItemHandle parent;  // parent item ([v,α,a] -> [v',α',a'] one level up)
+  ItemHandle prev;    // intrusive links within the parent's fit-list
+  ItemHandle next;
   bool in_list = false;
 
   // Path compression (fanout-1 q-tree nodes): 1 while this item absorbs
@@ -71,7 +89,7 @@ struct Item {
   // The trailing arrays (atom counts, then child slots) are NOT pointed
   // to from the header: their offsets are deterministic per q-tree node
   // (see ItemCountsOffset / ItemSlotsOffset below), which keeps the
-  // header to 80 bytes and the update walk free of pointer loads.
+  // header compact and the update walk free of pointer loads.
 };
 
 /// Block layout: [Item header][atom counts][child slots]. The layout is
@@ -113,50 +131,17 @@ inline const ChildSlot* ItemSlots(const Item* it, std::size_t num_atoms) {
       reinterpret_cast<const char*>(it) + ItemSlotsOffset(num_atoms));
 }
 
-/// Strided-leaf slots (leaf nodes tracking k > 1 atoms, inlined as
-/// count records in the parent's ChildIndex) keep their fit list as
-/// intrusive KEY links inside the records — no Items exist for them, so
-/// the slot's head/tail pointer fields store the head/tail record keys
-/// instead. These helpers are the only way those fields are accessed in
-/// that mode.
-static_assert(sizeof(std::uintptr_t) >= sizeof(Value),
-              "strided-leaf fit lists store Value keys in pointer fields");
-inline Value LeafListKey(const Item* p) {
-  return static_cast<Value>(reinterpret_cast<std::uintptr_t>(p));
+/// Handle views of a regular (non-strided-leaf) slot's list anchors.
+inline ItemHandle SlotHead(const ChildSlot& slot) {
+  return ItemHandle::FromBits(slot.head);
 }
-inline Item* LeafListPtr(Value v) {
-  return reinterpret_cast<Item*>(static_cast<std::uintptr_t>(v));
+inline ItemHandle SlotTail(const ChildSlot& slot) {
+  return ItemHandle::FromBits(slot.tail);
 }
 
-/// Appends `it` to the tail of `slot`'s list (paper Figure 3 list order:
-/// items appear in the order they became fit).
-inline void ListPushBack(ChildSlot& slot, Item* it) {
-  it->prev = slot.tail;
-  it->next = nullptr;
-  if (slot.tail != nullptr) {
-    slot.tail->next = it;
-  } else {
-    slot.head = it;
-  }
-  slot.tail = it;
-  it->in_list = true;
-}
-
-/// Unlinks `it` from `slot`'s list.
-inline void ListRemove(ChildSlot& slot, Item* it) {
-  if (it->prev != nullptr) {
-    it->prev->next = it->next;
-  } else {
-    slot.head = it->next;
-  }
-  if (it->next != nullptr) {
-    it->next->prev = it->prev;
-  } else {
-    slot.tail = it->prev;
-  }
-  it->prev = it->next = nullptr;
-  it->in_list = false;
-}
+// The fit-list splice helpers (ListPushBack / ListRemove) live in
+// core/item_pool.h: they chase prev/next handles, so they need the pool
+// to resolve them.
 
 }  // namespace dyncq::core
 

@@ -22,6 +22,10 @@ StreamGenerator::StreamGenerator(std::shared_ptr<const Schema> schema,
     DYNCQ_CHECK(opts_.flash_period >= 1);
     DYNCQ_CHECK(opts_.flash_hot_values >= 1);
   }
+  if (opts_.pattern == TemporalPattern::kDeleteStorm) {
+    DYNCQ_CHECK(opts_.storm_period >= 1);
+    DYNCQ_CHECK(opts_.storm_len <= opts_.storm_period);
+  }
 }
 
 Value StreamGenerator::RandomValue() {
@@ -79,6 +83,18 @@ void StreamGenerator::TickFlash() {
 
 UpdateCmd StreamGenerator::Next(RelId rel) {
   if (opts_.pattern == TemporalPattern::kFlashCrowd) TickFlash();
+
+  if (opts_.pattern == TemporalPattern::kDeleteStorm) {
+    // Sawtooth: the cycle ends with a pure-delete storm, so a fresh
+    // generator builds first. The build phase falls through to the
+    // normal churn mix below.
+    const std::uint64_t phase = tick_++ % opts_.storm_period;
+    const bool storming =
+        phase >= opts_.storm_period - opts_.storm_len;
+    if (storming && !live_[rel].empty()) {
+      return DeleteLiveAt(rel, rng_.Below(live_[rel].size()));
+    }
+  }
 
   if (opts_.pattern == TemporalPattern::kSlidingWindow) {
     // Expiry first: past the window, the oldest arrival leaves before

@@ -30,6 +30,14 @@ enum class TemporalPattern {
   /// commands draw their tuples from it exclusively; between bursts the
   /// stream is kChurn. Models hot keys defeating uniform sharding.
   kFlashCrowd,
+  /// Delete storm: a sawtooth of build and drain. Each `storm_period`
+  /// commands end with `storm_len` commands that are pure deletes of
+  /// uniformly random live tuples (stopping early only if the relation
+  /// empties); the build phase before them is the kChurn mix. Models
+  /// mass expiry/backfill-revert traffic — the adversarial case for
+  /// pool block reclamation, since whole item blocks are repeatedly
+  /// drained and must be returned rather than parked forever.
+  kDeleteStorm,
 };
 
 struct StreamOptions {
@@ -53,6 +61,12 @@ struct StreamOptions {
   std::size_t flash_period = 4096;
   std::size_t flash_len = 512;
   std::size_t flash_hot_values = 8;
+
+  /// kDeleteStorm: commands per build+drain cycle, and how many at the
+  /// end of each cycle are the pure-delete storm (storm_len <=
+  /// storm_period; the remainder is the build phase).
+  std::size_t storm_period = 8192;
+  std::size_t storm_len = 4096;
 };
 
 /// Stateful generator producing a realistic insert/delete mix: deletes

@@ -13,13 +13,13 @@
 namespace dyncq::core {
 namespace {
 
-Item* Marker(std::uintptr_t v) { return reinterpret_cast<Item*>(v); }
+std::uint64_t Marker(std::uint64_t v) { return v ^ 0xABCD0000u; }
 
 TEST(ChildIndexTest, EmptyFindsNothing) {
   ChildIndex idx;
   EXPECT_EQ(idx.size(), 0u);
   EXPECT_TRUE(idx.empty());
-  EXPECT_EQ(idx.Find(1), nullptr);
+  EXPECT_EQ(idx.Find(1), 0u);
   EXPECT_FALSE(idx.Erase(1));
   EXPECT_EQ(idx.FirstEntry(), nullptr);
 }
@@ -27,9 +27,9 @@ TEST(ChildIndexTest, EmptyFindsNothing) {
 TEST(ChildIndexTest, InlineInsertFindErase) {
   ChildIndex idx;
   for (Value v = 1; v <= ChildIndex::kInlineCap; ++v) {
-    Item** slot = idx.FindOrInsertSlot(v);
+    std::uint64_t* slot = idx.FindOrInsertSlot(v);
     ASSERT_NE(slot, nullptr);
-    EXPECT_EQ(*slot, nullptr);  // fresh slot
+    EXPECT_EQ(*slot, 0u);  // fresh slot
     *slot = Marker(v);
   }
   EXPECT_EQ(idx.size(), ChildIndex::kInlineCap);
@@ -37,15 +37,15 @@ TEST(ChildIndexTest, InlineInsertFindErase) {
     EXPECT_EQ(idx.Find(v), Marker(v));
   }
   EXPECT_TRUE(idx.Erase(2));
-  EXPECT_EQ(idx.Find(2), nullptr);
+  EXPECT_EQ(idx.Find(2), 0u);
   EXPECT_EQ(idx.size(), ChildIndex::kInlineCap - 1);
 }
 
 TEST(ChildIndexTest, FindOrInsertIsIdempotentPerKey) {
   ChildIndex idx;
-  Item** a = idx.FindOrInsertSlot(7);
+  std::uint64_t* a = idx.FindOrInsertSlot(7);
   *a = Marker(70);
-  Item** b = idx.FindOrInsertSlot(7);
+  std::uint64_t* b = idx.FindOrInsertSlot(7);
   EXPECT_EQ(*b, Marker(70));
   EXPECT_EQ(idx.size(), 1u);
 }
@@ -60,7 +60,7 @@ TEST(ChildIndexTest, SpillsToHeapBeyondInlineCapacity) {
   for (Value v = 1; v <= n; ++v) {
     ASSERT_EQ(idx.Find(v), Marker(v)) << v;
   }
-  EXPECT_EQ(idx.Find(n + 1), nullptr);
+  EXPECT_EQ(idx.Find(n + 1), 0u);
 }
 
 TEST(ChildIndexTest, InlineIterationPreservesInsertionOrder) {
@@ -102,15 +102,15 @@ TEST(ChildIndexTest, ReserveAllowsBulkInsertion) {
 
 TEST(ChildIndexTest, RandomizedAgainstStdMap) {
   ChildIndex idx;
-  std::map<Value, Item*> ref;
+  std::map<Value, std::uint64_t> ref;
   Rng rng(1234);
   for (int step = 0; step < 200000; ++step) {
     Value v = rng.Range(1, 300);
     if (rng.Chance(0.55)) {
-      Item** slot = idx.FindOrInsertSlot(v);
+      std::uint64_t* slot = idx.FindOrInsertSlot(v);
       auto [it, inserted] = ref.emplace(v, Marker(v));
       if (inserted) {
-        ASSERT_EQ(*slot, nullptr) << "step " << step;
+        ASSERT_EQ(*slot, 0u) << "step " << step;
         *slot = Marker(v);
       } else {
         ASSERT_EQ(*slot, it->second) << "step " << step;
@@ -121,10 +121,10 @@ TEST(ChildIndexTest, RandomizedAgainstStdMap) {
     ASSERT_EQ(idx.size(), ref.size());
     if (step % 1000 == 0) {
       // Full-content audit via the entry cursor.
-      std::map<Value, Item*> seen;
+      std::map<Value, std::uint64_t> seen;
       for (const ChildIndex::Entry* e = idx.FirstEntry(); e != nullptr;
            e = idx.NextEntry(e)) {
-        seen.emplace(e->key, e->item);
+        seen.emplace(e->key, e->payload);
       }
       ASSERT_EQ(seen, ref) << "step " << step;
     }
@@ -153,7 +153,7 @@ TEST(ChildIndexTest, ShrinksAfterMassDeletion) {
     ASSERT_EQ(idx.Find(v), Marker(v)) << v;
   }
   for (Value v = 33; v <= n; ++v) {
-    ASSERT_EQ(idx.Find(v), nullptr) << v;
+    ASSERT_EQ(idx.Find(v), 0u) << v;
   }
 
   // Down to the inline regime: the heap table is released entirely.
@@ -176,7 +176,7 @@ TEST(ChildIndexTest, FindOfPresentKeyNeverRehashes) {
   // the capacity, keep outstanding slot pointers valid, and keep a live
   // entry cursor walking the same records.
   ChildIndex idx;
-  std::vector<Item**> slots;  // outstanding pointer per present key
+  std::vector<std::uint64_t*> slots;  // outstanding pointer per present key
   for (Value v = 1; v <= 200; ++v) {
     *idx.FindOrInsertSlot(v) = Marker(v);  // fresh: MAY rehash
     // Take outstanding pointers after the legitimate insert...
@@ -188,7 +188,7 @@ TEST(ChildIndexTest, FindOfPresentKeyNeverRehashes) {
     // exact load threshold the old code grew at.
     for (int pass = 0; pass < 3; ++pass) {
       for (Value u = 1; u <= v; ++u) {
-        Item** again = idx.FindOrInsertSlot(u);
+        std::uint64_t* again = idx.FindOrInsertSlot(u);
         ASSERT_EQ(*again, Marker(u)) << "fill " << v;
         ASSERT_EQ(again, slots[static_cast<std::size_t>(u - 1)])
             << "find of a present key moved its slot at fill " << v;

@@ -64,26 +64,31 @@ TEST_F(Example61Test, Figure3aCStartIs23) {
 }
 
 TEST_F(Example61Test, Figure3aItemWeights) {
-  // Walk the root list: items a (weight 14) then b (weight 9).
+  // Walk the root list: items a (weight 14) then b (weight 9). Fit-list
+  // links are ItemHandles resolved through the component's pool.
+  const core::ItemPool& pool = engine_->component(0).pool();
   const core::ChildSlot& root = engine_->component(0).root_slot();
-  ASSERT_NE(root.head, nullptr);
-  EXPECT_EQ(root.head->value, a);
-  EXPECT_EQ(root.head->weight, Weight{14});
-  ASSERT_NE(root.head->next, nullptr);
-  EXPECT_EQ(root.head->next->value, b);
-  EXPECT_EQ(root.head->next->weight, Weight{9});
-  EXPECT_EQ(root.head->next->next, nullptr);
+  const core::Item* xa = pool.Resolve(core::SlotHead(root));
+  ASSERT_NE(xa, nullptr);
+  EXPECT_EQ(xa->value, a);
+  EXPECT_EQ(xa->weight, Weight{14});
+  const core::Item* xb = pool.Resolve(xa->next);
+  ASSERT_NE(xb, nullptr);
+  EXPECT_EQ(xb->value, b);
+  EXPECT_EQ(xb->weight, Weight{9});
+  EXPECT_EQ(pool.Resolve(xb->next), nullptr);
 
   // Item [y, a/x, e] has weight 6, [y, a/x, f] weight 1 (Figure 3a).
-  const core::Item* xa = root.head;
   const core::ChildSlot& y_list =
       engine_->component(0).item_child_slot(xa, 0);
-  ASSERT_NE(y_list.head, nullptr);
-  EXPECT_EQ(y_list.head->value, e);
-  EXPECT_EQ(y_list.head->weight, Weight{6});
-  ASSERT_NE(y_list.head->next, nullptr);
-  EXPECT_EQ(y_list.head->next->value, f);
-  EXPECT_EQ(y_list.head->next->weight, Weight{1});
+  const core::Item* ye = pool.Resolve(core::SlotHead(y_list));
+  ASSERT_NE(ye, nullptr);
+  EXPECT_EQ(ye->value, e);
+  EXPECT_EQ(ye->weight, Weight{6});
+  const core::Item* yf = pool.Resolve(ye->next);
+  ASSERT_NE(yf, nullptr);
+  EXPECT_EQ(yf->value, f);
+  EXPECT_EQ(yf->weight, Weight{1});
 }
 
 TEST_F(Example61Test, Table1EnumerationOrder) {
@@ -119,18 +124,20 @@ TEST_F(Example61Test, Figure3bInsertEbp) {
   EXPECT_EQ(engine_->component(0).CStart(), Weight{38});
   EXPECT_EQ(engine_->Count(), Weight{38});
 
+  const core::ItemPool& pool = engine_->component(0).pool();
   const core::ChildSlot& root = engine_->component(0).root_slot();
-  ASSERT_NE(root.head, nullptr);
-  EXPECT_EQ(root.head->weight, Weight{14});  // a unchanged
-  ASSERT_NE(root.head->next, nullptr);
-  EXPECT_EQ(root.head->next->weight, Weight{24});  // b: 14 -> 24
+  const core::Item* xa = pool.Resolve(core::SlotHead(root));
+  ASSERT_NE(xa, nullptr);
+  EXPECT_EQ(xa->weight, Weight{14});  // a unchanged
+  const core::Item* xb = pool.Resolve(xa->next);
+  ASSERT_NE(xb, nullptr);
+  EXPECT_EQ(xb->weight, Weight{24});  // b: 14 -> 24
 
   // [y, b/x, p] is now fit with weight 3 (Figure 3b) at the tail of b's
   // y-list.
-  const core::Item* xb = root.head->next;
   const core::ChildSlot& y_list =
       engine_->component(0).item_child_slot(xb, 0);
-  const core::Item* last = y_list.tail;
+  const core::Item* last = pool.Resolve(core::SlotTail(y_list));
   ASSERT_NE(last, nullptr);
   EXPECT_EQ(last->value, p);
   EXPECT_EQ(last->weight, Weight{3});

@@ -1,0 +1,247 @@
+// Hive ItemPool: generation-checked handles, skipfield churn, and block
+// reclamation (core/item_pool.h).
+//
+// The stale-handle tests assert the TYPED failure contract: a freed or
+// retired handle must fail a DYNCQ_CHECK (std::logic_error), never read
+// the slot's new occupant. Checked builds enforce it on every Resolve;
+// ResolveCheckedAt enforces it in every build, so the contract is tested
+// under Release too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/item_pool.h"
+#include "util/rng.h"
+
+namespace dyncq::core {
+namespace {
+
+// One q-tree node with one tracked atom and one child slot — the
+// smallest real item shape.
+ItemPool MakePool() {
+  return ItemPool({1}, {1});
+}
+
+TEST(ItemPoolTest, AllocStampsSelfAndResolvesBack) {
+  ItemPool pool = MakePool();
+  Item* it = pool.Alloc(0);
+  ASSERT_NE(it, nullptr);
+  EXPECT_TRUE(static_cast<bool>(it->self));
+  EXPECT_EQ(pool.Resolve(it->self), it);
+  EXPECT_EQ(pool.ResolveBits(it->self.bits()), it);
+  EXPECT_EQ(pool.live_items(), 1u);
+  pool.Free(it);
+  EXPECT_EQ(pool.live_items(), 0u);
+}
+
+TEST(ItemPoolTest, NullHandleResolvesToNull) {
+  ItemPool pool = MakePool();
+  EXPECT_EQ(pool.Resolve(ItemHandle()), nullptr);
+  EXPECT_EQ(pool.ResolveBits(0), nullptr);
+}
+
+TEST(ItemPoolTest, FreedHandleFailsTypedCheck) {
+  ItemPool pool = MakePool();
+  Item* it = pool.Alloc(0);
+  const ItemHandle h = it->self;
+  const std::uint32_t idx = h.idx();
+  const std::uint16_t gen = pool.GenerationOf(idx);
+  pool.Free(it);
+  // The slot generation moved, so the old name is stale in every build.
+  EXPECT_NE(pool.GenerationOf(idx), gen);
+  EXPECT_THROW(pool.ResolveCheckedAt(idx, gen), std::logic_error);
+#if DYNCQ_CHECKED_HANDLES
+  EXPECT_THROW(pool.Resolve(h), std::logic_error);
+#endif
+  // A fresh item in the recycled slot gets a NEW identity: its handle
+  // resolves, the old one still fails (no ABA within a generation).
+  Item* again = pool.Alloc(0);
+  ASSERT_EQ(again->self.idx(), idx);  // hot block: slot reused
+  EXPECT_EQ(pool.Resolve(again->self), again);
+  EXPECT_THROW(pool.ResolveCheckedAt(idx, gen), std::logic_error);
+#if DYNCQ_CHECKED_HANDLES
+  EXPECT_THROW(pool.Resolve(h), std::logic_error);
+  EXPECT_NE(again->self, h);
+#endif
+  pool.Free(again);
+}
+
+TEST(ItemPoolTest, RetiredEpochHandleFailsTypedCheck) {
+  ItemPool pool = MakePool();
+  Item* it = pool.Alloc(0);
+  const ItemHandle h = it->self;
+  const std::uint32_t idx = h.idx();
+  const std::uint16_t gen = pool.GenerationOf(idx);
+  // Snapshot-version death path: detach from the live count, then retire
+  // at an epoch. Retire bumps the generation immediately — a pinned
+  // cursor's handle used after its version died must fail loudly, even
+  // before the writer reclaims the slots.
+  pool.Detach(1);
+  pool.Retire(7, {h});
+  EXPECT_TRUE(pool.has_retired());
+  EXPECT_THROW(pool.ResolveCheckedAt(idx, gen), std::logic_error);
+#if DYNCQ_CHECKED_HANDLES
+  EXPECT_THROW(pool.Resolve(h), std::logic_error);
+#endif
+  // Reclamation below the epoch keeps the slots queued...
+  pool.ReclaimThrough(6);
+  EXPECT_TRUE(pool.has_retired());
+  // ...and reclaiming through it folds them back into the block.
+  pool.ReclaimThrough(7);
+  EXPECT_FALSE(pool.has_retired());
+  EXPECT_THROW(pool.ResolveCheckedAt(idx, gen), std::logic_error);
+}
+
+TEST(ItemPoolTest, GenerationWraparoundIsTheAbaWindow) {
+  // Generations are 16-bit: after exactly 2^16 free/realloc cycles a
+  // slot's generation returns to its starting value and a handle from
+  // generation zero becomes indistinguishable from a live one. This test
+  // documents the window: the stale name fails for every intermediate
+  // generation and (by design, not as a feature) resolves again after
+  // the wrap.
+  ItemPool pool = MakePool();
+  Item* it = pool.Alloc(0);
+  const std::uint32_t idx = it->self.idx();
+  const std::uint16_t gen0 = pool.GenerationOf(idx);
+  pool.Free(it);
+  for (int cycle = 1; cycle < 65536; ++cycle) {
+    Item* cur = pool.Alloc(0);
+    ASSERT_EQ(cur->self.idx(), idx);
+    ASSERT_NE(pool.GenerationOf(idx), gen0) << "cycle " << cycle;
+    EXPECT_THROW(pool.ResolveCheckedAt(idx, gen0), std::logic_error);
+    pool.Free(cur);
+  }
+  Item* wrapped = pool.Alloc(0);
+  ASSERT_EQ(wrapped->self.idx(), idx);
+  EXPECT_EQ(pool.GenerationOf(idx), gen0);
+  EXPECT_EQ(pool.ResolveCheckedAt(idx, gen0), wrapped);
+  pool.Free(wrapped);
+}
+
+TEST(ItemPoolTest, RandomizedChurnDifferentialAgainstShadowMap) {
+  // Random alloc/free across two node shapes, mirrored in a shadow map
+  // handle-bits -> stamped value. Every live handle must resolve to an
+  // item carrying its stamp; counts and occupancy must track the map.
+  ItemPool pool({1, 2}, {1, 3});
+  Rng rng(20260808);
+  std::unordered_map<std::uint64_t, Value> shadow;
+  std::vector<ItemHandle> live;
+  Value stamp = 1;
+  for (int step = 0; step < 60000; ++step) {
+    if (live.empty() || rng.Chance(0.55)) {
+      Item* it = pool.Alloc(rng.Chance(0.5) ? 0u : 1u);
+      it->value = stamp;
+      shadow.emplace(it->self.bits(), stamp);
+      live.push_back(it->self);
+      ++stamp;
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.Range(0, static_cast<Value>(live.size() - 1)));
+      const ItemHandle h = live[pick];
+      ASSERT_EQ(pool.Resolve(h)->value, shadow.at(h.bits()));
+      pool.Free(pool.Resolve(h));
+      shadow.erase(h.bits());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (step % 4096 == 0) {
+      ASSERT_EQ(pool.live_items(), shadow.size());
+      for (const ItemHandle h : live) {
+        ASSERT_EQ(pool.Resolve(h)->value, shadow.at(h.bits()));
+      }
+      ASSERT_EQ(pool.GetStats().occupied_slots, shadow.size());
+    }
+  }
+  ASSERT_EQ(pool.live_items(), shadow.size());
+  for (const ItemHandle h : live) pool.Free(pool.Resolve(h));
+  EXPECT_EQ(pool.live_items(), 0u);
+  EXPECT_EQ(pool.GetStats().occupied_slots, 0u);
+}
+
+TEST(ItemPoolTest, DeleteHeavyChurnReturnsBlocksToReusePool) {
+  // The hive contract: footprint follows the live set, not the
+  // high-water mark. Fill thousands of slots, free them all, and the
+  // blocks must leave the active set — a bounded few parked for reuse,
+  // the rest released.
+  ItemPool pool = MakePool();
+  std::vector<ItemHandle> live;
+  constexpr int kItems = 64 * 200;  // 200 blocks
+  for (int i = 0; i < kItems; ++i) live.push_back(pool.Alloc(0)->self);
+  const ItemPool::Stats peak = pool.GetStats();
+  EXPECT_GE(peak.active_blocks, 200u);
+  EXPECT_EQ(peak.occupied_slots, static_cast<std::size_t>(kItems));
+
+  for (const ItemHandle h : live) pool.Free(pool.Resolve(h));
+  const ItemPool::Stats drained = pool.GetStats();
+  EXPECT_EQ(drained.occupied_slots, 0u);
+  // Near-baseline active set: at most the kept-hot partial head block.
+  EXPECT_LE(drained.active_blocks, 1u);
+  EXPECT_GT(drained.released_blocks, 0u);
+  EXPECT_LE(drained.reusable_blocks, 8u);  // per-class reuse cap
+  EXPECT_LT(drained.slab_bytes, peak.slab_bytes / 10);
+
+  // And reallocation drains the reuse pool before touching the OS (the
+  // +1 block's worth fills the kept-hot empty head first).
+  const std::size_t parked = drained.reusable_blocks;
+  std::vector<ItemHandle> again;
+  for (std::size_t i = 0; i < 64 * (parked + 1); ++i) {
+    again.push_back(pool.Alloc(0)->self);
+  }
+  const ItemPool::Stats refill = pool.GetStats();
+  EXPECT_EQ(refill.reusable_blocks, 0u);
+  EXPECT_EQ(refill.slab_bytes, drained.slab_bytes);
+  for (const ItemHandle h : again) pool.Free(pool.Resolve(h));
+}
+
+TEST(ItemPoolTest, CrossStripeFreesDeferUntilEndConcurrent) {
+  // Sharded-batch protocol: a stripe freeing another stripe's item runs
+  // the generation bump at once (stale handles fail immediately) but
+  // folds the slot back only at EndConcurrent on the writer.
+  ItemPool pool = MakePool();
+  pool.EnsureStripes(2);
+  Item* it = pool.Alloc(0, /*stripe=*/0);
+  const ItemHandle h = it->self;
+  const std::uint32_t idx = h.idx();
+  const std::uint16_t gen = pool.GenerationOf(idx);
+  pool.BeginConcurrent();
+  pool.Free(it, /*stripe=*/1);  // cross-stripe: block belongs to stripe 0
+  EXPECT_THROW(pool.ResolveCheckedAt(idx, gen), std::logic_error);
+  // Slot not yet recycled: the block still shows the occupancy.
+  EXPECT_EQ(pool.GetStats().occupied_slots, 1u);
+  pool.EndConcurrent();
+  EXPECT_EQ(pool.GetStats().occupied_slots, 0u);
+  EXPECT_EQ(pool.live_items(), 0u);
+}
+
+TEST(ItemPoolTest, ForEachAllocatedSkipsErasedRuns) {
+  ItemPool pool = MakePool();
+  std::vector<ItemHandle> live;
+  for (int i = 0; i < 150; ++i) {
+    Item* it = pool.Alloc(0);
+    it->value = static_cast<Value>(i + 1);
+    live.push_back(it->self);
+  }
+  // Erase a scatter of runs: singletons, an interior run, a block prefix.
+  std::vector<std::size_t> doomed = {0, 1, 2, 7, 64, 65, 70, 100, 149};
+  for (std::size_t i : doomed) {
+    pool.Free(pool.Resolve(live[i]));
+    live[i] = ItemHandle();
+  }
+  std::size_t expect = 0;
+  for (const ItemHandle h : live) expect += h ? 1 : 0;
+  std::size_t seen = 0;
+  pool.ForEachAllocated([&](Item* it) {
+    ++seen;
+    ASSERT_NE(it->value, 0u);  // never visits an erased slot
+  });
+  EXPECT_EQ(seen, expect);
+  for (const ItemHandle h : live) {
+    if (h) pool.Free(pool.Resolve(h));
+  }
+}
+
+}  // namespace
+}  // namespace dyncq::core

@@ -15,7 +15,10 @@
 // temporal shape of the churn by DYNCQ_SOAK_PATTERN: "churn" (default,
 // stationary Zipfian mix), "window" (sliding retention window — every
 // delete expires the oldest live tuple, a delete-heavy steady state),
-// or "flash" (periodic hot-value bursts hammering a few subtrees). The
+// "flash" (periodic hot-value bursts hammering a few subtrees), or
+// "storm" (delete storms: sawtooth build/drain cycles that repeatedly
+// empty whole item blocks — the adversarial pattern for hive block
+// reclamation, exercised here end-to-end under pinned epochs). The
 // binary is registered as a ctest only under -DDYNCQ_SOAK_TESTS=ON,
 // label "soak"; it is not part of the tier-1 suite.
 #include <unistd.h>
@@ -117,8 +120,10 @@ int main() {
   // pattern keeps the live structure bounded afterwards — balanced
   // churn random-walks around the warmed size, the sliding window holds
   // exactly `window` tuples per relation, flash bursts are balanced
-  // churn with a hot value set — so any sustained RSS growth is
-  // pinned-version leakage, not data growth.
+  // churn with a hot value set, and delete storms sawtooth strictly
+  // below the warmed high-water mark (each cycle drains more than its
+  // build phase can freshly insert from the Zipfian domain) — so any
+  // sustained RSS growth is pinned-version leakage, not data growth.
   const char* pat_env = std::getenv("DYNCQ_SOAK_PATTERN");
   const std::string pattern = pat_env != nullptr ? pat_env : "churn";
   std::unique_ptr<workload::StreamGenerator> gen;
@@ -155,6 +160,15 @@ int main() {
       gopts.flash_period = 4096;
       gopts.flash_len = 512;
       gopts.flash_hot_values = 8;
+    } else if (pattern == "storm") {
+      // Build with pure inserts, then delete-storm half the cycle: the
+      // drain punches whole pool blocks empty every round, so block
+      // reclamation (and its interaction with epoch retire lists) runs
+      // continuously rather than once at teardown.
+      gopts.pattern = workload::TemporalPattern::kDeleteStorm;
+      gopts.insert_ratio = 1.0;
+      gopts.storm_period = 8192;
+      gopts.storm_len = 4096;
     }
     gen = std::make_unique<workload::StreamGenerator>(
         q.value().schema_ptr(), gopts);
