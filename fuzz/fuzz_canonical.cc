@@ -1,0 +1,181 @@
+// Fuzz harness: CanonicalQueryKey's contract on mutated query pairs.
+//
+// Two invariants (cq/canonical.h):
+//   1. Completeness on structural identity: a query and its mutant —
+//      bijectively renamed existential variables, permuted atoms, head
+//      pinned pointwise — MUST get the same key.
+//   2. Soundness: if two independently decoded queries get the same
+//      key, they MUST be homomorphically equivalent (key equality claims
+//      structural identity, which implies hom-equivalence).
+//
+// Queries are decoded small (≤ 5 atoms, ≤ 6 variables over one shared
+// schema) so the exhaustive homomorphism search stays trivial, and both
+// queries share one Schema — canonical keys are only comparable within
+// a schema.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cq/canonical.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+#include "fuzz/fuzz_util.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace {
+
+using dyncq::Query;
+using dyncq::QueryBuilder;
+using dyncq::RelId;
+using dyncq::Result;
+using dyncq::Schema;
+using dyncq::Term;
+using dyncq::Value;
+using dyncq::VarId;
+using dyncq::fuzz::ByteReader;
+
+constexpr std::size_t kMaxAtoms = 5;
+constexpr std::size_t kMaxVars = 6;
+
+/// Decoded intermediate form: atoms as (rel, terms) with variables named
+/// by dense indices, head as a list of variable indices. Kept separate
+/// from Query so the mutation below can renumber and permute freely.
+struct RawQuery {
+  struct RawTerm {
+    bool is_const = false;
+    std::size_t var = 0;  // < kMaxVars
+    Value constant = 1;
+  };
+  std::vector<std::pair<RelId, std::vector<RawTerm>>> atoms;
+  std::vector<std::size_t> head;
+};
+
+RawQuery DecodeRaw(ByteReader& r, const Schema& schema) {
+  RawQuery q;
+  const std::size_t natoms = r.Range(1, kMaxAtoms);
+  for (std::size_t i = 0; i < natoms; ++i) {
+    const RelId rel = static_cast<RelId>(r.Choice(schema.NumRelations()));
+    std::vector<RawQuery::RawTerm> args(schema.arity(rel));
+    bool has_var = false;
+    for (RawQuery::RawTerm& t : args) {
+      t.is_const = r.Range(0, 3) == 0;  // constants stay the minority
+      t.var = r.Choice(kMaxVars);
+      t.constant = r.Range(1, 4);  // Value 0 is the reserved sentinel
+      if (!t.is_const) has_var = true;
+    }
+    // QueryBuilder rejects variable-free atoms; pin one argument.
+    if (!has_var) args[0].is_const = false;
+    q.atoms.emplace_back(rel, std::move(args));
+  }
+  // Head: a duplicate-free subset of the variables that occur.
+  std::vector<bool> used(kMaxVars, false);
+  for (const auto& [rel, args] : q.atoms) {
+    for (const auto& t : args) {
+      if (!t.is_const) used[t.var] = true;
+    }
+  }
+  for (std::size_t v = 0; v < kMaxVars; ++v) {
+    if (used[v] && r.Bool()) q.head.push_back(v);
+  }
+  return q;
+}
+
+/// Builds a Query from the raw form under `var_rename` (a permutation of
+/// variable indices) and `atom_order`. Variable *names* also get fresh
+/// spellings so renaming is exercised at both the id and name level.
+Result<Query> BuildQuery(const RawQuery& raw, std::shared_ptr<const Schema> s,
+                         const std::vector<std::size_t>& var_rename,
+                         const std::vector<std::size_t>& atom_order,
+                         const char* name_prefix) {
+  QueryBuilder b(std::move(s));
+  b.SetName("Q");
+  auto var_name = [&](std::size_t v) {
+    return std::string(name_prefix) + std::to_string(var_rename[v]);
+  };
+  for (std::size_t ai : atom_order) {
+    const auto& [rel, args] = raw.atoms[ai];
+    std::vector<Term> terms;
+    terms.reserve(args.size());
+    for (const auto& t : args) {
+      terms.push_back(t.is_const ? Term::Const(t.constant)
+                                 : Term::Var(b.Var(var_name(t.var))));
+    }
+    b.AddAtom(rel, std::move(terms));
+  }
+  std::vector<VarId> head;
+  head.reserve(raw.head.size());
+  for (std::size_t v : raw.head) head.push_back(b.Var(var_name(v)));
+  b.SetHead(head);
+  return b.Build();
+}
+
+std::vector<std::size_t> Identity(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  return p;
+}
+
+/// Fisher–Yates driven by the fuzzer bytes.
+std::vector<std::size_t> DecodePermutation(ByteReader& r, std::size_t n) {
+  std::vector<std::size_t> p = Identity(n);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[r.Choice(i)]);
+  }
+  return p;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 12)) return 0;
+  ByteReader r(data, size);
+
+  auto schema = std::make_shared<Schema>();
+  (void)schema->AddRelation("R", 2);
+  (void)schema->AddRelation("S", 2);
+  (void)schema->AddRelation("T", 1);
+  (void)schema->AddRelation("U", 3);
+
+  const RawQuery raw = DecodeRaw(r, *schema);
+  Result<Query> base =
+      BuildQuery(raw, schema, Identity(kMaxVars), Identity(raw.atoms.size()),
+                 "x");
+  if (!base.ok()) return 0;  // e.g. a head variable lost to const-pinning
+
+  // Invariant 1: a structurally identical mutant keeps the key. The
+  // head is pinned automatically: head entries are variable indices and
+  // var_rename is a bijection, so head positions still map pointwise.
+  const std::vector<std::size_t> var_rename = DecodePermutation(r, kMaxVars);
+  const std::vector<std::size_t> atom_order =
+      DecodePermutation(r, raw.atoms.size());
+  Result<Query> mutant = BuildQuery(raw, schema, var_rename, atom_order, "y");
+  FUZZ_ASSERT(mutant.ok(), "mutant of a buildable query must build");
+  const std::string key_base = dyncq::CanonicalQueryKey(*base);
+  const std::string key_mutant = dyncq::CanonicalQueryKey(*mutant);
+  FUZZ_ASSERT(key_base == key_mutant,
+              ("structurally identical mutant changed the key:\n  " +
+               base->ToString() + "\n  " + mutant->ToString())
+                  .c_str());
+  FUZZ_ASSERT(dyncq::AreHomEquivalent(*base, *mutant),
+              "structural identity must imply hom-equivalence");
+
+  // Invariant 2: key equality across independent queries is sound.
+  const RawQuery raw2 = DecodeRaw(r, *schema);
+  Result<Query> other =
+      BuildQuery(raw2, schema, Identity(kMaxVars), Identity(raw2.atoms.size()),
+                 "x");
+  if (!other.ok()) return 0;
+  if (base->Arity() == other->Arity() &&
+      dyncq::CanonicalQueryKey(*other) == key_base) {
+    FUZZ_ASSERT(dyncq::AreHomEquivalent(*base, *other),
+                ("equal keys on non-hom-equivalent queries:\n  " +
+                 base->ToString() + "\n  " + other->ToString())
+                    .c_str());
+  }
+  return 0;
+}

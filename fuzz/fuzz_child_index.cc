@@ -1,0 +1,127 @@
+// Fuzz harness: core::ChildIndex vs a std::unordered_map oracle.
+//
+// Decoded op streams drive the two-mode table across its edges — the
+// inline→heap spill at kInlineCap, growth at 3/4 load, backward-shift
+// deletion closing probe chains, the shrink-to-inline path after mass
+// deletion — while an unordered_map mirrors every mutation. Strided
+// records (payload widths 1–4, chosen once per input while the table is
+// empty, per the set_stride contract) exercise the leaf-record layouts.
+// Keys are drawn nonzero (Value 0 is the empty-record marker: rejecting
+// it is the caller's contract, checked only by DYNCQ_DCHECK) and from a
+// small domain so probe chains collide and deletions hit mid-chain.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/child_index.h"
+#include "fuzz/fuzz_util.h"
+#include "util/types.h"
+
+namespace {
+
+using dyncq::Value;
+using dyncq::core::ChildIndex;
+using dyncq::fuzz::ByteReader;
+
+constexpr std::size_t kMaxOps = 300;
+constexpr Value kDomain = 48;  // > growth threshold, small enough to collide
+
+using Payload = std::vector<std::uint64_t>;  // stride words per key
+using Oracle = std::unordered_map<Value, Payload>;
+
+void CheckAgreement(const ChildIndex& index, const Oracle& oracle,
+                    std::size_t stride) {
+  FUZZ_ASSERT(index.size() == oracle.size(), "size diverged from oracle");
+  FUZZ_ASSERT(index.empty() == oracle.empty(), "empty() diverged");
+  // Every oracle entry is findable with the exact payload words.
+  for (const auto& [key, payload] : oracle) {
+    const std::uint64_t* rec = index.FindRecord(key);
+    FUZZ_ASSERT(rec != nullptr, "oracle key missing from ChildIndex");
+    for (std::size_t w = 0; w < stride; ++w) {
+      FUZZ_ASSERT(rec[1 + w] == payload[w], "payload word diverged");
+    }
+  }
+  // Iteration yields exactly the oracle keys, each once — via ForEachRecord
+  // and, independently, the record cursor (they share no iteration state).
+  std::size_t seen = 0;
+  index.ForEachRecord([&](const std::uint64_t* rec) {
+    ++seen;
+    FUZZ_ASSERT(oracle.count(static_cast<Value>(rec[0])) == 1,
+                "iteration yielded a key the oracle lacks");
+  });
+  FUZZ_ASSERT(seen == oracle.size(), "iteration count diverged");
+  std::size_t cursor_seen = 0;
+  for (const std::uint64_t* rec = index.FirstRecord(); rec != nullptr;
+       rec = index.NextRecord(rec)) {
+    ++cursor_seen;
+    FUZZ_ASSERT(oracle.count(static_cast<Value>(rec[0])) == 1,
+                "record cursor yielded a key the oracle lacks");
+  }
+  FUZZ_ASSERT(cursor_seen == oracle.size(), "record cursor count diverged");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 12)) return 0;
+  ByteReader r(data, size);
+
+  ChildIndex index;
+  const std::size_t stride = r.Range(1, 4);
+  if (stride != 1) index.set_stride(stride);  // only while empty & unspilled
+  Oracle oracle;
+
+  std::size_t ops = 0;
+  while (!r.empty() && ops++ < kMaxOps) {
+    switch (r.Choice(6)) {
+      case 0:
+      case 1: {  // insert-or-update through FindOrInsertRecord
+        const Value key = r.Range(1, kDomain);
+        std::uint64_t* rec = index.FindOrInsertRecord(key);
+        FUZZ_ASSERT(rec[0] == key, "FindOrInsertRecord returned wrong key");
+        auto [it, inserted] = oracle.try_emplace(key, Payload(stride, 0));
+        if (inserted) {
+          // Freshly claimed records are all-zero payload by contract.
+          for (std::size_t w = 0; w < stride; ++w) {
+            FUZZ_ASSERT(rec[1 + w] == 0, "claimed record payload not zero");
+          }
+        }
+        for (std::size_t w = 0; w < stride; ++w) {
+          rec[1 + w] = r.U8();  // small words keep corpus mutations local
+          it->second[w] = rec[1 + w];
+        }
+        break;
+      }
+      case 2: {  // erase (hits backward-shift and shrink paths)
+        const Value key = r.Range(1, kDomain);
+        FUZZ_ASSERT(index.Erase(key) == (oracle.erase(key) == 1),
+                    "Erase presence diverged from oracle");
+        break;
+      }
+      case 3: {  // point lookup, hit or miss
+        const Value key = r.Range(1, kDomain);
+        const std::uint64_t* rec = index.FindRecord(key);
+        FUZZ_ASSERT((rec != nullptr) == (oracle.count(key) == 1),
+                    "FindRecord presence diverged from oracle");
+        break;
+      }
+      case 4: {  // reserve mid-stream (bulk-load path; contents must hold)
+        index.Reserve(r.Range(0, 128));
+        break;
+      }
+      default: {  // clear, or full-agreement checkpoint
+        if (r.Bool()) {
+          index.Clear();
+          oracle.clear();
+        }
+        CheckAgreement(index, oracle, stride);
+        break;
+      }
+    }
+  }
+  CheckAgreement(index, oracle, stride);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fuzz harness: raw bytes into cq::ParseQuery.
+//
+// Contract under test: arbitrary input must come back as either a
+// parsed Query or a typed util::Result error — never a DYNCQ_CHECK
+// abort, an uncaught exception, or sanitizer-visible UB. On success the
+// query must survive a render/re-parse round trip with its canonical
+// structural key intact (ToString() is the engine's own grammar, so a
+// round-trip failure means parser and printer disagree about it).
+//
+// One leading byte selects the schema mode: fresh-schema inference vs
+// parsing against a fixed schema (R/2, S/2, T/1, U/3) — the second
+// overload has its own failure paths (unknown relation, arity clash
+// against the pinned schema) that inference can never reach.
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cq/canonical.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+#include "fuzz/fuzz_util.h"
+
+namespace {
+
+std::shared_ptr<const dyncq::Schema> FixedSchema() {
+  auto s = std::make_shared<dyncq::Schema>();
+  (void)s->AddRelation("R", 2);
+  (void)s->AddRelation("S", 2);
+  (void)s->AddRelation("T", 1);
+  (void)s->AddRelation("U", 3);
+  return s;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 16)) return 0;  // bound per-input cost, not coverage
+  dyncq::fuzz::ByteReader r(data, size);
+  const bool use_fixed_schema = r.Bool();
+  const std::string text = r.RestAsString();
+
+  dyncq::Result<dyncq::Query> q =
+      use_fixed_schema ? dyncq::ParseQuery(text, FixedSchema())
+                       : dyncq::ParseQuery(text);
+  if (!q.ok()) {
+    FUZZ_ASSERT(!q.error().empty(), "typed error must carry a message");
+    return 0;
+  }
+
+  // Round trip under the SAME schema mode (canonical keys encode RelIds,
+  // so the reparse must assign the same ids: the fixed schema pins them,
+  // and inference re-derives them from ToString's preserved atom order).
+  const std::string rendered = q->ToString();
+  dyncq::Result<dyncq::Query> q2 =
+      use_fixed_schema ? dyncq::ParseQuery(rendered, FixedSchema())
+                       : dyncq::ParseQuery(rendered);
+  FUZZ_ASSERT(q2.ok(), ("re-parse of rendered query failed: " + rendered +
+                        " — " + q2.error())
+                           .c_str());
+  FUZZ_ASSERT(dyncq::CanonicalQueryKey(*q) == dyncq::CanonicalQueryKey(*q2),
+              ("round trip changed the canonical key: " + rendered).c_str());
+  return 0;
+}

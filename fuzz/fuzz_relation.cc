@@ -1,0 +1,121 @@
+// Fuzz harness: storage::Relation (swiss table) vs a std::set oracle.
+//
+// Decoded op streams churn the table through its structural edges —
+// tombstone accumulation and the amortized same-capacity purge at 7/8
+// occupancy, doubling growth, Reserve mid-stream, Clear, the nullary
+// (arity-0) special case — with every mutation mirrored into a
+// std::set<Tuple>. Checkpoints assert set equality via Contains AND
+// full iteration, plus the no-op contract: inserting a present tuple or
+// erasing an absent one must change neither size, capacity, nor
+// probe_count.
+//
+// Tuples are valid by construction: Insert's contract DYNCQ_CHECKs the
+// arity and rejects Value 0, so the decoder always emits correct-arity
+// tuples of values >= 1 (a small domain keeps collisions and probe-chain
+// overlap frequent).
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+#include "util/types.h"
+
+namespace {
+
+using dyncq::Relation;
+using dyncq::Tuple;
+using dyncq::Value;
+using dyncq::fuzz::ByteReader;
+
+constexpr std::size_t kMaxOps = 300;
+constexpr Value kDomain = 6;  // 6^2 = 36 distinct binary tuples: dense churn
+
+Tuple DecodeTuple(ByteReader& r, std::size_t arity) {
+  Tuple t;
+  for (std::size_t i = 0; i < arity; ++i) t.push_back(r.Range(1, kDomain));
+  return t;
+}
+
+void CheckAgreement(const Relation& rel, const std::set<Tuple>& oracle) {
+  FUZZ_ASSERT(rel.size() == oracle.size(), "size diverged from oracle");
+  FUZZ_ASSERT(rel.empty() == oracle.empty(), "empty() diverged");
+  for (const Tuple& t : oracle) {
+    FUZZ_ASSERT(rel.Contains(t), "oracle tuple missing from Relation");
+  }
+  std::set<Tuple> iterated;
+  for (const Tuple& t : rel) {
+    FUZZ_ASSERT(iterated.insert(t).second, "iteration repeated a tuple");
+  }
+  FUZZ_ASSERT(iterated == oracle, "iteration diverged from oracle");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 12)) return 0;
+  ByteReader r(data, size);
+
+  const std::size_t arity = r.Range(0, 3);  // 0 exercises the () special case
+  Relation rel(arity);
+  std::set<Tuple> oracle;
+
+  std::size_t ops = 0;
+  while (!r.empty() && ops++ < kMaxOps) {
+    switch (r.Choice(6)) {
+      case 0:
+      case 1: {  // insert (duplicates must be capacity/probe no-ops)
+        const Tuple t = DecodeTuple(r, arity);
+        const bool was_absent = oracle.insert(t).second;
+        const std::size_t cap_before = rel.capacity();
+        const std::uint64_t probes_before = rel.probe_count();
+        FUZZ_ASSERT(rel.Insert(t) == was_absent,
+                    "Insert newness diverged from oracle");
+        if (!was_absent) {
+          FUZZ_ASSERT(rel.capacity() == cap_before,
+                      "duplicate insert changed capacity");
+          FUZZ_ASSERT(rel.probe_count() == probes_before,
+                      "duplicate insert charged a probe");
+        }
+        break;
+      }
+      case 2: {  // erase (absent erases must be no-ops; hits tombstones)
+        const Tuple t = DecodeTuple(r, arity);
+        const bool was_present = oracle.erase(t) == 1;
+        const std::size_t cap_before = rel.capacity();
+        const std::uint64_t probes_before = rel.probe_count();
+        FUZZ_ASSERT(rel.Erase(t) == was_present,
+                    "Erase presence diverged from oracle");
+        if (!was_present) {
+          FUZZ_ASSERT(rel.capacity() == cap_before,
+                      "absent erase changed capacity");
+          FUZZ_ASSERT(rel.probe_count() == probes_before,
+                      "absent erase charged a probe");
+        }
+        break;
+      }
+      case 3: {  // point lookup, hit or miss (read-only)
+        const Tuple t = DecodeTuple(r, arity);
+        FUZZ_ASSERT(rel.Contains(t) == (oracle.count(t) == 1),
+                    "Contains diverged from oracle");
+        break;
+      }
+      case 4: {  // reserve mid-stream; contents must be untouched
+        rel.Reserve(r.Range(0, 128));
+        break;
+      }
+      default: {  // clear, or full-agreement checkpoint
+        if (r.Bool()) {
+          rel.Clear();
+          oracle.clear();
+        }
+        CheckAgreement(rel, oracle);
+        break;
+      }
+    }
+  }
+  CheckAgreement(rel, oracle);
+  return 0;
+}

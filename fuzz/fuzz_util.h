@@ -1,0 +1,100 @@
+// Shared decoder for the structure-aware fuzz harnesses.
+//
+// Every harness in fuzz/ consumes its input through ByteReader: a
+// FuzzedDataProvider-style cursor over the raw fuzzer bytes that turns
+// them into bounded integers, choices, and small structures. The
+// decoders keep inputs *valid by construction exactly where the API
+// contract requires it* (tuple arities match the relation, Value 0 —
+// the engine-wide reserved sentinel — is never stored, queries stay
+// within the 64-variable representation) and adversarial everywhere
+// else (byte soup into the parser, pathological op interleavings into
+// the tables). Exhausted input yields zeros, so every prefix of a
+// corpus file is itself a deterministic, replayable input — libFuzzer's
+// minimizer depends on that.
+//
+// Harnesses report findings by crashing: a DYNCQ_CHECK (std::logic_error)
+// escaping a harness, a sanitizer report, or FUZZ_ASSERT below. Typed
+// util::Result errors are the *expected* rejection path and never abort.
+#ifndef DYNCQ_FUZZ_FUZZ_UTIL_H_
+#define DYNCQ_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dyncq::fuzz {
+
+// Prints the violated condition and aborts. abort() (not an exception)
+// so libFuzzer and the plain replay driver both treat an invariant
+// violation identically: a crash at the faulting input.
+#define FUZZ_ASSERT(cond, what)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s — %s (%s:%d)\n",     \
+                   #cond, (what), __FILE__, __LINE__);                  \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t U8() { return empty() ? 0 : data_[pos_++]; }
+
+  std::uint16_t U16() {
+    return static_cast<std::uint16_t>(U8() |
+                                      (static_cast<std::uint16_t>(U8()) << 8));
+  }
+
+  std::uint32_t U32() {
+    return static_cast<std::uint32_t>(U16()) |
+           (static_cast<std::uint32_t>(U16()) << 16);
+  }
+
+  std::uint64_t U64() {
+    return static_cast<std::uint64_t>(U32()) |
+           (static_cast<std::uint64_t>(U32()) << 32);
+  }
+
+  bool Bool() { return (U8() & 1) != 0; }
+
+  /// Uniform-ish value in [lo, hi] (inclusive). One byte of entropy when
+  /// the range fits, four otherwise — keeps corpus files small and
+  /// mutations local.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = hi - lo + 1;
+    const std::uint64_t raw = span <= 256 ? U8() : U32();
+    return lo + raw % span;
+  }
+
+  /// Index into a choice list of `n` alternatives.
+  std::size_t Choice(std::size_t n) {
+    return n <= 1 ? 0 : static_cast<std::size_t>(Range(0, n - 1));
+  }
+
+  /// Remaining bytes as a string (adversarial free-text tail).
+  std::string RestAsString() {
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    size_ - pos_);
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dyncq::fuzz
+
+#endif  // DYNCQ_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Replays every committed fuzz corpus through its replay driver.
+
+Registered as the `fuzz_regressions` ctest (CMakeLists.txt) in both the
+Release and ASan/UBSan tier-1 builds, so every corpus file — seeds and
+fixed crashers alike — stays green without clang or libFuzzer present.
+Each <bin-dir>/fuzz_<target>_replay binary is invoked once with all of
+fuzz/corpus/<target>/* as arguments; a nonzero exit (FUZZ_ASSERT abort,
+sanitizer report, escaped exception) fails the test and names the
+target. Corpus directories without a built driver (or vice versa) are
+hard errors: a renamed target must not silently orphan its corpus.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# One entry per harness in fuzz/. Keep in sync with DYNCQ_FUZZ_TARGETS
+# in CMakeLists.txt; the selftest below cross-checks against corpus/.
+TARGETS = [
+    "fuzz_parser",
+    "fuzz_canonical",
+    "fuzz_delta_stream",
+    "fuzz_child_index",
+    "fuzz_relation",
+]
+
+
+def replay_target(bin_dir: pathlib.Path, corpus_root: pathlib.Path,
+                  target: str) -> bool:
+    driver = bin_dir / f"{target}_replay"
+    corpus = corpus_root / target
+    if not driver.is_file():
+        print(f"FAIL {target}: replay driver missing at {driver}")
+        return False
+    if not corpus.is_dir():
+        print(f"FAIL {target}: corpus directory missing at {corpus}")
+        return False
+    files = sorted(p for p in corpus.iterdir() if p.is_file())
+    if not files:
+        print(f"FAIL {target}: corpus at {corpus} is empty")
+        return False
+    proc = subprocess.run(
+        [str(driver)] + [str(p) for p in files],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"FAIL {target}: exit {proc.returncode}")
+        print(proc.stdout)
+        return False
+    print(f"ok   {target}: {len(files)} corpus file(s) replayed clean")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin-dir", required=True, type=pathlib.Path,
+                        help="build directory holding the *_replay drivers")
+    parser.add_argument("--corpus", required=True, type=pathlib.Path,
+                        help="fuzz/corpus root (one subdirectory per target)")
+    args = parser.parse_args()
+
+    # A corpus subdirectory for an unknown target means TARGETS is stale.
+    known = set(TARGETS)
+    stray = [d.name for d in sorted(args.corpus.iterdir())
+             if d.is_dir() and d.name not in known]
+    if stray:
+        print(f"FAIL: corpus dirs without a registered target: {stray}")
+        return 1
+
+    ok = True
+    for target in TARGETS:
+        ok = replay_target(args.bin_dir, args.corpus, target) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,19 @@ Rules (each with an explicit, reasoned allowlist):
                    encodes the canonical path, so a stale copy or a
                    wrong-directory include shows up as a guard mismatch
                    here instead of silent double-inclusion weirdness.
+  nodiscard-result Functions returning util::Result<T> / Status declared
+                   in src/ headers carry [[nodiscard]]: a silently
+                   dropped Result is an ignored failure (exactly the bug
+                   class Result exists to prevent), and the attribute
+                   turns the drop into a compiler warning at every call
+                   site. CursorStatus (a streaming enum, legitimately
+                   consumed in loops) is out of scope.
+  parse-path-check Files that decode user-controlled input (the cq
+                   parse path) must not contain DYNCQ_CHECK/DYNCQ_DCHECK:
+                   malformed input is a typed util::Result error, never
+                   an abort — a reachable CHECK is a fuzzer-findable
+                   crash (and a DCHECK compiles away into UB-adjacent
+                   behavior in release).
   stored-item-ptr  src/core headers must not declare stored `Item*`
                    state — no pointer members, no containers of Item*.
                    Items live in the hive ItemPool and are named by
@@ -369,6 +382,79 @@ def check_stored_item_ptr(path: str, text: str):
         )
 
 
+# A function declaration whose return type is Result<...> or Status,
+# single-line form: optional specifiers, the return type, a name, an
+# opening paren. `\bStatus\b` does not match CursorStatus (no word
+# boundary mid-identifier), and `Result<T>::Error(` has no space before
+# the member name, so construction sites stay out of scope.
+_RESULT_DECL = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?"
+    r"(?:(?:virtual|static|friend|explicit|inline|constexpr)\s+)*"
+    r"(?:util::)?(?:Result\s*<.*>|Status)\s+\w+\s*\("
+)
+_NODISCARD = re.compile(r"\[\[nodiscard\]\]")
+
+NODISCARD_ALLOWLIST: list[tuple[str, re.Pattern]] = [
+    # (path, line regex) -> add entries here with a trailing comment
+    # explaining why discarding the Result is legitimate at every call
+    # site. None today: every Result/Status return in src/ headers is a
+    # failure channel the caller must consume.
+]
+
+
+def check_nodiscard_result(path: str, text: str):
+    if not (path.startswith("src/") and path.endswith(".h")):
+        return
+    allow = [rx for p, rx in NODISCARD_ALLOWLIST if p == path]
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not _RESULT_DECL.match(line):
+            continue
+        prev = lines[lineno - 2] if lineno >= 2 else ""
+        if _NODISCARD.search(line) or _NODISCARD.search(prev):
+            continue
+        if any(rx.search(line) for rx in allow):
+            continue
+        yield (
+            lineno,
+            "Result/Status-returning declaration without [[nodiscard]]; "
+            "a dropped Result is an ignored failure — annotate it (or "
+            "extend NODISCARD_ALLOWLIST with a reason)",
+        )
+
+
+_DYNCQ_CHECK = re.compile(r"\bDYNCQ_D?CHECK(?:_MSG)?\s*\(")
+
+# Files whose inputs are user-controlled text/bytes: everything reachable
+# from ParseQuery. Malformed input must come back as a typed error.
+PARSE_PATH_FILES = {
+    "src/cq/parser.cc",
+}
+
+PARSE_PATH_CHECK_ALLOWLIST: list[tuple[str, re.Pattern]] = [
+    # (path, line regex) -> why this CHECK is unreachable from user
+    # input (e.g. guards an internal invariant of already-validated
+    # structures). None today.
+]
+
+
+def check_parse_path(path: str, text: str):
+    if path not in PARSE_PATH_FILES:
+        return
+    allow = [rx for p, rx in PARSE_PATH_CHECK_ALLOWLIST if p == path]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _DYNCQ_CHECK.search(line) and not any(
+            rx.search(line) for rx in allow
+        ):
+            yield (
+                lineno,
+                "DYNCQ_CHECK/DYNCQ_DCHECK on a user-controlled parse "
+                "path; reject malformed input with a typed util::Result "
+                "error instead (fuzz_parser treats an escaped CHECK as a "
+                "crash)",
+            )
+
+
 class Rule(NamedTuple):
     name: str
     check: Callable
@@ -387,6 +473,8 @@ RULES = [
     Rule("include-hygiene", check_include_hygiene, raw=True),
     Rule("header-guard", check_header_guard),
     Rule("stored-item-ptr", check_stored_item_ptr),
+    Rule("nodiscard-result", check_nodiscard_result),
+    Rule("parse-path-check", check_parse_path),
 ]
 
 

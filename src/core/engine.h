@@ -28,19 +28,19 @@ class Engine final : public DynamicQueryEngine {
   /// not q-hierarchical (use the baselines or, per Theorem 1.3, run the
   /// engine on ComputeCore(q) when that core is q-hierarchical).
   /// QuerySession (core/session.h) is the strategy-selecting front door.
-  static Result<std::unique_ptr<Engine>> Create(const Query& q);
+  [[nodiscard]] static Result<std::unique_ptr<Engine>> Create(const Query& q);
 
   /// Same, with explicit structural tuning (leaf inlining and path
   /// compression flags). The default tuning enables both; the override
   /// exists for the differential tests that prove the transformations
   /// are pure representation changes.
-  static Result<std::unique_ptr<Engine>> Create(const Query& q,
+  [[nodiscard]] static Result<std::unique_ptr<Engine>> Create(const Query& q,
                                                 const EngineTuning& tuning);
 
   /// Preprocessing phase on an initial database: initializes the empty
   /// structure and replays |D0| inserts — linear total time by constant
   /// update time (paper §6.4).
-  static Result<std::unique_ptr<Engine>> Create(const Query& q,
+  [[nodiscard]] static Result<std::unique_ptr<Engine>> Create(const Query& q,
                                                 const Database& initial);
 
   /// Shared-storage mode (serve/query_registry.h): the engine reads
@@ -56,7 +56,7 @@ class Engine final : public DynamicQueryEngine {
   /// Preload of a foreign database) are misuse and throw: the registry
   /// owns the write order. Writers drive the engine with
   /// PrepareSharedWrite + ApplySharedDelta(s) instead.
-  static Result<std::unique_ptr<Engine>> CreateShared(
+  [[nodiscard]] static Result<std::unique_ptr<Engine>> CreateShared(
       const Query& q, Database* shared,
       const EngineTuning& tuning = EngineTuning{});
 
@@ -154,7 +154,7 @@ class Engine final : public DynamicQueryEngine {
   /// fit roots (O(#fit roots) walk), so a skewed product still splits
   /// k ways. Queries whose components are all Boolean degrade to one
   /// cursor.
-  Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
+  [[nodiscard]] Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
       std::size_t k) override;
 
   std::string name() const override { return "dyncq"; }
@@ -187,11 +187,11 @@ class Engine final : public DynamicQueryEngine {
   /// (The REQUIRES contract lives on the base declaration — attributes
   /// are not inherited by overrides, so the body re-establishes the
   /// capability with snap_mu_.AssertHeld().)
-  Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot() override;
+  [[nodiscard]] Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot() override;
 
   /// Builds constant-delay cursors over a pinned version's (possibly
   /// detached) root fit lists. Invoked outside the snapshot mutex.
-  Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
       const std::shared_ptr<EngineSnapshot>& snap) override;
 
   void ReclaimAllRetired() override;
@@ -202,7 +202,7 @@ class Engine final : public DynamicQueryEngine {
   Engine(Query q, Database* shared);
 
   /// Common factory body behind Create / CreateShared.
-  static Result<std::unique_ptr<Engine>> Build(const Query& q,
+  [[nodiscard]] static Result<std::unique_ptr<Engine>> Build(const Query& q,
                                                Database* shared,
                                                const EngineTuning& tuning);
 

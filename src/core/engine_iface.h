@@ -24,6 +24,7 @@
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/update.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -217,7 +218,7 @@ class DynamicQueryEngine {
   /// return a single full cursor. Fewer than `k` cursors are returned
   /// when the result has fewer independent units than `k`. k == 0 is
   /// misuse and returns an error.
-  virtual Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
+  [[nodiscard]] virtual Result<std::vector<std::unique_ptr<Cursor>>> NewPartitions(
       std::size_t k) {
     if (k == 0) {
       return Result<std::vector<std::unique_ptr<Cursor>>>::Error(
@@ -245,18 +246,18 @@ class DynamicQueryEngine {
   /// exceeding it is a typed error, as is pinning mid-write (e.g. under
   /// an open sharded batch). On failure — including an allocation
   /// failure while capturing — no epoch is registered.
-  Result<std::uint64_t> PinEpoch();
+  [[nodiscard]] Result<std::uint64_t> PinEpoch();
 
   /// Releases one pin of `epoch`. The epoch's snapshot is destroyed
   /// (and its memory queued for reclamation) once its pins AND its open
   /// snapshot cursors are both gone. Unpinning an epoch that is not
   /// pinned is a typed error.
-  Status UnpinEpoch(std::uint64_t epoch);
+  [[nodiscard]] Status UnpinEpoch(std::uint64_t epoch);
 
   /// Cursor over the result as of pinned `epoch`. The cursor itself
   /// keeps the snapshot alive, so it stays valid after UnpinEpoch and
   /// never reports kInvalidated. Errors if `epoch` is not registered.
-  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
 
   /// Registered snapshot versions (pinned or still referenced by an
   /// open snapshot cursor). Test/telemetry hook.
@@ -265,7 +266,7 @@ class DynamicQueryEngine {
   /// Explicit reclamation: releases all retired snapshot memory.
   /// Reclaim-while-pinned is misuse — a typed error naming the
   /// outstanding pins/cursors, with nothing released.
-  Status DropAllSnapshots();
+  [[nodiscard]] Status DropAllSnapshots();
 
   /// Lowers the per-epoch pin limit (tests exercise the overflow path
   /// without 2^32 pins). Takes the snapshot mutex: PinEpoch reads the
@@ -307,13 +308,13 @@ class DynamicQueryEngine {
   /// registered. The default is materialize-on-pin: drain a fresh
   /// cursor into a VectorSnapshot. Engines with structural snapshots
   /// (core::Engine) override this to an O(1) capture.
-  virtual Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot()
+  [[nodiscard]] virtual Result<std::shared_ptr<EngineSnapshot>> CaptureSnapshot()
       DYNCQ_REQUIRES(snap_mu_);
 
   /// Builds a cursor over a snapshot this engine previously captured.
   /// Invoked outside the snapshot mutex. The default enumerates a
   /// VectorSnapshot.
-  virtual Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
+  [[nodiscard]] virtual Result<std::unique_ptr<Cursor>> MakeSnapshotCursor(
       const std::shared_ptr<EngineSnapshot>& snap);
 
   /// Releases retired snapshot memory; called by DropAllSnapshots (under
@@ -348,10 +349,14 @@ class DynamicQueryEngine {
 
   /// Guards the snapshot registry (snaps_, pin_limit_) and, in derived
   /// engines, their fork bookkeeping (core::Engine::armed_version_).
-  /// Lock hierarchy: snap_mu_ may be held while taking an ItemPool's
+  /// Lock hierarchy (util/lock_rank.h): snap_mu_ nests inside a serving
+  /// registry's mu_ and may be held while taking an ItemPool's
   /// retire_mu_ (version death retires its forest), never the reverse
-  /// — see docs/ARCHITECTURE.md, "Concurrency contracts".
-  mutable util::Mutex snap_mu_;
+  /// — the rank-token edges make -Wthread-safety-beta check both
+  /// directions; see docs/ARCHITECTURE.md, "Concurrency contracts".
+  mutable util::Mutex snap_mu_
+      DYNCQ_ACQUIRED_AFTER(util::lock_rank::kBelowRegistry)
+          DYNCQ_ACQUIRED_BEFORE(util::lock_rank::kBelowEngineSnap);
 
  private:
   friend class SnapshotCursor;

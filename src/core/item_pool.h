@@ -43,6 +43,7 @@
 #include "core/handle.h"
 #include "core/item.h"
 #include "util/check.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -379,18 +380,23 @@ class ItemPool {
   std::size_t slab_bytes_ DYNCQ_GUARDED_BY(dir_mu_) = 0;
   std::size_t released_blocks_ DYNCQ_GUARDED_BY(dir_mu_) = 0;
 
-  // Lock hierarchy: retire_mu_ is taken with the engine's snap_mu_
-  // already held (version death under the snapshot registry lock
-  // retires its forest here). ReclaimThrough deliberately never nests
-  // the two — it collects the ready lists under retire_mu_, releases
-  // it, and folds the slots in (taking dir_mu_ for block release)
-  // outside; dir_mu_ is still declared ACQUIRED_AFTER so the order
-  // stays machine-checked if nesting ever reappears.
+  // Lock hierarchy (util/lock_rank.h): retire_mu_ is taken with the
+  // engine's snap_mu_ already held (version death under the snapshot
+  // registry lock retires its forest here) — the rank-token edges
+  // complete the registry mu_ -> snap_mu_ -> retire_mu_ -> dir_mu_
+  // chain under -Wthread-safety-beta. ReclaimThrough deliberately never
+  // nests retire_mu_ and dir_mu_ — it collects the ready lists under
+  // retire_mu_, releases it, and folds the slots in (taking dir_mu_ for
+  // block release) outside; dir_mu_ is still declared ACQUIRED_AFTER so
+  // the order stays machine-checked if nesting ever reappears.
   // Alloc/Free/stripes_ stay unannotated on purpose: their
   // safety argument is stripe ownership (one thread per stripe during a
   // sharded batch), which is a TSan-checked protocol, not a lock.
-  mutable util::Mutex retire_mu_;
-  mutable util::Mutex dir_mu_ DYNCQ_ACQUIRED_AFTER(retire_mu_);
+  mutable util::Mutex retire_mu_
+      DYNCQ_ACQUIRED_AFTER(util::lock_rank::kBelowEngineSnap)
+          DYNCQ_ACQUIRED_BEFORE(util::lock_rank::kBelowPoolRetire);
+  mutable util::Mutex dir_mu_
+      DYNCQ_ACQUIRED_AFTER(retire_mu_, util::lock_rank::kBelowPoolRetire);
   std::vector<RetireList> retired_ DYNCQ_GUARDED_BY(retire_mu_);
   // Relaxed write-path gate, deliberately NOT guarded: the writer polls
   // it lock-free before deciding to take retire_mu_ at all (see

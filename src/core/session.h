@@ -170,25 +170,25 @@ class QuerySession {
   /// this call, survives subsequent writes (never kInvalidated), and
   /// releases its snapshot when destroyed. Whether the pin is O(1) or a
   /// full materialization is the snapshot_enumeration capability bit.
-  Result<std::unique_ptr<Cursor>> NewCursor(const CursorOptions& opts);
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> NewCursor(const CursorOptions& opts);
 
   /// Drains a fresh cursor (snapshot or live per `opts`) into a vector.
   /// Errors if a live drain is invalidated mid-way.
-  Result<std::vector<Tuple>> Materialize(const CursorOptions& opts = {});
+  [[nodiscard]] Result<std::vector<Tuple>> Materialize(const CursorOptions& opts = {});
 
   // ---- epoch pinning (see DynamicQueryEngine's threading contract) ----
-  Result<std::uint64_t> PinEpoch() { return engine_->PinEpoch(); }
-  Status UnpinEpoch(std::uint64_t epoch) {
+  [[nodiscard]] Result<std::uint64_t> PinEpoch() { return engine_->PinEpoch(); }
+  [[nodiscard]] Status UnpinEpoch(std::uint64_t epoch) {
     return engine_->UnpinEpoch(epoch);
   }
-  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch) {
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch) {
     return engine_->NewSnapshotCursor(epoch);
   }
 
   /// Splits the current result into at most `k` independent ranges (see
   /// DynamicQueryEngine::NewPartitions). Each cursor may be drained by a
   /// different thread; all are invalidated together by the next update.
-  Result<std::vector<std::unique_ptr<Cursor>>> Partitions(std::size_t k) {
+  [[nodiscard]] Result<std::vector<std::unique_ptr<Cursor>>> Partitions(std::size_t k) {
     return engine_->NewPartitions(k);
   }
 
@@ -198,7 +198,7 @@ class QuerySession {
   /// no tuple was emitted twice (slower; meant for tests). Errors if the
   /// result changed mid-drain (a cursor reported kInvalidated) rather
   /// than returning a torn result.
-  Result<std::vector<Tuple>> ParallelMaterialize(std::size_t k,
+  [[nodiscard]] Result<std::vector<Tuple>> ParallelMaterialize(std::size_t k,
                                                  bool verify_disjoint = false);
 
  private:

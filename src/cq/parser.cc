@@ -160,7 +160,20 @@ class Parser {
             Advance();
           } else if (At(Token::Kind::kNumber)) {
             arg.is_const = true;
-            arg.constant = std::stoull(Cur().text);
+            // Overflow-checked accumulation: std::stoull would throw
+            // std::out_of_range on a long digit string (fuzz-found,
+            // fuzz/corpus/fuzz_parser/constant_overflow), and user input
+            // must only ever surface as a typed error.
+            std::uint64_t v = 0;
+            for (char digit : Cur().text) {
+              const auto d = static_cast<std::uint64_t>(digit - '0');
+              if (v > (UINT64_MAX - d) / 10) {
+                return Err("integer constant out of range: '" + Cur().text +
+                           "'");
+              }
+              v = v * 10 + d;
+            }
+            arg.constant = v;
             if (arg.constant == 0) {
               return Err("constants must be >= 1 (0 is reserved)");
             }

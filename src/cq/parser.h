@@ -24,11 +24,11 @@
 namespace dyncq {
 
 /// Parses `text`, inferring a fresh schema from the atoms.
-Result<Query> ParseQuery(std::string_view text);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text);
 
 /// Parses `text` against an existing schema (relations must exist with
 /// matching arities).
-Result<Query> ParseQuery(std::string_view text,
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text,
                          std::shared_ptr<const Schema> schema);
 
 }  // namespace dyncq

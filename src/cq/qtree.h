@@ -38,7 +38,7 @@ class QTree {
  public:
   /// Builds a q-tree for a connected query; fails iff the query is not
   /// q-hierarchical (Lemma 4.2).
-  static Result<QTree> Build(const Query& connected_query);
+  [[nodiscard]] static Result<QTree> Build(const Query& connected_query);
 
   std::size_t NumNodes() const { return nodes_.size(); }
   const QTreeNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }

@@ -134,7 +134,7 @@ class QueryBuilder {
   QueryBuilder& SetHeadNames(const std::vector<std::string>& names);
   QueryBuilder& SetName(const std::string& name);
 
-  Result<Query> Build();
+  [[nodiscard]] Result<Query> Build();
 
  private:
   void Fail(const std::string& msg);

@@ -22,7 +22,7 @@ class Schema {
   Schema() = default;
 
   /// Adds a relation symbol; fails if the name already exists or arity is 0.
-  Result<RelId> AddRelation(const std::string& name, std::size_t arity);
+  [[nodiscard]] Result<RelId> AddRelation(const std::string& name, std::size_t arity);
 
   /// Returns the id for `name`, or kInvalidRel.
   RelId FindRelation(const std::string& name) const;

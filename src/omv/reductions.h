@@ -40,7 +40,7 @@ struct ReductionStats {
 /// (Claims 5.6/5.7).
 class OuMvReduction {
  public:
-  static Result<OuMvReduction> Create(const Query& q);
+  [[nodiscard]] static Result<OuMvReduction> Create(const Query& q);
 
   const Query& core() const { return core_; }
 
@@ -63,7 +63,7 @@ class OuMvReduction {
 /// v^t into ψ_y, and M v^t is read off the enumerated result.
 class OMvEnumerationReduction {
  public:
-  static Result<OMvEnumerationReduction> Create(const Query& q);
+  [[nodiscard]] static Result<OMvEnumerationReduction> Create(const Query& q);
 
   std::vector<BitVector> Solve(const OMvInstance& inst,
                                const EngineFactory& factory,
@@ -87,7 +87,7 @@ class OMvEnumerationReduction {
 /// RestrictedCountMaintainer (Lemma 5.8).
 class OVCountingReduction {
  public:
-  static Result<OVCountingReduction> Create(const Query& q);
+  [[nodiscard]] static Result<OVCountingReduction> Create(const Query& q);
 
   /// Returns true iff the instance contains an orthogonal pair.
   bool Solve(const OVInstance& inst, const EngineFactory& factory,

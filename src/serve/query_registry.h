@@ -51,6 +51,7 @@
 #include "cq/query.h"
 #include "storage/database.h"
 #include "storage/update.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -95,7 +96,7 @@ class QueryRegistry {
   /// earlier registration is joined instead of building a new engine.
   /// If the database already holds tuples the new engine is built from
   /// them (the preprocessing phase).
-  Result<QueryHandle> Register(const Query& q);
+  [[nodiscard]] Result<QueryHandle> Register(const Query& q);
 
   // ---- the one write stream ----
 
@@ -180,7 +181,12 @@ class QueryRegistry {
   // the shared database is read lock-free by the engines' read surface
   // (cursors, Count), whose safety is the external reads-vs-writes
   // synchronization of the engine contract, not a registry lock.
-  mutable util::Mutex mu_;
+  // Top of the cross-layer lock hierarchy (util/lock_rank.h): the
+  // batch path holds mu_ while engine write prologues take snap_mu_
+  // and then the pools' retire_mu_ — the ACQUIRED_BEFORE edge onto the
+  // rank token makes -Wthread-safety-beta reject the reverse nesting.
+  mutable util::Mutex mu_
+      DYNCQ_ACQUIRED_BEFORE(util::lock_rank::kBelowRegistry);
   Database db_;  // declared after schema_: engines rebuild from it last
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
       DYNCQ_GUARDED_BY(mu_);
@@ -237,14 +243,14 @@ class QueryHandle {
   Weight Count() { return e_->engine->Count(); }
   bool Answer() { return e_->engine->Answer(); }
   std::unique_ptr<Cursor> NewCursor() { return e_->engine->NewCursor(); }
-  Result<std::vector<Tuple>> Materialize();
+  [[nodiscard]] Result<std::vector<Tuple>> Materialize();
 
   // ---- epoch pinning (DynamicQueryEngine's threading contract) ----
-  Result<std::uint64_t> PinEpoch() { return e_->engine->PinEpoch(); }
-  Status UnpinEpoch(std::uint64_t epoch) {
+  [[nodiscard]] Result<std::uint64_t> PinEpoch() { return e_->engine->PinEpoch(); }
+  [[nodiscard]] Status UnpinEpoch(std::uint64_t epoch) {
     return e_->engine->UnpinEpoch(epoch);
   }
-  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch) {
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch) {
     return e_->engine->NewSnapshotCursor(epoch);
   }
 

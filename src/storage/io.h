@@ -30,11 +30,11 @@ void WriteUpdateStream(const UpdateStream& stream, const Schema& schema,
 
 /// Parses an update stream against `schema`. Unknown relations, arity
 /// mismatches, or malformed lines produce an error naming the line.
-Result<UpdateStream> ReadUpdateStream(std::istream& is,
+[[nodiscard]] Result<UpdateStream> ReadUpdateStream(std::istream& is,
                                       const Schema& schema);
 
 /// Convenience: parses a single command line (no comments).
-Result<UpdateCmd> ParseUpdateLine(std::string_view line,
+[[nodiscard]] Result<UpdateCmd> ParseUpdateLine(std::string_view line,
                                   const Schema& schema);
 
 }  // namespace dyncq

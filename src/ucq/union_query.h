@@ -35,7 +35,7 @@ class UnionQuery {
  public:
   /// All disjuncts must share the same Schema object and arity; at most
   /// 6 disjuncts (inclusion–exclusion builds 2^d - 1 engines).
-  static Result<UnionQuery> Create(std::vector<Query> disjuncts);
+  [[nodiscard]] static Result<UnionQuery> Create(std::vector<Query> disjuncts);
 
   const std::vector<Query>& disjuncts() const { return disjuncts_; }
   std::size_t Arity() const { return disjuncts_[0].Arity(); }
@@ -100,14 +100,14 @@ class UnionEngine {
 
   /// Pins the current epoch (materializing the union result) and returns
   /// it. Repeated pins of one epoch nest and share the materialization.
-  Result<std::uint64_t> PinEpoch();
+  [[nodiscard]] Result<std::uint64_t> PinEpoch();
 
   /// Releases one pin. Unpinning an epoch that is not pinned is a typed
   /// error.
-  Status UnpinEpoch(std::uint64_t epoch);
+  [[nodiscard]] Status UnpinEpoch(std::uint64_t epoch);
 
   /// Cursor over the result as of pinned `epoch` (errors if not pinned).
-  Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> NewSnapshotCursor(std::uint64_t epoch);
 
   std::size_t num_pinned_epochs() const { return pinned_.size(); }
 

@@ -1,0 +1,12 @@
+#include "util/lock_rank.h"
+
+namespace dyncq::util::lock_rank {
+
+// Never locked (see header): plain mutexes with static storage duration,
+// so taking their address in an attribute is constant-foldable and the
+// tokens carry no runtime state worth tearing down in order.
+Mutex kBelowRegistry;
+Mutex kBelowEngineSnap;
+Mutex kBelowPoolRetire;
+
+}  // namespace dyncq::util::lock_rank

@@ -16,8 +16,8 @@ namespace dyncq {
 
 class Status {
  public:
-  static Status Ok() { return Status(); }
-  static Status Error(std::string message) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Error(std::string message) {
     Status s;
     s.ok_ = false;
     s.message_ = std::move(message);
@@ -40,7 +40,7 @@ class Result {
     DYNCQ_CHECK_MSG(!status_.ok(), "Result built from an OK status");
   }
 
-  static Result<T> Error(std::string message) {
+  [[nodiscard]] static Result<T> Error(std::string message) {
     return Result<T>(Status::Error(std::move(message)));
   }
 

@@ -84,6 +84,18 @@ TEST(ParserTest, ErrorOnZeroConstant) {
   EXPECT_FALSE(ParseQuery("Q(x) :- R(x, 0).").ok());
 }
 
+TEST(ParserTest, ErrorOnOverflowingConstant) {
+  // Fuzz-found (fuzz/corpus/fuzz_parser/constant_overflow): the old
+  // std::stoull path threw uncaught std::out_of_range here. Must be a
+  // typed error, and the largest representable constant must still parse.
+  auto overflow = ParseQuery("Q(x) :- R(x, 99999999999999999999999).");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.error().find("out of range"), std::string::npos);
+  EXPECT_FALSE(ParseQuery("Q(x) :- R(x, 18446744073709551616).").ok());
+  auto max = ParseQuery("Q(x) :- R(x, 18446744073709551615).");
+  ASSERT_TRUE(max.ok()) << max.error();
+}
+
 TEST(ParserTest, ErrorOnConstantOnlyAtom) {
   EXPECT_FALSE(ParseQuery("Q(x) :- R(x), S(5).").ok());
 }

@@ -377,6 +377,97 @@ class StoredItemPtrTest(unittest.TestCase):
         )
 
 
+class NodiscardResultTest(unittest.TestCase):
+    def test_fires_on_unannotated_result_api(self):
+        for snippet in (
+            "Result<QueryHandle> Register(const Query& q);",
+            "util::Result<std::uint64_t> PinEpoch();",
+            "Status UnpinEpoch(std::uint64_t epoch);",
+            "static Result<Query> Parse(const std::string& text);",
+            "virtual Result<std::unique_ptr<Cursor>> NewSnapshotCursor(\n"
+            "    std::uint64_t epoch);",
+        ):
+            self.assertIn(
+                "nodiscard-result",
+                rules_hit("src/core/foo.h", snippet),
+                snippet,
+            )
+
+    def test_annotated_declarations_pass(self):
+        for snippet in (
+            "[[nodiscard]] Result<QueryHandle> Register(const Query& q);",
+            "[[nodiscard]] static Status Ok() { return Status(); }",
+            # Attribute on its own line above the declaration also counts.
+            "[[nodiscard]]\nResult<Query> Parse(const std::string& text);",
+        ):
+            self.assertNotIn(
+                "nodiscard-result",
+                rules_hit("src/core/foo.h", snippet),
+                snippet,
+            )
+
+    def test_non_declarations_pass(self):
+        for snippet in (
+            # A return statement, not a declaration.
+            'return Err("bad");',
+            # Variable of Result type, not a function.
+            "Result<Query> parsed = Parse(text);",
+        ):
+            self.assertNotIn(
+                "nodiscard-result",
+                rules_hit("src/core/foo.h", snippet),
+                snippet,
+            )
+
+    def test_sources_and_tests_out_of_scope(self):
+        snippet = "Result<Query> Parse(const std::string& text);"
+        self.assertNotIn(
+            "nodiscard-result", rules_hit("src/core/foo.cc", snippet)
+        )
+        self.assertNotIn(
+            "nodiscard-result", rules_hit("tests/core/foo.h", snippet)
+        )
+
+
+class ParsePathCheckTest(unittest.TestCase):
+    def test_fires_on_check_in_parser(self):
+        for snippet in (
+            "DYNCQ_CHECK(tok.kind == Token::Kind::kNumber);",
+            'DYNCQ_CHECK_MSG(arity > 0, "empty atom");',
+            "DYNCQ_DCHECK(pos_ < tokens_.size());",
+        ):
+            self.assertIn(
+                "parse-path-check",
+                rules_hit("src/cq/parser.cc", snippet),
+                snippet,
+            )
+
+    def test_typed_errors_pass(self):
+        self.assertEqual(
+            set(),
+            rules_hit(
+                "src/cq/parser.cc",
+                'return Err("integer constant out of range");',
+            ),
+        )
+
+    def test_commented_check_passes(self):
+        self.assertEqual(
+            set(),
+            rules_hit(
+                "src/cq/parser.cc", "// DYNCQ_CHECK would abort here"
+            ),
+        )
+
+    def test_other_files_out_of_scope(self):
+        # Internal invariants over already-validated Query objects may
+        # still CHECK; only user-input parse paths are banned.
+        self.assertNotIn(
+            "parse-path-check",
+            rules_hit("src/cq/canonical.cc", "DYNCQ_CHECK(n > 0);"),
+        )
+
+
 class TreeTest(unittest.TestCase):
     def test_in_tree_src_is_clean(self):
         root = _SCRIPT.parent.parent

@@ -1,0 +1,36 @@
+// negcompile: acquiring lock-hierarchy capabilities out of order must
+// be rejected by -Werror=thread-safety-beta (ACQUIRED_BEFORE /
+// ACQUIRED_AFTER live in the beta diagnostic group; the default group
+// ignores them — this case is the proof the build flags keep the order
+// machine-checked).
+//
+// Mirrors the production pattern (util/lock_rank.h): two mutexes in
+// different classes can't name each other in attributes, so each edge
+// routes through a global rank-token mutex and the analysis's
+// transitive BeforeSet closes the chain.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+dyncq::util::Mutex token;
+
+struct Upper {
+  dyncq::util::Mutex mu DYNCQ_ACQUIRED_BEFORE(token);
+};
+
+struct Lower {
+  dyncq::util::Mutex mu DYNCQ_ACQUIRED_AFTER(token);
+};
+
+}  // namespace
+
+int main() {
+  Upper upper;
+  Lower lower;
+  lower.mu.Lock();
+  upper.mu.Lock();  // BAD: upper.mu ranks before lower.mu via the token
+  upper.mu.Unlock();
+  lower.mu.Unlock();
+  return 0;
+}

@@ -58,6 +58,10 @@ def main() -> int:
         "-std=gnu++20",
         "-Wthread-safety",
         "-Werror=thread-safety",
+        # ACQUIRED_BEFORE/ACQUIRED_AFTER (the lock-order attributes,
+        # lock_order.cc) are only checked in the -beta group.
+        "-Wthread-safety-beta",
+        "-Werror=thread-safety-beta",
         f"-I{args.src}",
         str(case),
     ]
